@@ -1,0 +1,29 @@
+# Convenience targets for the multicast-scaling reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench repro examples clean
+
+install:
+	pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Full artifact regeneration into ./reproduction (quick settings).
+repro:
+	$(PYTHON) -m repro.cli all --outdir reproduction
+
+# Paper-fidelity regeneration (slow: paper sample counts + full scale).
+repro-paper:
+	$(PYTHON) -m repro.cli all --paper --scale 1.0 --outdir reproduction-paper
+
+examples:
+	for script in examples/*.py; do $(PYTHON) $$script || exit 1; done
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,80 @@
+"""Extreme affinity/disaffinity: greedy placements vs Eqs. 33–38.
+
+Not a paper figure but the quantitative content of Sections 5.2–5.3: the
+closed forms must coincide with the greedy β = ±∞ placements on real
+trees, and the two extremes bracket every uniform (β = 0) sample.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.affinity_theory import (
+    affinity_tree_size,
+    disaffinity_tree_size,
+)
+from repro.graph.paths import bfs
+from repro.multicast.affinity import extreme_placement
+from repro.multicast.tree import MulticastTreeCounter
+from repro.topology.kary import kary_tree
+from repro.utils.tables import format_table
+
+DEPTH = 10
+
+
+def test_extremes_match_closed_forms(benchmark, figure_report):
+    tree = kary_tree(2, DEPTH)
+    forest = bfs(tree.graph, 0)
+    m_max = 256
+
+    def run():
+        _, spread = extreme_placement(
+            forest, tree.leaves(), m_max, "disaffinity"
+        )
+        _, packed = extreme_placement(forest, tree.leaves(), m_max, "affinity")
+        return spread, packed
+
+    spread, packed = benchmark.pedantic(run, rounds=1, iterations=1)
+    m = np.arange(1, m_max + 1)
+    spread_theory = disaffinity_tree_size(2, DEPTH, m)
+    packed_theory = affinity_tree_size(2, DEPTH, m)
+    assert np.array_equal(spread, spread_theory)
+    assert np.array_equal(packed, packed_theory)
+
+    anchors = [1, 2, 4, 16, 64, 256]
+    rows = [
+        (
+            int(v),
+            int(packed_theory[v - 1]),
+            int(spread_theory[v - 1]),
+        )
+        for v in anchors
+    ]
+    figure_report(
+        format_table(
+            ["m", "L_inf (packed)", "L_-inf (spread)"],
+            rows,
+            title=f"Extreme affinity closed forms, k=2, D={DEPTH} "
+            "(greedy == Eq.36/38 verified for all m <= 256)",
+        )
+    )
+
+
+def test_extremes_bracket_uniform_samples(benchmark):
+    tree = kary_tree(2, 8)
+    forest = bfs(tree.graph, 0)
+    counter = MulticastTreeCounter(forest)
+    leaves = tree.leaves()
+    rng = np.random.default_rng(0)
+    m = 32
+    lo = int(affinity_tree_size(2, 8, m))
+    hi = int(disaffinity_tree_size(2, 8, m))
+
+    def sample_many():
+        return [
+            counter.tree_size(rng.choice(leaves, size=m, replace=False))
+            for _ in range(200)
+        ]
+
+    samples = benchmark.pedantic(sample_many, rounds=1, iterations=1)
+    assert all(lo <= s <= hi for s in samples)

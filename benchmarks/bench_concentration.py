@@ -1,0 +1,90 @@
+"""Concentration of the tree size — the fine print behind Eq. 1.
+
+The paper converts between ``n`` and ``m`` because "the distribution of
+resulting m values is tightly centered" in the large-``M`` limit.  This
+bench makes both halves of that claim quantitative with closed forms the
+paper doesn't derive:
+
+* the exact coefficient of variation of ``L̂(n)`` halves every two depth
+  levels (``σ/μ ∝ M^{−1/2}``),
+* the exact Eq. 1 conversion error (with-replacement vs the
+  hypergeometric distinct-receiver formula) decays to < 0.1% by D = 10.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.kary_distinct import conversion_error
+from repro.analysis.kary_variance import coefficient_of_variation
+from repro.utils.tables import format_table
+
+DEPTHS = (6, 8, 10, 12, 14)
+
+
+def _cv_table():
+    rows = []
+    for depth in DEPTHS:
+        big_m = 2**depth
+        cv = float(coefficient_of_variation(2, depth, 0.1 * big_m))
+        m = np.unique(np.geomspace(1, big_m, 8).astype(int))
+        worst_conv = float(np.abs(conversion_error(2, depth, m)).max())
+        rows.append((depth, big_m, cv, worst_conv))
+    return rows
+
+
+def test_concentration(benchmark, figure_report):
+    rows = benchmark.pedantic(_cv_table, rounds=1, iterations=1)
+    figure_report(
+        format_table(
+            ["D", "M", "CV of L at x=0.1", "max |Eq.1 error|"],
+            rows,
+            float_format=".2e",
+            title="Concentration behind Eq. 1 (binary trees, exact)",
+        )
+    )
+    cvs = [row[2] for row in rows]
+    errors = [row[3] for row in rows]
+    # Both sequences decay monotonically...
+    assert all(a > b for a, b in zip(cvs, cvs[1:]))
+    assert all(a > b for a, b in zip(errors, errors[1:]))
+    # ...and are already tiny at the paper's smallest Figure-3 depth.
+    by_depth = dict((row[0], row) for row in rows)
+    assert by_depth[10][2] < 0.03
+    assert by_depth[10][3] < 1e-3
+
+
+def test_law_validity_range(benchmark, figure_report):
+    """Where the anchored m^0.8 law holds on binary trees, and how its
+    constant drifts with network size — the practical content of the
+    paper's 'not exactly a power law'."""
+    from repro.analysis.law_range import law_validity_range
+
+    def sweep():
+        return [law_validity_range(2, depth) for depth in (10, 12, 14, 17)]
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        (
+            r.depth,
+            r.m_low,
+            r.m_high,
+            100.0 * r.max_fraction_of_sites,
+            r.anchored_constant,
+        )
+        for r in results
+    ]
+    figure_report(
+        format_table(
+            ["D", "m low", "m high", "% of M covered", "anchored C"],
+            rows,
+            float_format=".3g",
+            title="Validity range of the anchored m^0.8 law (+/-25% band, "
+            "binary trees)",
+        )
+    )
+    # The band covers most of the range at every depth...
+    assert all(r.max_fraction_of_sites > 0.5 for r in results)
+    # ...but the constant drifts upward with M: not a true power law.
+    constants = [r.anchored_constant for r in results]
+    assert all(a < b for a, b in zip(constants, constants[1:]))

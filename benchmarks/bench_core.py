@@ -1,0 +1,60 @@
+"""Micro-benchmarks of the hot primitives.
+
+These are genuine pytest-benchmark timings (multiple rounds) of the
+operations every experiment is built from: BFS over the largest topology,
+tree-size counting throughput, topology generation, and the exact k-ary
+evaluation at the paper's largest depth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.kary_exact import lhat_leaf
+from repro.graph.paths import bfs, distances_from
+from repro.multicast.tree import MulticastTreeCounter
+from repro.topology.powerlaw import internet_like_graph
+from repro.topology.registry import build_topology
+
+
+@pytest.fixture(scope="module")
+def internet_graph():
+    return internet_like_graph(10_000, rng=0)
+
+
+def test_bfs_internet_scale(benchmark, internet_graph):
+    result = benchmark(distances_from, internet_graph, 0)
+    assert int(np.count_nonzero(result >= 0)) == internet_graph.num_nodes
+
+
+def test_bfs_with_parents_internet_scale(benchmark, internet_graph):
+    forest = benchmark(bfs, internet_graph, 0)
+    assert forest.num_reachable == internet_graph.num_nodes
+
+
+def test_tree_counting_throughput(benchmark, internet_graph):
+    forest = bfs(internet_graph, 0)
+    counter = MulticastTreeCounter(forest)
+    rng = np.random.default_rng(0)
+    receiver_sets = [
+        rng.integers(1, internet_graph.num_nodes, size=256)
+        for _ in range(32)
+    ]
+
+    def count_all():
+        return sum(counter.tree_size(rs) for rs in receiver_sets)
+
+    total = benchmark(count_all)
+    assert total > 0
+
+
+def test_topology_generation_ts1000(benchmark):
+    graph = benchmark(build_topology, "ts1000", 1.0, 0)
+    assert graph.num_nodes > 900
+
+
+def test_kary_exact_paper_depth(benchmark):
+    n = np.geomspace(1, 2**17, 200)
+    values = benchmark(lhat_leaf, 2, 17, n)
+    assert np.all(np.isfinite(values))

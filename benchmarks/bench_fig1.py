@@ -1,0 +1,46 @@
+"""Figure 1 — the Chuang-Sirbu law on generated (a) and real (b) networks.
+
+Expected shape: every topology's ln(L(m)/ū) series tracks the m^0.8 line
+("by no means exact, but remarkably good"), with fitted exponents landing
+roughly in 0.6–0.9 and the exponential-growth networks closest to 0.8.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import MonteCarloConfig, SweepConfig
+from repro.experiments.figures import run_figure1_panel
+from repro.topology.registry import GENERATED_TOPOLOGIES, REAL_TOPOLOGIES
+
+SCALE = 0.3
+CONFIG = MonteCarloConfig(num_sources=10, num_receiver_sets=15, seed=0)
+SWEEP = SweepConfig(points=10)
+
+
+def _run(names, panel):
+    return run_figure1_panel(
+        names, panel, scale=SCALE, config=CONFIG, sweep=SWEEP, rng=0
+    )
+
+
+def test_figure1a_generated(benchmark, figure_report):
+    result = benchmark.pedantic(
+        _run, args=(GENERATED_TOPOLOGIES, "figure-1a"), rounds=1, iterations=1
+    )
+    figure_report(result.render())
+    exponents = [
+        float(result.notes[f"exponent[{name}]"].split()[0])
+        for name in GENERATED_TOPOLOGIES
+    ]
+    assert all(0.55 < e < 0.95 for e in exponents), exponents
+
+
+def test_figure1b_real(benchmark, figure_report):
+    result = benchmark.pedantic(
+        _run, args=(REAL_TOPOLOGIES, "figure-1b"), rounds=1, iterations=1
+    )
+    figure_report(result.render())
+    exponents = [
+        float(result.notes[f"exponent[{name}]"].split()[0])
+        for name in REAL_TOPOLOGIES
+    ]
+    assert all(0.5 < e < 0.95 for e in exponents), exponents

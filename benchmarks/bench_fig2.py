@@ -1,0 +1,32 @@
+"""Figure 2 — h(x) versus x for k-ary trees, at the paper's exact depths.
+
+Expected shape: k = 2 curves (D = 11, 14, 17) hug the line x·k^{−1/2}
+beyond x ≈ 1/D; k = 4 curves (D = 5, 7, 9) oscillate before converging to
+the same linear trend.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import run_figure2_panel
+
+
+def test_figure2a_k2(benchmark, figure_report):
+    result = benchmark.pedantic(
+        run_figure2_panel, args=(2, (11, 14, 17)), kwargs={"x_points": 50},
+        rounds=1, iterations=1,
+    )
+    figure_report(result.render())
+    for depth in (11, 14, 17):
+        slope = float(result.notes[f"slope[D={depth}]"].split()[0])
+        assert abs(slope - 2**-0.5) < 0.01
+
+
+def test_figure2b_k4(benchmark, figure_report):
+    result = benchmark.pedantic(
+        run_figure2_panel, args=(4, (5, 7, 9)), kwargs={"x_points": 50},
+        rounds=1, iterations=1,
+    )
+    figure_report(result.render())
+    for depth in (5, 7, 9):
+        slope = float(result.notes[f"slope[D={depth}]"].split()[0])
+        assert abs(slope - 4**-0.5) < 0.1  # oscillation allowed

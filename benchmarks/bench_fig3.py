@@ -1,0 +1,34 @@
+"""Figure 3 — L̂(n)/n versus ln(n/M), receivers at leaves.
+
+Expected shape: linear in ln(n/M) for 5 < n < M with slope ≈ −1/ln k and
+intercept near (slightly below) 1/ln k; concave at tiny n, slightly
+convex at n ≈ M.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figures import run_figure3_panel
+
+
+def test_figure3a_k2(benchmark, figure_report):
+    result = benchmark.pedantic(
+        run_figure3_panel, args=(2, (10, 14, 17)),
+        kwargs={"receivers": "leaf", "points": 60}, rounds=1, iterations=1,
+    )
+    figure_report(result.render())
+    for depth in (10, 14, 17):
+        slope = float(result.notes[f"fit[D={depth}]"].split()[1])
+        assert abs(slope - (-1 / np.log(2))) < 0.12
+
+
+def test_figure3b_k4(benchmark, figure_report):
+    result = benchmark.pedantic(
+        run_figure3_panel, args=(4, (5, 7, 9)),
+        kwargs={"receivers": "leaf", "points": 60}, rounds=1, iterations=1,
+    )
+    figure_report(result.render())
+    for depth in (5, 7, 9):
+        slope = float(result.notes[f"fit[D={depth}]"].split()[1])
+        assert abs(slope - (-1 / np.log(4))) < 0.08

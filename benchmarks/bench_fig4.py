@@ -1,0 +1,32 @@
+"""Figure 4 — k-ary L(m) against the Chuang-Sirbu law.
+
+Expected shape: despite Eq. 18 not being a power law, every curve's
+log-log fit lands close to exponent 0.8 ("the agreement with the
+Chuang-Sirbu scaling law is remarkably good").
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import run_figure4_panel
+
+
+def test_figure4a_k2(benchmark, figure_report):
+    result = benchmark.pedantic(
+        run_figure4_panel, args=(2, (10, 14, 17)), kwargs={"points": 40},
+        rounds=1, iterations=1,
+    )
+    figure_report(result.render())
+    for depth in (10, 14, 17):
+        exponent = float(result.notes[f"exponent[D={depth}]"].split()[0])
+        assert abs(exponent - 0.8) < 0.08
+
+
+def test_figure4b_k4(benchmark, figure_report):
+    result = benchmark.pedantic(
+        run_figure4_panel, args=(4, (5, 7, 9)), kwargs={"points": 40},
+        rounds=1, iterations=1,
+    )
+    figure_report(result.render())
+    for depth in (5, 7, 9):
+        exponent = float(result.notes[f"exponent[D={depth}]"].split()[0])
+        assert abs(exponent - 0.8) < 0.08

@@ -1,0 +1,53 @@
+"""Figure 5 — L̂(n)/n versus ln(n/M), receivers throughout the tree.
+
+Expected shape: "the curves still show the same behavior … but the value
+of c has changed" — same slope −1/ln k as Figure 3, lower intercept.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figures import run_figure3_panel
+
+
+def test_figure5a_k2(benchmark, figure_report):
+    result = benchmark.pedantic(
+        run_figure3_panel, args=(2, (10, 14, 17)),
+        kwargs={"receivers": "throughout", "points": 60},
+        rounds=1, iterations=1,
+    )
+    figure_report(result.render())
+    for depth in (10, 14, 17):
+        slope = float(result.notes[f"fit[D={depth}]"].split()[1])
+        assert abs(slope - (-1 / np.log(2))) < 0.2
+
+
+def test_figure5b_k4(benchmark, figure_report):
+    result = benchmark.pedantic(
+        run_figure3_panel, args=(4, (5, 7, 9)),
+        kwargs={"receivers": "throughout", "points": 60},
+        rounds=1, iterations=1,
+    )
+    figure_report(result.render())
+    for depth in (5, 7, 9):
+        slope = float(result.notes[f"fit[D={depth}]"].split()[1])
+        assert abs(slope - (-1 / np.log(4))) < 0.1
+
+
+def test_figure5_intercept_shift(benchmark, figure_report):
+    """The receivers-throughout constant is strictly below the leaf one."""
+
+    def both():
+        leaf = run_figure3_panel(2, (14,), receivers="leaf", points=60)
+        thru = run_figure3_panel(2, (14,), receivers="throughout", points=60)
+        return leaf, thru
+
+    leaf, thru = benchmark.pedantic(both, rounds=1, iterations=1)
+    int_leaf = float(leaf.notes["fit[D=14]"].split()[5])
+    int_thru = float(thru.notes["fit[D=14]"].split()[5])
+    figure_report(
+        "Figure 5 intercept shift (k=2, D=14): "
+        f"leaf c = {int_leaf:.3f}, throughout c = {int_thru:.3f}"
+    )
+    assert int_thru < int_leaf

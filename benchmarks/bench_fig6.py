@@ -1,0 +1,68 @@
+"""Figure 6 — L̂(n)/(n·ū) versus ln n on the topology suite.
+
+Expected shape: exponential-growth networks (r100, ts1000, ts1008,
+internet, AS) give nearly straight lines; ti5000/ARPA/MBone deviate.
+The two transit-stub networks come out with very similar slopes despite
+their different densities — the paper's noted surprise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.config import MonteCarloConfig, SweepConfig
+from repro.experiments.figures import run_figure6_panel
+from repro.topology.registry import GENERATED_TOPOLOGIES, REAL_TOPOLOGIES
+
+SCALE = 0.3
+CONFIG = MonteCarloConfig(num_sources=8, num_receiver_sets=12, seed=0)
+SWEEP = SweepConfig(points=9)
+
+
+def _run(names, panel, include_eq30=False):
+    return run_figure6_panel(
+        names, panel, scale=SCALE, config=CONFIG, sweep=SWEEP,
+        include_eq30=include_eq30, profile_sources=15, rng=0,
+    )
+
+
+def _r2(result, name):
+    return float(result.notes[f"linearity[{name}]"].split("R^2=")[1].split(",")[0])
+
+
+def _slope(result, name):
+    return float(
+        result.notes[f"linearity[{name}]"].split("slope=")[1].split(",")[0]
+    )
+
+
+def test_figure6a_generated(benchmark, figure_report):
+    result = benchmark.pedantic(
+        _run, args=(GENERATED_TOPOLOGIES, "figure-6a"), rounds=1, iterations=1
+    )
+    figure_report(result.render())
+    # The transit-stub pair's slopes agree closely despite density gap.
+    s1000, s1008 = _slope(result, "ts1000"), _slope(result, "ts1008")
+    assert abs(s1000 - s1008) < 0.25 * max(abs(s1000), abs(s1008))
+
+
+def test_figure6b_real(benchmark, figure_report):
+    result = benchmark.pedantic(
+        _run, args=(REAL_TOPOLOGIES, "figure-6b"), rounds=1, iterations=1
+    )
+    figure_report(result.render())
+    # Exponential networks fit the straight line better than MBone.
+    assert _r2(result, "internet") > _r2(result, "mbone")
+    assert _r2(result, "as") > _r2(result, "mbone")
+
+
+def test_figure6_eq30_overlay(benchmark, figure_report):
+    """Semi-analytic Eq. 30 tracks the Monte-Carlo series on r100."""
+    result = benchmark.pedantic(
+        _run, args=(("r100",), "figure-6-eq30"),
+        kwargs={"include_eq30": True}, rounds=1, iterations=1,
+    )
+    figure_report(result.render())
+    measured = np.asarray(result.get_series("r100").y)
+    predicted = np.asarray(result.get_series("r100 (eq30)").y)
+    assert float(np.max(np.abs(measured - predicted) / measured)) < 0.3

@@ -1,0 +1,44 @@
+"""Figure 7 — ln T(r) versus r for the topology suite.
+
+Expected shape: r100/ts1000/ts1008/internet/AS rise linearly (exponential
+growth) before saturating; ti5000 strongly concave, ARPA/MBone mildly so.
+The two transit-stub networks grow at similar rates.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import run_figure7_panel
+from repro.topology.registry import GENERATED_TOPOLOGIES, REAL_TOPOLOGIES
+
+SCALE = 0.5
+
+
+def test_figure7a_generated(benchmark, figure_report):
+    result = benchmark.pedantic(
+        run_figure7_panel,
+        args=(GENERATED_TOPOLOGIES, "figure-7a"),
+        kwargs={"scale": SCALE, "num_sources": 40, "rng": 0},
+        rounds=1, iterations=1,
+    )
+    figure_report(result.render())
+    lam = {
+        name: float(result.notes[f"growth[{name}]"].split("lambda=")[1].split()[0])
+        for name in ("ts1000", "ts1008", "ti5000")
+    }
+    # Transit-stub growth rates similar; TIERS clearly slower.
+    assert abs(lam["ts1000"] - lam["ts1008"]) < 0.8
+    assert lam["ti5000"] < min(lam["ts1000"], lam["ts1008"])
+
+
+def test_figure7b_real(benchmark, figure_report):
+    result = benchmark.pedantic(
+        run_figure7_panel,
+        args=(REAL_TOPOLOGIES, "figure-7b"),
+        kwargs={"scale": SCALE, "num_sources": 40, "rng": 0},
+        rounds=1, iterations=1,
+    )
+    figure_report(result.render())
+    assert "exponential" in result.notes["growth[internet]"]
+    assert "exponential" in result.notes["growth[as]"]
+    assert "sub-exponential" in result.notes["growth[mbone]"]
+    assert "sub-exponential" in result.notes["growth[arpa]"]

@@ -1,0 +1,26 @@
+"""Figure 8 — L̂(n)/(n·ū) for three reachability-growth regimes.
+
+Expected shape: only the exponential S(r) yields the linear-in-ln n form;
+power-law and super-exponential S(r) produce visibly curved series ("the
+non-exponential cases have quite different behavior").
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import run_figure8
+
+
+def _r2(result, family):
+    return float(
+        result.notes[f"linearity[{family}]"].split("R^2=")[1].split(",")[0]
+    )
+
+
+def test_figure8(benchmark, figure_report):
+    result = benchmark.pedantic(
+        run_figure8, kwargs={"depth": 26, "points": 50}, rounds=1, iterations=1
+    )
+    figure_report(result.render())
+    assert _r2(result, "exponential") > 0.999
+    assert _r2(result, "power_law") < _r2(result, "exponential")
+    assert _r2(result, "super_exponential") < _r2(result, "exponential")

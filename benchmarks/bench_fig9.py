@@ -1,0 +1,82 @@
+"""Figure 9 — receiver affinity/disaffinity on binary trees.
+
+Expected shape: β > 0 (affinity) lowers L̂_β(n), β < 0 raises it; the
+effect is strongest at small n; and the normalized gap between β curves
+is similar for the two depths — the paper's evidence that affinity
+vanishes from the asymptotic form.
+
+The paper uses depths 10 and 12 with β ∈ {−10, −1, −0.1, 0, 0.1, 1, 10};
+the bench runs depths 8 and 10 with the same β grid to stay in seconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.config import AffinityConfig
+from repro.experiments.figures import run_figure9_panel
+
+CONFIG = AffinityConfig(
+    betas=(-10.0, -1.0, -0.1, 0.0, 0.1, 1.0, 10.0),
+    num_samples=16,
+    burn_in_sweeps=10,
+    thin_sweeps=1,
+)
+N_VALUES = (1, 4, 16, 64, 256, 1024)
+
+
+def _gap(result, n_index):
+    low = result.get_series("beta=-10").y[n_index]
+    high = result.get_series("beta=10").y[n_index]
+    return low - high
+
+
+def test_figure9a_depth8(benchmark, figure_report):
+    result = benchmark.pedantic(
+        run_figure9_panel, args=(8,),
+        kwargs={"config": CONFIG, "n_values": N_VALUES, "rng": 0},
+        rounds=1, iterations=1,
+    )
+    figure_report(result.render())
+    # Affinity shrinks, disaffinity grows; strongest at small n.
+    assert _gap(result, 1) > 0
+    assert _gap(result, 1) > _gap(result, len(N_VALUES) - 1)
+
+
+def test_figure9b_depth10(benchmark, figure_report):
+    result = benchmark.pedantic(
+        run_figure9_panel, args=(10,),
+        kwargs={"config": CONFIG, "n_values": N_VALUES, "rng": 1},
+        rounds=1, iterations=1,
+    )
+    figure_report(result.render())
+    assert _gap(result, 1) > 0
+
+
+def test_figure9_gap_stable_across_depths(benchmark, figure_report):
+    """Quadrupling the network barely changes the β effect at fixed n —
+    the observation behind the paper's Eq. 39 conjecture.  The extreme
+    betas (±10) are used because their gap is large enough to measure
+    above the Monte-Carlo noise."""
+    config = AffinityConfig(betas=(-10.0, 10.0), num_samples=40,
+                            burn_in_sweeps=15, thin_sweeps=2)
+
+    def both():
+        a = run_figure9_panel(8, config=config, n_values=(16,), rng=2)
+        b = run_figure9_panel(10, config=config, n_values=(16,), rng=3)
+        return a, b
+
+    small, large = benchmark.pedantic(both, rounds=1, iterations=1)
+
+    def gap(result):
+        return (
+            result.get_series("beta=-10").y[0]
+            - result.get_series("beta=10").y[0]
+        )
+
+    g_small, g_large = gap(small), gap(large)
+    figure_report(
+        "Figure 9 depth stability: normalized beta gap at n=16 is "
+        f"{g_small:.3f} (D=8) vs {g_large:.3f} (D=10)"
+    )
+    assert abs(g_small - g_large) < 0.25 * max(abs(g_small), abs(g_large))

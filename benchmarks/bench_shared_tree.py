@@ -1,0 +1,67 @@
+"""Shared-tree vs source-tree comparison and the weighted-links ablation.
+
+These are the paper's explicitly deferred questions (footnote 1 and the
+"we do not weight the links" footnote), answered with the same harness.
+
+Expected shapes: a 1-median core's shared tree costs within tens of
+percent of the source tree with the gap narrowing as m grows; random
+cores are clearly worse.  Link weights change costs but not the scaling
+exponent band.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.config import MonteCarloConfig, SweepConfig
+from repro.experiments.figures import (
+    run_shared_tree_study,
+    run_weighted_links_ablation,
+)
+
+
+def test_shared_tree_study(benchmark, figure_report):
+    result = benchmark.pedantic(
+        run_shared_tree_study,
+        kwargs={
+            "topology": "ts1000",
+            "scale": 0.3,
+            "config": MonteCarloConfig(num_sources=4, num_receiver_sets=8,
+                                       seed=0),
+            "sweep": SweepConfig(points=6),
+            "rng": 0,
+        },
+        rounds=1, iterations=1,
+    )
+    figure_report(result.render())
+    source = np.asarray(result.get_series("source tree").y)
+    good_core = np.asarray(
+        result.get_series("shared (min-distance-sample)").y
+    )
+    random_core = np.asarray(result.get_series("shared (random)").y)
+    # Shared trees cost at least as much as source trees on average...
+    assert np.all(good_core >= source * 0.95)
+    # ...a good core stays within 60% everywhere...
+    assert np.all(good_core <= source * 1.6)
+    # ...and the relative gap narrows as the group grows.
+    gap = good_core / source
+    assert gap[-1] <= gap[0] + 0.05
+    # Random cores are no better than the 1-median core overall.
+    assert random_core.mean() >= good_core.mean() * 0.98
+
+
+def test_weighted_links_ablation(benchmark, figure_report):
+    result = benchmark.pedantic(
+        run_weighted_links_ablation,
+        kwargs={
+            "topology": "ts1000", "scale": 0.3,
+            "num_sources": 5, "num_receiver_sets": 8,
+            "sweep": SweepConfig(points=6), "rng": 0,
+        },
+        rounds=1, iterations=1,
+    )
+    figure_report(result.render())
+    link_exp = float(result.notes["exponent[links]"])
+    weight_exp = float(result.notes["exponent[weight]"])
+    assert abs(link_exp - weight_exp) < 0.1
+    assert 0.55 < weight_exp < 0.95

@@ -1,0 +1,27 @@
+"""Table 1 — description of the evaluation networks.
+
+Regenerates the paper's topology-statistics table.  Scale 0.25 keeps the
+run in seconds; pass ``--benchmark-disable`` and edit ``SCALE`` to 1.0
+for the paper-scale table recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import run_table1
+
+SCALE = 1.0
+
+
+def test_table1(benchmark, figure_report):
+    result = benchmark.pedantic(
+        run_table1,
+        kwargs={"scale": SCALE, "num_growth_sources": 10, "rng": 0},
+        rounds=1,
+        iterations=1,
+    )
+    lo, hi = result.degree_range()
+    figure_report(
+        result.render()
+        + f"\naverage degrees span {lo:.2f} .. {hi:.2f} (paper: 2.7 .. 7.5)"
+    )
+    assert len(result.rows) == 8

@@ -1,0 +1,39 @@
+"""Benchmark-suite plumbing.
+
+Each benchmark regenerates one paper table/figure and registers its
+rendered data (tables + ASCII plots) through the ``figure_report``
+fixture; the collected renders are printed after the pytest-benchmark
+timing table, so ``pytest benchmarks/ --benchmark-only | tee
+bench_output.txt`` archives both the timings and the reproduced series.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+_REPORTS: List[str] = []
+
+
+@pytest.fixture
+def figure_report():
+    """Register a rendered figure/table for the end-of-run dump."""
+
+    def add(text: str) -> None:
+        _REPORTS.append(text)
+
+    return add
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line("=" * 78)
+    terminalreporter.write_line("REPRODUCED TABLES AND FIGURES")
+    terminalreporter.write_line("=" * 78)
+    for text in _REPORTS:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

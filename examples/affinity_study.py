@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Receiver clustering: teleconference vs sensor-field multicast.
+
+Section 5 of the paper models how receiver *affinity* (clustering, like a
+teleconference between a few campuses) and *disaffinity* (spreading, like
+evenly-deployed sensors) change the delivery-tree cost.  This example
+runs the full machinery on a binary tree:
+
+1. the Metropolis sampler at several β values (the paper's Figure 9),
+2. the closed-form β = ±∞ extremes (Eqs. 36/38),
+3. a cost interpretation: how much a provider mis-provisions if it
+   assumes uniform receivers when the workload actually clusters.
+
+Run:  python examples/affinity_study.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.analysis.affinity_theory import (
+    affinity_tree_size,
+    disaffinity_tree_size,
+)
+from repro.graph.paths import bfs
+from repro.multicast.affinity import (
+    KaryDistanceOracle,
+    sample_weighted_tree_size,
+)
+from repro.multicast.tree import MulticastTreeCounter
+from repro.topology.kary import kary_tree
+from repro.utils.tables import format_table
+
+DEPTH = 9
+GROUP_SIZE = 48
+BETAS = (-10.0, -1.0, 0.0, 1.0, 10.0)
+
+
+def main() -> int:
+    tree = kary_tree(2, DEPTH)
+    forest = bfs(tree.graph, tree.root)
+    counter = MulticastTreeCounter(forest)
+    oracle = KaryDistanceOracle(tree)
+    pool = tree.non_root_nodes()
+
+    print(
+        f"Binary tree, depth {DEPTH} ({tree.num_nodes} nodes); "
+        f"multicast group of n = {GROUP_SIZE} receivers.\n"
+    )
+
+    rows = []
+    uniform_cost = None
+    for beta in BETAS:
+        estimate = sample_weighted_tree_size(
+            counter, oracle, pool, n=GROUP_SIZE, beta=beta,
+            num_samples=60, burn_in_sweeps=25, thin_sweeps=2, rng=1,
+        )
+        if beta == 0.0:
+            uniform_cost = estimate.mean_tree_size
+        regime = (
+            "strong clustering" if beta >= 10 else
+            "mild clustering" if beta > 0 else
+            "uniform (paper baseline)" if beta == 0 else
+            "mild spreading" if beta > -10 else
+            "strong spreading"
+        )
+        rows.append(
+            (
+                beta,
+                regime,
+                estimate.mean_tree_size,
+                estimate.mean_pair_distance,
+                estimate.acceptance_rate,
+            )
+        )
+    print(
+        format_table(
+            ["beta", "regime", "E[tree links]", "mean d^", "MCMC accept"],
+            rows,
+            float_format=".3f",
+            title="Sampled tree cost vs affinity strength (Figure 9 machinery)",
+        )
+    )
+
+    packed = int(affinity_tree_size(2, DEPTH, GROUP_SIZE))
+    spread = int(disaffinity_tree_size(2, DEPTH, GROUP_SIZE))
+    print(
+        f"\nclosed-form extremes at m = {GROUP_SIZE} distinct leaf sites: "
+        f"beta=+inf -> {packed} links, beta=-inf -> {spread} links"
+    )
+
+    clustered = [r[2] for r in rows if r[0] == 10.0][0]
+    spread_cost = [r[2] for r in rows if r[0] == -10.0][0]
+    print(
+        f"\nProvisioning for uniform receivers ({uniform_cost:.0f} links) "
+        f"over-serves a teleconference\nworkload by "
+        f"{100 * (uniform_cost - clustered) / clustered:.0f}% and "
+        f"under-serves a sensor field by "
+        f"{100 * (spread_cost - uniform_cost) / uniform_cost:.0f}%."
+    )
+    print(
+        "As the paper conjectures, the effect shrinks as n grows at fixed "
+        "n/M — rerun with\nlarger GROUP_SIZE to watch the curves converge."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

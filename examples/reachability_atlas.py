@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""A reachability atlas of the Table-1 topology suite.
+
+Walks every network in the paper's evaluation suite, measures its
+``S(r)``/``T(r)`` profile, classifies the growth (the exponential vs
+sub-exponential dichotomy on which Section 4's whole analysis turns),
+and draws the ``ln T(r)`` curves — a terminal rendition of Figure 7 with
+the classification that the paper makes by eye turned into numbers.
+
+Run:  python examples/reachability_atlas.py [scale]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.experiments.ascii_plot import AsciiPlot
+from repro.graph.reachability import average_profile, classify_growth
+from repro.topology.registry import TOPOLOGY_NAMES, build_topology, topology_spec
+from repro.utils.rng import spawn_rngs
+from repro.utils.stats import linear_fit
+from repro.utils.tables import format_table
+
+
+def main() -> int:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+    streams = spawn_rngs(0, len(TOPOLOGY_NAMES))
+
+    rows = []
+    plot = AsciiPlot(
+        width=68, height=18, log_y=True,
+        title=f"ln T(r) vs r for the Table-1 suite (scale={scale:g})",
+        x_label="r (hops)", y_label="T(r)",
+    )
+    for name, stream in zip(TOPOLOGY_NAMES, streams):
+        spec = topology_spec(name)
+        graph = build_topology(name, scale=scale, rng=stream)
+        profile = average_profile(graph, num_sources=30, rng=stream)
+        t = profile.mean_cumulative
+        growth = classify_growth(profile)
+
+        grow_region = np.flatnonzero(t <= 0.9 * t[-1])
+        if grow_region.size >= 2:
+            fit = linear_fit(grow_region.astype(float), np.log(t[grow_region]))
+            lam, r2 = fit.slope, fit.r_squared
+        else:
+            lam, r2 = float("nan"), float("nan")
+
+        rows.append(
+            (name, spec.kind, graph.num_nodes, len(t) - 1, growth, lam, r2)
+        )
+        plot.add(name, profile.radii.astype(float), t)
+
+    print(
+        format_table(
+            ["network", "kind", "nodes", "horizon D",
+             "T(r) growth", "lambda", "lnT fit r^2"],
+            rows,
+            float_format=".3f",
+            title="Reachability atlas",
+        )
+    )
+    print()
+    print(plot.render())
+    print(
+        "\nThe exponential networks are the ones whose multicast trees obey "
+        "the paper's\nL(n) ~ n(c - ln(n/M)/lambda) form; the sub-exponential "
+        "ones (ARPA, MBone, ti5000)\nare exactly the ones Section 4 reports "
+        "as deviating."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""A guided tour of the paper's approximation chain, with live errors.
+
+Walks the full derivation on one binary tree (D = 12) and prints, at
+each stage, what was approximated and how much accuracy it cost:
+
+  Eq. 4  exact L̂(n)                 (sum over levels)
+  Eq. 9  asymptotic Δ²L̂            (integral + large-n limit)
+  Eq. 12 h(x) = x·k^(−1/2)          (the degree-free form)
+  Eq. 16 L̂(n)/n = (1 − ln(n/M))/ln k (integrate back up)
+  Eq. 1  n(m) conversion            (with-replacement → distinct)
+  Eq. 18 L(m) closed form           (the paper's alternative law)
+  vs      m^0.8                     (Chuang & Sirbu's law)
+
+plus the two moments the paper never computed: the exact distinct-m
+expectation (hypergeometric) and the exact variance.
+
+Run:  python examples/theory_tour.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.analysis.kary_asymptotic import (
+    delta2_asymptotic,
+    h_exact,
+    h_predicted,
+    lhat_per_receiver_predicted,
+    lm_asymptotic,
+    lm_exact_via_conversion,
+)
+from repro.analysis.kary_distinct import conversion_error, lm_leaf_distinct_exact
+from repro.analysis.kary_exact import delta2_lhat, lhat_leaf, num_leaf_sites
+from repro.analysis.kary_variance import coefficient_of_variation
+from repro.analysis.scaling import chuang_sirbu_prediction
+from repro.utils.tables import format_table
+
+K, D = 2, 12
+
+
+def stage(title: str) -> None:
+    print(f"\n--- {title} " + "-" * max(1, 60 - len(title)))
+
+
+def main() -> int:
+    big_m = num_leaf_sites(K, D)
+    print(f"Binary tree, depth {D}: M = {big_m:.0f} leaf receiver sites.")
+
+    stage("Eq. 4: the exact expected tree size")
+    n_show = np.array([1.0, 16.0, 256.0, 4096.0])
+    rows = [(int(n), float(lhat_leaf(K, D, n))) for n in n_show]
+    print(format_table(["n", "Lhat(n)"], rows, float_format=".5g"))
+
+    stage("Eq. 9: integral approximation of the second difference")
+    n_mid = np.array([0.05, 0.2, 0.5]) * big_m
+    rows = []
+    for n in n_mid:
+        exact = float(delta2_lhat(K, D, n))
+        approx = float(delta2_asymptotic(K, D, n))
+        rows.append((f"{n/big_m:.2f}", exact, approx,
+                     100 * abs(approx - exact) / abs(exact)))
+    print(format_table(["n/M", "exact", "Eq. 9", "err %"], rows,
+                       float_format=".4g"))
+
+    stage("Eq. 12: h(x) loses the tree degree")
+    x = np.array([0.2, 0.5, 0.9])
+    rows = [
+        (f"{xi:.1f}", float(h_exact(K, D, xi)), float(h_predicted(K, xi)))
+        for xi in x
+    ]
+    print(format_table(["x", "h exact", "x*k^-1/2"], rows, float_format=".4f"))
+    print("(k only rescales the line - the paper's universality candidate)")
+
+    stage("Eq. 16: linear-with-log-correction per-receiver cost")
+    n_lin = np.geomspace(8, big_m / 8, 5)
+    rows = []
+    for n in n_lin:
+        exact = float(lhat_leaf(K, D, n)) / n
+        line = float(lhat_per_receiver_predicted(K, n / big_m))
+        rows.append((int(n), exact, line, abs(line - exact)))
+    print(format_table(["n", "Lhat/n exact", "Eq. 16 line", "|gap|"], rows,
+                       float_format=".4g"))
+    print("(constant offset, as the paper notes; the slope is the content)")
+
+    stage("Eq. 1: converting with-replacement n to distinct m")
+    m_vals = np.array([4, 64, 1024], dtype=int)
+    err = conversion_error(K, D, m_vals)
+    rows = [
+        (int(m), float(lm_leaf_distinct_exact(K, D, int(m))),
+         float(lm_exact_via_conversion(K, D, float(m))),
+         f"{100 * e:.4f}%")
+        for m, e in zip(m_vals, err)
+    ]
+    print(format_table(
+        ["m", "exact distinct L(m)", "converted Lhat(n(m))", "rel err"],
+        rows, float_format=".5g",
+    ))
+
+    stage("Eq. 18 vs the Chuang-Sirbu law")
+    m_sweep = np.geomspace(1, big_m * 0.5, 6)
+    rows = []
+    for m in m_sweep:
+        ours = float(lm_asymptotic(K, D, m)) / D
+        law = float(chuang_sirbu_prediction(m))
+        rows.append((f"{m:.0f}", ours, law, ours / law))
+    print(format_table(
+        ["m", "Eq. 18 / u", "m^0.8", "ratio"], rows, float_format=".4g"
+    ))
+    print('("most decidedly not of the form m^0.8", yet within a small factor)')
+
+    stage("Beyond the paper: concentration")
+    rows = [
+        (depth, 2**depth,
+         float(coefficient_of_variation(2, depth, 0.1 * 2**depth)))
+        for depth in (8, 10, 12, 14)
+    ]
+    print(format_table(["D", "M", "sigma/mean at x=0.1"], rows,
+                       float_format=".4f"))
+    print(
+        "(the tree size concentrates like M^-1/2 - this is why one sample\n"
+        " per receiver set suffices at Internet scale, and why Eq. 1's\n"
+        " 'tightly centered' hand-wave is safe)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

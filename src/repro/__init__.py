@@ -1,0 +1,109 @@
+"""repro — reproduction of *Scaling of Multicast Trees: Comments on the
+Chuang-Sirbu Scaling Law* (Phillips, Shenker & Tangmunarunkit, SIGCOMM 1999).
+
+The package answers one question, many ways: **how many links does a
+shortest-path multicast tree need to reach m random receivers?**
+
+Layered public API:
+
+* :mod:`repro.graph` — CSR graphs, BFS shortest paths, reachability
+  functions ``S(r)``/``T(r)``.
+* :mod:`repro.topology` — the paper's eight-network suite (Table 1) plus
+  k-ary trees and the underlying model families (Waxman, GT-ITM,
+  TIERS, preferential attachment, geometric).
+* :mod:`repro.multicast` — delivery-tree construction/counting, unicast
+  baseline, receiver sampling, and the affinity model of Section 5.
+* :mod:`repro.analysis` — the paper's mathematics: exact k-ary sums
+  (Eqs. 4/21), asymptotics (Eqs. 9–18), the general ``S(r)`` predictor
+  (Eqs. 23/30), synthetic reachability families, extreme-affinity closed
+  forms (Eqs. 33–38), and the Chuang-Sirbu law itself (Eqs. 1–2).
+* :mod:`repro.experiments` — the Monte-Carlo methodology of Section 2
+  and one driver per paper table/figure.
+
+Quickstart::
+
+    from repro import build_topology, measure_sweep
+
+    graph = build_topology("ts1000", rng=0)
+    sweep = measure_sweep(graph, sizes=[1, 4, 16, 64], mode="distinct")
+    print(sweep.fit_exponent().slope)   # ~0.8: the Chuang-Sirbu law
+"""
+
+from repro.analysis import (
+    CHUANG_SIRBU_EXPONENT,
+    chuang_sirbu_prediction,
+    draws_for_expected_distinct,
+    expected_distinct,
+    fit_scaling_exponent,
+    lhat_from_rings_leaf,
+    lhat_from_rings_throughout,
+    lhat_leaf,
+    lhat_throughout,
+)
+from repro.exceptions import (
+    AnalysisError,
+    DisconnectedGraphError,
+    ExperimentError,
+    GraphError,
+    NodeError,
+    ReproError,
+    SamplingError,
+    TopologyError,
+)
+from repro.experiments import (
+    MonteCarloConfig,
+    SweepConfig,
+    SweepMeasurement,
+    measure_sweep,
+)
+from repro.graph import Graph, GraphBuilder, bfs, graph_stats
+from repro.multicast import (
+    MulticastTreeCounter,
+    build_delivery_tree,
+    sample_distinct_receivers,
+)
+from repro.topology import TOPOLOGY_NAMES, build_topology, kary_tree
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # law + conversions
+    "CHUANG_SIRBU_EXPONENT",
+    "chuang_sirbu_prediction",
+    "expected_distinct",
+    "draws_for_expected_distinct",
+    "fit_scaling_exponent",
+    # theory
+    "lhat_leaf",
+    "lhat_throughout",
+    "lhat_from_rings_leaf",
+    "lhat_from_rings_throughout",
+    # graph
+    "Graph",
+    "GraphBuilder",
+    "bfs",
+    "graph_stats",
+    # topology
+    "TOPOLOGY_NAMES",
+    "build_topology",
+    "kary_tree",
+    # multicast
+    "MulticastTreeCounter",
+    "build_delivery_tree",
+    "sample_distinct_receivers",
+    # experiments
+    "MonteCarloConfig",
+    "SweepConfig",
+    "SweepMeasurement",
+    "measure_sweep",
+    # errors
+    "ReproError",
+    "GraphError",
+    "NodeError",
+    "DisconnectedGraphError",
+    "TopologyError",
+    "SamplingError",
+    "AnalysisError",
+    "ExperimentError",
+]

@@ -1,0 +1,103 @@
+"""Analytical layer: exact, asymptotic, and model-based tree-size theory."""
+
+from repro.analysis.affinity_theory import (
+    affinity_marginal,
+    affinity_tree_size,
+    affinity_tree_size_with_replacement,
+    disaffinity_marginal,
+    disaffinity_tree_size,
+    disaffinity_tree_size_with_replacement,
+)
+from repro.analysis.general import (
+    delta2_from_rings,
+    lhat_from_rings_leaf,
+    lhat_from_rings_throughout,
+    mean_distance_from_rings,
+    normalized_series,
+)
+from repro.analysis.kary_asymptotic import (
+    delta2_asymptotic,
+    h_exact,
+    h_predicted,
+    lhat_asymptotic,
+    lhat_per_receiver_predicted,
+    lm_asymptotic,
+    lm_exact_via_conversion,
+)
+from repro.analysis.kary_exact import (
+    delta2_lhat,
+    delta_lhat,
+    lhat_leaf,
+    lhat_throughout,
+    num_interior_sites,
+    num_leaf_sites,
+)
+from repro.analysis.kary_distinct import conversion_error, lm_leaf_distinct_exact
+from repro.analysis.law_range import LawRange, law_validity_range
+from repro.analysis.kary_variance import (
+    coefficient_of_variation,
+    lhat_leaf_std,
+    lhat_leaf_variance,
+)
+from repro.analysis.pricing import ScalingLawTariff, TariffAudit, audit_tariff
+from repro.analysis.reachability_models import (
+    exponential_rings,
+    figure8_families,
+    power_law_rings,
+    super_exponential_rings,
+)
+from repro.analysis.scaling import (
+    CHUANG_SIRBU_EXPONENT,
+    chuang_sirbu_prediction,
+    draws_for_expected_distinct,
+    expected_distinct,
+    fit_scaling_exponent,
+    multicast_efficiency,
+)
+
+__all__ = [
+    "affinity_marginal",
+    "affinity_tree_size",
+    "affinity_tree_size_with_replacement",
+    "disaffinity_marginal",
+    "disaffinity_tree_size",
+    "disaffinity_tree_size_with_replacement",
+    "delta2_from_rings",
+    "lhat_from_rings_leaf",
+    "lhat_from_rings_throughout",
+    "mean_distance_from_rings",
+    "normalized_series",
+    "delta2_asymptotic",
+    "h_exact",
+    "h_predicted",
+    "lhat_asymptotic",
+    "lhat_per_receiver_predicted",
+    "lm_asymptotic",
+    "lm_exact_via_conversion",
+    "delta2_lhat",
+    "delta_lhat",
+    "lhat_leaf",
+    "lhat_throughout",
+    "num_interior_sites",
+    "num_leaf_sites",
+    "exponential_rings",
+    "figure8_families",
+    "power_law_rings",
+    "super_exponential_rings",
+    "conversion_error",
+    "lm_leaf_distinct_exact",
+    "coefficient_of_variation",
+    "lhat_leaf_std",
+    "lhat_leaf_variance",
+    "LawRange",
+    "law_validity_range",
+    "ScalingLawTariff",
+    "TariffAudit",
+    "audit_tariff",
+    "CHUANG_SIRBU_EXPONENT",
+    "chuang_sirbu_prediction",
+    "draws_for_expected_distinct",
+    "expected_distinct",
+    "fit_scaling_exponent",
+    "multicast_efficiency",
+]

@@ -1,0 +1,208 @@
+"""Closed forms for extreme affinity/disaffinity (Sections 5.2–5.3).
+
+On a k-ary tree of depth ``D`` with receivers restricted to the leaves:
+
+**Extreme disaffinity (β = −∞).**  Receivers spread out maximally, which
+is equivalent to adding them in the order that maximizes the links added
+at each step.  The marginal cost sequence is
+
+    ΔL_{−∞}(m) = D − l   for  k^l <= m < k^{l+1}   (and D for m = 0)
+
+giving, at ``m = k^l`` exactly (Eq. 36):
+
+    L_{−∞}(k^l) = D·k^l − (k^l·(l·k − k − l)/k... )    -- see code
+
+(we implement the telescoped sum directly, which equals the paper's
+Eq. 36/37 and is verified against the greedy placement in the tests).
+
+**Extreme affinity (β = +∞).**  Receivers pack together; the marginal
+sequence for a k-ary tree is ``ΔL_∞(m) = ν_k(m) + 1`` where ``ν_k(m)``
+is the number of trailing zeros of ``m`` in base ``k`` — the classic
+ruler sequence (1, 2, 1, 3, 1, 2, 1, ... for k = 2).  At ``m = k^l``
+(Eq. 38):
+
+    L_∞(k^l) = D − l + (k^{l+1} − k)/(k − 1)
+
+With replacement (the ``n`` convention), ``L_∞(n) = D`` for every n (all
+receivers at one leaf) and ``L_{−∞}(n) = L_{−∞}(min(n, M))``.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.exceptions import AnalysisError
+
+__all__ = [
+    "disaffinity_marginal",
+    "disaffinity_tree_size",
+    "affinity_marginal",
+    "affinity_tree_size",
+    "affinity_tree_size_with_replacement",
+    "disaffinity_tree_size_with_replacement",
+]
+
+ArrayLike = Union[int, np.ndarray]
+
+
+def _check_kd(k: int, depth: int) -> None:
+    if k < 2:
+        raise AnalysisError(f"closed forms need integer degree k >= 2, got {k}")
+    if depth < 1:
+        raise AnalysisError(f"depth must be >= 1, got {depth}")
+
+
+def _as_m(m: ArrayLike, maximum: int) -> np.ndarray:
+    arr = np.asarray(m, dtype=np.int64)
+    if np.any(arr < 1):
+        raise AnalysisError("m must be >= 1")
+    if np.any(arr > maximum):
+        raise AnalysisError(
+            f"m must be at most the number of leaves M = {maximum}"
+        )
+    return arr
+
+
+def disaffinity_marginal(k: int, depth: int, m: ArrayLike) -> np.ndarray:
+    """``ΔL_{−∞}(m)``: links added by the (m+1)-th maximally-spread receiver.
+
+    ``m`` here counts receivers **already placed** (the paper's Section
+    5.2 indexing): ``ΔL(0) = D`` and ``ΔL(m) = D − floor(log_k m) − 1``…
+    no — precisely ``ΔL(m) = D − l`` for ``k^l <= m+...``; concretely the
+    first ``k`` receivers each cost ``D``, the next ``k² − k`` cost
+    ``D − 1``, and so on.
+    """
+    _check_kd(k, depth)
+    arr = np.asarray(m, dtype=np.int64)
+    if np.any(arr < 0):
+        raise AnalysisError("m must be >= 0")
+    if np.any(arr >= k**depth):
+        raise AnalysisError("the tree is full beyond m = M − 1 placements")
+    # level(m) = 0 for m in [0, k), l for m in [k^l, k^(l+1)).
+    boundary = np.full_like(arr, k)
+    level = np.zeros_like(arr)
+    while np.any(arr >= boundary):
+        grow = arr >= boundary
+        level[grow] += 1
+        boundary[grow] *= k
+    return depth - level
+
+
+def disaffinity_tree_size(k: int, depth: int, m: ArrayLike) -> np.ndarray:
+    """``L_{−∞}(m)``: tree size with ``m`` maximally-spread leaf receivers.
+
+    Computed by telescoping the marginal sequence: with ``l = floor(log_k
+    m)`` (so ``k^l <= m < k^{l+1}``),
+
+        L_{−∞}(m) = Σ_{i<l} k^i·(k − 1)·(D − i) + D  [first receiver]
+                    … = L_{−∞}(k^l) + (m − k^l)·(D − l)
+
+    and ``L_{−∞}(k^l)`` matches the paper's Eq. 36.
+    """
+    _check_kd(k, depth)
+    big_m = k**depth
+    m_arr = _as_m(m, big_m)
+    out = np.empty(m_arr.shape, dtype=np.int64)
+    flat = m_arr.ravel()
+    flat_out = out.ravel()
+    for idx, m_val in enumerate(flat):
+        m_val = int(m_val)
+        total = 0
+        placed = 0
+        level = 0
+        # Cohorts: the first k receivers cost D each, the next k² − k cost
+        # D − 1, then k³ − k² cost D − 2, and so on.
+        while placed < m_val:
+            cohort = k if level == 0 else k ** (level + 1) - k**level
+            take = min(cohort, m_val - placed)
+            total += take * (depth - level)
+            placed += take
+            level += 1
+        flat_out[idx] = total
+    return out
+
+
+def affinity_marginal(k: int, depth: int, m: ArrayLike) -> np.ndarray:
+    """``ΔL_∞(m)``: links added by the (m+1)-th maximally-packed receiver.
+
+    ``ΔL(0) = D`` (the first receiver pays its full path); for ``m >= 1``
+    the cost is the ruler function ``ν_k(m) + 1`` — receivers fill leaves
+    subtree-by-subtree, and the m-th new leaf branches off at the lowest
+    ancestor where ``m`` (in base k) has its last nonzero digit.
+    """
+    _check_kd(k, depth)
+    arr = np.asarray(m, dtype=np.int64)
+    if np.any(arr < 0):
+        raise AnalysisError("m must be >= 0")
+    if np.any(arr >= k**depth):
+        raise AnalysisError("the tree is full beyond m = M − 1 placements")
+    out = np.empty(arr.shape, dtype=np.int64)
+    flat = arr.ravel()
+    flat_out = out.ravel()
+    for idx, m_val in enumerate(flat):
+        m_val = int(m_val)
+        if m_val == 0:
+            flat_out[idx] = depth
+            continue
+        trailing = 0
+        while m_val % k == 0:
+            trailing += 1
+            m_val //= k
+        flat_out[idx] = trailing + 1
+    return out
+
+
+def affinity_tree_size(k: int, depth: int, m: ArrayLike) -> np.ndarray:
+    """``L_∞(m)``: tree size with ``m`` maximally-packed leaf receivers.
+
+    At powers of ``k`` this is the paper's Eq. 38,
+    ``L_∞(k^l) = D − l + (k^{l+1} − k)/(k − 1)``; general ``m`` telescopes
+    the ruler sequence.
+    """
+    _check_kd(k, depth)
+    big_m = k**depth
+    m_arr = _as_m(m, big_m)
+    out = np.empty(m_arr.shape, dtype=np.int64)
+    flat = m_arr.ravel()
+    flat_out = out.ravel()
+    for idx, m_val in enumerate(flat):
+        m_val = int(m_val)
+        # Digit-sum identity: sum of (nu_k(j) + 1) for j = 1..m-1 equals
+        # (m - 1) + sum over i >= 1 of floor((m - 1)/k^i); plus D for the
+        # first receiver.
+        remaining = m_val - 1
+        total = depth + remaining
+        power = k
+        while power <= remaining:
+            total += remaining // power
+            power *= k
+        flat_out[idx] = total
+    return out
+
+
+def affinity_tree_size_with_replacement(depth: int, n: ArrayLike) -> np.ndarray:
+    """β = +∞ in the ``n`` convention: all receivers share one leaf — D."""
+    if depth < 1:
+        raise AnalysisError(f"depth must be >= 1, got {depth}")
+    arr = np.asarray(n, dtype=np.int64)
+    if np.any(arr < 1):
+        raise AnalysisError("n must be >= 1")
+    return np.full(arr.shape, depth, dtype=np.int64)
+
+
+def disaffinity_tree_size_with_replacement(
+    k: int, depth: int, n: ArrayLike
+) -> np.ndarray:
+    """β = −∞ in the ``n`` convention: ``L_{−∞}(min(n, M))``.
+
+    Receivers avoid sharing sites until every leaf is taken, after which
+    extra receivers add nothing (Section 5.2's closing remark).
+    """
+    _check_kd(k, depth)
+    arr = np.asarray(n, dtype=np.int64)
+    if np.any(arr < 1):
+        raise AnalysisError("n must be >= 1")
+    clipped = np.minimum(arr, k**depth)
+    return disaffinity_tree_size(k, depth, clipped)

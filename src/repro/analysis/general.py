@@ -1,0 +1,192 @@
+"""General-network tree-size predictor from ``S(r)`` (Section 4, Eqs. 22–30).
+
+For an arbitrary graph with reachability function ``S(r)``, approximate
+the links at radius ``r`` by the ``S(r)`` "uplinks" of the sites there and
+assume receivers are equally likely downstream of any of them:
+
+* leaf-style receivers (Eq. 22–23):
+
+      L̂(n) = Σ_{r=1..D} S(r)·(1 − (1 − 1/S(r))^n)
+
+* receivers throughout the network (Eq. 30):
+
+      L̂(n) = Σ_{l=1..D} S(l)·(1 − (1 − (T(D) − T(l−1))/(S(l)·T(D)))^n)
+
+  where ``T(r) = Σ_{j=1..r} S(j)`` counts the (non-source) sites within
+  ``r`` hops: a receiver crosses a particular level-``l`` link iff it is
+  at or beyond level ``l`` (probability ``(T(D) − T(l−1))/T(D)``) and
+  below that specific link (conditional probability ``1/S(l)``).
+
+On a k-ary tree ``S(r) = k^r`` makes both formulas collapse to the exact
+Section-3 sums, which the tests verify.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.exceptions import AnalysisError
+
+__all__ = [
+    "lhat_from_rings_leaf",
+    "lhat_from_rings_throughout",
+    "delta2_from_rings",
+    "mean_distance_from_rings",
+    "normalized_series",
+    "variance_from_rings_leaf",
+]
+
+ArrayLike = Union[float, int, np.ndarray]
+
+
+def _check_rings(ring_sizes: np.ndarray) -> np.ndarray:
+    rings = np.asarray(ring_sizes, dtype=float)
+    if rings.ndim != 1 or rings.shape[0] < 2:
+        raise AnalysisError(
+            "ring_sizes must be a 1-D array [S(0), S(1), ..., S(D)] with "
+            "D >= 1 (index 0 is the source itself)"
+        )
+    if np.any(rings < 0):
+        raise AnalysisError("ring sizes must be non-negative")
+    if np.any(rings[1:] <= 0):
+        raise AnalysisError(
+            "S(r) must be positive for r = 1..D (trim trailing empty rings)"
+        )
+    return rings
+
+
+def _as_n(n: ArrayLike) -> np.ndarray:
+    arr = np.asarray(n, dtype=float)
+    if np.any(arr < 0):
+        raise AnalysisError("n must be non-negative")
+    return arr
+
+
+def _miss_matrix(use_prob: np.ndarray, n: np.ndarray) -> np.ndarray:
+    """``(1 − p)^n`` per (ring, n) pair, robust to ``p = 1``.
+
+    A ring with ``S(r) = 1`` has use probability 1, whose log-miss is
+    ``−inf``; the ``−inf × 0`` corner (n = 0) must come out as 1 (an
+    empty receiver set uses no links).
+    """
+    with np.errstate(divide="ignore", invalid="ignore"):
+        log_miss = np.log1p(-use_prob)
+        out = np.exp(np.multiply.outer(log_miss, n))
+    return np.nan_to_num(out, nan=1.0)
+
+
+def lhat_from_rings_leaf(ring_sizes: np.ndarray, n: ArrayLike) -> np.ndarray:
+    """Equation 23: the leaf-receiver predictor from ``S(r)``.
+
+    Parameters
+    ----------
+    ring_sizes:
+        ``[S(0), S(1), ..., S(D)]`` with ``S(0) = 1`` the source.  Ring
+        sizes may be fractional (averaged profiles, synthetic models).
+    n:
+        Receivers drawn with replacement (scalar or array).
+    """
+    rings = _check_rings(ring_sizes)
+    n_arr = _as_n(n)
+    s = rings[1:]
+    miss = _miss_matrix(1.0 / s, n_arr)
+    return np.tensordot(s, 1.0 - miss, axes=(0, 0))
+
+
+def lhat_from_rings_throughout(
+    ring_sizes: np.ndarray, n: ArrayLike
+) -> np.ndarray:
+    """Equation 30: the receivers-anywhere predictor from ``S(r)``."""
+    rings = _check_rings(ring_sizes)
+    n_arr = _as_n(n)
+    s = rings[1:]
+    t = np.cumsum(s)  # T(r) for r = 1..D, source excluded
+    total = t[-1]
+    t_before = np.concatenate([[0.0], t[:-1]])  # T(l-1)
+    use_prob = (total - t_before) / (s * total)
+    if np.any(use_prob > 1.0 + 1e-12):
+        raise AnalysisError(
+            "inconsistent rings: a link's use probability exceeds 1 "
+            "(S(l) smaller than its downstream share)"
+        )
+    use_prob = np.minimum(use_prob, 1.0)
+    miss = _miss_matrix(use_prob, n_arr)
+    return np.tensordot(s, 1.0 - miss, axes=(0, 0))
+
+
+def delta2_from_rings(ring_sizes: np.ndarray, n: ArrayLike) -> np.ndarray:
+    """Equation 24: ``Δ²L̂(n) = −Σ_r (1/S(r))·(1 − 1/S(r))^n``."""
+    rings = _check_rings(ring_sizes)
+    n_arr = _as_n(n)
+    s = rings[1:]
+    inv = 1.0 / s
+    miss = _miss_matrix(inv, n_arr)
+    return -np.tensordot(inv, miss, axes=(0, 0))
+
+
+def mean_distance_from_rings(ring_sizes: np.ndarray) -> float:
+    """Average hop distance ``ū`` from the source implied by ``S(r)``."""
+    rings = _check_rings(ring_sizes)
+    s = rings[1:]
+    radii = np.arange(1, rings.shape[0], dtype=float)
+    return float(np.dot(radii, s) / s.sum())
+
+
+def normalized_series(
+    ring_sizes: np.ndarray,
+    n_values: ArrayLike,
+    receivers: str = "throughout",
+) -> np.ndarray:
+    """``L̂(n)/(n·ū)`` — the y axis of Figures 6 and 8.
+
+    Parameters
+    ----------
+    ring_sizes:
+        The reachability profile.
+    n_values:
+        Receiver counts.
+    receivers:
+        ``"leaf"`` (Eq. 23; Figure 8) or ``"throughout"`` (Eq. 30;
+        Figure 6's semi-analytic overlay).
+    """
+    if receivers == "leaf":
+        lhat = lhat_from_rings_leaf(ring_sizes, n_values)
+        # All receivers at distance D: the unicast path is D hops.
+        u_bar = float(len(np.asarray(ring_sizes)) - 1)
+    elif receivers == "throughout":
+        lhat = lhat_from_rings_throughout(ring_sizes, n_values)
+        u_bar = mean_distance_from_rings(ring_sizes)
+    else:
+        raise AnalysisError(
+            f'receivers must be "leaf" or "throughout", got {receivers!r}'
+        )
+    n_arr = _as_n(n_values)
+    if np.any(n_arr <= 0):
+        raise AnalysisError("n must be positive when normalizing by n")
+    return lhat / (n_arr * u_bar)
+
+
+def variance_from_rings_leaf(
+    ring_sizes: np.ndarray, n: ArrayLike
+) -> np.ndarray:
+    """Approximate ``Var[L̂(n)]`` from ``S(r)`` under link independence.
+
+    The Eq. 22–23 predictor treats link usages as independent; under the
+    same assumption the variance is just the sum of Bernoulli variances,
+
+        Var[L̂(n)] ≈ Σ_r S(r) · (1 − 1/S(r))^n · (1 − (1 − 1/S(r))^n)
+
+    On trees this *overestimates* the exact value: disjoint subtrees
+    compete for a fixed pool of receivers, a negative correlation that
+    outweighs the positive ancestor-descendant one (compare
+    :func:`repro.analysis.kary_variance.lhat_leaf_variance`).  It is a
+    conservative order-of-magnitude figure for sizing Monte-Carlo sample
+    counts on general networks, which is all it is for.
+    """
+    rings = _check_rings(ring_sizes)
+    n_arr = _as_n(n)
+    s = rings[1:]
+    miss = _miss_matrix(1.0 / s, n_arr)
+    return np.tensordot(s, miss * (1.0 - miss), axes=(0, 0))

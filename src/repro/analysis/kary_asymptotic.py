@@ -1,0 +1,170 @@
+"""Asymptotic k-ary forms (Section 3.2–3.3, Eqs. 7–18).
+
+The chain of approximations the paper derives from the exact sums:
+
+1. Approximating ``Δ²L̂``'s sum by an integral and taking the large-``n``,
+   large-``M``, fixed ``x = n/M`` limit gives (Eq. 9)
+
+       Δ²L̂(n) ≈ −e^{−x·k^{−1/2}} / ((n + 1)·ln k)
+
+2. Normalizing by ``ū = D`` and wrapping in a log defines (Eq. 11)
+
+       h(x) ≡ −ln( −x·(M·ln M)·Δ²L̂(xM)/ū )
+
+   whose predicted form is simply ``h(x) ≈ x·k^{−1/2}`` (Eq. 12): the tree
+   degree only rescales ``h`` — the paper's candidate explanation for the
+   law's universality.  Figure 2 checks Eq. 12 against the exact Eq. 6.
+
+3. Integrating back up with the crude split of Eq. 13 yields (Eqs. 14–16)
+
+       L̂(n)/n ≈ 1/ln k − ln(n/M)/ln k        (5 < n < M)
+
+   — linear growth with a logarithmic correction, *not* a power law.
+   Figure 3 (leaf receivers) and Figure 5 (receivers throughout) check it.
+
+4. Converting ``n → m`` via Eq. 1 gives the paper's alternative to the
+   Chuang-Sirbu law (Eq. 18), which Figure 4 shows is numerically close
+   to ``m^0.8`` anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.analysis.kary_exact import (
+    _as_n,
+    _check_kd,
+    delta2_lhat,
+    num_leaf_sites,
+)
+from repro.analysis.scaling import draws_for_expected_distinct
+from repro.exceptions import AnalysisError
+
+__all__ = [
+    "h_exact",
+    "h_predicted",
+    "delta2_asymptotic",
+    "lhat_per_receiver_predicted",
+    "lhat_asymptotic",
+    "lm_exact_via_conversion",
+    "lm_asymptotic",
+]
+
+ArrayLike = Union[float, int, np.ndarray]
+
+
+def delta2_asymptotic(k: float, depth: int, n: ArrayLike) -> np.ndarray:
+    """Equation 9: the asymptotic form of ``Δ²L̂(n)``."""
+    _check_kd(k, depth)
+    n_arr = _as_n(n)
+    big_m = num_leaf_sites(k, depth)
+    x = n_arr / big_m
+    return -np.exp(-x * float(k) ** -0.5) / ((n_arr + 1.0) * np.log(k))
+
+
+def h_exact(k: float, depth: int, x: ArrayLike) -> np.ndarray:
+    """Equation 11 evaluated with the exact ``Δ²L̂`` of Equation 6.
+
+    ``h(x) = −ln(−x·(M ln M)·Δ²L̂(xM)/ū)`` with ``ū = D``.  This is the
+    quantity plotted in Figure 2; its definition deliberately contains no
+    explicit reference to the tree degree.
+
+    Parameters
+    ----------
+    k / depth:
+        Tree degree and depth.
+    x:
+        The receiver fraction ``n/M``; must be positive (``x < 1/M``
+        means "less than one receiver" and makes ``h`` diverge, as the
+        paper notes).
+    """
+    _check_kd(k, depth)
+    x_arr = np.asarray(x, dtype=float)
+    if np.any(x_arr <= 0):
+        raise AnalysisError("x must be positive (x = n/M with n >= 1)")
+    big_m = num_leaf_sites(k, depth)
+    n = x_arr * big_m
+    d2 = delta2_lhat(k, depth, n)
+    inner = -x_arr * (big_m * np.log(big_m)) * d2 / float(depth)
+    if np.any(inner <= 0):
+        raise AnalysisError(
+            "h(x) undefined: the inner expression must be positive "
+            "(x is likely far outside (0, 1])"
+        )
+    return -np.log(inner)
+
+
+def h_predicted(k: float, x: ArrayLike) -> np.ndarray:
+    """Equation 12: the predicted straight line ``h(x) = x·k^{−1/2}``."""
+    if not k > 1.0:
+        raise AnalysisError(f"k must be > 1, got {k}")
+    x_arr = np.asarray(x, dtype=float)
+    return x_arr * float(k) ** -0.5
+
+
+def lhat_per_receiver_predicted(k: float, n_over_m: ArrayLike) -> np.ndarray:
+    """Equation 16's straight line: ``L̂(n)/n = 1/ln k − ln(n/M)/ln k``.
+
+    The line drawn through Figures 3 and 5; valid in ``5 < n < M``.
+    """
+    if not k > 1.0:
+        raise AnalysisError(f"k must be > 1, got {k}")
+    ratio = np.asarray(n_over_m, dtype=float)
+    if np.any(ratio <= 0):
+        raise AnalysisError("n/M must be positive")
+    log_k = np.log(k)
+    return 1.0 / log_k - np.log(ratio) / log_k
+
+
+def lhat_asymptotic(k: float, depth: int, n: ArrayLike) -> np.ndarray:
+    """Equation 14: the integrated asymptotic form of ``L̂(n)``.
+
+    ``L̂(n) ≈ n·D − ((n+1)·ln(n+1) − (n+1)) / ln k`` — boundary conditions
+    ``L̂(0) = 0``, ``L̂(1) = D``.
+    """
+    _check_kd(k, depth)
+    n_arr = _as_n(n)
+    log_k = np.log(k)
+    n1 = n_arr + 1.0
+    return n_arr * depth - (n1 * np.log(n1) - n1) / log_k
+
+
+def lm_exact_via_conversion(k: float, depth: int, m: ArrayLike) -> np.ndarray:
+    """``L(m)`` from the exact ``L̂`` and the Eq. 1 conversion.
+
+    ``L(m) ≈ L̂(n(m))`` with ``n(m) = ln(1 − m/M)/ln(1 − 1/M)`` — the
+    construction behind Figure 4.  ``m`` must satisfy ``0 <= m < M``.
+    """
+    from repro.analysis.kary_exact import lhat_leaf
+
+    _check_kd(k, depth)
+    big_m = num_leaf_sites(k, depth)
+    n = draws_for_expected_distinct(m, big_m)
+    return lhat_leaf(k, depth, n)
+
+
+def lm_asymptotic(k: float, depth: int, m: ArrayLike) -> np.ndarray:
+    """Equation 18: the closed asymptotic form of ``L(m)``.
+
+    Substituting ``n = −M·ln(1 − m/M)`` (the large-``M`` limit of Eq. 1)
+    into the Eq. 17 form ``L̂(n) ≈ n·(c − ln(n/M)/ln k)`` with
+    ``c = D + 1/ln k − ln M/ln k = 1/ln k`` gives
+
+        L(m) ≈ −M·ln(1 − m/M) · (1 − ln(−ln(1 − m/M))) / ln k
+
+    — "most decidedly not of the form L(m) ∝ m^0.8", yet numerically
+    close to it (Figure 4).
+    """
+    _check_kd(k, depth)
+    m_arr = np.asarray(m, dtype=float)
+    if np.any(m_arr <= 0):
+        raise AnalysisError("m must be positive")
+    big_m = num_leaf_sites(k, depth)
+    if np.any(m_arr >= big_m):
+        raise AnalysisError(f"m must be below M = {big_m}")
+    log_k = np.log(k)
+    neg_log = -np.log1p(-m_arr / big_m)  # -ln(1 - m/M) > 0
+    n_eff = big_m * neg_log
+    return n_eff * (1.0 - np.log(neg_log)) / log_k

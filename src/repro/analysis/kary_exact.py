@@ -1,0 +1,145 @@
+"""Exact k-ary-tree expressions (Section 3, Eqs. 4–6 and 21).
+
+For a complete k-ary tree of depth ``D`` with the source at the root and
+``n`` receivers drawn uniformly *with replacement*, the expected delivery
+tree size has a closed form.  A link at level ``l`` (there are ``k^l`` of
+them) is on the tree unless all ``n`` draws miss its subtree, so with
+leaf-only receivers (Eq. 3/4):
+
+    L̂(n) = Σ_{l=1..D} k^l · (1 − (1 − k^{−l})^n)
+
+With receivers spread over all non-root sites, a receiver uses a level-l
+link iff it lands in that link's subtree, which holds ``s_l`` of the
+``N`` eligible sites (Eq. 19/21).
+
+The discrete derivatives (Eqs. 5–6)
+
+    ΔL̂(n)  = Σ_l (1 − k^{−l})^n
+    Δ²L̂(n) = −Σ_l k^{−l} (1 − k^{−l})^n
+
+drive the asymptotic analysis in :mod:`repro.analysis.kary_asymptotic`.
+
+``k`` may be any real > 1: the paper treats ``k`` as a continuous
+parameter ("we can vary it continuously towards the limit of k = 1").
+All functions broadcast over numpy arrays of ``n``, and use ``log1p`` /
+``expm1`` so that the ``(1 − k^{−l})^n`` terms stay accurate for the
+enormous ``n`` and tiny ``k^{−l}`` the paper's D = 17 cases need.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.exceptions import AnalysisError
+
+__all__ = [
+    "lhat_leaf",
+    "lhat_throughout",
+    "delta_lhat",
+    "delta2_lhat",
+    "num_leaf_sites",
+    "num_interior_sites",
+]
+
+ArrayLike = Union[float, int, np.ndarray]
+
+
+def _check_kd(k: float, depth: int) -> None:
+    if not k > 1.0:
+        raise AnalysisError(
+            f"the closed forms need tree degree k > 1, got {k} "
+            "(k -> 1 is a limit, not a value)"
+        )
+    if depth < 1:
+        raise AnalysisError(f"tree depth must be >= 1, got {depth}")
+
+
+def _as_n(n: ArrayLike) -> np.ndarray:
+    arr = np.asarray(n, dtype=float)
+    if np.any(arr < 0):
+        raise AnalysisError("n must be non-negative")
+    return arr
+
+
+def num_leaf_sites(k: float, depth: int) -> float:
+    """``M = k^D`` — the leaf receiver population (real-valued in k)."""
+    _check_kd(k, depth)
+    return float(k) ** depth
+
+
+def num_interior_sites(k: float, depth: int) -> float:
+    """All non-root sites: ``(k^{D+1} − k)/(k − 1)``."""
+    _check_kd(k, depth)
+    k = float(k)
+    return (k ** (depth + 1) - k) / (k - 1.0)
+
+
+def _miss_powers(k: float, depth: int, n: np.ndarray) -> np.ndarray:
+    """``(1 − k^{−l})^n`` for l = 1..D, shape ``(D,) + n.shape``."""
+    levels = np.arange(1, depth + 1, dtype=float)
+    log_miss = np.log1p(-float(k) ** (-levels))  # ln(1 - k^-l), negative
+    return np.exp(np.multiply.outer(log_miss, n))
+
+
+def lhat_leaf(k: float, depth: int, n: ArrayLike) -> np.ndarray:
+    """Equation 4: expected tree size, receivers at the leaves.
+
+    Parameters
+    ----------
+    k:
+        Tree degree (> 1, real-valued allowed).
+    depth:
+        Tree depth ``D``.
+    n:
+        Number of receivers drawn with replacement (scalar or array;
+        real values are allowed — the expression is analytic in ``n``).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``L̂(n)`` with the same shape as ``n``.
+    """
+    _check_kd(k, depth)
+    n_arr = _as_n(n)
+    levels = np.arange(1, depth + 1, dtype=float)
+    k_pow = float(k) ** levels
+    miss = _miss_powers(k, depth, n_arr)
+    return np.tensordot(k_pow, 1.0 - miss, axes=(0, 0))
+
+
+def lhat_throughout(k: float, depth: int, n: ArrayLike) -> np.ndarray:
+    """Equation 21: expected tree size, receivers throughout the tree.
+
+    A receiver (uniform over all non-root sites) uses a particular level-l
+    link with probability ``s_l / N`` where ``s_l = (k^{D−l+1} − 1)/(k−1)``
+    is the size of the subtree hanging below the link and ``N`` the number
+    of non-root sites.
+    """
+    _check_kd(k, depth)
+    n_arr = _as_n(n)
+    k = float(k)
+    levels = np.arange(1, depth + 1, dtype=float)
+    k_pow = k**levels
+    subtree = (k ** (depth - levels + 1) - 1.0) / (k - 1.0)
+    total = num_interior_sites(k, depth)
+    log_miss = np.log1p(-subtree / total)
+    miss = np.exp(np.multiply.outer(log_miss, n_arr))
+    return np.tensordot(k_pow, 1.0 - miss, axes=(0, 0))
+
+
+def delta_lhat(k: float, depth: int, n: ArrayLike) -> np.ndarray:
+    """Equation 5: ``ΔL̂(n) = L̂(n+1) − L̂(n) = Σ_l (1 − k^{−l})^n``."""
+    _check_kd(k, depth)
+    return _miss_powers(k, depth, _as_n(n)).sum(axis=0)
+
+
+def delta2_lhat(k: float, depth: int, n: ArrayLike) -> np.ndarray:
+    """Equation 6: ``Δ²L̂(n) = −Σ_l k^{−l} (1 − k^{−l})^n``."""
+    _check_kd(k, depth)
+    n_arr = _as_n(n)
+    levels = np.arange(1, depth + 1, dtype=float)
+    k_neg = float(k) ** (-levels)
+    miss = _miss_powers(k, depth, n_arr)
+    return -np.tensordot(k_neg, miss, axes=(0, 0))

@@ -1,0 +1,140 @@
+"""Exact variance of the k-ary tree size — one moment beyond the paper.
+
+Section 3 computes only the *mean* ``L̂(n)``.  The variance is equally
+closed-form and decides how many Monte-Carlo samples any measurement of
+the law actually needs (and how tight the concentration behind Eq. 1's
+"tightly centered" claim is).
+
+With leaf receivers, the tree size is a sum of link-usage indicators
+``L = Σ_a X_a``.  For links ``a, b`` with subtree-hit probabilities
+``p_a = k^{−l_a}``, ``p_b = k^{−l_b}``:
+
+* ``P(X_a = 0) = (1 − p_a)^n``;
+* ``P(X_a = 0, X_b = 0) = (1 − p_a − p_b + p_ab)^n`` where ``p_ab`` is
+  the probability one receiver hits *both* subtrees: 0 for unrelated
+  links, ``p_deeper`` when one link is an ancestor of the other (the
+  deeper subtree is inside the shallower one).
+
+Counting pairs by level is enough, because probabilities only depend on
+levels and the ancestor relation: at levels ``i < j`` there are
+``k^j`` ancestor-related pairs (each level-j link has exactly one
+level-i ancestor) and ``k^{i+j} − k^j`` unrelated ones; at equal levels
+``i = j`` there are ``k^i`` identical pairs and ``k^{2i} − k^i``
+distinct (necessarily unrelated) ones.  The whole computation is
+O(D²) per ``n``.
+
+Everything extends verbatim to any radius profile with
+``S(r)``-independent subtrees, but the exact pair accounting above is a
+tree property, so the module stays k-ary (matching the paper's setting).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.analysis.kary_exact import _check_kd, lhat_leaf
+from repro.exceptions import AnalysisError
+
+__all__ = [
+    "lhat_leaf_variance",
+    "lhat_leaf_std",
+    "coefficient_of_variation",
+]
+
+ArrayLike = Union[int, float, np.ndarray]
+
+
+def lhat_leaf_variance(k: float, depth: int, n: ArrayLike) -> np.ndarray:
+    """Exact ``Var[L̂(n)]`` for leaf receivers on a k-ary tree.
+
+    Parameters
+    ----------
+    k:
+        Tree degree (> 1; real values allowed, as in Eq. 4).
+    depth:
+        Tree depth ``D``.
+    n:
+        Number of receivers drawn with replacement (scalar or array).
+
+    Returns
+    -------
+    numpy.ndarray
+        The variance, with the same shape as ``n``.
+    """
+    _check_kd(k, depth)
+    n_arr = np.asarray(n, dtype=float)
+    if np.any(n_arr < 0):
+        raise AnalysisError("n must be non-negative")
+    k = float(k)
+
+    levels = np.arange(1, depth + 1, dtype=float)
+    p = k**-levels  # hit probability per level
+    counts = k**levels  # links per level
+    miss = np.exp(np.multiply.outer(np.log1p(-p), n_arr))  # (1-p_l)^n
+
+    def both_miss(prob: float) -> np.ndarray:
+        """``(1 − prob)^n`` robust to prob = 1 (e.g. the two level-1
+        links of a binary tree exhaust the probability space)."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out = np.exp(n_arr * np.log1p(-prob))
+        return np.nan_to_num(out, nan=1.0)  # the n = 0 corner
+
+    variance = np.zeros(n_arr.shape, dtype=float)
+
+    # Diagonal terms: Var[X_a] = (1-p)^n (1 - (1-p)^n), k^l links each.
+    for li in range(depth):
+        variance += counts[li] * miss[li] * (1.0 - miss[li])
+
+    # Off-diagonal terms: Cov[X_a, X_b] = P(a,b both unused) − P(a
+    # unused)P(b unused), since Cov of indicators equals Cov of their
+    # complements.
+    for li in range(depth):
+        for lj in range(li, depth):
+            p_i, p_j = p[li], p[lj]
+            if lj == li:
+                # Distinct same-level links are disjoint: p_ab = 0.
+                num_pairs = counts[li] * counts[li] - counts[li]
+                if num_pairs <= 0:
+                    continue
+                variance += num_pairs * (
+                    both_miss(p_i + p_j) - miss[li] * miss[lj]
+                )
+                continue
+            # Ancestor pairs: the level-j link's subtree lies inside its
+            # level-i ancestor's, so p_ab = p_j and
+            # 1 − p_i − p_j + p_j = 1 − p_i.
+            ancestor_pairs = counts[lj]
+            both_related = miss[li]
+            # Unrelated pairs: disjoint subtrees, p_ab = 0.
+            unrelated_pairs = counts[li] * counts[lj] - counts[lj]
+            both_unrelated = both_miss(p_i + p_j)
+            # Factor 2: ordered pairs (a, b) and (b, a).
+            variance += 2.0 * ancestor_pairs * (
+                both_related - miss[li] * miss[lj]
+            )
+            variance += 2.0 * unrelated_pairs * (
+                both_unrelated - miss[li] * miss[lj]
+            )
+    return np.maximum(variance, 0.0)
+
+
+def lhat_leaf_std(k: float, depth: int, n: ArrayLike) -> np.ndarray:
+    """Exact standard deviation of the tree size, ``√Var[L̂(n)]``."""
+    return np.sqrt(lhat_leaf_variance(k, depth, n))
+
+
+def coefficient_of_variation(k: float, depth: int, n: ArrayLike) -> np.ndarray:
+    """``σ/μ`` of the tree size — the concentration behind Eq. 1.
+
+    The paper's conversion between ``n`` and ``m`` leans on the tree
+    size (and distinct-site count) concentrating "tightly" around the
+    mean for large ``M``.  This ratio quantifies it: it decays roughly
+    like ``M^{−1/2}`` at fixed ``x = n/M``.
+    """
+    n_arr = np.asarray(n, dtype=float)
+    if np.any(n_arr < 1):
+        raise AnalysisError("coefficient of variation needs n >= 1")
+    mean = lhat_leaf(k, depth, n_arr)
+    return lhat_leaf_std(k, depth, n_arr) / mean

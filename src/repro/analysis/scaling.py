@@ -1,0 +1,124 @@
+"""The Chuang-Sirbu scaling law and the n ↔ m conversion (Eqs. 1–2).
+
+Chuang & Sirbu fit ``L(m) ∝ m^0.8`` across topologies.  This module holds
+the law itself, the exponent estimator used to test it, and the paper's
+conversion between the two receiver-count conventions:
+
+* ``m`` — distinct receiver sites (what Chuang-Sirbu measure),
+* ``n`` — draws with replacement (what the k-ary analysis computes).
+
+Drawing ``n`` times with replacement from ``M`` sites hits on average
+``m̂ = M·(1 − (1 − 1/M)^n)`` distinct sites, and in the large-``M`` limit
+the distribution of ``m`` concentrates, justifying
+``L(m) ≈ L̂(n(m))`` with ``n(m) = ln(1 − m/M)/ln(1 − 1/M)`` (Eq. 1).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import AnalysisError
+from repro.utils.stats import LinearFit, power_law_fit
+
+__all__ = [
+    "CHUANG_SIRBU_EXPONENT",
+    "expected_distinct",
+    "draws_for_expected_distinct",
+    "chuang_sirbu_prediction",
+    "fit_scaling_exponent",
+    "multicast_efficiency",
+]
+
+ArrayLike = Union[float, int, np.ndarray]
+
+#: The empirical exponent of the Chuang-Sirbu law, ``L(m) ∝ m^0.8``.
+CHUANG_SIRBU_EXPONENT = 0.8
+
+
+def expected_distinct(n: ArrayLike, population: float) -> np.ndarray:
+    """Expected number of distinct sites after ``n`` uniform draws.
+
+    ``m̂ = M·(1 − (1 − 1/M)^n)`` — the paper's relation between ``n`` and
+    ``m̂``; in the large-``M``, fixed ``x = n/M`` limit this is the
+    ``y = 1 − e^{−x}`` of Section 3.
+    """
+    if population < 1:
+        raise AnalysisError(f"population must be >= 1, got {population}")
+    n_arr = np.asarray(n, dtype=float)
+    if np.any(n_arr < 0):
+        raise AnalysisError("n must be non-negative")
+    if population == 1:
+        return np.where(n_arr > 0, 1.0, 0.0)
+    return population * -np.expm1(n_arr * np.log1p(-1.0 / population))
+
+
+def draws_for_expected_distinct(m: ArrayLike, population: float) -> np.ndarray:
+    """Inverse of :func:`expected_distinct`: Eq. 1's ``n(m)``.
+
+    ``n = ln(1 − m/M) / ln(1 − 1/M)``.  Requires ``0 <= m < M``; ``m``
+    may be real (the conversion is used on continuous sweeps).
+    """
+    if population <= 1:
+        raise AnalysisError(f"population must be > 1, got {population}")
+    m_arr = np.asarray(m, dtype=float)
+    if np.any(m_arr < 0):
+        raise AnalysisError("m must be non-negative")
+    if np.any(m_arr >= population):
+        raise AnalysisError(
+            f"m must be below the population {population} (got max "
+            f"{float(np.max(m_arr))}); all-sites groups have no finite n"
+        )
+    return np.log1p(-m_arr / population) / np.log1p(-1.0 / population)
+
+
+def chuang_sirbu_prediction(
+    m: ArrayLike, exponent: float = CHUANG_SIRBU_EXPONENT
+) -> np.ndarray:
+    """The law's normalized tree size: ``L(m)/ū = m^exponent``.
+
+    Normalizing by the average unicast path length makes the law's
+    constant exactly 1: a single receiver's "tree" is one average unicast
+    path (``L(1)/ū = 1``), and the paper's Figure 1 draws this very line.
+    """
+    m_arr = np.asarray(m, dtype=float)
+    if np.any(m_arr < 0):
+        raise AnalysisError("m must be non-negative")
+    return m_arr**exponent
+
+
+def fit_scaling_exponent(
+    m: Sequence[float], normalized_tree_size: Sequence[float]
+) -> LinearFit:
+    """Estimate the scaling exponent from measured ``L(m)/ū`` data.
+
+    Ordinary least squares on the log-log series; the returned fit's
+    ``slope`` is the exponent the Chuang-Sirbu law claims is ≈ 0.8.
+    Points with ``m <= 1`` are dropped (m = 1 is the anchor, not part of
+    the slope).
+    """
+    m_arr = np.asarray(m, dtype=float)
+    y_arr = np.asarray(normalized_tree_size, dtype=float)
+    if m_arr.shape != y_arr.shape:
+        raise AnalysisError(
+            f"m and series shapes differ: {m_arr.shape} vs {y_arr.shape}"
+        )
+    keep = m_arr > 1.0
+    if np.count_nonzero(keep) < 2:
+        raise AnalysisError("need at least two points with m > 1 to fit")
+    return power_law_fit(m_arr[keep], y_arr[keep])
+
+
+def multicast_efficiency(tree_size: ArrayLike, m: ArrayLike, mean_path: ArrayLike) -> np.ndarray:
+    """Multicast-to-unicast cost ratio ``δ = L(m)/(m·ū)``.
+
+    1.0 means multicast saves nothing; under the Chuang-Sirbu law
+    ``δ ≈ m^{−0.2}``.
+    """
+    tree = np.asarray(tree_size, dtype=float)
+    m_arr = np.asarray(m, dtype=float)
+    path = np.asarray(mean_path, dtype=float)
+    if np.any(m_arr <= 0) or np.any(path <= 0):
+        raise AnalysisError("m and mean path length must be positive")
+    return tree / (m_arr * path)

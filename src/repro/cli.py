@@ -1,0 +1,404 @@
+"""``repro-mcast`` — command-line front end to the reproduction.
+
+Subcommands map one-to-one onto the experiment drivers:
+
+* ``repro-mcast table1`` — the Table-1 topology statistics.
+* ``repro-mcast figure N`` — reproduce paper figure N (1–9).
+* ``repro-mcast topo NAME`` — build a topology and print its stats.
+* ``repro-mcast sweep NAME`` — run an L(m) sweep and fit the exponent.
+* ``repro-mcast ablation WHICH`` — run one of the DESIGN.md ablations.
+
+All stochastic commands take ``--seed`` and are fully reproducible.
+``--paper`` switches the Monte-Carlo sample counts to the paper's
+100×100 methodology (slow); the default is the quick configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.exceptions import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mcast",
+        description=(
+            "Reproduction of 'Scaling of Multicast Trees: Comments on the "
+            "Chuang-Sirbu Scaling Law' (SIGCOMM 1999)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser, scale_default: float = 0.25) -> None:
+        p.add_argument("--seed", type=int, default=0, help="base RNG seed")
+        p.add_argument(
+            "--scale",
+            type=float,
+            default=scale_default,
+            help="topology size relative to the paper (1.0 = paper scale)",
+        )
+        p.add_argument(
+            "--paper",
+            action="store_true",
+            help="use the paper's 100x100 Monte-Carlo settings (slow)",
+        )
+        p.add_argument(
+            "--no-plot",
+            action="store_true",
+            help="print data tables only, no ASCII plots",
+        )
+
+    p_table1 = sub.add_parser("table1", help="reproduce Table 1")
+    add_common(p_table1, scale_default=1.0)
+
+    p_figure = sub.add_parser("figure", help="reproduce a paper figure")
+    p_figure.add_argument(
+        "number", type=int, choices=range(1, 10), help="figure number (1-9)"
+    )
+    add_common(p_figure)
+
+    p_topo = sub.add_parser("topo", help="build a topology, print stats")
+    p_topo.add_argument("name", help="topology name (see 'table1')")
+    add_common(p_topo, scale_default=1.0)
+
+    p_sweep = sub.add_parser("sweep", help="run an L(m) sweep + exponent fit")
+    p_sweep.add_argument("name", help="topology name")
+    p_sweep.add_argument(
+        "--mode",
+        choices=("distinct", "replacement"),
+        default="distinct",
+        help="receiver convention (L(m) vs Lhat(n))",
+    )
+    p_sweep.add_argument(
+        "--points", type=int, default=10, help="number of swept group sizes"
+    )
+    p_sweep.add_argument(
+        "--save", metavar="PATH", help="write the measurement as JSON"
+    )
+    add_common(p_sweep)
+
+    p_abl = sub.add_parser("ablation", help="run a DESIGN.md ablation")
+    p_abl.add_argument(
+        "which",
+        choices=("tiebreak", "sampling", "source", "weighted"),
+        help="which ablation to run",
+    )
+    add_common(p_abl)
+
+    p_study = sub.add_parser(
+        "study", help="run an extension study (beyond the paper)"
+    )
+    p_study.add_argument(
+        "which",
+        choices=("shared-tree", "popularity", "churn", "steiner"),
+        help="which study to run",
+    )
+    add_common(p_study)
+
+    p_metrics = sub.add_parser(
+        "metrics", help="structural-regime metrics for a topology"
+    )
+    p_metrics.add_argument("name", help="topology name")
+    add_common(p_metrics, scale_default=1.0)
+
+    p_all = sub.add_parser(
+        "all", help="reproduce every table and figure into a directory"
+    )
+    p_all.add_argument(
+        "--outdir", default="reproduction", help="output directory"
+    )
+    add_common(p_all)
+
+    return parser
+
+
+def _mc_config(args):
+    from repro.experiments.config import PAPER_MONTE_CARLO, QUICK_MONTE_CARLO
+
+    return PAPER_MONTE_CARLO if args.paper else QUICK_MONTE_CARLO
+
+
+def _print_results(results, no_plot: bool) -> None:
+    if hasattr(results, "render"):
+        results = {"": results}
+    for result in results.values():
+        print(result.render(include_plot=not no_plot))
+        print()
+
+
+def _cmd_table1(args) -> int:
+    from repro.experiments.figures import run_table1
+
+    result = run_table1(scale=args.scale, rng=args.seed)
+    print(result.render())
+    lo, hi = result.degree_range()
+    print(f"\naverage degrees span {lo:.2f} .. {hi:.2f} (paper: 2.7 .. 7.5)")
+    return 0
+
+
+def _quick_affinity():
+    from repro.experiments.config import AffinityConfig
+
+    return AffinityConfig(num_samples=16, burn_in_sweeps=10, thin_sweeps=1)
+
+
+def _cmd_figure(args) -> int:
+    from repro.experiments import figures
+
+    number = args.number
+    config = _mc_config(args)
+    if number == 1:
+        results = figures.run_figure1(scale=args.scale, config=config, rng=args.seed)
+    elif number == 2:
+        results = figures.run_figure2()
+    elif number == 3:
+        results = figures.run_figure3()
+    elif number == 4:
+        results = figures.run_figure4()
+    elif number == 5:
+        results = figures.run_figure5()
+    elif number == 6:
+        results = figures.run_figure6(scale=args.scale, config=config, rng=args.seed)
+    elif number == 7:
+        results = figures.run_figure7(scale=args.scale, rng=args.seed)
+    elif number == 8:
+        results = figures.run_figure8()
+    else:
+        if args.paper:
+            results = figures.run_figure9(depths=(10, 12), rng=args.seed)
+        else:
+            results = figures.run_figure9(
+                depths=(7, 9),
+                config=_quick_affinity(),
+                n_values=(1, 4, 16, 64, 256, 1024),
+                rng=args.seed,
+            )
+    _print_results(results, args.no_plot)
+    return 0
+
+
+def _cmd_topo(args) -> int:
+    from repro.graph.ops import graph_stats
+    from repro.graph.reachability import average_profile, classify_growth
+    from repro.topology.registry import build_topology, topology_spec
+
+    spec = topology_spec(args.name)
+    graph = build_topology(args.name, scale=args.scale, rng=args.seed)
+    stats = graph_stats(graph, name=args.name, rng=args.seed)
+    print(f"{args.name}: {spec.description} [{spec.kind}]")
+    print(f"  nodes          : {stats.num_nodes}")
+    print(f"  links          : {stats.num_edges}")
+    print(f"  average degree : {stats.average_degree:.3f}")
+    print(f"  degree range   : {stats.min_degree} .. {stats.max_degree}")
+    print(f"  diameter       : {stats.diameter}")
+    print(f"  avg path length: {stats.average_path_length:.3f}")
+    profile = average_profile(graph, num_sources=20, rng=args.seed)
+    print(f"  T(r) growth    : {classify_growth(profile)}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.experiments.config import SweepConfig
+    from repro.experiments.results import save_measurements
+    from repro.experiments.runner import measure_sweep
+    from repro.topology.registry import build_topology
+    from repro.utils.tables import format_table
+
+    graph = build_topology(args.name, scale=args.scale, rng=args.seed)
+    limit = (
+        graph.num_nodes - 1
+        if args.mode == "distinct"
+        else 4 * graph.num_nodes
+    )
+    sizes = SweepConfig(points=args.points).sizes(max(2, limit // 4))
+    measurement = measure_sweep(
+        graph,
+        sizes,
+        mode=args.mode,
+        config=_mc_config(args),
+        topology=args.name,
+        rng=args.seed,
+    )
+    rows = list(
+        zip(
+            measurement.sizes,
+            measurement.mean_tree_size,
+            measurement.mean_unicast_path,
+            measurement.normalized_tree_size,
+            measurement.per_receiver_series,
+        )
+    )
+    print(
+        format_table(
+            ["size", "L", "u", "L/u", "L/(size*u)"],
+            rows,
+            title=f"{args.name} ({args.mode}, {graph.num_nodes} nodes)",
+        )
+    )
+    fit = measurement.fit_exponent()
+    print(
+        f"\nfitted exponent: {fit.slope:.3f} "
+        f"(Chuang-Sirbu law: 0.8, r^2={fit.r_squared:.3f})"
+    )
+    if args.save:
+        save_measurements([measurement], args.save)
+        print(f"saved measurement to {args.save}")
+    return 0
+
+
+def _cmd_ablation(args) -> int:
+    from repro.experiments import figures
+
+    runner = {
+        "tiebreak": figures.run_tiebreak_ablation,
+        "sampling": figures.run_sampling_ablation,
+        "source": figures.run_source_placement_ablation,
+        "weighted": figures.run_weighted_links_ablation,
+    }[args.which]
+    if args.which in ("source", "weighted"):
+        result = runner(scale=args.scale, rng=args.seed)
+    else:
+        result = runner(scale=args.scale, config=_mc_config(args), rng=args.seed)
+    _print_results(result, args.no_plot)
+    return 0
+
+
+def _cmd_study(args) -> int:
+    from repro.experiments import figures
+
+    if args.which == "shared-tree":
+        result = figures.run_shared_tree_study(
+            scale=args.scale, config=_mc_config(args), rng=args.seed
+        )
+    elif args.which == "popularity":
+        result = figures.run_popularity_study(scale=args.scale, rng=args.seed)
+    elif args.which == "steiner":
+        result = figures.run_steiner_study(scale=args.scale, rng=args.seed)
+    else:
+        depth = 10 if args.paper else 8
+        result = figures.run_churn_study(depth=depth, rng=args.seed)
+    _print_results(result, args.no_plot)
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    from repro.graph.metrics import topology_metrics
+    from repro.topology.registry import build_topology
+
+    graph = build_topology(args.name, scale=args.scale, rng=args.seed)
+    metrics = topology_metrics(graph, name=args.name)
+    print(f"{args.name} ({graph.num_nodes} nodes, {graph.num_edges} links)")
+    print(f"  clustering coefficient : {metrics.clustering:.4f}")
+    print(f"  degree assortativity   : {metrics.assortativity:+.4f}")
+    print(f"  max degree             : {metrics.max_degree}")
+    if metrics.degree_tail_slope is not None:
+        print(
+            f"  degree CCDF tail       : slope {metrics.degree_tail_slope:.2f} "
+            f"(r^2 {metrics.degree_tail_r2:.3f})"
+        )
+        print(f"  power-law regime       : {metrics.looks_power_law()}")
+    else:
+        print("  degree CCDF tail       : too narrow to fit")
+    return 0
+
+
+def _cmd_all(args) -> int:
+    import os
+
+    from repro.experiments import figures
+    from repro.experiments.report import ReproductionReport
+
+    os.makedirs(args.outdir, exist_ok=True)
+    config = _mc_config(args)
+    report = ReproductionReport(
+        title="Chuang-Sirbu scaling-law reproduction"
+    )
+    report.add_parameter("topology scale", args.scale)
+    report.add_parameter("seed", args.seed)
+    report.add_parameter(
+        "Monte Carlo",
+        f"{config.num_sources} sources x {config.num_receiver_sets} "
+        "receiver sets",
+    )
+
+    def write(name: str, rendered: str) -> None:
+        path = os.path.join(args.outdir, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {path}")
+
+    table1 = figures.run_table1(scale=args.scale, rng=args.seed)
+    write("table1", table1.render())
+    report.add_text_section("table-1", table1.render())
+
+    multi = {
+        "figure1": figures.run_figure1(
+            scale=args.scale, config=config, rng=args.seed
+        ),
+        "figure2": figures.run_figure2(),
+        "figure3": figures.run_figure3(),
+        "figure4": figures.run_figure4(),
+        "figure5": figures.run_figure5(),
+        "figure6": figures.run_figure6(
+            scale=args.scale, config=config, rng=args.seed
+        ),
+        "figure7": figures.run_figure7(scale=args.scale, rng=args.seed),
+        "figure9": figures.run_figure9(
+            depths=(10, 12) if args.paper else (7, 9),
+            config=None if args.paper else _quick_affinity(),
+            n_values=None if args.paper else (1, 4, 16, 64, 256),
+            rng=args.seed,
+        ),
+    }
+    for name, panels in multi.items():
+        write(
+            name,
+            "\n\n".join(
+                panel.render(include_plot=not args.no_plot)
+                for panel in panels.values()
+            ),
+        )
+        for panel in panels.values():
+            report.add_result(panel)
+    figure8 = figures.run_figure8()
+    write("figure8", figure8.render(include_plot=not args.no_plot))
+    report.add_result(figure8)
+
+    report_path = os.path.join(args.outdir, "REPORT.md")
+    report.write(report_path)
+    print(f"wrote {report_path}")
+    print(f"\nreproduction complete under {args.outdir}/")
+    return 0
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "figure": _cmd_figure,
+    "topo": _cmd_topo,
+    "sweep": _cmd_sweep,
+    "ablation": _cmd_ablation,
+    "study": _cmd_study,
+    "metrics": _cmd_metrics,
+    "all": _cmd_all,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Experiment harness: Monte-Carlo engine, configs, results, figure drivers."""
+
+from repro.experiments.ascii_plot import AsciiPlot, Series, render_series_table
+from repro.experiments.config import (
+    AffinityConfig,
+    MonteCarloConfig,
+    PAPER_MONTE_CARLO,
+    QUICK_MONTE_CARLO,
+    SweepConfig,
+)
+from repro.experiments.instances import InstanceAggregate, measure_over_instances
+from repro.experiments.results import (
+    SweepMeasurement,
+    load_measurements,
+    save_measurements,
+)
+from repro.experiments.runner import measure_single_source_sweep, measure_sweep
+
+__all__ = [
+    "AsciiPlot",
+    "Series",
+    "render_series_table",
+    "AffinityConfig",
+    "MonteCarloConfig",
+    "PAPER_MONTE_CARLO",
+    "QUICK_MONTE_CARLO",
+    "SweepConfig",
+    "InstanceAggregate",
+    "measure_over_instances",
+    "SweepMeasurement",
+    "load_measurements",
+    "save_measurements",
+    "measure_single_source_sweep",
+    "measure_sweep",
+]

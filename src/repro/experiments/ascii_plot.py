@@ -1,0 +1,170 @@
+"""Terminal rendering of data series.
+
+The paper's figures are gnuplot log-log / lin-log plots.  Benchmarks and
+examples in this reproduction print the same series as aligned numeric
+columns plus, where a picture helps, a coarse ASCII scatter so shapes
+(linearity, concavity, oscillation) are visible in terminal output and in
+the committed ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ExperimentError
+
+__all__ = ["Series", "AsciiPlot", "render_series_table"]
+
+_MARKERS = "*+ox#@%&"
+
+
+@dataclass(frozen=True)
+class Series:
+    """A named (x, y) data series."""
+
+    name: str
+    x: Tuple[float, ...]
+    y: Tuple[float, ...]
+
+    @staticmethod
+    def from_arrays(name: str, x: Sequence[float], y: Sequence[float]) -> "Series":
+        xs = tuple(float(v) for v in x)
+        ys = tuple(float(v) for v in y)
+        if len(xs) != len(ys):
+            raise ExperimentError(
+                f"series {name!r}: x has {len(xs)} points, y has {len(ys)}"
+            )
+        if not xs:
+            raise ExperimentError(f"series {name!r} is empty")
+        return Series(name, xs, ys)
+
+
+@dataclass
+class AsciiPlot:
+    """A multi-series ASCII scatter plot.
+
+    Parameters
+    ----------
+    width / height:
+        Character-grid size of the plotting area.
+    log_x / log_y:
+        Plot in log coordinates (points with non-positive values on a log
+        axis are dropped).
+    title / x_label / y_label:
+        Annotations.
+    """
+
+    width: int = 72
+    height: int = 20
+    log_x: bool = False
+    log_y: bool = False
+    title: str = ""
+    x_label: str = "x"
+    y_label: str = "y"
+    series: List[Series] = field(default_factory=list)
+
+    def add(self, name: str, x: Sequence[float], y: Sequence[float]) -> None:
+        """Add a series to the plot."""
+        if len(self.series) >= len(_MARKERS):
+            raise ExperimentError(
+                f"at most {len(_MARKERS)} series per ASCII plot"
+            )
+        self.series.append(Series.from_arrays(name, x, y))
+
+    def _transform(self) -> List[Tuple[str, List[Tuple[float, float]]]]:
+        out = []
+        for series in self.series:
+            points = []
+            for xv, yv in zip(series.x, series.y):
+                if self.log_x:
+                    if xv <= 0:
+                        continue
+                    xv = math.log10(xv)
+                if self.log_y:
+                    if yv <= 0:
+                        continue
+                    yv = math.log10(yv)
+                if math.isfinite(xv) and math.isfinite(yv):
+                    points.append((xv, yv))
+            out.append((series.name, points))
+        return out
+
+    def render(self) -> str:
+        """Render the plot to a string."""
+        if not self.series:
+            raise ExperimentError("nothing to plot")
+        transformed = self._transform()
+        all_points = [p for _, pts in transformed for p in pts]
+        if not all_points:
+            raise ExperimentError("no plottable points (log axis dropped all?)")
+        xs = [p[0] for p in all_points]
+        ys = [p[1] for p in all_points]
+        x_lo, x_hi = min(xs), max(xs)
+        y_lo, y_hi = min(ys), max(ys)
+        if x_hi == x_lo:
+            x_hi = x_lo + 1.0
+        if y_hi == y_lo:
+            y_hi = y_lo + 1.0
+
+        grid = [[" "] * self.width for _ in range(self.height)]
+        for (name, points), marker in zip(transformed, _MARKERS):
+            for xv, yv in points:
+                col = int((xv - x_lo) / (x_hi - x_lo) * (self.width - 1))
+                row = int((yv - y_lo) / (y_hi - y_lo) * (self.height - 1))
+                grid[self.height - 1 - row][col] = marker
+
+        def axis_val(v: float, log: bool) -> str:
+            return format(10**v if log else v, ".3g")
+
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(
+            f"y: {self.y_label}  [{axis_val(y_lo, self.log_y)} .. "
+            f"{axis_val(y_hi, self.log_y)}]"
+        )
+        border = "+" + "-" * self.width + "+"
+        lines.append(border)
+        for row in grid:
+            lines.append("|" + "".join(row) + "|")
+        lines.append(border)
+        lines.append(
+            f"x: {self.x_label}  [{axis_val(x_lo, self.log_x)} .. "
+            f"{axis_val(x_hi, self.log_x)}]"
+            + ("  (log x)" if self.log_x else "")
+            + ("  (log y)" if self.log_y else "")
+        )
+        legend = "  ".join(
+            f"{marker}={series.name}"
+            for series, marker in zip(self.series, _MARKERS)
+        )
+        lines.append(f"legend: {legend}")
+        return "\n".join(lines)
+
+
+def render_series_table(
+    x_name: str,
+    series: Sequence[Series],
+    float_format: str = ".5g",
+) -> str:
+    """Align several series sharing an x axis into one numeric table.
+
+    Series with differing x grids are merged on the union of x values;
+    missing cells render as ``-``.
+    """
+    if not series:
+        raise ExperimentError("no series to tabulate")
+    from repro.utils.tables import format_table
+
+    x_union: List[float] = sorted({xv for s in series for xv in s.x})
+    lookup: List[Dict[float, float]] = [dict(zip(s.x, s.y)) for s in series]
+    headers = [x_name] + [s.name for s in series]
+    rows = []
+    for xv in x_union:
+        row: List[Optional[float]] = [xv]
+        for table in lookup:
+            row.append(table.get(xv))
+        rows.append(row)
+    return format_table(headers, rows, float_format=float_format)

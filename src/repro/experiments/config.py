@@ -1,0 +1,162 @@
+"""Experiment configuration objects.
+
+One dataclass per methodology knob cluster, all immutable, all with
+``validate()``, so drivers and the CLI share a single vocabulary.  The
+paper's canonical settings (``Nrcvr = 100``, ``Nsource = 100``, sources
+drawn with replacement) are the defaults of :data:`PAPER_MONTE_CARLO`;
+benchmarks use :data:`QUICK_MONTE_CARLO` to stay laptop-fast, and
+EXPERIMENTS.md records which was used where.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.exceptions import ExperimentError
+
+__all__ = [
+    "MonteCarloConfig",
+    "SweepConfig",
+    "AffinityConfig",
+    "PAPER_MONTE_CARLO",
+    "QUICK_MONTE_CARLO",
+]
+
+
+@dataclass(frozen=True)
+class MonteCarloConfig:
+    """How many samples the Monte-Carlo engine draws.
+
+    Attributes
+    ----------
+    num_sources:
+        ``Nsource`` — random sources, drawn with replacement (the paper's
+        methodology, Section 2).
+    num_receiver_sets:
+        ``Nrcvr`` — receiver sets per source per group size.
+    tie_break:
+        Shortest-path-tree tie-breaking policy, ``"first"`` or
+        ``"random"`` (the ablation knob).
+    seed:
+        Base seed; every (source, receiver-set) cell derives its own
+        stream, so results are order-independent and reproducible.
+    """
+
+    num_sources: int = 100
+    num_receiver_sets: int = 100
+    tie_break: str = "first"
+    seed: Optional[int] = 0
+
+    def validate(self) -> None:
+        if self.num_sources < 1:
+            raise ExperimentError(
+                f"num_sources must be >= 1, got {self.num_sources}"
+            )
+        if self.num_receiver_sets < 1:
+            raise ExperimentError(
+                f"num_receiver_sets must be >= 1, got {self.num_receiver_sets}"
+            )
+        if self.tie_break not in ("first", "random"):
+            raise ExperimentError(
+                f'tie_break must be "first" or "random", got {self.tie_break!r}'
+            )
+
+    def scaled(self, factor: float) -> "MonteCarloConfig":
+        """A config with sample counts scaled by ``factor`` (min 1 each)."""
+        if factor <= 0:
+            raise ExperimentError(f"factor must be positive, got {factor}")
+        return replace(
+            self,
+            num_sources=max(1, int(round(self.num_sources * factor))),
+            num_receiver_sets=max(1, int(round(self.num_receiver_sets * factor))),
+        )
+
+
+#: The paper's Section-2 methodology: 100 sources × 100 receiver sets.
+PAPER_MONTE_CARLO = MonteCarloConfig(num_sources=100, num_receiver_sets=100)
+
+#: Bench-friendly settings giving the same shapes in seconds, not hours.
+QUICK_MONTE_CARLO = MonteCarloConfig(num_sources=8, num_receiver_sets=12)
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """The x axis of an ``L(m)`` / ``L̂(n)`` sweep.
+
+    Attributes
+    ----------
+    min_size / max_size:
+        Receiver-count range (inclusive); ``max_size`` defaults per
+        driver to a fraction of the network size when None.
+    points:
+        Number of geometrically-spaced sizes.
+    """
+
+    min_size: int = 1
+    max_size: Optional[int] = None
+    points: int = 12
+
+    def validate(self) -> None:
+        if self.min_size < 1:
+            raise ExperimentError(f"min_size must be >= 1, got {self.min_size}")
+        if self.max_size is not None and self.max_size < self.min_size:
+            raise ExperimentError(
+                f"max_size ({self.max_size}) below min_size ({self.min_size})"
+            )
+        if self.points < 2:
+            raise ExperimentError(f"points must be >= 2, got {self.points}")
+
+    def sizes(self, network_limit: int) -> Tuple[int, ...]:
+        """Concrete geometric grid, clipped to ``network_limit``."""
+        from repro.utils.stats import geometric_spaced
+
+        self.validate()
+        if network_limit < self.min_size:
+            raise ExperimentError(
+                f"network supports at most {network_limit} receivers, "
+                f"sweep starts at {self.min_size}"
+            )
+        hi = network_limit if self.max_size is None else min(
+            self.max_size, network_limit
+        )
+        return tuple(
+            int(v) for v in geometric_spaced(self.min_size, hi, self.points)
+        )
+
+
+@dataclass(frozen=True)
+class AffinityConfig:
+    """Settings of the Figure-9 affinity simulation.
+
+    Attributes
+    ----------
+    betas:
+        Affinity strengths to sweep (the paper uses
+        −10, −1, −0.1, 0, 0.1, 1, 10).
+    num_samples:
+        Configurations retained per (β, n) cell.
+    burn_in_sweeps / thin_sweeps:
+        MCMC schedule in sweeps of ``n`` moves.
+    """
+
+    betas: Tuple[float, ...] = (-10.0, -1.0, -0.1, 0.0, 0.1, 1.0, 10.0)
+    num_samples: int = 40
+    burn_in_sweeps: int = 20
+    thin_sweeps: int = 2
+
+    def validate(self) -> None:
+        if not self.betas:
+            raise ExperimentError("betas must be non-empty")
+        if self.num_samples < 1:
+            raise ExperimentError(
+                f"num_samples must be >= 1, got {self.num_samples}"
+            )
+        if self.burn_in_sweeps < 0 or self.thin_sweeps < 0:
+            raise ExperimentError("MCMC sweep counts must be non-negative")
+        for beta in self.betas:
+            if beta != beta or beta in (float("inf"), float("-inf")):
+                raise ExperimentError(
+                    "betas must be finite; ±infinity has closed forms in "
+                    "repro.analysis.affinity_theory"
+                )

@@ -1,0 +1,63 @@
+"""Per-table/figure reproduction drivers (see DESIGN.md experiment index)."""
+
+from repro.experiments.figures.ablations import (
+    run_sampling_ablation,
+    run_source_placement_ablation,
+    run_tiebreak_ablation,
+    run_weighted_links_ablation,
+)
+from repro.experiments.figures.base import FigureResult
+from repro.experiments.figures.extensions import (
+    run_churn_study,
+    run_popularity_study,
+    run_steiner_study,
+)
+from repro.experiments.figures.figure1 import run_figure1, run_figure1_panel
+from repro.experiments.figures.figure2 import FIGURE2_CASES, run_figure2, run_figure2_panel
+from repro.experiments.figures.figure3 import (
+    FIGURE3_CASES,
+    run_figure3,
+    run_figure3_panel,
+    run_figure5,
+)
+from repro.experiments.figures.figure4 import FIGURE4_CASES, run_figure4, run_figure4_panel
+from repro.experiments.figures.figure6 import run_figure6, run_figure6_panel
+from repro.experiments.figures.figure7 import run_figure7, run_figure7_panel
+from repro.experiments.figures.figure8 import run_figure8
+from repro.experiments.figures.figure9 import run_figure9, run_figure9_panel
+from repro.experiments.figures.shared_tree_study import run_shared_tree_study
+from repro.experiments.figures.table1 import Table1Result, Table1Row, run_table1
+
+__all__ = [
+    "FigureResult",
+    "run_table1",
+    "Table1Result",
+    "Table1Row",
+    "run_figure1",
+    "run_figure1_panel",
+    "run_figure2",
+    "run_figure2_panel",
+    "FIGURE2_CASES",
+    "run_figure3",
+    "run_figure3_panel",
+    "run_figure5",
+    "FIGURE3_CASES",
+    "run_figure4",
+    "run_figure4_panel",
+    "FIGURE4_CASES",
+    "run_figure6",
+    "run_figure6_panel",
+    "run_figure7",
+    "run_figure7_panel",
+    "run_figure8",
+    "run_figure9",
+    "run_figure9_panel",
+    "run_tiebreak_ablation",
+    "run_sampling_ablation",
+    "run_source_placement_ablation",
+    "run_shared_tree_study",
+    "run_weighted_links_ablation",
+    "run_popularity_study",
+    "run_churn_study",
+    "run_steiner_study",
+]

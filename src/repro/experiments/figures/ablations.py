@@ -1,0 +1,262 @@
+"""Ablations of the methodology knobs called out in DESIGN.md §5.
+
+These are not paper figures; they probe the design choices the
+reproduction had to make and quantify how much each one matters:
+
+* **Tie-breaking** (:func:`run_tiebreak_ablation`): BFS ``"first"``
+  parents vs ``"random"`` equal-cost choices.  On trees the policies are
+  identical; on meshy graphs random tie-breaking can only reshuffle
+  equal-length paths, so the measured ``L(m)`` difference should be a few
+  percent at most — confirming the paper's results don't hinge on an
+  unstated router model.
+* **Distinct vs with-replacement** (:func:`run_sampling_ablation`):
+  measures ``L(m)`` directly and via ``L̂(n(m))`` + Eq. 1, validating the
+  paper's conversion on real generators rather than only on k-ary trees.
+* **Source placement** (:func:`run_source_placement_ablation`): uniform
+  random sources (the methodology) vs max-degree sources (a hub ISP) —
+  the scaling exponent should be robust to this.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.scaling import draws_for_expected_distinct
+from repro.experiments.config import MonteCarloConfig, QUICK_MONTE_CARLO, SweepConfig
+from repro.experiments.figures.base import FigureResult
+from repro.experiments.runner import measure_single_source_sweep, measure_sweep
+from repro.topology.registry import build_topology
+from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
+
+__all__ = [
+    "run_tiebreak_ablation",
+    "run_sampling_ablation",
+    "run_source_placement_ablation",
+    "run_weighted_links_ablation",
+]
+
+
+def _sizes_for(graph, sweep: Optional[SweepConfig], fraction: float):
+    sweep = sweep or SweepConfig(points=8)
+    limit = max(2, int((graph.num_nodes - 1) * fraction))
+    return sweep.sizes(limit)
+
+
+def run_tiebreak_ablation(
+    topology: str = "ts1008",
+    scale: float = 0.25,
+    config: Optional[MonteCarloConfig] = None,
+    sweep: Optional[SweepConfig] = None,
+    rng: RandomState = None,
+) -> FigureResult:
+    """Compare ``first`` vs ``random`` shortest-path tie-breaking.
+
+    Uses a dense topology by default — tie-breaking only matters where
+    equal-cost multipaths exist.
+    """
+    config = config or QUICK_MONTE_CARLO
+    streams = spawn_rngs(ensure_rng(rng), 3)
+    graph = build_topology(topology, scale=scale, rng=streams[0])
+    sizes = _sizes_for(graph, sweep, 0.25)
+
+    result = FigureResult(
+        figure_id="ablation-tiebreak",
+        title=f"L(m)/u on {topology}: 'first' vs 'random' SPT tie-breaking",
+        x_label="m",
+        y_label="L(m)/u",
+        log_x=True,
+        log_y=True,
+    )
+    curves = {}
+    for policy, stream in zip(("first", "random"), streams[1:]):
+        cfg = MonteCarloConfig(
+            num_sources=config.num_sources,
+            num_receiver_sets=config.num_receiver_sets,
+            tie_break=policy,
+            seed=config.seed,
+        )
+        measurement = measure_sweep(
+            graph, sizes, mode="distinct", config=cfg,
+            topology=topology, rng=stream,
+        )
+        curves[policy] = measurement.normalized_tree_size
+        result.add_series(f"tie={policy}", sizes, curves[policy])
+        fit = measurement.fit_exponent()
+        result.notes[f"exponent[{policy}]"] = f"{fit.slope:.3f}"
+    gap = np.abs(curves["first"] - curves["random"]) / curves["first"]
+    result.notes["max relative gap"] = f"{float(gap.max()):.4f}"
+    return result
+
+
+def run_sampling_ablation(
+    topology: str = "ts1000",
+    scale: float = 0.25,
+    config: Optional[MonteCarloConfig] = None,
+    sweep: Optional[SweepConfig] = None,
+    rng: RandomState = None,
+) -> FigureResult:
+    """Validate Eq. 1 on a real generator: ``L(m)`` vs ``L̂(n(m))``.
+
+    For each m the with-replacement sweep is evaluated at
+    ``n = ln(1 − m/M)/ln(1 − 1/M)`` (rounded); if the conversion is
+    sound the two mean-tree-size curves coincide within Monte-Carlo
+    noise.
+    """
+    config = config or QUICK_MONTE_CARLO
+    streams = spawn_rngs(ensure_rng(rng), 3)
+    graph = build_topology(topology, scale=scale, rng=streams[0])
+    sizes = _sizes_for(graph, sweep, 0.5)
+    population = graph.num_nodes - 1  # receivers exclude the source
+
+    direct = measure_sweep(
+        graph, sizes, mode="distinct", config=config,
+        topology=topology, rng=streams[1],
+    )
+    n_sizes = [
+        max(1, int(round(float(draws_for_expected_distinct(m, population)))))
+        for m in sizes
+    ]
+    converted = measure_sweep(
+        graph, n_sizes, mode="replacement", config=config,
+        topology=topology, rng=streams[2],
+    )
+
+    result = FigureResult(
+        figure_id="ablation-sampling",
+        title=f"L(m) vs Lhat(n(m)) on {topology} (Eq. 1 conversion)",
+        x_label="m",
+        y_label="mean tree size",
+        log_x=True,
+    )
+    result.add_series("L(m) distinct", sizes, direct.mean_tree_size)
+    result.add_series("Lhat(n(m)) converted", sizes, converted.mean_tree_size)
+    rel = np.abs(
+        np.asarray(direct.mean_tree_size) - np.asarray(converted.mean_tree_size)
+    ) / np.asarray(direct.mean_tree_size)
+    result.notes["max relative error"] = f"{float(rel.max()):.4f}"
+    result.notes["n(m) grid"] = str(n_sizes)
+    return result
+
+
+def run_source_placement_ablation(
+    topology: str = "as",
+    scale: float = 0.25,
+    num_receiver_sets: int = 40,
+    sweep: Optional[SweepConfig] = None,
+    rng: RandomState = None,
+) -> FigureResult:
+    """Random-source vs max-degree-source scaling curves."""
+    streams = spawn_rngs(ensure_rng(rng), 3)
+    graph = build_topology(topology, scale=scale, rng=streams[0])
+    sizes = _sizes_for(graph, sweep, 0.25)
+
+    random_source = int(streams[1].integers(0, graph.num_nodes))
+    hub_source = int(np.argmax(graph.degrees))
+
+    result = FigureResult(
+        figure_id="ablation-source",
+        title=f"L(m)/u on {topology}: random vs max-degree source",
+        x_label="m",
+        y_label="L(m)/u",
+        log_x=True,
+        log_y=True,
+    )
+    for label, source, stream in (
+        (f"random (node {random_source})", random_source, streams[1]),
+        (f"hub (node {hub_source}, deg {graph.degree(hub_source)})",
+         hub_source, streams[2]),
+    ):
+        measurement = measure_single_source_sweep(
+            graph,
+            source,
+            sizes,
+            mode="distinct",
+            num_receiver_sets=num_receiver_sets,
+            rng=stream,
+        )
+        result.add_series(label, sizes, measurement.normalized_tree_size)
+        fit = measurement.fit_exponent()
+        result.notes[f"exponent[{label}]"] = f"{fit.slope:.3f}"
+    return result
+
+
+def run_weighted_links_ablation(
+    topology: str = "ts1000",
+    scale: float = 0.3,
+    num_sources: int = 6,
+    num_receiver_sets: int = 10,
+    weight_spread: float = 4.0,
+    sweep: Optional[SweepConfig] = None,
+    rng: RandomState = None,
+) -> FigureResult:
+    """Does the scaling law survive heterogeneous link costs?
+
+    The paper explicitly counts unweighted links.  Here every link gets
+    an independent uniform cost in ``[1, weight_spread]``, trees are
+    built by Dijkstra, and both the link count and the *weighted* tree
+    cost are swept over group sizes.  Expected: the log-log slope of the
+    weighted cost stays in the same band as the unweighted exponent —
+    the law is about tree *shape*, not link metrics.
+    """
+    from repro.graph.paths import dijkstra, uniform_arc_weights
+    from repro.multicast.sampling import sample_distinct_receivers
+    from repro.multicast.weighted import weighted_tree_cost
+    from repro.utils.stats import power_law_fit
+
+    streams = spawn_rngs(ensure_rng(rng), 3)
+    graph = build_topology(topology, scale=scale, rng=streams[0])
+    sizes = _sizes_for(graph, sweep, 0.25)
+
+    # Symmetric random arc weights: draw per undirected edge.
+    weights = uniform_arc_weights(graph)
+    edge_rng = streams[1]
+    for u, v in graph.edges():
+        w = float(edge_rng.uniform(1.0, weight_spread))
+        for a, b in ((u, v), (v, u)):
+            row = graph.neighbors(a)
+            pos = graph.indptr[a] + int(np.searchsorted(row, b))
+            weights[pos] = w
+
+    sample_rng = streams[2]
+    mean_links = []
+    mean_weighted = []
+    mean_unicast_weight = []
+    draws = num_sources * num_receiver_sets
+    for size in sizes:
+        links_total = 0.0
+        weight_total = 0.0
+        unicast_total = 0.0
+        for _ in range(num_sources):
+            source = int(sample_rng.integers(0, graph.num_nodes))
+            forest = dijkstra(graph, source, weights)
+            for _ in range(num_receiver_sets):
+                receivers = sample_distinct_receivers(
+                    graph.num_nodes, size, source=source, rng=sample_rng
+                )
+                cost = weighted_tree_cost(graph, forest, weights, receivers)
+                links_total += cost.num_links
+                weight_total += cost.total_weight
+                unicast_total += cost.unicast_weight
+        mean_links.append(links_total / draws)
+        mean_weighted.append(weight_total / draws)
+        mean_unicast_weight.append(unicast_total / draws)
+
+    result = FigureResult(
+        figure_id="ablation-weighted",
+        title=f"L(m) with uniform[1, {weight_spread:g}] link costs on {topology}",
+        x_label="m",
+        y_label="mean tree cost",
+        log_x=True,
+        log_y=True,
+    )
+    result.add_series("tree links", sizes, mean_links)
+    result.add_series("tree weight", sizes, mean_weighted)
+    result.add_series("unicast weight", sizes, mean_unicast_weight)
+
+    link_fit = power_law_fit(sizes, mean_links)
+    weight_fit = power_law_fit(sizes, mean_weighted)
+    result.notes["exponent[links]"] = f"{link_fit.slope:.3f}"
+    result.notes["exponent[weight]"] = f"{weight_fit.slope:.3f}"
+    return result

@@ -1,0 +1,153 @@
+"""Shared result type for figure/table reproduction drivers.
+
+Every driver in :mod:`repro.experiments.figures` returns a
+:class:`FigureResult`: named data series plus enough metadata to render
+the table and ASCII plot that stand in for the paper's gnuplot output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.exceptions import ExperimentError
+from repro.experiments.ascii_plot import AsciiPlot, Series, render_series_table
+
+__all__ = ["FigureResult"]
+
+
+@dataclass
+class FigureResult:
+    """Reproduction output for one paper figure or table.
+
+    Attributes
+    ----------
+    figure_id:
+        Paper identifier, e.g. ``"figure-1a"`` or ``"table-1"``.
+    title:
+        One-line description of what the figure shows.
+    x_label / y_label:
+        Axis labels (as in the paper).
+    log_x / log_y:
+        Whether the paper draws the axis logarithmically.
+    series:
+        The data series (measured curves, reference lines, predictions).
+    notes:
+        Free-form annotations: fitted exponents, growth classes,
+        methodology deviations — anything EXPERIMENTS.md should record.
+    """
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: List[Series] = field(default_factory=list)
+    log_x: bool = False
+    log_y: bool = False
+    notes: Dict[str, str] = field(default_factory=dict)
+
+    def add_series(self, name: str, x, y) -> None:
+        """Append a named series."""
+        self.series.append(Series.from_arrays(name, x, y))
+
+    def get_series(self, name: str) -> Series:
+        """Look up a series by name."""
+        for series in self.series:
+            if series.name == name:
+                return series
+        raise ExperimentError(
+            f"{self.figure_id} has no series {name!r}; available: "
+            f"{[s.name for s in self.series]}"
+        )
+
+    @property
+    def series_names(self) -> List[str]:
+        return [s.name for s in self.series]
+
+    def table(self, float_format: str = ".5g") -> str:
+        """The figure's data as one aligned text table."""
+        if not self.series:
+            raise ExperimentError(f"{self.figure_id} has no series")
+        return render_series_table(self.x_label, self.series, float_format)
+
+    def plot(self, width: int = 72, height: int = 20) -> str:
+        """The figure as an ASCII scatter plot."""
+        ascii_plot = AsciiPlot(
+            width=width,
+            height=height,
+            log_x=self.log_x,
+            log_y=self.log_y,
+            title=f"{self.figure_id}: {self.title}",
+            x_label=self.x_label,
+            y_label=self.y_label,
+        )
+        for series in self.series:
+            ascii_plot.series.append(series)
+        return ascii_plot.render()
+
+    def render(self, include_plot: bool = True) -> str:
+        """Full text rendering: header, notes, table, optional plot."""
+        parts = [f"== {self.figure_id}: {self.title} =="]
+        for key, value in self.notes.items():
+            parts.append(f"   {key}: {value}")
+        parts.append(self.table())
+        if include_plot and self.series:
+            parts.append(self.plot())
+        return "\n".join(parts)
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """Plain-JSON-serializable dict (inverse of :meth:`from_dict`)."""
+        return {
+            "figure_id": self.figure_id,
+            "title": self.title,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "log_x": self.log_x,
+            "log_y": self.log_y,
+            "notes": dict(self.notes),
+            "series": [
+                {"name": s.name, "x": list(s.x), "y": list(s.y)}
+                for s in self.series
+            ],
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict) -> "FigureResult":
+        """Rebuild a result written by :meth:`to_dict`."""
+        try:
+            result = FigureResult(
+                figure_id=str(payload["figure_id"]),
+                title=str(payload["title"]),
+                x_label=str(payload["x_label"]),
+                y_label=str(payload["y_label"]),
+                log_x=bool(payload.get("log_x", False)),
+                log_y=bool(payload.get("log_y", False)),
+                notes={
+                    str(k): str(v)
+                    for k, v in payload.get("notes", {}).items()
+                },
+            )
+            for entry in payload.get("series", []):
+                result.add_series(entry["name"], entry["x"], entry["y"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ExperimentError(
+                f"malformed FigureResult payload: {exc}"
+            ) from exc
+        return result
+
+    def save(self, path) -> None:
+        """Write this result as JSON."""
+        import json
+
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=1)
+
+    @staticmethod
+    def load(path) -> "FigureResult":
+        """Load a result written by :meth:`save`."""
+        import json
+
+        with open(path, "r", encoding="utf-8") as handle:
+            return FigureResult.from_dict(json.load(handle))

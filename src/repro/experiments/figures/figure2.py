@@ -1,0 +1,71 @@
+"""Figure 2: ``h(x)`` versus ``x`` for k-ary trees.
+
+The paper evaluates ``h(x)`` (Eq. 11) from the **exact** second
+difference (Eq. 6) for k = 2 (D = 11, 14, 17) and k = 4 (D = 5, 7, 9),
+and overlays the prediction ``h(x) = x·k^{−1/2}`` (Eq. 12).  Expected
+shape: the k = 2 curves hug the line for ``x ≳ 1/D``; the k = 4 curves
+oscillate before converging (discreteness of the level sum), with the
+oscillation growing for larger k.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.kary_asymptotic import h_exact, h_predicted
+from repro.experiments.figures.base import FigureResult
+from repro.utils.stats import linear_fit
+
+__all__ = ["run_figure2_panel", "run_figure2", "FIGURE2_CASES"]
+
+#: The paper's panels: (k, depths).
+FIGURE2_CASES: Tuple[Tuple[int, Tuple[int, ...]], ...] = (
+    (2, (11, 14, 17)),
+    (4, (5, 7, 9)),
+)
+
+
+def run_figure2_panel(
+    k: int,
+    depths: Sequence[int],
+    x_points: int = 40,
+    x_min: float = 0.02,
+    x_max: float = 1.0,
+) -> FigureResult:
+    """One Figure-2 panel: exact ``h(x)`` for several depths at fixed k.
+
+    Notes record the OLS slope of each exact curve over the upper half of
+    the x range, to compare against the predicted ``k^{−1/2}``.
+    """
+    x = np.linspace(x_min, x_max, x_points)
+    result = FigureResult(
+        figure_id=f"figure-2 (k={k})",
+        title=f"h(x) vs x for k={k} trees, against h(x) = x*k^-1/2",
+        x_label="x",
+        y_label="h(x)",
+    )
+    for depth in depths:
+        h = h_exact(k, depth, x)
+        result.add_series(f"k={k},D={depth}", x, h)
+        upper = x >= 0.5 * x_max
+        fit = linear_fit(x[upper], h[upper])
+        result.notes[f"slope[D={depth}]"] = (
+            f"{fit.slope:.4f} (predicted {k**-0.5:.4f})"
+        )
+    result.add_series(f"x*k^-1/2 (k={k})", x, h_predicted(k, x))
+    return result
+
+
+def run_figure2(
+    cases: Sequence[Tuple[int, Sequence[int]]] = FIGURE2_CASES,
+    x_points: int = 40,
+) -> Dict[str, FigureResult]:
+    """Both panels of Figure 2 (k = 2 and k = 4 by default)."""
+    return {
+        f"figure-2{'ab'[i] if i < 2 else i}": run_figure2_panel(
+            k, depths, x_points=x_points
+        )
+        for i, (k, depths) in enumerate(cases)
+    }

@@ -1,0 +1,125 @@
+"""Figures 3 and 5: ``L̂(n)/n`` versus ``ln(n/M)`` for k-ary trees.
+
+Figure 3 evaluates the exact Eq. 4 (receivers at the leaves); Figure 5
+the exact Eq. 21 (receivers throughout the tree).  Both are compared to
+the asymptotic straight line of Eq. 16,
+
+    L̂(n)/n = 1/ln k − ln(n/M)/ln k .
+
+The paper's three observations, which the notes quantify:
+
+1. the curves are reasonably linear for intermediate ``n/M``, concave
+   for ``n < 5``-ish, and very slightly convex near ``n = M``;
+2. the slopes of the linear portions are close to ``−1/ln k``;
+3. the intercepts deviate slightly from ``1/ln k`` (an additive error
+   from the stacked approximations) — and for receivers-throughout the
+   constant shifts again while the slope stays put.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.kary_asymptotic import lhat_per_receiver_predicted
+from repro.analysis.kary_exact import lhat_leaf, lhat_throughout, num_leaf_sites
+from repro.experiments.figures.base import FigureResult
+from repro.utils.stats import linear_fit
+
+__all__ = [
+    "run_figure3_panel",
+    "run_figure3",
+    "run_figure5",
+    "FIGURE3_CASES",
+]
+
+#: The paper's panels: (k, depths) — Figure 3 uses D = 10, 14, 17 for
+#: k = 2 and D = 5, 7, 9 for k = 4; Figure 5 the same.
+FIGURE3_CASES: Tuple[Tuple[int, Tuple[int, ...]], ...] = (
+    (2, (10, 14, 17)),
+    (4, (5, 7, 9)),
+)
+
+
+def _n_grid(big_m: float, points: int) -> np.ndarray:
+    """Geometric n grid from 1 to M (continuous n is fine: Eq. 4 is
+    analytic in n)."""
+    return np.geomspace(1.0, big_m, points)
+
+
+def run_figure3_panel(
+    k: int,
+    depths: Sequence[int],
+    receivers: str = "leaf",
+    points: int = 60,
+) -> FigureResult:
+    """One panel of Figure 3 (``receivers="leaf"``) or 5 (``"throughout"``).
+
+    Notes record, per depth, the OLS slope/intercept of the exact curve
+    over the paper's linear regime ``5 < n < M/4`` against the predicted
+    ``−1/ln k`` and ``1/ln k``.
+    """
+    if receivers not in ("leaf", "throughout"):
+        raise ValueError(f'receivers must be "leaf" or "throughout": {receivers!r}')
+    figure_no = "3" if receivers == "leaf" else "5"
+    result = FigureResult(
+        figure_id=f"figure-{figure_no} (k={k})",
+        title=(
+            f"Lhat(n)/n vs n/M for k={k}, receivers {receivers}, against "
+            "1/ln k - ln(n/M)/ln k"
+        ),
+        x_label="n/M",
+        y_label="Lhat(n)/n",
+        log_x=True,
+    )
+    for depth in depths:
+        big_m = num_leaf_sites(k, depth)
+        n = _n_grid(big_m, points)
+        if receivers == "leaf":
+            lhat = lhat_leaf(k, depth, n)
+        else:
+            lhat = lhat_throughout(k, depth, n)
+        ratio = n / big_m
+        result.add_series(f"k={k},D={depth}", ratio, lhat / n)
+
+        linear = (n > 5.0) & (n < big_m / 4.0)
+        if np.count_nonzero(linear) >= 2:
+            fit = linear_fit(np.log(ratio[linear]), (lhat / n)[linear])
+            result.notes[f"fit[D={depth}]"] = (
+                f"slope {fit.slope:.4f} (predicted {-1/np.log(k):.4f}), "
+                f"intercept {fit.intercept:.4f} (predicted {1/np.log(k):.4f})"
+            )
+    # Reference line over the widest depth's range.
+    big_m = num_leaf_sites(k, max(depths))
+    ratio = _n_grid(big_m, points) / big_m
+    result.add_series(
+        "1/ln k - ln(n/M)/ln k", ratio, lhat_per_receiver_predicted(k, ratio)
+    )
+    return result
+
+
+def run_figure3(
+    cases: Sequence[Tuple[int, Sequence[int]]] = FIGURE3_CASES,
+    points: int = 60,
+) -> Dict[str, FigureResult]:
+    """Figure 3: both panels, receivers at the leaves."""
+    return {
+        f"figure-3{'ab'[i] if i < 2 else i}": run_figure3_panel(
+            k, depths, receivers="leaf", points=points
+        )
+        for i, (k, depths) in enumerate(cases)
+    }
+
+
+def run_figure5(
+    cases: Sequence[Tuple[int, Sequence[int]]] = FIGURE3_CASES,
+    points: int = 60,
+) -> Dict[str, FigureResult]:
+    """Figure 5: both panels, receivers throughout the tree."""
+    return {
+        f"figure-5{'ab'[i] if i < 2 else i}": run_figure3_panel(
+            k, depths, receivers="throughout", points=points
+        )
+        for i, (k, depths) in enumerate(cases)
+    }

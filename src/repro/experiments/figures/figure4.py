@@ -1,0 +1,93 @@
+"""Figure 4: the k-ary ``L(m)`` against the Chuang-Sirbu law.
+
+Using the exact Eq. 4 plus the Eq. 1 conversion (``L(m) ≈ L̂(n(m))``),
+the paper plots ``ln(L(m)/ū)`` versus ``ln m`` for k = 2 (D = 10, 14, 17)
+and k = 4 (D = 5, 7, 9) with receivers at leaves (``ū = D``), against the
+``m^0.8`` line: "even though the form of the function L(m) is rather
+different than m^0.8, the agreement with the Chuang-Sirbu scaling law is
+remarkably good."
+
+Notes record each curve's fitted log-log exponent (expected ≈ 0.8) and
+the worst-case relative deviation from the exact power law.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.kary_asymptotic import lm_exact_via_conversion
+from repro.analysis.kary_exact import num_leaf_sites
+from repro.analysis.scaling import (
+    CHUANG_SIRBU_EXPONENT,
+    chuang_sirbu_prediction,
+    fit_scaling_exponent,
+)
+from repro.experiments.figures.base import FigureResult
+
+__all__ = ["run_figure4_panel", "run_figure4", "FIGURE4_CASES"]
+
+FIGURE4_CASES: Tuple[Tuple[int, Tuple[int, ...]], ...] = (
+    (2, (10, 14, 17)),
+    (4, (5, 7, 9)),
+)
+
+
+def run_figure4_panel(
+    k: int,
+    depths: Sequence[int],
+    points: int = 40,
+    max_fraction: float = 0.9,
+) -> FigureResult:
+    """One Figure-4 panel at fixed ``k``.
+
+    Parameters
+    ----------
+    k / depths:
+        Tree family.
+    points:
+        Size of the geometric m grid (from 1 to ``max_fraction·M``).
+    max_fraction:
+        Upper end of the m sweep as a fraction of the leaf count
+        (m = M has no finite n and the law breaks near saturation).
+    """
+    result = FigureResult(
+        figure_id=f"figure-4 (k={k})",
+        title=f"ln(L(m)/u) vs ln m for k={k} trees, against m^0.8",
+        x_label="m",
+        y_label="L(m)/u",
+        log_x=True,
+        log_y=True,
+    )
+    max_m = 1.0
+    for depth in depths:
+        big_m = num_leaf_sites(k, depth)
+        m = np.geomspace(1.0, max_fraction * big_m, points)
+        normalized = lm_exact_via_conversion(k, depth, m) / depth
+        result.add_series(f"k={k},D={depth}", m, normalized)
+        max_m = max(max_m, float(m[-1]))
+
+        fit = fit_scaling_exponent(m, normalized)
+        law = chuang_sirbu_prediction(m)
+        worst = float(np.max(np.abs(np.log(normalized) - np.log(law))))
+        result.notes[f"exponent[D={depth}]"] = (
+            f"{fit.slope:.3f} (law {CHUANG_SIRBU_EXPONENT}); max "
+            f"|ln deviation| from m^0.8 = {worst:.3f}"
+        )
+    reference = np.geomspace(1.0, max_m, points)
+    result.add_series("m^0.8", reference, chuang_sirbu_prediction(reference))
+    return result
+
+
+def run_figure4(
+    cases: Sequence[Tuple[int, Sequence[int]]] = FIGURE4_CASES,
+    points: int = 40,
+) -> Dict[str, FigureResult]:
+    """Both Figure-4 panels."""
+    return {
+        f"figure-4{'ab'[i] if i < 2 else i}": run_figure4_panel(
+            k, depths, points=points
+        )
+        for i, (k, depths) in enumerate(cases)
+    }

@@ -1,0 +1,134 @@
+"""Figure 6: ``L̂(n)/(n·ū)`` versus ``ln n`` on the topology suite.
+
+The linearity test of Section 4: networks with exponential reachability
+(r100, ts1000, ts1008, Internet, AS) should produce straight lines in
+``ln n``; the sub-exponential ones (ti5000, ARPA, MBone) visibly less so.
+"Is a bit surprising that the two transit-stub networks … have such
+similar slopes even though they have very different average degrees."
+
+This driver measures the curves with the with-replacement Monte-Carlo
+methodology and can overlay the Eq.-30 semi-analytic prediction computed
+from each network's *measured* reachability profile (series suffixed
+``(eq30)``), tying Sections 2 and 4 together.  Notes record each
+topology's linear-fit R² (the paper's visual judgement made numeric) and
+its growth class.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.general import lhat_from_rings_throughout, mean_distance_from_rings
+from repro.experiments.config import MonteCarloConfig, QUICK_MONTE_CARLO, SweepConfig
+from repro.experiments.figures.base import FigureResult
+from repro.experiments.runner import measure_sweep
+from repro.graph.reachability import average_profile, classify_growth
+from repro.topology.registry import GENERATED_TOPOLOGIES, REAL_TOPOLOGIES, build_topology
+from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
+from repro.utils.stats import linear_fit
+
+__all__ = ["run_figure6_panel", "run_figure6"]
+
+
+def run_figure6_panel(
+    names: Sequence[str],
+    panel_id: str,
+    scale: float = 0.25,
+    config: Optional[MonteCarloConfig] = None,
+    sweep: Optional[SweepConfig] = None,
+    max_receiver_fraction: float = 2.0,
+    include_eq30: bool = True,
+    profile_sources: int = 20,
+    rng: RandomState = None,
+) -> FigureResult:
+    """One Figure-6 panel over the topologies ``names``.
+
+    Parameters
+    ----------
+    names / panel_id / scale / config / rng:
+        As in :func:`repro.experiments.figures.figure1.run_figure1_panel`.
+    sweep:
+        n grid; with replacement, n may exceed the node count —
+        ``max_receiver_fraction`` is relative to the network size.
+    include_eq30:
+        Also evaluate Eq. 30 on the measured average reachability profile
+        and emit it as a second series per topology.
+    profile_sources:
+        Sources averaged for the Eq. 30 profile.
+    """
+    config = config or QUICK_MONTE_CARLO
+    sweep = sweep or SweepConfig(points=10)
+    streams = spawn_rngs(ensure_rng(rng), len(names))
+
+    result = FigureResult(
+        figure_id=panel_id,
+        title="Lhat(n)/(n*u) vs ln n: linear for exponential S(r)",
+        x_label="n",
+        y_label="Lhat(n)/(n*u)",
+        log_x=True,
+    )
+    for name, stream in zip(names, streams):
+        graph = build_topology(name, scale=scale, rng=stream)
+        limit = max(2, int(graph.num_nodes * max_receiver_fraction))
+        sizes = sweep.sizes(limit)
+        measurement = measure_sweep(
+            graph,
+            sizes,
+            mode="replacement",
+            config=config,
+            topology=name,
+            rng=stream,
+        )
+        series = measurement.per_receiver_series
+        result.add_series(name, sizes, series)
+
+        fit = linear_fit(np.log(np.asarray(sizes, dtype=float)), series)
+        profile = average_profile(graph, num_sources=profile_sources, rng=stream)
+        result.notes[f"linearity[{name}]"] = (
+            f"R^2={fit.r_squared:.3f}, slope={fit.slope:.4f}, "
+            f"growth={classify_growth(profile)}"
+        )
+        if include_eq30:
+            rings = profile.mean_ring_sizes
+            rings = rings[: int(np.max(np.flatnonzero(rings > 0))) + 1]
+            lhat = lhat_from_rings_throughout(rings, np.asarray(sizes, float))
+            u_bar = mean_distance_from_rings(rings)
+            result.add_series(
+                f"{name} (eq30)",
+                sizes,
+                lhat / (np.asarray(sizes, float) * u_bar),
+            )
+    return result
+
+
+def run_figure6(
+    scale: float = 0.25,
+    config: Optional[MonteCarloConfig] = None,
+    sweep: Optional[SweepConfig] = None,
+    include_eq30: bool = False,
+    rng: RandomState = None,
+) -> Dict[str, FigureResult]:
+    """Both Figure-6 panels (generated and real topologies)."""
+    streams = spawn_rngs(ensure_rng(rng), 2)
+    return {
+        "figure-6a": run_figure6_panel(
+            GENERATED_TOPOLOGIES,
+            "figure-6a",
+            scale=scale,
+            config=config,
+            sweep=sweep,
+            include_eq30=include_eq30,
+            rng=streams[0],
+        ),
+        "figure-6b": run_figure6_panel(
+            REAL_TOPOLOGIES,
+            "figure-6b",
+            scale=scale,
+            config=config,
+            sweep=sweep,
+            include_eq30=include_eq30,
+            rng=streams[1],
+        ),
+    }

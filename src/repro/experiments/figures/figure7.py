@@ -1,0 +1,90 @@
+"""Figure 7: ``ln T(r)`` versus ``r`` for the topology suite.
+
+``T(r)`` — the number of sites within ``r`` hops, averaged over the
+``Nsource`` random sources — exposes each network's reachability growth.
+Expected shapes: r100, ts1000, ts1008, Internet and AS grow exponentially
+(straight lines in this plot) before saturating at ``T(r) ≈ M``; the two
+transit-stub networks grow at very similar rates despite their different
+degrees; ti5000 shows pronounced concavity and ARPA/MBone milder
+concavity (sub-exponential growth).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.figures.base import FigureResult
+from repro.graph.reachability import average_profile, classify_growth
+from repro.topology.registry import GENERATED_TOPOLOGIES, REAL_TOPOLOGIES, build_topology
+from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
+from repro.utils.stats import linear_fit
+
+__all__ = ["run_figure7_panel", "run_figure7"]
+
+
+def run_figure7_panel(
+    names: Sequence[str],
+    panel_id: str,
+    scale: float = 0.25,
+    num_sources: int = 50,
+    rng: RandomState = None,
+) -> FigureResult:
+    """One Figure-7 panel: averaged ``ln T(r)`` curves.
+
+    Notes record each network's growth class and the fitted exponential
+    rate λ (slope of ``ln T(r)`` in the growth region), which for the
+    transit-stub pair should come out nearly equal — the paper's
+    explanation for their matching Figure-6 slopes.
+    """
+    streams = spawn_rngs(ensure_rng(rng), len(names))
+    result = FigureResult(
+        figure_id=panel_id,
+        title="ln T(r) vs r (reachability growth)",
+        x_label="r",
+        y_label="T(r)",
+        log_y=True,
+    )
+    for name, stream in zip(names, streams):
+        graph = build_topology(name, scale=scale, rng=stream)
+        profile = average_profile(graph, num_sources=num_sources, rng=stream)
+        t = profile.mean_cumulative
+        radii = profile.radii
+        result.add_series(name, radii.astype(float), t)
+
+        grow = np.flatnonzero(t <= 0.9 * t[-1])
+        growth = classify_growth(profile)
+        if grow.size >= 2:
+            fit = linear_fit(grow.astype(float), np.log(t[grow]))
+            result.notes[f"growth[{name}]"] = (
+                f"{growth}, lambda={fit.slope:.3f} (R^2={fit.r_squared:.3f})"
+            )
+        else:
+            result.notes[f"growth[{name}]"] = growth
+    return result
+
+
+def run_figure7(
+    scale: float = 0.25,
+    num_sources: int = 50,
+    rng: RandomState = None,
+) -> Dict[str, FigureResult]:
+    """Both Figure-7 panels (generated and real topologies)."""
+    streams = spawn_rngs(ensure_rng(rng), 2)
+    return {
+        "figure-7a": run_figure7_panel(
+            GENERATED_TOPOLOGIES,
+            "figure-7a",
+            scale=scale,
+            num_sources=num_sources,
+            rng=streams[0],
+        ),
+        "figure-7b": run_figure7_panel(
+            REAL_TOPOLOGIES,
+            "figure-7b",
+            scale=scale,
+            num_sources=num_sources,
+            rng=streams[1],
+        ),
+    }

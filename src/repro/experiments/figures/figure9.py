@@ -1,0 +1,126 @@
+"""Figure 9: receiver affinity/disaffinity on binary trees.
+
+The paper simulates ``L̂_β(n)`` on binary trees of depth 10 and 12 for
+β ∈ {−10, −1, −0.1, 0, 0.1, 1, 10}, receivers allowed at all non-root
+sites.  Expected shapes:
+
+* affinity (β > 0) shrinks the tree, disaffinity grows it, with the
+  effect most visible at small ``n``;
+* comparing D = 10 against D = 12 at fixed ``n``, the *normalized* gap
+  between β curves stays roughly constant, supporting the paper's
+  conjecture that affinity vanishes from the asymptotic form (Eq. 39).
+
+We reproduce the simulation with the Metropolis sampler of
+:mod:`repro.multicast.affinity`; notes record per-β acceptance rates and
+the mean inter-receiver distance ``d̂`` (which must decrease with β —
+the direct check that the sampler targets the intended distribution).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.config import AffinityConfig
+from repro.experiments.figures.base import FigureResult
+from repro.graph.paths import bfs
+from repro.graph.reachability import reachability_profile
+from repro.multicast.affinity import KaryDistanceOracle, sample_weighted_tree_size
+from repro.multicast.tree import MulticastTreeCounter
+from repro.topology.kary import kary_tree
+from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
+from repro.utils.stats import geometric_spaced
+
+__all__ = ["run_figure9_panel", "run_figure9"]
+
+
+def run_figure9_panel(
+    depth: int,
+    k: int = 2,
+    config: Optional[AffinityConfig] = None,
+    n_values: Optional[Sequence[int]] = None,
+    rng: RandomState = None,
+) -> FigureResult:
+    """One Figure-9 panel: a depth-``depth`` k-ary tree, swept over β.
+
+    Parameters
+    ----------
+    depth / k:
+        Tree shape (the paper uses binary trees, depths 10 and 12).
+    config:
+        β grid and MCMC schedule.
+    n_values:
+        Receiver counts; default geometric 1..4·M-ish like the paper's
+        1..10^4.
+    rng:
+        Base randomness; every (β, n) cell gets its own stream.
+    """
+    config = config or AffinityConfig()
+    config.validate()
+    tree = kary_tree(k, depth)
+    forest = bfs(tree.graph, tree.root)
+    counter = MulticastTreeCounter(forest)
+    oracle = KaryDistanceOracle(tree)
+    pool = tree.non_root_nodes()
+    u_bar = reachability_profile(tree.graph, tree.root).mean_distance
+
+    if n_values is None:
+        n_values = geometric_spaced(1, 4 * tree.num_leaves, 9).tolist()
+    n_list = [int(n) for n in n_values]
+
+    result = FigureResult(
+        figure_id=f"figure-9 (D={depth})",
+        title=f"Lhat_beta(n)/(n*u) vs ln n on a k={k}, D={depth} tree",
+        x_label="n",
+        y_label="Lhat_beta(n)/(n*u)",
+        log_x=True,
+    )
+    streams = spawn_rngs(ensure_rng(rng), len(config.betas) * len(n_list))
+    stream_iter = iter(streams)
+    for beta in config.betas:
+        ys = []
+        acceptances = []
+        pair_dists = []
+        for n in n_list:
+            estimate = sample_weighted_tree_size(
+                counter,
+                oracle,
+                pool,
+                n=n,
+                beta=beta,
+                num_samples=config.num_samples,
+                burn_in_sweeps=config.burn_in_sweeps,
+                thin_sweeps=config.thin_sweeps,
+                rng=next(stream_iter),
+            )
+            ys.append(estimate.mean_tree_size / (n * u_bar))
+            acceptances.append(estimate.acceptance_rate)
+            if estimate.mean_pair_distance == estimate.mean_pair_distance:
+                pair_dists.append(estimate.mean_pair_distance)
+        result.add_series(f"beta={beta:g}", n_list, ys)
+        note = f"acceptance mean {float(np.mean(acceptances)):.2f}"
+        if pair_dists:
+            note += f", mean d^ {float(np.mean(pair_dists)):.2f}"
+        result.notes[f"beta={beta:g}"] = note
+    result.notes["tree"] = (
+        f"k={k}, D={depth}, nodes={tree.num_nodes}, u={u_bar:.3f}"
+    )
+    return result
+
+
+def run_figure9(
+    depths: Tuple[int, ...] = (10, 12),
+    k: int = 2,
+    config: Optional[AffinityConfig] = None,
+    n_values: Optional[Sequence[int]] = None,
+    rng: RandomState = None,
+) -> Dict[str, FigureResult]:
+    """Both Figure-9 panels (depths 10 and 12 by default)."""
+    streams = spawn_rngs(ensure_rng(rng), len(depths))
+    return {
+        f"figure-9 (D={depth})": run_figure9_panel(
+            depth, k=k, config=config, n_values=n_values, rng=stream
+        )
+        for depth, stream in zip(depths, streams)
+    }

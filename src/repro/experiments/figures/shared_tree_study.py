@@ -1,0 +1,122 @@
+"""Shared-tree vs source-tree comparison (the paper's deferred footnote).
+
+Footnote 1 of the paper restricts the analysis to source-specific trees
+and points to Wei & Estrin for the shared-tree comparison.  This driver
+supplies it: for a topology and a sweep of group sizes it measures
+
+* the source-specific tree size ``L(m)`` (the paper's quantity),
+* the shared-tree delivery cost for three core-selection policies.
+
+Expected outcome (consistent with Wei & Estrin): a well-placed core
+(approximate 1-median) costs within ~10–30% of the source tree, a random
+core clearly more, and the gap narrows as the group grows — large groups
+force any tree to span most of the network.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.config import MonteCarloConfig, QUICK_MONTE_CARLO, SweepConfig
+from repro.experiments.figures.base import FigureResult
+from repro.graph.paths import bfs
+from repro.multicast.sampling import sample_distinct_receivers
+from repro.multicast.shared_tree import select_core, shared_tree_cost
+from repro.multicast.tree import MulticastTreeCounter
+from repro.topology.registry import build_topology
+from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
+
+__all__ = ["run_shared_tree_study"]
+
+CORE_STRATEGIES = ("random", "max-degree", "min-distance-sample")
+
+
+def run_shared_tree_study(
+    topology: str = "ts1000",
+    scale: float = 0.3,
+    config: Optional[MonteCarloConfig] = None,
+    sweep: Optional[SweepConfig] = None,
+    rng: RandomState = None,
+) -> FigureResult:
+    """Measure shared-vs-source tree cost over a group-size sweep.
+
+    Parameters
+    ----------
+    topology / scale:
+        The network under test.
+    config:
+        Sample counts: ``num_sources`` (source, receiver-set) draws per
+        size per strategy.
+    sweep:
+        Group-size grid (capped at a quarter of the network).
+    rng:
+        Base randomness.
+    """
+    config = config or QUICK_MONTE_CARLO
+    config.validate()
+    sweep = sweep or SweepConfig(points=7)
+    master = ensure_rng(rng)
+    build_rng, sample_rng = spawn_rngs(master, 2)
+
+    graph = build_topology(topology, scale=scale, rng=build_rng)
+    sizes = sweep.sizes(max(2, (graph.num_nodes - 1) // 4))
+
+    result = FigureResult(
+        figure_id="shared-tree-study",
+        title=f"source tree vs shared tree on {topology} "
+        f"({graph.num_nodes} nodes)",
+        x_label="m",
+        y_label="mean delivery links",
+        log_x=True,
+    )
+
+    # Pre-build one counter per core strategy (the core is a property of
+    # the network, not of the group).
+    cores = {
+        strategy: select_core(graph, strategy=strategy, rng=sample_rng)
+        for strategy in CORE_STRATEGIES
+    }
+    core_counters = {
+        strategy: MulticastTreeCounter(bfs(graph, core))
+        for strategy, core in cores.items()
+    }
+
+    num_draws = config.num_sources * config.num_receiver_sets
+    source_means = []
+    shared_means = {strategy: [] for strategy in CORE_STRATEGIES}
+    for size in sizes:
+        source_total = 0.0
+        shared_totals = dict.fromkeys(CORE_STRATEGIES, 0.0)
+        for _ in range(num_draws):
+            source = int(sample_rng.integers(0, graph.num_nodes))
+            receivers = sample_distinct_receivers(
+                graph.num_nodes, size, source=source, rng=sample_rng
+            )
+            source_total += MulticastTreeCounter(
+                bfs(graph, source)
+            ).tree_size(receivers)
+            for strategy in CORE_STRATEGIES:
+                cost = shared_tree_cost(
+                    graph,
+                    cores[strategy],
+                    source,
+                    receivers,
+                    counter=core_counters[strategy],
+                )
+                shared_totals[strategy] += cost.delivery_cost
+        source_means.append(source_total / num_draws)
+        for strategy in CORE_STRATEGIES:
+            shared_means[strategy].append(shared_totals[strategy] / num_draws)
+
+    result.add_series("source tree", sizes, source_means)
+    for strategy in CORE_STRATEGIES:
+        result.add_series(f"shared ({strategy})", sizes, shared_means[strategy])
+        overhead = np.asarray(shared_means[strategy]) / np.asarray(source_means)
+        result.notes[f"overhead[{strategy}]"] = (
+            f"core={cores[strategy]}, shared/source from "
+            f"{overhead[0]:.2f} at m={sizes[0]} to {overhead[-1]:.2f} "
+            f"at m={sizes[-1]}"
+        )
+    return result

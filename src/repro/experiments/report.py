@@ -1,0 +1,93 @@
+"""Markdown reproduction reports.
+
+:class:`ReproductionReport` collects the outputs of figure drivers and
+renders one self-contained Markdown document: per-artifact sections with
+the driver's notes (fitted exponents, R², growth classes, ...) and data
+tables, plus a run-parameters header.  The ``repro-mcast all`` command
+writes this next to the per-figure text files, giving a one-file
+paper-vs-measured record in the EXPERIMENTS.md format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.exceptions import ExperimentError
+from repro.experiments.figures.base import FigureResult
+
+__all__ = ["ReproductionReport"]
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class ReproductionReport:
+    """Accumulates figure results into a Markdown document.
+
+    Attributes
+    ----------
+    title:
+        Document title.
+    parameters:
+        Run-level settings recorded in the header (scale, seeds,
+        Monte-Carlo sample counts).
+    """
+
+    title: str = "Reproduction report"
+    parameters: Dict[str, str] = field(default_factory=dict)
+    _sections: List[str] = field(default_factory=list)
+    _artifact_ids: List[str] = field(default_factory=list)
+
+    def add_parameter(self, key: str, value) -> None:
+        """Record a run-level parameter for the header."""
+        self.parameters[str(key)] = str(value)
+
+    def add_result(self, result: FigureResult, comment: str = "") -> None:
+        """Append one artifact section built from a figure result."""
+        lines = [f"## {result.figure_id}", "", result.title, ""]
+        if comment:
+            lines.extend([comment, ""])
+        if result.notes:
+            for key, value in result.notes.items():
+                lines.append(f"- **{key}**: {value}")
+            lines.append("")
+        lines.append("```")
+        lines.append(result.table())
+        lines.append("```")
+        self._sections.append("\n".join(lines))
+        self._artifact_ids.append(result.figure_id)
+
+    def add_text_section(self, heading: str, body: str) -> None:
+        """Append a free-form section (e.g. the Table-1 rendering)."""
+        self._sections.append(f"## {heading}\n\n```\n{body}\n```")
+        self._artifact_ids.append(heading)
+
+    @property
+    def artifact_ids(self) -> List[str]:
+        """Identifiers of every section added so far."""
+        return list(self._artifact_ids)
+
+    def render(self) -> str:
+        """The full Markdown document."""
+        if not self._sections:
+            raise ExperimentError("report has no sections")
+        header = [f"# {self.title}", ""]
+        if self.parameters:
+            header.append("| parameter | value |")
+            header.append("|---|---|")
+            for key, value in self.parameters.items():
+                header.append(f"| {key} | {value} |")
+            header.append("")
+        header.append(
+            f"{len(self._sections)} artifacts reproduced: "
+            + ", ".join(self._artifact_ids)
+        )
+        header.append("")
+        return "\n".join(header) + "\n" + "\n\n".join(self._sections) + "\n"
+
+    def write(self, path: PathLike) -> None:
+        """Write the rendered report to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.render())

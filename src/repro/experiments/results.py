@@ -1,0 +1,203 @@
+"""Result containers for Monte-Carlo measurements.
+
+A :class:`SweepMeasurement` is the outcome of sweeping receiver-group
+sizes on one topology: for every group size it stores the averaged tree
+size, the averaged unicast path length, and — following the paper's
+methodology exactly — the average of the **per-sample ratio**
+``L/ū_sample`` (each (source, receiver-set) draw contributes one ratio
+data point; Section 2 averages ``Nrcvr·Nsource`` of them per group size).
+
+Containers serialize to plain JSON so experiment outputs can be archived
+next to EXPERIMENTS.md and reloaded for later analysis.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import ExperimentError
+from repro.utils.stats import LinearFit
+
+__all__ = [
+    "SweepMeasurement",
+    "save_measurements",
+    "load_measurements",
+    "save_measurements_csv",
+]
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class SweepMeasurement:
+    """Averaged tree-size data for one topology sweep.
+
+    Attributes
+    ----------
+    topology:
+        Topology name (Table-1 key or free-form).
+    mode:
+        ``"distinct"`` (the ``L(m)`` convention) or ``"replacement"``
+        (``L̂(n)``).
+    sizes:
+        The swept group sizes (m or n).
+    mean_ratio:
+        Per size, the mean of the per-sample ``L/ū_sample`` ratio — the
+        y axis of Figure 1 (and, divided by the size, of Figure 6).
+    mean_tree_size:
+        Per size, the mean number of delivery-tree links.
+    mean_unicast_path:
+        Per size, the mean unicast path length ``ū``.
+    std_tree_size:
+        Per size, the sample standard deviation of tree sizes.
+    num_samples:
+        Samples per size (``Nsource × Nrcvr``).
+    num_nodes:
+        Node count of the measured graph.
+    """
+
+    topology: str
+    mode: str
+    sizes: Tuple[int, ...]
+    mean_ratio: Tuple[float, ...]
+    mean_tree_size: Tuple[float, ...]
+    mean_unicast_path: Tuple[float, ...]
+    std_tree_size: Tuple[float, ...]
+    num_samples: int
+    num_nodes: int
+
+    def __post_init__(self) -> None:
+        lengths = {
+            len(self.sizes),
+            len(self.mean_ratio),
+            len(self.mean_tree_size),
+            len(self.mean_unicast_path),
+            len(self.std_tree_size),
+        }
+        if len(lengths) != 1:
+            raise ExperimentError(
+                "all per-size arrays of a SweepMeasurement must align"
+            )
+        if not self.sizes:
+            raise ExperimentError("a sweep needs at least one group size")
+
+    # -- derived series ------------------------------------------------
+
+    @property
+    def normalized_tree_size(self) -> np.ndarray:
+        """``L/ū`` per size — Figure 1's y axis."""
+        return np.asarray(self.mean_ratio)
+
+    @property
+    def per_receiver_series(self) -> np.ndarray:
+        """``L/(size·ū)`` per size — Figure 6's y axis."""
+        return np.asarray(self.mean_ratio) / np.asarray(self.sizes, dtype=float)
+
+    def fit_exponent(self) -> LinearFit:
+        """Log-log fit of ``L/ū`` against size (Chuang-Sirbu exponent)."""
+        from repro.analysis.scaling import fit_scaling_exponent
+
+        return fit_scaling_exponent(self.sizes, self.normalized_tree_size)
+
+    def efficiency(self) -> np.ndarray:
+        """Multicast/unicast cost ratio per size (1 = no saving)."""
+        return self.per_receiver_series
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """Plain-JSON-serializable dict."""
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(payload: Dict) -> "SweepMeasurement":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            return SweepMeasurement(
+                topology=str(payload["topology"]),
+                mode=str(payload["mode"]),
+                sizes=tuple(int(v) for v in payload["sizes"]),
+                mean_ratio=tuple(float(v) for v in payload["mean_ratio"]),
+                mean_tree_size=tuple(
+                    float(v) for v in payload["mean_tree_size"]
+                ),
+                mean_unicast_path=tuple(
+                    float(v) for v in payload["mean_unicast_path"]
+                ),
+                std_tree_size=tuple(
+                    float(v) for v in payload["std_tree_size"]
+                ),
+                num_samples=int(payload["num_samples"]),
+                num_nodes=int(payload["num_nodes"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ExperimentError(
+                f"malformed SweepMeasurement payload: {exc}"
+            ) from exc
+
+
+def save_measurements(
+    measurements: List[SweepMeasurement], path: PathLike
+) -> None:
+    """Write a list of measurements as a JSON document."""
+    payload = [m.to_dict() for m in measurements]
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+
+
+def load_measurements(path: PathLike) -> List[SweepMeasurement]:
+    """Load measurements written by :func:`save_measurements`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, list):
+        raise ExperimentError(f"{path}: expected a JSON list of measurements")
+    return [SweepMeasurement.from_dict(item) for item in payload]
+
+
+def save_measurements_csv(
+    measurements: List[SweepMeasurement], path: PathLike
+) -> None:
+    """Write measurements as one flat CSV (a row per topology × size).
+
+    Columns: topology, mode, num_nodes, num_samples, size, mean_ratio,
+    mean_tree_size, mean_unicast_path, std_tree_size.  The JSON format
+    (:func:`save_measurements`) is lossless and round-trips; the CSV is
+    for spreadsheets and external plotting tools.
+    """
+    import csv
+
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                "topology",
+                "mode",
+                "num_nodes",
+                "num_samples",
+                "size",
+                "mean_ratio",
+                "mean_tree_size",
+                "mean_unicast_path",
+                "std_tree_size",
+            ]
+        )
+        for m in measurements:
+            for i, size in enumerate(m.sizes):
+                writer.writerow(
+                    [
+                        m.topology,
+                        m.mode,
+                        m.num_nodes,
+                        m.num_samples,
+                        size,
+                        m.mean_ratio[i],
+                        m.mean_tree_size[i],
+                        m.mean_unicast_path[i],
+                        m.std_tree_size[i],
+                    ]
+                )

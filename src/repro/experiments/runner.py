@@ -1,0 +1,221 @@
+"""The Monte-Carlo measurement engine (the paper's Section-2 methodology).
+
+For each of ``Nsource`` random sources (drawn with replacement): run one
+BFS; then for each swept group size and each of ``Nrcvr`` receiver sets,
+draw the receivers, count the delivery-tree links ``L`` and the average
+unicast path ``ū`` of the sample, and record the ratio ``L/ū``.  The
+reported value per group size is the average over all
+``Nsource × Nrcvr`` samples.
+
+Both receiver conventions are supported: ``mode="distinct"`` (the
+Chuang-Sirbu ``L(m)``) and ``mode="replacement"`` (the analytical
+``L̂(n)``).  Each (source, set) cell uses its own spawned RNG stream, so
+results do not depend on iteration order and sub-sweeps are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ExperimentError
+from repro.graph.core import Graph
+from repro.graph.ops import require_connected
+from repro.graph.paths import bfs
+from repro.multicast.sampling import (
+    sample_distinct_receivers,
+    sample_receivers_with_replacement,
+)
+from repro.multicast.tree import MulticastTreeCounter
+from repro.experiments.config import MonteCarloConfig
+from repro.experiments.results import SweepMeasurement
+from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
+
+__all__ = ["measure_sweep", "measure_single_source_sweep"]
+
+_MODES = ("distinct", "replacement")
+
+
+def _check_mode(mode: str) -> None:
+    if mode not in _MODES:
+        raise ExperimentError(f"mode must be one of {_MODES}, got {mode!r}")
+
+
+def measure_sweep(
+    graph: Graph,
+    sizes: Sequence[int],
+    mode: str = "distinct",
+    config: Optional[MonteCarloConfig] = None,
+    topology: str = "graph",
+    exclude_source_site: bool = True,
+    rng: RandomState = None,
+) -> SweepMeasurement:
+    """Measure averaged tree sizes over a sweep of group sizes.
+
+    Parameters
+    ----------
+    graph:
+        A connected topology.
+    sizes:
+        Group sizes (m for ``"distinct"``, n for ``"replacement"``),
+        strictly positive.  For ``"distinct"`` no size may exceed the
+        eligible-site count.
+    mode:
+        Receiver convention (see module docs).
+    config:
+        Monte-Carlo settings; defaults to :class:`MonteCarloConfig`'s
+        paper values.
+    topology:
+        Name recorded in the result.
+    exclude_source_site:
+        Keep receivers off the source node (the default convention; the
+        source-site ablation flips this).
+    rng:
+        Overrides ``config.seed`` when given.
+    """
+    _check_mode(mode)
+    config = config or MonteCarloConfig()
+    config.validate()
+    require_connected(graph, "measure_sweep")
+
+    size_list = [int(s) for s in sizes]
+    if not size_list or min(size_list) < 1:
+        raise ExperimentError("sizes must be positive and non-empty")
+    eligible = graph.num_nodes - (1 if exclude_source_site else 0)
+    if mode == "distinct" and max(size_list) > eligible:
+        raise ExperimentError(
+            f"distinct sweep asks for {max(size_list)} receivers but only "
+            f"{eligible} sites are eligible"
+        )
+
+    master = ensure_rng(rng if rng is not None else config.seed)
+    source_rngs = spawn_rngs(master, config.num_sources)
+
+    num_sizes = len(size_list)
+    ratio_sum = np.zeros(num_sizes)
+    tree_sum = np.zeros(num_sizes)
+    tree_sq_sum = np.zeros(num_sizes)
+    path_sum = np.zeros(num_sizes)
+
+    for source_rng in source_rngs:
+        source = int(source_rng.integers(0, graph.num_nodes))
+        forest = bfs(
+            graph,
+            source,
+            tie_break=config.tie_break,
+            rng=source_rng if config.tie_break == "random" else None,
+        )
+        counter = MulticastTreeCounter(forest)
+        exclude = source if exclude_source_site else None
+        for size_idx, size in enumerate(size_list):
+            for _ in range(config.num_receiver_sets):
+                if mode == "distinct":
+                    receivers = sample_distinct_receivers(
+                        graph.num_nodes, size, source=exclude, rng=source_rng
+                    )
+                else:
+                    receivers = sample_receivers_with_replacement(
+                        graph.num_nodes, size, source=exclude, rng=source_rng
+                    )
+                links = counter.tree_size(receivers)
+                total_hops = counter.unicast_total(receivers)
+                mean_path = total_hops / size
+                if mean_path <= 0:
+                    # Receivers all at the source: only possible when the
+                    # source site is eligible; the ratio is 0/0 -> skip.
+                    continue
+                ratio_sum[size_idx] += links / mean_path
+                tree_sum[size_idx] += links
+                tree_sq_sum[size_idx] += links * links
+                path_sum[size_idx] += mean_path
+
+    total = config.num_sources * config.num_receiver_sets
+    mean_tree = tree_sum / total
+    variance = np.maximum(tree_sq_sum / total - mean_tree**2, 0.0)
+    return SweepMeasurement(
+        topology=topology,
+        mode=mode,
+        sizes=tuple(size_list),
+        mean_ratio=tuple(float(v) for v in ratio_sum / total),
+        mean_tree_size=tuple(float(v) for v in mean_tree),
+        mean_unicast_path=tuple(float(v) for v in path_sum / total),
+        std_tree_size=tuple(float(v) for v in np.sqrt(variance)),
+        num_samples=total,
+        num_nodes=graph.num_nodes,
+    )
+
+
+def measure_single_source_sweep(
+    graph: Graph,
+    source: int,
+    sizes: Sequence[int],
+    mode: str = "replacement",
+    num_receiver_sets: int = 100,
+    tie_break: str = "first",
+    exclude_source_site: bool = True,
+    rng: RandomState = None,
+) -> SweepMeasurement:
+    """Like :func:`measure_sweep` but for one fixed source.
+
+    Used by the k-ary-tree validations (the source is the root by
+    construction) and by per-source diagnostics.
+    """
+    _check_mode(mode)
+    require_connected(graph, "measure_single_source_sweep")
+    source = graph.check_node(source)
+    config = MonteCarloConfig(
+        num_sources=1,
+        num_receiver_sets=num_receiver_sets,
+        tie_break=tie_break,
+        seed=None,
+    )
+    generator = ensure_rng(rng)
+    size_list = [int(s) for s in sizes]
+    if not size_list or min(size_list) < 1:
+        raise ExperimentError("sizes must be positive and non-empty")
+
+    forest = bfs(
+        graph,
+        source,
+        tie_break=tie_break,
+        rng=generator if tie_break == "random" else None,
+    )
+    counter = MulticastTreeCounter(forest)
+    exclude = source if exclude_source_site else None
+
+    ratios, trees, paths, stds = [], [], [], []
+    for size in size_list:
+        samples = np.empty(num_receiver_sets)
+        ratio_acc = 0.0
+        path_acc = 0.0
+        for i in range(num_receiver_sets):
+            if mode == "distinct":
+                receivers = sample_distinct_receivers(
+                    graph.num_nodes, size, source=exclude, rng=generator
+                )
+            else:
+                receivers = sample_receivers_with_replacement(
+                    graph.num_nodes, size, source=exclude, rng=generator
+                )
+            links = counter.tree_size(receivers)
+            mean_path = counter.unicast_total(receivers) / size
+            samples[i] = links
+            ratio_acc += links / mean_path if mean_path > 0 else 0.0
+            path_acc += mean_path
+        ratios.append(ratio_acc / num_receiver_sets)
+        trees.append(float(samples.mean()))
+        paths.append(path_acc / num_receiver_sets)
+        stds.append(float(samples.std(ddof=0)))
+
+    return SweepMeasurement(
+        topology=f"source-{source}",
+        mode=mode,
+        sizes=tuple(size_list),
+        mean_ratio=tuple(ratios),
+        mean_tree_size=tuple(trees),
+        mean_unicast_path=tuple(paths),
+        std_tree_size=tuple(stds),
+        num_samples=num_receiver_sets,
+        num_nodes=graph.num_nodes,
+    )

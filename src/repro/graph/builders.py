@@ -1,0 +1,195 @@
+"""Mutable graph construction and interop with :mod:`networkx`.
+
+Topology generators accumulate edges incrementally; :class:`GraphBuilder`
+gives them an O(1)-amortized mutable adjacency structure and a single
+conversion point into the immutable CSR :class:`~repro.graph.core.Graph`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.exceptions import GraphError, NodeError
+from repro.graph.core import Graph
+
+__all__ = ["GraphBuilder", "from_networkx", "to_networkx"]
+
+
+class GraphBuilder:
+    """Incrementally build an undirected simple graph.
+
+    Duplicate edge insertions and self-loops are ignored or rejected
+    according to the ``strict`` flag: generators that legitimately produce
+    duplicates (e.g. the TIERS model) build with ``strict=False`` and let
+    the builder deduplicate silently, mirroring the paper's "cleaning"
+    step.
+
+    Parameters
+    ----------
+    num_nodes:
+        Initial number of nodes (more can be added with :meth:`add_node`).
+    strict:
+        When True (default), adding a duplicate edge or a self-loop raises
+        :class:`GraphError`.  When False, duplicates and self-loops are
+        silently dropped and counted in :attr:`dropped_edges`.
+    """
+
+    def __init__(self, num_nodes: int = 0, strict: bool = True) -> None:
+        if num_nodes < 0:
+            raise GraphError(f"num_nodes must be non-negative, got {num_nodes}")
+        self._adjacency: List[Set[int]] = [set() for _ in range(num_nodes)]
+        self._strict = bool(strict)
+        self._num_edges = 0
+        self.dropped_edges = 0
+
+    @property
+    def num_nodes(self) -> int:
+        """Current number of nodes."""
+        return len(self._adjacency)
+
+    @property
+    def num_edges(self) -> int:
+        """Current number of undirected edges."""
+        return self._num_edges
+
+    def add_node(self) -> int:
+        """Append a new isolated node; returns its id."""
+        self._adjacency.append(set())
+        return len(self._adjacency) - 1
+
+    def add_nodes(self, count: int) -> range:
+        """Append ``count`` new isolated nodes; returns their id range."""
+        if count < 0:
+            raise GraphError(f"count must be non-negative, got {count}")
+        start = len(self._adjacency)
+        self._adjacency.extend(set() for _ in range(count))
+        return range(start, start + count)
+
+    def _check(self, node: int) -> int:
+        node = int(node)
+        if not 0 <= node < len(self._adjacency):
+            raise NodeError(node, len(self._adjacency))
+        return node
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``(u, v)`` is already present."""
+        u = self._check(u)
+        v = self._check(v)
+        return v in self._adjacency[u]
+
+    def add_edge(self, u: int, v: int) -> bool:
+        """Add the undirected edge ``(u, v)``.
+
+        Returns
+        -------
+        bool
+            True if the edge was newly added; False if it was dropped as a
+            duplicate/self-loop under ``strict=False``.
+        """
+        u = self._check(u)
+        v = self._check(v)
+        if u == v:
+            if self._strict:
+                raise GraphError(f"self-loop at node {u} is not allowed")
+            self.dropped_edges += 1
+            return False
+        if v in self._adjacency[u]:
+            if self._strict:
+                raise GraphError(f"duplicate edge ({u}, {v})")
+            self.dropped_edges += 1
+            return False
+        self._adjacency[u].add(v)
+        self._adjacency[v].add(u)
+        self._num_edges += 1
+        return True
+
+    def add_edges(self, edges: Iterable[Tuple[int, int]]) -> int:
+        """Add many edges; returns how many were newly added."""
+        added = 0
+        for u, v in edges:
+            if self.add_edge(u, v):
+                added += 1
+        return added
+
+    def add_path(self, nodes: Iterable[int]) -> int:
+        """Add edges forming a path through ``nodes`` in order."""
+        node_list = [self._check(n) for n in nodes]
+        return self.add_edges(zip(node_list, node_list[1:]))
+
+    def add_cycle(self, nodes: Iterable[int]) -> int:
+        """Add edges forming a cycle through ``nodes`` in order."""
+        node_list = [self._check(n) for n in nodes]
+        if len(node_list) < 3:
+            raise GraphError(f"a cycle needs at least 3 nodes, got {len(node_list)}")
+        return self.add_edges(
+            zip(node_list, node_list[1:] + node_list[:1])
+        )
+
+    def degree(self, node: int) -> int:
+        """Current degree of ``node``."""
+        return len(self._adjacency[self._check(node)])
+
+    def neighbors(self, node: int) -> Set[int]:
+        """A copy of the neighbour set of ``node``."""
+        return set(self._adjacency[self._check(node)])
+
+    def edges(self) -> Iterable[Tuple[int, int]]:
+        """Iterate over edges as ``(u, v)`` with ``u < v``."""
+        for u, adj in enumerate(self._adjacency):
+            for v in adj:
+                if u < v:
+                    yield (u, v)
+
+    def to_graph(self) -> Graph:
+        """Freeze the builder into an immutable CSR :class:`Graph`."""
+        n = len(self._adjacency)
+        degrees = np.fromiter(
+            (len(adj) for adj in self._adjacency), count=n, dtype=np.int64
+        )
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        indices = np.empty(int(indptr[-1]), dtype=np.int32)
+        for u, adj in enumerate(self._adjacency):
+            row = np.fromiter(adj, count=len(adj), dtype=np.int32)
+            row.sort()
+            indices[indptr[u] : indptr[u + 1]] = row
+        return Graph(n, indptr, indices, check=False)
+
+
+def from_networkx(nx_graph) -> Tuple[Graph, List]:
+    """Convert a networkx graph to a :class:`Graph`.
+
+    Node labels are mapped to dense ids in sorted order when sortable,
+    insertion order otherwise.  Self-loops and parallel edges are dropped.
+
+    Returns
+    -------
+    (Graph, list)
+        The converted graph and the list mapping dense id → original label.
+    """
+    import networkx as nx
+
+    if nx_graph.is_directed():
+        nx_graph = nx_graph.to_undirected()
+    labels = list(nx_graph.nodes())
+    try:
+        labels.sort()
+    except TypeError:
+        pass  # unsortable mixed labels: keep insertion order
+    label_to_id = {label: i for i, label in enumerate(labels)}
+    builder = GraphBuilder(len(labels), strict=False)
+    for u, v in nx_graph.edges():
+        builder.add_edge(label_to_id[u], label_to_id[v])
+    return builder.to_graph(), labels
+
+
+def to_networkx(graph: Graph):
+    """Convert a :class:`Graph` to a :class:`networkx.Graph`."""
+    import networkx as nx
+
+    nx_graph = nx.Graph()
+    nx_graph.add_nodes_from(range(graph.num_nodes))
+    nx_graph.add_edges_from(graph.edges())
+    return nx_graph

@@ -1,0 +1,121 @@
+"""Reading and writing graphs as plain files.
+
+Two formats are supported:
+
+* **Edge list** (``.edges``): one ``u v`` pair per line, ``#`` comments.
+  This is the lingua franca of topology datasets (the NLANR AS lists the
+  paper used are distributed this way).
+* **JSON** (``.json``): ``{"num_nodes": N, "edges": [[u, v], ...]}`` with
+  optional metadata, used to persist generated topologies alongside
+  experiment results.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.exceptions import GraphError
+from repro.graph.core import Graph
+from repro.graph.ops import clean_edges
+
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "read_json_graph",
+    "write_json_graph",
+]
+
+PathLike = Union[str, Path]
+
+
+def read_edge_list(path: PathLike, clean: bool = True) -> Graph:
+    """Read a graph from a whitespace-separated edge-list file.
+
+    Node ids may be arbitrary non-negative integers; they are compacted to
+    dense ids ``0..N-1`` in sorted order.  Lines starting with ``#`` and
+    blank lines are skipped.
+
+    Parameters
+    ----------
+    path:
+        File to read.
+    clean:
+        Deduplicate edges and drop self-loops (the paper's cleaning step).
+        When False, duplicates raise :class:`GraphError`.
+    """
+    raw_edges: List[Tuple[int, int]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            text = line.split("#", 1)[0].strip()
+            if not text:
+                continue
+            parts = text.split()
+            if len(parts) < 2:
+                raise GraphError(
+                    f"{path}:{line_no}: expected 'u v', got {line.rstrip()!r}"
+                )
+            try:
+                u, v = int(parts[0]), int(parts[1])
+            except ValueError as exc:
+                raise GraphError(
+                    f"{path}:{line_no}: non-integer node id in {line.rstrip()!r}"
+                ) from exc
+            if u < 0 or v < 0:
+                raise GraphError(f"{path}:{line_no}: negative node id")
+            raw_edges.append((u, v))
+
+    labels = sorted({node for edge in raw_edges for node in edge})
+    relabel = {label: i for i, label in enumerate(labels)}
+    edges = [(relabel[u], relabel[v]) for u, v in raw_edges]
+    if clean:
+        edges, _ = clean_edges(edges)
+    return Graph.from_edges(len(labels), edges)
+
+
+def write_edge_list(graph: Graph, path: PathLike, header: Optional[str] = None) -> None:
+    """Write ``graph`` as an edge-list file (one ``u v`` per line)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        handle.write(f"# nodes={graph.num_nodes} edges={graph.num_edges}\n")
+        for u, v in graph.edges():
+            handle.write(f"{u} {v}\n")
+
+
+def write_json_graph(
+    graph: Graph, path: PathLike, metadata: Optional[Dict] = None
+) -> None:
+    """Persist ``graph`` (plus optional metadata) as JSON."""
+    payload = {
+        "num_nodes": graph.num_nodes,
+        "edges": [[int(u), int(v)] for u, v in graph.edges()],
+    }
+    if metadata:
+        payload["metadata"] = metadata
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+
+
+def read_json_graph(path: PathLike) -> Tuple[Graph, Dict]:
+    """Load a graph written by :func:`write_json_graph`.
+
+    Returns
+    -------
+    (Graph, dict)
+        The graph and its metadata dict (empty when absent).
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    try:
+        num_nodes = int(payload["num_nodes"])
+        edges = [(int(u), int(v)) for u, v in payload["edges"]]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise GraphError(f"{path}: malformed JSON graph payload") from exc
+    graph = Graph.from_edges(num_nodes, edges)
+    metadata = payload.get("metadata", {})
+    if not isinstance(metadata, dict):
+        raise GraphError(f"{path}: metadata must be a JSON object")
+    return graph, metadata

@@ -1,0 +1,154 @@
+"""Topology metrics beyond Table 1's basics.
+
+The paper characterizes networks by order, size, degree, and — crucially
+— the reachability function.  These supplementary metrics (degree
+histogram and power-law tail fit, clustering coefficient, degree
+assortativity) let users check that generated stand-ins fall in the same
+structural regime as the maps they replace: e.g. the AS stand-in should
+show a power-law degree tail (Faloutsos³, the paper's reference [8]) and
+near-zero clustering, while the TIERS stand-in is strongly geometric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import AnalysisError, GraphError
+from repro.graph.core import Graph
+from repro.utils.stats import LinearFit, power_law_fit
+
+__all__ = [
+    "degree_histogram",
+    "degree_tail_fit",
+    "clustering_coefficient",
+    "degree_assortativity",
+    "TopologyMetrics",
+    "topology_metrics",
+]
+
+
+def degree_histogram(graph: Graph) -> np.ndarray:
+    """``hist[d]`` = number of nodes with degree ``d``."""
+    if graph.num_nodes == 0:
+        return np.zeros(1, dtype=np.int64)
+    return np.bincount(graph.degrees)
+
+
+def degree_tail_fit(graph: Graph, min_degree: int = 2) -> LinearFit:
+    """Log-log fit of the degree CCDF tail.
+
+    Returns the fit of ``ln P(D >= d)`` against ``ln d`` for
+    ``d >= min_degree``; a slope near −1 to −2 with high R² is the
+    power-law signature of AS/router maps.
+    """
+    degrees = graph.degrees
+    if degrees.size == 0:
+        raise GraphError("cannot fit the degree tail of an empty graph")
+    max_degree = int(degrees.max())
+    if max_degree < min_degree + 3:
+        raise AnalysisError(
+            f"need a degree tail spanning at least [{min_degree}, "
+            f"{min_degree + 3}] to fit meaningfully; max degree is "
+            f"{max_degree}"
+        )
+    values = np.arange(min_degree, max_degree + 1)
+    ccdf = np.array(
+        [np.count_nonzero(degrees >= d) / degrees.size for d in values]
+    )
+    keep = ccdf > 0
+    return power_law_fit(values[keep], ccdf[keep])
+
+
+def clustering_coefficient(graph: Graph) -> float:
+    """Global clustering coefficient: 3 × triangles / connected triples.
+
+    0 on trees and bipartite-ish meshes; high on geometric graphs where
+    neighbours of a node are themselves close.
+    """
+    triangles = 0
+    triples = 0
+    for node in range(graph.num_nodes):
+        neighbours = graph.neighbors(node)
+        degree = neighbours.shape[0]
+        if degree < 2:
+            continue
+        triples += degree * (degree - 1) // 2
+        neighbour_set = set(int(v) for v in neighbours)
+        for i, u in enumerate(neighbours):
+            u_adj = graph.neighbors(int(u))
+            for v in u_adj[u_adj > u]:
+                if int(v) in neighbour_set:
+                    triangles += 1
+    if triples == 0:
+        return 0.0
+    # Each triangle is seen once per corner = 3 times total.
+    return triangles / triples
+
+
+def degree_assortativity(graph: Graph) -> float:
+    """Pearson correlation of endpoint degrees over all edges.
+
+    Negative on hub-and-spoke topologies (hubs link to leaves), positive
+    on meshes of similar nodes, undefined (returned as 0) when all
+    degrees are equal.
+    """
+    edges = graph.edge_array()
+    if edges.shape[0] == 0:
+        raise GraphError("assortativity needs at least one edge")
+    degrees = graph.degrees
+    x = degrees[edges[:, 0]].astype(float)
+    y = degrees[edges[:, 1]].astype(float)
+    # Symmetrize: each edge contributes both orientations.
+    xs = np.concatenate([x, y])
+    ys = np.concatenate([y, x])
+    sx = xs.std()
+    if sx == 0:
+        return 0.0
+    return float(np.corrcoef(xs, ys)[0, 1])
+
+
+@dataclass(frozen=True)
+class TopologyMetrics:
+    """Structural-regime metrics for one topology."""
+
+    name: str
+    clustering: float
+    assortativity: float
+    max_degree: int
+    degree_tail_slope: Optional[float]
+    degree_tail_r2: Optional[float]
+
+    def looks_power_law(self, r2_threshold: float = 0.9) -> bool:
+        """Whether the degree CCDF tail fits a power law well."""
+        return (
+            self.degree_tail_r2 is not None
+            and self.degree_tail_r2 >= r2_threshold
+            and self.degree_tail_slope is not None
+            and self.degree_tail_slope < -0.5
+        )
+
+
+def topology_metrics(graph: Graph, name: str = "graph") -> TopologyMetrics:
+    """Compute :class:`TopologyMetrics` for ``graph``.
+
+    The tail fit is skipped (None fields) on graphs whose degree range
+    is too narrow to fit.
+    """
+    try:
+        tail = degree_tail_fit(graph)
+        slope: Optional[float] = tail.slope
+        r2: Optional[float] = tail.r_squared
+    except AnalysisError:
+        slope = None
+        r2 = None
+    return TopologyMetrics(
+        name=name,
+        clustering=clustering_coefficient(graph),
+        assortativity=degree_assortativity(graph),
+        max_degree=int(graph.degrees.max()) if graph.num_nodes else 0,
+        degree_tail_slope=slope,
+        degree_tail_r2=r2,
+    )

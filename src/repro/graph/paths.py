@@ -1,0 +1,341 @@
+"""Shortest-path machinery: BFS forests, distance matrices, Dijkstra.
+
+Everything the paper measures — multicast tree sizes ``L(m)``, unicast path
+lengths ``ū``, reachability profiles ``S(r)`` — derives from single-source
+shortest paths on unweighted graphs, so the level-synchronous vectorized
+BFS in :func:`bfs` is the hottest code path in the repository.
+
+Shortest-path *trees* are not unique on graphs with equal-cost multipaths.
+The ``tie_break`` policy selects among them:
+
+* ``"first"`` (default): deterministic — among equal-distance parents the
+  one reached earliest in (frontier-order, adjacency-order) wins.  This is
+  the conventional BFS-parent choice.
+* ``"random"``: each node picks uniformly among its candidate parents at
+  its BFS level, which is the natural model of routers hashing among
+  equal-cost routes.  Requires an ``rng``.
+
+The effect of this choice on tree size is one of the ablations indexed in
+DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import GraphError, NodeError
+from repro.graph.core import Graph
+from repro.utils.rng import RandomState, ensure_rng
+
+__all__ = [
+    "ShortestPathForest",
+    "bfs",
+    "distances_from",
+    "distance_matrix",
+    "dijkstra",
+    "uniform_arc_weights",
+]
+
+_TIE_BREAKS = ("first", "random")
+
+
+@dataclass(frozen=True)
+class ShortestPathForest:
+    """The result of a single-source shortest-path computation.
+
+    Attributes
+    ----------
+    source:
+        The source node.
+    dist:
+        Distance from the source to every node; ``-1`` marks unreachable
+        nodes.  Integer hop counts for BFS, float costs for Dijkstra are
+        rounded into this array only when integral — Dijkstra returns its
+        own float array alongside.
+    parent:
+        Shortest-path-tree parent of every node; ``-1`` for the source and
+        for unreachable nodes.  Following ``parent`` pointers from any
+        reachable node terminates at the source.
+    """
+
+    source: int
+    dist: np.ndarray
+    parent: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.dist.setflags(write=False)
+        self.parent.setflags(write=False)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the underlying graph."""
+        return self.dist.shape[0]
+
+    @property
+    def reachable_mask(self) -> np.ndarray:
+        """Boolean mask of nodes reachable from the source."""
+        return self.dist >= 0
+
+    @property
+    def num_reachable(self) -> int:
+        """Count of reachable nodes, including the source itself."""
+        return int(np.count_nonzero(self.dist >= 0))
+
+    @property
+    def eccentricity(self) -> int:
+        """Greatest finite distance from the source."""
+        return int(self.dist.max(initial=0))
+
+    def path_to(self, node: int) -> List[int]:
+        """The shortest path from the source to ``node``, inclusive.
+
+        Raises
+        ------
+        GraphError
+            If ``node`` is unreachable from the source.
+        """
+        node = int(node)
+        if not 0 <= node < self.num_nodes:
+            raise NodeError(node, self.num_nodes)
+        if self.dist[node] < 0:
+            raise GraphError(
+                f"node {node} is not reachable from source {self.source}"
+            )
+        path = [node]
+        while path[-1] != self.source:
+            path.append(int(self.parent[path[-1]]))
+        path.reverse()
+        return path
+
+
+def _gather_frontier_arcs(
+    indptr: np.ndarray, indices: np.ndarray, frontier: np.ndarray
+):
+    """All (neighbour, frontier-parent) arc pairs leaving ``frontier``."""
+    starts = indptr[frontier]
+    counts = indptr[frontier + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return (
+            np.empty(0, dtype=indices.dtype),
+            np.empty(0, dtype=frontier.dtype),
+        )
+    cum = np.cumsum(counts)
+    flat = np.arange(total, dtype=np.int64) - np.repeat(cum - counts, counts)
+    flat += np.repeat(starts, counts)
+    return indices[flat], np.repeat(frontier, counts)
+
+
+def bfs(
+    graph: Graph,
+    source: int,
+    tie_break: str = "first",
+    rng: RandomState = None,
+) -> ShortestPathForest:
+    """Breadth-first search from ``source``.
+
+    Parameters
+    ----------
+    graph:
+        The graph to search.
+    source:
+        Source node id.
+    tie_break:
+        ``"first"`` or ``"random"`` parent selection (see module docs).
+    rng:
+        Randomness for ``tie_break="random"``; ignored otherwise.
+
+    Returns
+    -------
+    ShortestPathForest
+        Hop distances and shortest-path-tree parents.
+    """
+    if tie_break not in _TIE_BREAKS:
+        raise ValueError(
+            f"tie_break must be one of {_TIE_BREAKS}, got {tie_break!r}"
+        )
+    source = graph.check_node(source)
+    generator = ensure_rng(rng) if tie_break == "random" else None
+
+    n = graph.num_nodes
+    dist = np.full(n, -1, dtype=np.int32)
+    parent = np.full(n, -1, dtype=np.int32)
+    dist[source] = 0
+    frontier = np.asarray([source], dtype=np.int32)
+    indptr, indices = graph.indptr, graph.indices
+
+    level = 0
+    while frontier.size:
+        level += 1
+        neighbours, parents = _gather_frontier_arcs(indptr, indices, frontier)
+        if neighbours.size == 0:
+            break
+        fresh = dist[neighbours] < 0
+        neighbours = neighbours[fresh]
+        parents = parents[fresh]
+        if neighbours.size == 0:
+            break
+        if generator is not None:
+            order = generator.permutation(neighbours.size)
+            neighbours = neighbours[order]
+            parents = parents[order]
+        uniq, first_index = np.unique(neighbours, return_index=True)
+        dist[uniq] = level
+        parent[uniq] = parents[first_index]
+        frontier = uniq.astype(np.int32)
+    return ShortestPathForest(source=source, dist=dist, parent=parent)
+
+
+def distances_from(graph: Graph, source: int) -> np.ndarray:
+    """Hop distances from ``source`` only (skips parent bookkeeping)."""
+    source = graph.check_node(source)
+    n = graph.num_nodes
+    dist = np.full(n, -1, dtype=np.int32)
+    dist[source] = 0
+    frontier = np.asarray([source], dtype=np.int32)
+    indptr, indices = graph.indptr, graph.indices
+    level = 0
+    while frontier.size:
+        level += 1
+        neighbours, _ = _gather_frontier_arcs(indptr, indices, frontier)
+        if neighbours.size == 0:
+            break
+        fresh = np.unique(neighbours[dist[neighbours] < 0])
+        if fresh.size == 0:
+            break
+        dist[fresh] = level
+        frontier = fresh.astype(np.int32)
+    return dist
+
+
+def distance_matrix(graph: Graph, nodes: Optional[Sequence[int]] = None) -> np.ndarray:
+    """All-pairs (or some-pairs) hop-distance matrix.
+
+    Parameters
+    ----------
+    graph:
+        The graph.
+    nodes:
+        Optional row subset; when given, returns distances from each of
+        these nodes to *all* nodes (shape ``(len(nodes), num_nodes)``).
+        Defaults to all nodes.
+
+    Notes
+    -----
+    Memory is ``O(rows × num_nodes)`` int32 — fine for the ≤ ~10k-node
+    graphs on which callers (affinity sampling, diameter checks) use it.
+    """
+    row_nodes = (
+        np.arange(graph.num_nodes, dtype=np.int64)
+        if nodes is None
+        else np.asarray([graph.check_node(v) for v in nodes], dtype=np.int64)
+    )
+    out = np.empty((row_nodes.size, graph.num_nodes), dtype=np.int32)
+    for i, node in enumerate(row_nodes):
+        out[i] = distances_from(graph, int(node))
+    return out
+
+
+def uniform_arc_weights(graph: Graph, weight: float = 1.0) -> np.ndarray:
+    """Per-arc weight array (aligned with ``graph.indices``), all equal."""
+    if weight <= 0:
+        raise GraphError(f"arc weights must be positive, got {weight}")
+    return np.full(graph.indices.shape[0], float(weight))
+
+
+def dijkstra(
+    graph: Graph,
+    source: int,
+    arc_weights: Optional[np.ndarray] = None,
+) -> "WeightedForest":
+    """Dijkstra's algorithm for positively-weighted graphs.
+
+    The paper counts unweighted hops, but link-weighted variants of the
+    ``L(m)`` question (weight links by length or cost) drop out of the same
+    API by passing ``arc_weights``; this is used by the weighted ablation.
+
+    Parameters
+    ----------
+    graph:
+        The graph.
+    source:
+        Source node id.
+    arc_weights:
+        Weight per directed arc, aligned with ``graph.indices``.  Defaults
+        to all-ones (which reproduces BFS distances).
+
+    Returns
+    -------
+    WeightedForest
+        Float distances (``inf`` for unreachable) and tree parents.
+    """
+    source = graph.check_node(source)
+    if arc_weights is None:
+        arc_weights = uniform_arc_weights(graph)
+    weights = np.asarray(arc_weights, dtype=float)
+    if weights.shape != graph.indices.shape:
+        raise GraphError(
+            f"arc_weights must have shape {graph.indices.shape}, "
+            f"got {weights.shape}"
+        )
+    if weights.size and weights.min() <= 0:
+        raise GraphError("Dijkstra requires strictly positive arc weights")
+
+    n = graph.num_nodes
+    dist = np.full(n, np.inf)
+    parent = np.full(n, -1, dtype=np.int32)
+    done = np.zeros(n, dtype=bool)
+    dist[source] = 0.0
+    heap: List = [(0.0, source)]
+    indptr, indices = graph.indptr, graph.indices
+    while heap:
+        d, u = heapq.heappop(heap)
+        if done[u]:
+            continue
+        done[u] = True
+        lo, hi = indptr[u], indptr[u + 1]
+        for pos in range(lo, hi):
+            v = int(indices[pos])
+            nd = d + float(weights[pos])
+            if nd < dist[v]:
+                dist[v] = nd
+                parent[v] = u
+                heapq.heappush(heap, (nd, v))
+    return WeightedForest(source=source, cost=dist, parent=parent)
+
+
+@dataclass(frozen=True)
+class WeightedForest:
+    """Dijkstra result: float path costs and shortest-path-tree parents."""
+
+    source: int
+    cost: np.ndarray
+    parent: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.cost.setflags(write=False)
+        self.parent.setflags(write=False)
+
+    @property
+    def reachable_mask(self) -> np.ndarray:
+        """Boolean mask of nodes with finite cost."""
+        return np.isfinite(self.cost)
+
+    def path_to(self, node: int) -> List[int]:
+        """The minimum-cost path from the source to ``node``, inclusive."""
+        node = int(node)
+        if not 0 <= node < self.cost.shape[0]:
+            raise NodeError(node, self.cost.shape[0])
+        if not np.isfinite(self.cost[node]):
+            raise GraphError(
+                f"node {node} is not reachable from source {self.source}"
+            )
+        path = [node]
+        while path[-1] != self.source:
+            path.append(int(self.parent[path[-1]]))
+        path.reverse()
+        return path

@@ -1,0 +1,436 @@
+"""Receiver affinity and disaffinity (Section 5).
+
+The paper models clustered (or spread-out) receivers by weighting each
+receiver configuration ``α`` by ``W_α(β) ∝ exp(−β·d̂(α))`` where ``d̂(α)``
+is the mean inter-receiver hop distance: ``β > 0`` is affinity (receivers
+pack together), ``β < 0`` disaffinity, ``β = 0`` the uniform baseline, and
+``β = ±∞`` the closed-form extremes of Sections 5.2–5.3.
+
+This module provides:
+
+* distance oracles — :class:`MatrixDistanceOracle` for arbitrary (small)
+  graphs and :class:`KaryDistanceOracle`, an O(depth) vectorized
+  LCA-climb for k-ary trees that avoids quadratic memory;
+* :class:`AffinitySampler` — a Metropolis chain over configurations of
+  ``n`` receivers drawn with replacement, targeting the ``W_α(β)``
+  distribution (the simulation behind Figure 9);
+* :func:`sample_weighted_tree_size` — the full estimator
+  ``L̂_β(n) = Σ_α W_α(β)·L_α`` via MCMC averaging;
+* greedy ``β = ±∞`` placements (:func:`extreme_placement`) to check the
+  closed forms of Eqs. 33–38.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import AnalysisError, SamplingError
+from repro.graph.core import Graph
+from repro.graph.paths import ShortestPathForest, distance_matrix
+from repro.multicast.tree import MulticastTreeCounter
+from repro.topology.kary import KaryTree
+from repro.utils.rng import RandomState, ensure_rng
+
+__all__ = [
+    "DistanceOracle",
+    "MatrixDistanceOracle",
+    "KaryDistanceOracle",
+    "AffinitySampler",
+    "AffinityEstimate",
+    "sample_weighted_tree_size",
+    "extreme_placement",
+]
+
+
+class DistanceOracle:
+    """Interface: pairwise hop distances between receiver sites."""
+
+    def distances(self, site: int, sites: np.ndarray) -> np.ndarray:
+        """Distances from ``site`` to each entry of ``sites``."""
+        raise NotImplementedError
+
+
+class MatrixDistanceOracle(DistanceOracle):
+    """Distance oracle backed by a full all-pairs matrix.
+
+    Memory is O(N²) int32, so this is for graphs up to a few thousand
+    nodes; larger k-ary trees should use :class:`KaryDistanceOracle`.
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        if graph.num_nodes > 20_000:
+            raise AnalysisError(
+                f"all-pairs matrix for {graph.num_nodes} nodes would need "
+                ">1.6 GB; use a structured oracle instead"
+            )
+        self._matrix = distance_matrix(graph)
+
+    def distances(self, site: int, sites: np.ndarray) -> np.ndarray:
+        return self._matrix[int(site), sites]
+
+
+class KaryDistanceOracle(DistanceOracle):
+    """O(depth) vectorized distances on a complete k-ary tree.
+
+    Uses heap indexing: the distance between two nodes is
+    ``level(u) + level(v) − 2·level(lca)``, and the LCA is found by
+    climbing the deeper node to the shallower level and then lifting both
+    in lock-step.  All receivers are processed simultaneously with masked
+    numpy updates, so one call costs O(depth) vector operations however
+    many sites are queried.
+    """
+
+    def __init__(self, tree: KaryTree) -> None:
+        self._k = tree.k
+        self._depth = tree.depth
+        n = tree.num_nodes
+        level = np.empty(n, dtype=np.int64)
+        start = 0
+        width = 1
+        for lvl in range(tree.depth + 1):
+            stop = min(n, start + width)
+            level[start:stop] = lvl
+            start = stop
+            width *= max(tree.k, 1) if tree.k > 1 else 1
+            if tree.k == 1:
+                width = 1
+        self._level = level
+
+    def _ancestor_chain(self, node: int) -> np.ndarray:
+        chain = [node]
+        while chain[-1] != 0:
+            chain.append((chain[-1] - 1) // self._k)
+        chain.reverse()
+        return np.asarray(chain, dtype=np.int64)  # chain[l] = ancestor at level l
+
+    def distances(self, site: int, sites: np.ndarray) -> np.ndarray:
+        k = self._k
+        u = int(site)
+        chain = self._ancestor_chain(u)
+        lu = chain.shape[0] - 1
+        v = np.asarray(sites, dtype=np.int64).copy()
+        lv = self._level[v]
+        # Lift each v to level min(lv, lu).
+        ell = np.minimum(lv, lu)
+        steps = lv - ell
+        for _ in range(int(steps.max(initial=0))):
+            mask = steps > 0
+            v[mask] = (v[mask] - 1) // k
+            steps[mask] -= 1
+        # Climb both sides until v meets u's ancestor at the same level.
+        for _ in range(self._depth + 1):
+            mask = v != chain[ell]
+            if not mask.any():
+                break
+            v[mask] = (v[mask] - 1) // k
+            ell[mask] -= 1
+        return (lu - ell) + (lv - ell)
+
+
+class AffinitySampler:
+    """Metropolis sampler over receiver configurations.
+
+    State: ``n`` receiver sites drawn from ``pool`` (with replacement —
+    the paper's ``A(n) = ∪_{m<=n} A(m)``, which admits multiple receivers
+    at one site).  The stationary distribution is
+    ``W_α(β) ∝ exp(−β·d̂(α))`` over the uniform base measure.
+
+    A move re-sites one uniformly-chosen receiver at a uniformly-chosen
+    pool site and accepts with probability ``min(1, exp(−β·Δd̂))`` — the
+    proposal is symmetric, so this is textbook Metropolis.
+
+    Parameters
+    ----------
+    oracle:
+        Pairwise-distance oracle over sites.
+    pool:
+        Eligible receiver sites (e.g. all non-root nodes of a tree).
+    n:
+        Number of receivers in a configuration.
+    beta:
+        Affinity strength; positive clusters, negative spreads.
+    rng:
+        Randomness source.
+    """
+
+    def __init__(
+        self,
+        oracle: DistanceOracle,
+        pool: Sequence[int],
+        n: int,
+        beta: float,
+        rng: RandomState = None,
+    ) -> None:
+        if n < 1:
+            raise SamplingError(f"n must be >= 1, got {n}")
+        self._pool = np.asarray(pool, dtype=np.int64)
+        if self._pool.size == 0:
+            raise SamplingError("site pool must be non-empty")
+        if not math.isfinite(beta):
+            raise SamplingError(
+                "beta must be finite for MCMC; use extreme_placement() for "
+                "the ±infinity limits"
+            )
+        self._oracle = oracle
+        self._n = int(n)
+        self._beta = float(beta)
+        self._rng = ensure_rng(rng)
+        self._sites = self._pool[
+            self._rng.integers(0, self._pool.size, size=self._n)
+        ]
+        self._pair_sum = self._total_pair_distance(self._sites)
+        self.accepted = 0
+        self.proposed = 0
+
+    @property
+    def sites(self) -> np.ndarray:
+        """The current configuration (copy)."""
+        return self._sites.copy()
+
+    @property
+    def mean_pair_distance(self) -> float:
+        """``d̂`` of the current configuration."""
+        if self._n < 2:
+            return 0.0
+        return self._pair_sum / (self._n * (self._n - 1) / 2.0)
+
+    def _total_pair_distance(self, sites: np.ndarray) -> float:
+        total = 0.0
+        for i in range(1, sites.shape[0]):
+            total += float(
+                self._oracle.distances(int(sites[i]), sites[:i]).sum()
+            )
+        return total
+
+    def step(self) -> bool:
+        """One Metropolis move; returns True when accepted."""
+        self.proposed += 1
+        if self._n == 1:
+            # d̂ is identically 0: every proposal is accepted.
+            self._sites[0] = self._pool[
+                int(self._rng.integers(0, self._pool.size))
+            ]
+            self.accepted += 1
+            return True
+        idx = int(self._rng.integers(0, self._n))
+        old_site = int(self._sites[idx])
+        new_site = int(self._pool[int(self._rng.integers(0, self._pool.size))])
+        if new_site == old_site:
+            self.accepted += 1
+            return True
+        others = np.delete(self._sites, idx)
+        delta = float(
+            self._oracle.distances(new_site, others).sum()
+            - self._oracle.distances(old_site, others).sum()
+        )
+        num_pairs = self._n * (self._n - 1) / 2.0
+        log_ratio = -self._beta * delta / num_pairs
+        if log_ratio >= 0 or self._rng.random() < math.exp(log_ratio):
+            self._sites[idx] = new_site
+            self._pair_sum += delta
+            self.accepted += 1
+            return True
+        return False
+
+    def run(self, num_steps: int) -> None:
+        """Advance the chain ``num_steps`` moves (burn-in / thinning)."""
+        for _ in range(num_steps):
+            self.step()
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of proposals accepted so far (1.0 before any)."""
+        if self.proposed == 0:
+            return 1.0
+        return self.accepted / self.proposed
+
+
+@dataclass(frozen=True)
+class AffinityEstimate:
+    """MCMC estimate of the weighted mean tree size ``L̂_β(n)``.
+
+    Attributes
+    ----------
+    beta / n:
+        The affinity strength and configuration size.
+    mean_tree_size:
+        The estimator of ``L̂_β(n)``.
+    std_tree_size:
+        Sample standard deviation across retained configurations.
+    mean_pair_distance:
+        Average ``d̂`` over retained configurations (diagnostic: should
+        fall with β).
+    num_samples:
+        Configurations retained after burn-in and thinning.
+    acceptance_rate:
+        Metropolis acceptance over the whole run.
+    """
+
+    beta: float
+    n: int
+    mean_tree_size: float
+    std_tree_size: float
+    mean_pair_distance: float
+    num_samples: int
+    acceptance_rate: float
+
+
+def sample_weighted_tree_size(
+    counter: MulticastTreeCounter,
+    oracle: DistanceOracle,
+    pool: Sequence[int],
+    n: int,
+    beta: float,
+    num_samples: int = 50,
+    burn_in_sweeps: int = 20,
+    thin_sweeps: int = 2,
+    rng: RandomState = None,
+) -> AffinityEstimate:
+    """Estimate ``L̂_β(n)`` by Metropolis averaging.
+
+    A *sweep* is ``n`` moves (each receiver re-proposed once on average).
+    β = 0 short-circuits to direct uniform sampling — no chain needed.
+
+    Parameters
+    ----------
+    counter:
+        Tree counter for the multicast source.
+    oracle / pool / n / beta:
+        As in :class:`AffinitySampler`.
+    num_samples:
+        Configurations to average.
+    burn_in_sweeps / thin_sweeps:
+        Sweeps discarded before sampling / between samples.
+    rng:
+        Randomness source.
+    """
+    generator = ensure_rng(rng)
+    pool_arr = np.asarray(pool, dtype=np.int64)
+    sizes: List[int] = []
+    if beta == 0.0:
+        for _ in range(num_samples):
+            sites = pool_arr[generator.integers(0, pool_arr.size, size=n)]
+            sizes.append(counter.tree_size(sites))
+        mean_d = float("nan")
+        acceptance = 1.0
+    else:
+        sampler = AffinitySampler(oracle, pool_arr, n, beta, rng=generator)
+        sampler.run(burn_in_sweeps * n)
+        pair_ds: List[float] = []
+        for _ in range(num_samples):
+            sampler.run(max(1, thin_sweeps * n))
+            sizes.append(counter.tree_size(sampler.sites))
+            pair_ds.append(sampler.mean_pair_distance)
+        mean_d = float(np.mean(pair_ds))
+        acceptance = sampler.acceptance_rate
+    arr = np.asarray(sizes, dtype=float)
+    return AffinityEstimate(
+        beta=float(beta),
+        n=int(n),
+        mean_tree_size=float(arr.mean()),
+        std_tree_size=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        mean_pair_distance=mean_d,
+        num_samples=len(sizes),
+        acceptance_rate=acceptance,
+    )
+
+
+def extreme_placement(
+    forest: ShortestPathForest,
+    pool: Sequence[int],
+    n: int,
+    mode: str,
+    distinct: bool = True,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Greedy β = ±∞ receiver placement (Sections 5.2–5.3).
+
+    ``mode="disaffinity"`` adds receivers "in an order that maximizes the
+    number of links added to the tree at each step"; ``mode="affinity"``
+    minimizes it.  Ties break toward the lowest site id, making the
+    placement deterministic for a given forest.
+
+    Parameters
+    ----------
+    forest:
+        Shortest-path forest from the source.
+    pool:
+        Eligible receiver sites.
+    n:
+        Number of receivers to place.
+    mode:
+        ``"affinity"`` or ``"disaffinity"``.
+    distinct:
+        When True each site is used at most once (the ``L(m)`` reading);
+        when False sites may repeat — under affinity all receivers then
+        pile onto the first site (the paper's ``L_∞(n) = D``), and under
+        disaffinity repeats only start once every site is in the tree
+        (``L_−∞(n) = L_−∞(M)`` for ``n > M``).
+
+    Returns
+    -------
+    (numpy.ndarray, numpy.ndarray)
+        The placement order (length ``n``) and the cumulative tree sizes
+        after each placement (``sizes[j]`` is the tree size with ``j+1``
+        receivers).
+    """
+    if mode not in ("affinity", "disaffinity"):
+        raise AnalysisError(
+            f'mode must be "affinity" or "disaffinity", got {mode!r}'
+        )
+    pool_arr = np.unique(np.asarray(pool, dtype=np.int64))
+    if pool_arr.size == 0:
+        raise SamplingError("site pool must be non-empty")
+    if n < 1:
+        raise SamplingError(f"n must be >= 1, got {n}")
+    if distinct and n > pool_arr.size:
+        raise SamplingError(
+            f"cannot place {n} distinct receivers on {pool_arr.size} sites"
+        )
+    if np.any(forest.dist[pool_arr] < 0):
+        raise SamplingError("pool contains sites unreachable from the source")
+
+    parent = forest.parent
+    source = forest.source
+    in_tree = np.zeros(forest.num_nodes, dtype=bool)
+    in_tree[source] = True
+
+    def links_if_added(site: int) -> int:
+        count = 0
+        node = site
+        while not in_tree[node]:
+            count += 1
+            node = int(parent[node])
+        return count
+
+    chosen: List[int] = []
+    sizes: List[int] = []
+    available = pool_arr.tolist()
+    tree_links = 0
+    want_max = mode == "disaffinity"
+    for _ in range(n):
+        best_site = -1
+        best_gain = -1 if want_max else None
+        for site in available:
+            gain = links_if_added(int(site))
+            if want_max:
+                if gain > best_gain:
+                    best_gain, best_site = gain, int(site)
+            else:
+                if best_gain is None or gain < best_gain:
+                    best_gain, best_site = gain, int(site)
+                if best_gain == 0:
+                    break  # cannot do better than adding nothing
+        node = best_site
+        while not in_tree[node]:
+            in_tree[node] = True
+            tree_links += 1
+            node = int(parent[node])
+        chosen.append(best_site)
+        sizes.append(tree_links)
+        if distinct:
+            available.remove(best_site)
+    return np.asarray(chosen, dtype=np.int64), np.asarray(sizes, dtype=np.int64)

@@ -1,0 +1,240 @@
+"""Dynamic group membership: join/leave churn on a delivery tree.
+
+The paper measures static snapshots ``L(m)``.  Real multicast groups
+churn — members join and leave continuously (the MBone sessions that
+motivated the work certainly did).  :class:`DynamicGroup` maintains the
+delivery tree *incrementally* under joins and leaves:
+
+* a join grafts the new member's path onto the tree, costing the number
+  of links up to the first on-tree node (exactly IGMP/PIM graft
+  semantics);
+* a leave prunes the member's branch back to the last node still needed
+  by someone else (prune semantics), using per-node reference counts of
+  downstream members.
+
+Amortized cost per event is O(path length), versus O(tree) for a
+recount, and the structure doubles as a correctness oracle: after any
+event sequence the incremental size must equal a fresh
+:class:`~repro.multicast.tree.MulticastTreeCounter` recount — the
+property tests pin exactly that.
+
+The steady-state tree size under churn equals ``E[L(m)]`` at the
+stationary membership, tying the dynamics back to the paper's static
+law; :meth:`DynamicGroup.simulate_churn` measures it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import GraphError, SamplingError
+from repro.graph.paths import ShortestPathForest
+from repro.utils.rng import RandomState, ensure_rng
+
+__all__ = ["DynamicGroup", "ChurnStats"]
+
+
+@dataclass(frozen=True)
+class ChurnStats:
+    """Steady-state statistics from a churn simulation.
+
+    Attributes
+    ----------
+    mean_members:
+        Time-averaged number of members.
+    mean_tree_links:
+        Time-averaged delivery-tree size.
+    mean_graft_cost / mean_prune_cost:
+        Average links added per join / removed per leave.
+    events:
+        Number of join/leave events simulated (after warm-up).
+    """
+
+    mean_members: float
+    mean_tree_links: float
+    mean_graft_cost: float
+    mean_prune_cost: float
+    events: int
+
+
+class DynamicGroup:
+    """A multicast group with incremental join/leave maintenance.
+
+    Parameters
+    ----------
+    forest:
+        Shortest-path forest from the multicast source.
+
+    Notes
+    -----
+    Members are *sites*; a site may host several members (multiplicity
+    is tracked), matching the with-replacement convention.  The tree
+    reference count of a node is the number of members at or below it.
+    """
+
+    def __init__(self, forest: ShortestPathForest) -> None:
+        self._forest = forest
+        self._parent = forest.parent
+        self._source = forest.source
+        self._refs = np.zeros(forest.num_nodes, dtype=np.int64)
+        self._members: Dict[int, int] = {}
+        self._tree_links = 0
+
+    @property
+    def source(self) -> int:
+        """The multicast source."""
+        return self._source
+
+    @property
+    def num_members(self) -> int:
+        """Total members (counting multiplicity)."""
+        return sum(self._members.values())
+
+    @property
+    def num_member_sites(self) -> int:
+        """Distinct sites hosting at least one member."""
+        return len(self._members)
+
+    @property
+    def tree_links(self) -> int:
+        """Current delivery-tree size (maintained incrementally)."""
+        return self._tree_links
+
+    def members(self) -> Dict[int, int]:
+        """Site → member-count mapping (copy)."""
+        return dict(self._members)
+
+    def join(self, site: int) -> int:
+        """Add a member at ``site``; returns the links grafted."""
+        site = int(site)
+        if not 0 <= site < self._refs.shape[0]:
+            raise GraphError(f"site {site} out of range")
+        if self._forest.dist[site] < 0:
+            raise GraphError(
+                f"site {site} is unreachable from source {self._source}"
+            )
+        self._members[site] = self._members.get(site, 0) + 1
+        grafted = 0
+        node = site
+        while node != self._source:
+            self._refs[node] += 1
+            if self._refs[node] == 1:
+                grafted += 1
+            node = int(self._parent[node])
+        self._tree_links += grafted
+        return grafted
+
+    def leave(self, site: int) -> int:
+        """Remove one member at ``site``; returns the links pruned."""
+        site = int(site)
+        count = self._members.get(site, 0)
+        if count == 0:
+            raise SamplingError(f"no member at site {site} to remove")
+        if count == 1:
+            del self._members[site]
+        else:
+            self._members[site] = count - 1
+        pruned = 0
+        node = site
+        while node != self._source:
+            self._refs[node] -= 1
+            if self._refs[node] == 0:
+                pruned += 1
+            node = int(self._parent[node])
+        self._tree_links -= pruned
+        return pruned
+
+    def recount(self) -> int:
+        """Recompute the tree size from scratch (the test oracle)."""
+        from repro.multicast.tree import MulticastTreeCounter
+
+        if not self._members:
+            return 0
+        counter = MulticastTreeCounter(self._forest)
+        return counter.tree_size(list(self._members))
+
+    def simulate_churn(
+        self,
+        target_members: int,
+        events: int,
+        eligible_sites: Optional[np.ndarray] = None,
+        warmup_events: Optional[int] = None,
+        rng: RandomState = None,
+    ) -> ChurnStats:
+        """Run a join/leave churn process and record steady-state stats.
+
+        The process targets ``target_members`` members: each event is a
+        join with probability ``target/(target + current)`` (else a
+        leave of a uniformly chosen member), giving an M/M/∞-flavoured
+        stationary distribution centred on the target.
+
+        Parameters
+        ----------
+        target_members:
+            Intended steady-state group size.
+        events:
+            Events to simulate after warm-up.
+        eligible_sites:
+            Join-site pool (default: all non-source sites).
+        warmup_events:
+            Events discarded first (default ``4 × target_members``).
+        rng:
+            Randomness source.
+        """
+        if target_members < 1:
+            raise SamplingError(
+                f"target_members must be >= 1, got {target_members}"
+            )
+        if events < 1:
+            raise SamplingError(f"events must be >= 1, got {events}")
+        generator = ensure_rng(rng)
+        if eligible_sites is None:
+            pool = np.array(
+                [v for v in range(self._refs.shape[0]) if v != self._source],
+                dtype=np.int64,
+            )
+        else:
+            pool = np.asarray(eligible_sites, dtype=np.int64)
+            if pool.size == 0:
+                raise SamplingError("eligible_sites must be non-empty")
+        warmup = 4 * target_members if warmup_events is None else warmup_events
+
+        member_sum = 0.0
+        links_sum = 0.0
+        graft_sum = 0.0
+        graft_events = 0
+        prune_sum = 0.0
+        prune_events = 0
+        for step in range(warmup + events):
+            current = self.num_members
+            join_probability = target_members / (target_members + current)
+            if current == 0 or generator.random() < join_probability:
+                site = int(pool[int(generator.integers(0, pool.size))])
+                cost = self.join(site)
+                if step >= warmup:
+                    graft_sum += cost
+                    graft_events += 1
+            else:
+                sites = list(self._members)
+                weights = np.array(
+                    [self._members[s] for s in sites], dtype=float
+                )
+                weights /= weights.sum()
+                site = int(generator.choice(sites, p=weights))
+                cost = self.leave(site)
+                if step >= warmup:
+                    prune_sum += cost
+                    prune_events += 1
+            if step >= warmup:
+                member_sum += self.num_members
+                links_sum += self.tree_links
+        return ChurnStats(
+            mean_members=member_sum / events,
+            mean_tree_links=links_sum / events,
+            mean_graft_cost=graft_sum / max(1, graft_events),
+            mean_prune_cost=prune_sum / max(1, prune_events),
+            events=events,
+        )

@@ -1,0 +1,100 @@
+"""Receiver-set sampling.
+
+Two sampling modes mirror the paper's two tree-size functions:
+
+* ``L(m)`` — ``m`` **distinct** sites chosen uniformly
+  (:func:`sample_distinct_receivers`), the Chuang-Sirbu methodology of
+  Section 2.
+* ``L̂(n)`` — ``n`` sites chosen uniformly **with replacement**
+  (:func:`sample_receivers_with_replacement`), the analytically tractable
+  variant of Section 3; Equation 1 converts between the two.
+
+Both modes exclude the source by default (a receiver co-located with the
+source adds nothing to the tree; Section 3.4 explicitly excludes the
+root).  Pass ``exclude=()`` to allow receivers anywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import SamplingError
+from repro.utils.rng import RandomState, ensure_rng
+
+__all__ = [
+    "sample_distinct_receivers",
+    "sample_receivers_with_replacement",
+    "eligible_sites",
+]
+
+
+def eligible_sites(
+    num_nodes: int, exclude: Sequence[int] = ()
+) -> np.ndarray:
+    """The receiver population: all nodes minus ``exclude``."""
+    if num_nodes < 0:
+        raise SamplingError(f"num_nodes must be non-negative, got {num_nodes}")
+    if not len(exclude):
+        return np.arange(num_nodes, dtype=np.int64)
+    excluded = np.unique(np.asarray(list(exclude), dtype=np.int64))
+    if excluded.size and (excluded.min() < 0 or excluded.max() >= num_nodes):
+        raise SamplingError(
+            f"excluded nodes {excluded.tolist()} out of range for "
+            f"{num_nodes} nodes"
+        )
+    return np.setdiff1d(
+        np.arange(num_nodes, dtype=np.int64), excluded, assume_unique=True
+    )
+
+
+def sample_distinct_receivers(
+    num_nodes: int,
+    m: int,
+    source: Optional[int] = None,
+    rng: RandomState = None,
+) -> np.ndarray:
+    """Draw ``m`` distinct receiver sites uniformly (the ``L(m)`` mode).
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of sites in the network.
+    m:
+        Number of distinct receivers wanted.
+    source:
+        When given, this site is excluded from the draw.
+    rng:
+        Randomness source.
+
+    Raises
+    ------
+    SamplingError
+        If fewer than ``m`` eligible sites exist.
+    """
+    if m < 1:
+        raise SamplingError(f"m must be >= 1, got {m}")
+    pool = eligible_sites(num_nodes, () if source is None else (source,))
+    if m > pool.size:
+        raise SamplingError(
+            f"cannot draw {m} distinct receivers from {pool.size} eligible sites"
+        )
+    generator = ensure_rng(rng)
+    return generator.choice(pool, size=m, replace=False)
+
+
+def sample_receivers_with_replacement(
+    num_nodes: int,
+    n: int,
+    source: Optional[int] = None,
+    rng: RandomState = None,
+) -> np.ndarray:
+    """Draw ``n`` receiver sites uniformly with replacement (``L̂(n)``)."""
+    if n < 1:
+        raise SamplingError(f"n must be >= 1, got {n}")
+    pool = eligible_sites(num_nodes, () if source is None else (source,))
+    if pool.size == 0:
+        raise SamplingError("no eligible receiver sites")
+    generator = ensure_rng(rng)
+    return pool[generator.integers(0, pool.size, size=n)]

@@ -1,0 +1,141 @@
+"""Shared-tree (core-based) multicast — the comparison the paper defers.
+
+The paper analyzes *source-specific* trees and explicitly sets aside
+shared-tree algorithms, pointing to Wei & Estrin [12] for that
+comparison.  This module supplies it: a CBT/PIM-SM-style shared tree is
+the union of shortest paths from a *core* (rendezvous point) to every
+group member, with the source's packets first carried core-ward.
+
+Costs measured here, comparable with the source-tree ``L(m)``:
+
+* ``tree_links`` — links in the core-rooted tree spanning the receivers
+  (plus the source, which must reach the core);
+* ``delivery_cost(m)`` — links a packet actually crosses: the shared
+  tree's links, counting the source→core path.
+
+Core placement matters enormously; :func:`select_core` implements the
+standard strategies (random, max-degree, distance-minimizing over a
+candidate sample), and the shared-vs-source bench sweeps them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ExperimentError, GraphError
+from repro.graph.core import Graph
+from repro.graph.ops import require_connected
+from repro.graph.paths import bfs, distances_from
+from repro.multicast.tree import MulticastTreeCounter
+from repro.utils.rng import RandomState, ensure_rng
+
+__all__ = ["SharedTreeCost", "shared_tree_cost", "select_core"]
+
+_CORE_STRATEGIES = ("random", "max-degree", "min-distance-sample")
+
+
+def select_core(
+    graph: Graph,
+    strategy: str = "min-distance-sample",
+    candidates: int = 16,
+    rng: RandomState = None,
+) -> int:
+    """Choose a shared-tree core (rendezvous point).
+
+    Parameters
+    ----------
+    graph:
+        A connected topology.
+    strategy:
+        * ``"random"`` — uniform random node (the pessimistic baseline);
+        * ``"max-degree"`` — the biggest hub (cheap, often good);
+        * ``"min-distance-sample"`` — among ``candidates`` random nodes,
+          the one minimizing total distance to all nodes (an
+          approximation of the graph's 1-median, the classic optimal
+          core placement).
+    candidates:
+        Sample size for ``"min-distance-sample"``.
+    rng:
+        Randomness source.
+    """
+    if strategy not in _CORE_STRATEGIES:
+        raise ExperimentError(
+            f"strategy must be one of {_CORE_STRATEGIES}, got {strategy!r}"
+        )
+    require_connected(graph, "select_core")
+    generator = ensure_rng(rng)
+    if strategy == "random":
+        return int(generator.integers(0, graph.num_nodes))
+    if strategy == "max-degree":
+        return int(np.argmax(graph.degrees))
+    sample = generator.choice(
+        graph.num_nodes,
+        size=min(candidates, graph.num_nodes),
+        replace=False,
+    )
+    best_node, best_total = -1, np.inf
+    for node in sample:
+        total = float(distances_from(graph, int(node)).sum())
+        if total < best_total:
+            best_node, best_total = int(node), total
+    return best_node
+
+
+@dataclass(frozen=True)
+class SharedTreeCost:
+    """Cost breakdown of one shared-tree configuration.
+
+    Attributes
+    ----------
+    core:
+        The rendezvous node.
+    tree_links:
+        Links in the core-rooted tree spanning receivers ∪ {source}.
+    source_to_core_hops:
+        Length of the source's path toward the core (already part of the
+        tree; reported separately because it is pure overhead relative
+        to a source tree).
+    """
+
+    core: int
+    tree_links: int
+    source_to_core_hops: int
+
+    @property
+    def delivery_cost(self) -> int:
+        """Links a data packet traverses: the whole shared tree."""
+        return self.tree_links
+
+
+def shared_tree_cost(
+    graph: Graph,
+    core: int,
+    source: int,
+    receivers: Sequence[int],
+    counter: Optional[MulticastTreeCounter] = None,
+) -> SharedTreeCost:
+    """Cost of delivering from ``source`` to ``receivers`` via ``core``.
+
+    The shared tree is the core-rooted shortest-path tree restricted to
+    the paths reaching the receivers and the source (the source must be
+    attached to send).  Pass a pre-built ``counter`` (from a core-rooted
+    BFS) to amortize across many receiver sets.
+    """
+    core = graph.check_node(core)
+    source = graph.check_node(source)
+    if counter is None:
+        counter = MulticastTreeCounter(bfs(graph, core))
+    elif counter.source != core:
+        raise GraphError(
+            f"counter is rooted at {counter.source}, not at core {core}"
+        )
+    members = list(receivers) + [source]
+    links = counter.tree_size(members)
+    return SharedTreeCost(
+        core=core,
+        tree_links=links,
+        source_to_core_hops=int(counter.forest.dist[source]),
+    )

@@ -1,0 +1,190 @@
+"""Multicast delivery-tree construction and link counting.
+
+The paper's central measured quantity is ``L(m)``: the number of links in
+the source-specific shortest-path multicast tree reaching ``m`` receiver
+sites.  The delivery tree is the union, over receivers, of the shortest
+path from the source to that receiver — packets "traverse the shortest
+path between source and receiver" and multicast routing ensures "no more
+than one copy of each packet will traverse each link".
+
+Given a shortest-path forest (BFS parents) for a source, the tree for any
+receiver set follows by walking each receiver's parent chain and counting
+the distinct non-source nodes touched: in a tree rooted at the source,
+links and non-source nodes are in bijection (each contributes its parent
+link).  :class:`MulticastTreeCounter` amortizes the per-source BFS across
+the thousands of receiver sets the Monte-Carlo methodology draws from it,
+using an epoch-stamped visited array so successive queries cost only the
+size of the tree they count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graph.core import Graph
+from repro.graph.paths import ShortestPathForest, bfs
+from repro.utils.rng import RandomState
+
+__all__ = ["MulticastTreeCounter", "DeliveryTree", "build_delivery_tree"]
+
+
+class MulticastTreeCounter:
+    """Counts multicast delivery-tree links for many receiver sets.
+
+    Parameters
+    ----------
+    forest:
+        Shortest-path forest from the multicast source (from
+        :func:`repro.graph.paths.bfs`).
+
+    Notes
+    -----
+    Receivers placed *at the source* contribute nothing (their path is
+    empty); unreachable receivers raise :class:`GraphError` — the
+    experiment layer guarantees connectivity so this is a programming
+    error, not a data condition.
+    """
+
+    def __init__(self, forest: ShortestPathForest) -> None:
+        self._forest = forest
+        self._parent = forest.parent
+        self._dist = forest.dist
+        self._source = forest.source
+        self._stamp = np.zeros(forest.num_nodes, dtype=np.int64)
+        self._epoch = 0
+
+    @property
+    def forest(self) -> ShortestPathForest:
+        """The underlying shortest-path forest."""
+        return self._forest
+
+    @property
+    def source(self) -> int:
+        """The multicast source."""
+        return self._source
+
+    def tree_size(self, receivers: Sequence[int]) -> int:
+        """Number of links in the delivery tree for ``receivers``.
+
+        Duplicate receivers are fine (the with-replacement ``L̂(n)``
+        methodology relies on it) and cost nothing extra: the walk from a
+        duplicate stops at its first already-visited node.
+        """
+        self._epoch += 1
+        epoch = self._epoch
+        stamp = self._stamp
+        parent = self._parent
+        dist = self._dist
+        source = self._source
+        links = 0
+        for receiver in np.asarray(receivers, dtype=np.int64).ravel():
+            node = int(receiver)
+            if dist[node] < 0:
+                raise GraphError(
+                    f"receiver {node} is unreachable from source {source}"
+                )
+            while node != source and stamp[node] != epoch:
+                stamp[node] = epoch
+                links += 1
+                node = int(parent[node])
+        return links
+
+    def tree_nodes(self, receivers: Sequence[int]) -> np.ndarray:
+        """All nodes of the delivery tree (including the source), sorted."""
+        self._epoch += 1
+        epoch = self._epoch
+        stamp = self._stamp
+        parent = self._parent
+        dist = self._dist
+        source = self._source
+        members: List[int] = [source]
+        for receiver in np.asarray(receivers, dtype=np.int64).ravel():
+            node = int(receiver)
+            if dist[node] < 0:
+                raise GraphError(
+                    f"receiver {node} is unreachable from source {source}"
+                )
+            while node != source and stamp[node] != epoch:
+                stamp[node] = epoch
+                members.append(node)
+                node = int(parent[node])
+        return np.asarray(sorted(members), dtype=np.int64)
+
+    def unicast_total(self, receivers: Sequence[int]) -> int:
+        """Total link traversals if each receiver were reached by unicast.
+
+        This is the quantity whose mean over receivers is the paper's
+        ``ū(m)``; multicast's efficiency is the gap between
+        :meth:`tree_size` and this sum.
+        """
+        idx = np.asarray(receivers, dtype=np.int64).ravel()
+        d = self._dist[idx]
+        if np.any(d < 0):
+            bad = int(idx[np.argmax(self._dist[idx] < 0)])
+            raise GraphError(
+                f"receiver {bad} is unreachable from source {self._source}"
+            )
+        return int(d.sum())
+
+
+@dataclass(frozen=True)
+class DeliveryTree:
+    """An explicit multicast delivery tree.
+
+    Attributes
+    ----------
+    source:
+        The multicast source.
+    receivers:
+        The receiver set the tree was built for.
+    nodes:
+        All tree nodes (source included), sorted.
+    edges:
+        The tree's links as ``(parent, child)`` pairs, one per non-source
+        node.
+    """
+
+    source: int
+    receivers: Tuple[int, ...]
+    nodes: np.ndarray
+    edges: np.ndarray
+
+    @property
+    def num_links(self) -> int:
+        """Number of links — the paper's ``L``."""
+        return self.edges.shape[0]
+
+    def covers(self, node: int) -> bool:
+        """Whether ``node`` is part of the tree."""
+        pos = int(np.searchsorted(self.nodes, node))
+        return pos < self.nodes.shape[0] and int(self.nodes[pos]) == node
+
+
+def build_delivery_tree(
+    graph: Graph,
+    source: int,
+    receivers: Sequence[int],
+    tie_break: str = "first",
+    rng: RandomState = None,
+) -> DeliveryTree:
+    """Construct the explicit shortest-path delivery tree.
+
+    Convenience wrapper for examples and one-off queries; hot loops should
+    create one :func:`~repro.graph.paths.bfs` forest per source and a
+    :class:`MulticastTreeCounter` over it instead.
+    """
+    forest = bfs(graph, source, tie_break=tie_break, rng=rng)
+    counter = MulticastTreeCounter(forest)
+    nodes = counter.tree_nodes(receivers)
+    non_source = nodes[nodes != forest.source]
+    edges = np.column_stack([forest.parent[non_source], non_source])
+    return DeliveryTree(
+        source=int(source),
+        receivers=tuple(int(r) for r in receivers),
+        nodes=nodes,
+        edges=edges,
+    )

@@ -1,0 +1,60 @@
+"""Unicast cost accounting — the baseline multicast is compared against.
+
+Reaching ``m`` receivers by unicast costs the sum of their shortest-path
+lengths, i.e. ``m · ū(m)`` where ``ū(m)`` is the sample's average unicast
+path length.  The paper's headline ratio is ``L(m) / ū(m)``, which equals
+``m`` when multicast is no better than unicast and grows like ``m^0.8``
+under the Chuang-Sirbu law.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import GraphError, SamplingError
+from repro.graph.paths import ShortestPathForest
+
+__all__ = ["UnicastCost", "unicast_cost"]
+
+
+@dataclass(frozen=True)
+class UnicastCost:
+    """Unicast delivery cost for one receiver sample.
+
+    Attributes
+    ----------
+    total_hops:
+        Total link traversals: one shortest path per receiver, duplicates
+        counted again (unicast sends a separate copy per receiver).
+    num_receivers:
+        Number of receivers in the sample.
+    """
+
+    total_hops: int
+    num_receivers: int
+
+    @property
+    def mean_path_length(self) -> float:
+        """The sample's average unicast path length ``ū``."""
+        if self.num_receivers == 0:
+            raise SamplingError("unicast cost of an empty receiver set")
+        return self.total_hops / self.num_receivers
+
+
+def unicast_cost(
+    forest: ShortestPathForest, receivers: Sequence[int]
+) -> UnicastCost:
+    """Unicast cost of reaching ``receivers`` from the forest's source."""
+    idx = np.asarray(receivers, dtype=np.int64).ravel()
+    if idx.size == 0:
+        raise SamplingError("receiver set must be non-empty")
+    dists = forest.dist[idx]
+    if np.any(dists < 0):
+        bad = int(idx[int(np.argmax(dists < 0))])
+        raise GraphError(
+            f"receiver {bad} is unreachable from source {forest.source}"
+        )
+    return UnicastCost(total_hops=int(dists.sum()), num_receivers=int(idx.size))

@@ -1,0 +1,57 @@
+"""Topology generators: the Table-1 suite, k-ary trees, and model families."""
+
+from repro.topology.arpanet import ARPANET_NUM_NODES, arpanet, arpanet_edges
+from repro.topology.gtitm import (
+    TransitStubParams,
+    pure_random_graph,
+    transit_stub_graph,
+)
+from repro.topology.kary import KaryTree, kary_num_leaves, kary_num_nodes, kary_tree
+from repro.topology.mbone import mbone_like_graph, random_geometric_graph
+from repro.topology.powerlaw import (
+    as_like_graph,
+    internet_like_graph,
+    preferential_attachment_graph,
+)
+from repro.topology.registry import (
+    EXTRA_TOPOLOGIES,
+    GENERATED_TOPOLOGIES,
+    REAL_TOPOLOGIES,
+    TOPOLOGY_NAMES,
+    TopologySpec,
+    build_suite,
+    build_topology,
+    topology_spec,
+)
+from repro.topology.tiers import TiersParams, tiers_graph
+from repro.topology.waxman import waxman_edge_probabilities, waxman_graph
+
+__all__ = [
+    "ARPANET_NUM_NODES",
+    "arpanet",
+    "arpanet_edges",
+    "TransitStubParams",
+    "pure_random_graph",
+    "transit_stub_graph",
+    "KaryTree",
+    "kary_num_leaves",
+    "kary_num_nodes",
+    "kary_tree",
+    "mbone_like_graph",
+    "random_geometric_graph",
+    "as_like_graph",
+    "internet_like_graph",
+    "preferential_attachment_graph",
+    "EXTRA_TOPOLOGIES",
+    "GENERATED_TOPOLOGIES",
+    "REAL_TOPOLOGIES",
+    "TOPOLOGY_NAMES",
+    "TopologySpec",
+    "build_suite",
+    "build_topology",
+    "topology_spec",
+    "TiersParams",
+    "tiers_graph",
+    "waxman_edge_probabilities",
+    "waxman_graph",
+]

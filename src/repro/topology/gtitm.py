@@ -1,0 +1,236 @@
+"""GT-ITM-style topologies: pure-random and transit-stub graphs.
+
+The paper's ``r100``, ``ts1000`` and ``ts1008`` networks come from the
+GT-ITM generator [Calvert, Doar & Zegura 1997].  We reimplement the two
+flavours it uses:
+
+* **Pure random** (:func:`pure_random_graph`): every node pair is joined
+  independently with a fixed probability — GT-ITM's "flat random" method,
+  an Erdős–Rényi graph.
+* **Transit-stub** (:func:`transit_stub_graph`): a two-level hierarchy.
+  A small random graph of *transit domains* forms the core; every transit
+  node sponsors several *stub domains*, each itself a small random graph
+  hanging off its transit node.  Optional extra transit-stub and stub-stub
+  edges add the cross links real inter-domain topologies have.  GT-ITM
+  "constructs portions of the graph randomly while constraining the gross
+  structure" — the property Section 4 of the paper credits for the very
+  similar reachability growth of ts1000 and ts1008 despite their average
+  degrees (3.6 vs 7.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.exceptions import TopologyError
+from repro.graph.builders import GraphBuilder
+from repro.graph.core import Graph
+from repro.topology._common import connect_components
+from repro.utils.rng import RandomState, ensure_rng
+
+__all__ = ["pure_random_graph", "TransitStubParams", "transit_stub_graph"]
+
+
+def pure_random_graph(
+    num_nodes: int,
+    edge_probability: Optional[float] = None,
+    average_degree: Optional[float] = None,
+    rng: RandomState = None,
+    ensure_connected: bool = True,
+) -> Graph:
+    """Erdős–Rényi G(n, p) graph (GT-ITM's flat "random" method).
+
+    Exactly one of ``edge_probability`` and ``average_degree`` must be
+    given; the latter sets ``p = avg_degree / (n − 1)``.
+    """
+    if num_nodes < 1:
+        raise TopologyError(f"num_nodes must be >= 1, got {num_nodes}")
+    if (edge_probability is None) == (average_degree is None):
+        raise TopologyError(
+            "give exactly one of edge_probability or average_degree"
+        )
+    if edge_probability is None:
+        if average_degree < 0:
+            raise TopologyError(f"average_degree must be >= 0, got {average_degree}")
+        edge_probability = min(1.0, average_degree / max(1, num_nodes - 1))
+    if not 0.0 <= edge_probability <= 1.0:
+        raise TopologyError(
+            f"edge_probability must be in [0, 1], got {edge_probability}"
+        )
+    generator = ensure_rng(rng)
+    draws = generator.random((num_nodes, num_nodes))
+    upper = np.triu(draws < edge_probability, k=1)
+    us, vs = np.nonzero(upper)
+    builder = GraphBuilder(num_nodes)
+    builder.add_edges(zip(us.tolist(), vs.tolist()))
+    graph = builder.to_graph()
+    if ensure_connected:
+        graph = connect_components(graph, generator)
+    return graph
+
+
+@dataclass(frozen=True)
+class TransitStubParams:
+    """Parameters of the transit-stub construction.
+
+    The expected node count is
+    ``T·Nt · (1 + S·Ns)`` where the fields below map to:
+
+    Attributes
+    ----------
+    transit_domains:
+        ``T`` — number of transit domains in the core.
+    transit_nodes:
+        ``Nt`` — nodes per transit domain.
+    stub_domains_per_transit_node:
+        ``S`` — stub domains sponsored by each transit node.
+    stub_nodes:
+        ``Ns`` — nodes per stub domain.
+    transit_edge_probability:
+        Edge probability inside each transit domain.
+    stub_edge_probability:
+        Edge probability inside each stub domain; raise it to densify the
+        graph (this is the ts1000 → ts1008 knob).
+    extra_transit_stub_edges / extra_stub_stub_edges:
+        Cross-hierarchy edges added between random (transit, stub-node)
+        and (stub-node, stub-node) pairs.
+    """
+
+    transit_domains: int = 4
+    transit_nodes: int = 5
+    stub_domains_per_transit_node: int = 3
+    stub_nodes: int = 16
+    transit_edge_probability: float = 0.6
+    stub_edge_probability: float = 0.25
+    extra_transit_stub_edges: int = 0
+    extra_stub_stub_edges: int = 0
+
+    def expected_nodes(self) -> int:
+        """Total node count implied by the parameters."""
+        core = self.transit_domains * self.transit_nodes
+        return core * (1 + self.stub_domains_per_transit_node * self.stub_nodes)
+
+    def validate(self) -> None:
+        """Raise :class:`TopologyError` on inconsistent parameters."""
+        if self.transit_domains < 1:
+            raise TopologyError("need at least one transit domain")
+        if self.transit_nodes < 1:
+            raise TopologyError("need at least one node per transit domain")
+        if self.stub_domains_per_transit_node < 0 or self.stub_nodes < 0:
+            raise TopologyError("stub counts must be non-negative")
+        if self.stub_domains_per_transit_node > 0 and self.stub_nodes < 1:
+            raise TopologyError("stub domains must have at least one node")
+        for name, p in (
+            ("transit_edge_probability", self.transit_edge_probability),
+            ("stub_edge_probability", self.stub_edge_probability),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise TopologyError(f"{name} must be in [0, 1], got {p}")
+        if self.extra_transit_stub_edges < 0 or self.extra_stub_stub_edges < 0:
+            raise TopologyError("extra edge counts must be non-negative")
+
+
+def _random_domain_edges(
+    builder: GraphBuilder,
+    nodes: List[int],
+    probability: float,
+    generator: np.random.Generator,
+) -> None:
+    """Wire ``nodes`` as an internally-connected random domain.
+
+    Each pair joins with ``probability``; a random spanning tree over the
+    domain's nodes is added first so the domain is connected regardless of
+    the draw (GT-ITM likewise redraws domains until connected — a spanning
+    backbone is the rejection-free equivalent).
+    """
+    if len(nodes) <= 1:
+        return
+    order = generator.permutation(len(nodes))
+    for i in range(1, len(nodes)):
+        attach = int(order[generator.integers(0, i)])
+        builder.add_edge(nodes[int(order[i])], nodes[attach])
+    size = len(nodes)
+    draws = generator.random((size, size))
+    for i in range(size):
+        for j in range(i + 1, size):
+            if draws[i, j] < probability:
+                builder.add_edge(nodes[i], nodes[j])
+
+
+def transit_stub_graph(
+    params: Optional[TransitStubParams] = None,
+    rng: RandomState = None,
+) -> Graph:
+    """Generate a transit-stub topology.
+
+    Structure: the transit domains are joined by a ring plus random
+    inter-domain edges (so the core is always connected); each transit
+    domain is an internally-connected random graph; each stub domain is an
+    internally-connected random graph tied to its sponsoring transit node
+    by a single edge, plus any configured extra cross edges.
+    """
+    params = params or TransitStubParams()
+    params.validate()
+    generator = ensure_rng(rng)
+
+    builder = GraphBuilder(strict=False)
+
+    # Transit core.
+    transit_domains: List[List[int]] = []
+    for _ in range(params.transit_domains):
+        domain = [builder.add_node() for _ in range(params.transit_nodes)]
+        _random_domain_edges(
+            builder, domain, params.transit_edge_probability, generator
+        )
+        transit_domains.append(domain)
+
+    # Inter-domain core links: ring of domains + one random chord per domain.
+    t = params.transit_domains
+    if t > 1:
+        for i in range(t):
+            j = (i + 1) % t
+            if i < j or t == 2:
+                u = int(generator.choice(transit_domains[i]))
+                v = int(generator.choice(transit_domains[j]))
+                builder.add_edge(u, v)
+        for i in range(t):
+            j = int(generator.integers(0, t))
+            if j != i:
+                u = int(generator.choice(transit_domains[i]))
+                v = int(generator.choice(transit_domains[j]))
+                builder.add_edge(u, v)
+
+    # Stub domains.
+    stub_nodes_all: List[int] = []
+    for domain in transit_domains:
+        for transit_node in domain:
+            for _ in range(params.stub_domains_per_transit_node):
+                stub = [builder.add_node() for _ in range(params.stub_nodes)]
+                _random_domain_edges(
+                    builder, stub, params.stub_edge_probability, generator
+                )
+                builder.add_edge(transit_node, int(generator.choice(stub)))
+                stub_nodes_all.extend(stub)
+
+    # Extra cross-hierarchy edges.
+    transit_all = [n for domain in transit_domains for n in domain]
+    for _ in range(params.extra_transit_stub_edges):
+        if not stub_nodes_all:
+            break
+        builder.add_edge(
+            int(generator.choice(transit_all)),
+            int(generator.choice(stub_nodes_all)),
+        )
+    for _ in range(params.extra_stub_stub_edges):
+        if len(stub_nodes_all) < 2:
+            break
+        builder.add_edge(
+            int(generator.choice(stub_nodes_all)),
+            int(generator.choice(stub_nodes_all)),
+        )
+
+    graph = builder.to_graph()
+    return connect_components(graph, generator)

@@ -1,0 +1,179 @@
+"""Complete k-ary trees — the paper's analytically tractable test case.
+
+Section 3 computes the multicast tree size exactly on a complete k-ary
+tree of depth ``D`` with the source at the root.  This module builds those
+trees with *heap indexing*: the root is node 0 and the children of node
+``i`` are ``k·i + 1 .. k·i + k``.  Heap indexing makes level, parent, and
+subtree computations O(1) arithmetic, which the affinity sampler exploits
+to avoid storing all-pairs distances on large trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.exceptions import TopologyError
+from repro.graph.core import Graph
+
+__all__ = ["KaryTree", "kary_tree", "kary_num_nodes", "kary_num_leaves"]
+
+
+def _check_kd(k: int, depth: int) -> None:
+    if k < 1:
+        raise TopologyError(f"tree degree k must be >= 1, got {k}")
+    if depth < 0:
+        raise TopologyError(f"tree depth must be >= 0, got {depth}")
+
+
+def kary_num_nodes(k: int, depth: int) -> int:
+    """Number of nodes in a complete k-ary tree of depth ``depth``.
+
+    ``(k^(D+1) − 1)/(k − 1)`` for ``k >= 2``; ``D + 1`` for a path
+    (``k = 1``).
+    """
+    _check_kd(k, depth)
+    if k == 1:
+        return depth + 1
+    return (k ** (depth + 1) - 1) // (k - 1)
+
+
+def kary_num_leaves(k: int, depth: int) -> int:
+    """Number of leaves, ``M = k^D`` (the paper's receiver population)."""
+    _check_kd(k, depth)
+    return k**depth
+
+
+@dataclass(frozen=True)
+class KaryTree:
+    """A complete k-ary tree with heap indexing and O(1) structure queries.
+
+    Attributes
+    ----------
+    k:
+        Branching factor (>= 1; ``k = 1`` degenerates to a path, which the
+        paper uses as the continuum limit of small ``k``).
+    depth:
+        Depth ``D``; leaves are at distance ``D`` from the root.
+    graph:
+        The tree as a :class:`~repro.graph.core.Graph`.
+    """
+
+    k: int
+    depth: int
+    graph: Graph
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of nodes."""
+        return self.graph.num_nodes
+
+    @property
+    def num_leaves(self) -> int:
+        """Number of leaves ``M = k^D``."""
+        return kary_num_leaves(self.k, self.depth)
+
+    @property
+    def root(self) -> int:
+        """The root node id (always 0)."""
+        return 0
+
+    def level_start(self, level: int) -> int:
+        """Id of the first node at ``level`` (root is level 0)."""
+        if not 0 <= level <= self.depth:
+            raise TopologyError(
+                f"level must be in [0, {self.depth}], got {level}"
+            )
+        return kary_num_nodes(self.k, level - 1) if level > 0 else 0
+
+    def level_of(self, node: int) -> int:
+        """The level (distance from the root) of ``node``."""
+        node = self.graph.check_node(node)
+        if self.k == 1:
+            return node
+        # Smallest l with (k^(l+1) - 1)/(k-1) > node.
+        level = 0
+        boundary = 1
+        step = self.k
+        while node >= boundary:
+            boundary += step
+            step *= self.k
+            level += 1
+        return level
+
+    def parent_of(self, node: int) -> int:
+        """Heap parent of ``node`` (-1 for the root)."""
+        node = self.graph.check_node(node)
+        if node == 0:
+            return -1
+        return (node - 1) // self.k
+
+    def children_of(self, node: int) -> List[int]:
+        """Children of ``node`` (empty for leaves)."""
+        node = self.graph.check_node(node)
+        first = self.k * node + 1
+        if first >= self.num_nodes:
+            return []
+        return list(range(first, min(first + self.k, self.num_nodes)))
+
+    def leaves(self) -> np.ndarray:
+        """Ids of all leaf nodes (the deepest level)."""
+        return np.arange(self.level_start(self.depth), self.num_nodes)
+
+    def non_root_nodes(self) -> np.ndarray:
+        """All candidate receiver sites when receivers sit throughout."""
+        return np.arange(1, self.num_nodes)
+
+    def ancestors(self, node: int) -> Iterator[int]:
+        """Yield the proper ancestors of ``node`` up to the root."""
+        node = self.graph.check_node(node)
+        while node != 0:
+            node = (node - 1) // self.k
+            yield node
+
+    def distance(self, u: int, v: int) -> int:
+        """Hop distance between ``u`` and ``v`` via their lowest common
+        ancestor — O(depth), no BFS needed."""
+        u = self.graph.check_node(u)
+        v = self.graph.check_node(v)
+        du, dv = self.level_of(u), self.level_of(v)
+        hops = 0
+        while du > dv:
+            u = (u - 1) // self.k
+            du -= 1
+            hops += 1
+        while dv > du:
+            v = (v - 1) // self.k
+            dv -= 1
+            hops += 1
+        while u != v:
+            u = (u - 1) // self.k
+            v = (v - 1) // self.k
+            hops += 2
+        return hops
+
+
+def kary_tree(k: int, depth: int) -> KaryTree:
+    """Build a complete k-ary tree of the given degree and depth.
+
+    Examples
+    --------
+    >>> tree = kary_tree(2, 3)
+    >>> tree.num_nodes, tree.num_leaves
+    (15, 8)
+    """
+    _check_kd(k, depth)
+    n = kary_num_nodes(k, depth)
+    if n > 5_000_000:
+        raise TopologyError(
+            f"k={k}, depth={depth} yields {n} nodes; explicit trees above "
+            "5M nodes are refused — use the closed-form analysis in "
+            "repro.analysis.kary_exact instead"
+        )
+    children = np.arange(1, n, dtype=np.int64)
+    parents = (children - 1) // k
+    edges = np.column_stack([parents, children])
+    graph = Graph.from_edges(n, [tuple(int(x) for x in e) for e in edges])
+    return KaryTree(k=k, depth=depth, graph=graph)

@@ -1,0 +1,149 @@
+"""TIERS-style three-level topologies [Doar 1996].
+
+The TIERS generator models an internetwork as a hierarchy of one WAN,
+several MANs, and many LANs.  Each WAN/MAN network is laid out as random
+points in the plane, joined by their Euclidean minimum spanning tree, and
+given ``redundancy`` extra edges from each node to its nearest non-adjacent
+neighbours; LANs are stars (a hub plus hosts).  MANs attach to WAN nodes
+and LANs to MAN nodes.
+
+Two behaviours of the real generator matter for the paper and are kept:
+
+* The redundancy step can propose already-existing edges — the original
+  tool emitted them as duplicates, which Phillips et al. "cleaned" away.
+  We build with a deduplicating builder, which is the cleaned result.
+* The planar-MST skeleton gives the topology strong geographic locality,
+  which is exactly why ``ti5000``'s reachability function grows
+  sub-exponentially (Figure 7) and why its ``L̂(n)/(n·ū)`` curve deviates
+  from the predicted linear form (Figure 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.exceptions import TopologyError
+from repro.graph.builders import GraphBuilder
+from repro.graph.core import Graph
+from repro.topology._common import connect_components, euclidean_mst_edges
+from repro.utils.rng import RandomState, ensure_rng
+
+__all__ = ["TiersParams", "tiers_graph"]
+
+
+@dataclass(frozen=True)
+class TiersParams:
+    """Parameters of the TIERS construction.
+
+    Expected total nodes:
+    ``wan_nodes + num_mans·man_nodes + num_mans·lans_per_man·(1 + lan_hosts)``
+    (each LAN contributes a hub node plus its hosts).
+
+    Attributes
+    ----------
+    wan_nodes:
+        Nodes in the single WAN.
+    num_mans:
+        Number of MANs, each attached to a distinct random WAN node.
+    man_nodes:
+        Nodes per MAN.
+    lans_per_man:
+        LANs attached to each MAN (each to a random MAN node).
+    lan_hosts:
+        Host (leaf) nodes per LAN hub.
+    wan_redundancy / man_redundancy:
+        Extra nearest-neighbour edges per node added on top of the MST
+        within the WAN / each MAN (TIERS' ``R`` parameter).
+    """
+
+    wan_nodes: int = 50
+    num_mans: int = 10
+    man_nodes: int = 20
+    lans_per_man: int = 6
+    lan_hosts: int = 7
+    wan_redundancy: int = 2
+    man_redundancy: int = 1
+
+    def expected_nodes(self) -> int:
+        """Total node count implied by the parameters."""
+        lans = self.num_mans * self.lans_per_man
+        return (
+            self.wan_nodes
+            + self.num_mans * self.man_nodes
+            + lans * (1 + self.lan_hosts)
+        )
+
+    def validate(self) -> None:
+        """Raise :class:`TopologyError` on inconsistent parameters."""
+        if self.wan_nodes < 1:
+            raise TopologyError("the WAN needs at least one node")
+        if self.num_mans < 0 or self.man_nodes < 0:
+            raise TopologyError("MAN counts must be non-negative")
+        if self.num_mans > 0 and self.man_nodes < 1:
+            raise TopologyError("MANs must have at least one node")
+        if self.lans_per_man < 0 or self.lan_hosts < 0:
+            raise TopologyError("LAN counts must be non-negative")
+        if self.wan_redundancy < 0 or self.man_redundancy < 0:
+            raise TopologyError("redundancy must be non-negative")
+
+
+def _mesh_network(
+    builder: GraphBuilder,
+    size: int,
+    redundancy: int,
+    generator: np.random.Generator,
+) -> List[int]:
+    """Create a TIERS WAN/MAN: random points, Euclidean MST, redundancy.
+
+    Returns the new node ids.  The redundancy pass connects each node to
+    its ``redundancy`` nearest neighbours; proposals duplicating MST edges
+    are dropped by the non-strict builder (the "cleaning" step).
+    """
+    nodes = list(builder.add_nodes(size))
+    if size == 1:
+        return nodes
+    points = generator.random((size, 2))
+    for u, v in euclidean_mst_edges(points):
+        builder.add_edge(nodes[u], nodes[v])
+    if redundancy > 0 and size > 2:
+        diff = points[:, None, :] - points[None, :, :]
+        dist = np.sum(diff**2, axis=-1)
+        np.fill_diagonal(dist, np.inf)
+        order = np.argsort(dist, axis=1)
+        for i in range(size):
+            added = 0
+            for j in order[i]:
+                if added >= redundancy:
+                    break
+                if builder.add_edge(nodes[i], nodes[int(j)]):
+                    added += 1
+    return nodes
+
+
+def tiers_graph(
+    params: "TiersParams | None" = None,
+    rng: RandomState = None,
+) -> Graph:
+    """Generate a TIERS-style WAN/MAN/LAN topology."""
+    params = params or TiersParams()
+    params.validate()
+    generator = ensure_rng(rng)
+    builder = GraphBuilder(strict=False)
+
+    wan = _mesh_network(builder, params.wan_nodes, params.wan_redundancy, generator)
+
+    for _ in range(params.num_mans):
+        man = _mesh_network(
+            builder, params.man_nodes, params.man_redundancy, generator
+        )
+        builder.add_edge(int(generator.choice(wan)), int(generator.choice(man)))
+        for _ in range(params.lans_per_man):
+            hub = builder.add_node()
+            builder.add_edge(int(generator.choice(man)), hub)
+            for host in builder.add_nodes(params.lan_hosts):
+                builder.add_edge(hub, host)
+
+    return connect_components(builder.to_graph(), generator)

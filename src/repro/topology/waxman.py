@@ -1,0 +1,89 @@
+"""Waxman random graphs [Waxman 1988].
+
+The Waxman model places nodes uniformly in the unit square and connects
+each pair with probability ``alpha · exp(−d / (beta · L))`` where ``d`` is
+their Euclidean distance and ``L`` the maximum possible distance.  It is
+the edge model used inside GT-ITM domains and one of the topology families
+the broader multicast-scaling literature evaluates against (reference [10]
+of the paper).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import TopologyError
+from repro.graph.builders import GraphBuilder
+from repro.graph.core import Graph
+from repro.topology._common import connect_components
+from repro.utils.rng import RandomState, ensure_rng
+
+__all__ = ["waxman_graph", "waxman_edge_probabilities"]
+
+
+def waxman_edge_probabilities(
+    points: np.ndarray, alpha: float, beta: float
+) -> np.ndarray:
+    """The (n, n) matrix of Waxman connection probabilities.
+
+    ``P[u, v] = alpha · exp(−d(u, v) / (beta · L))`` with ``L = √2`` for
+    the unit square.  The diagonal is zero.
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise TopologyError(f"alpha must be in (0, 1], got {alpha}")
+    if beta <= 0.0:
+        raise TopologyError(f"beta must be positive, got {beta}")
+    pts = np.asarray(points, dtype=float)
+    diff = pts[:, None, :] - pts[None, :, :]
+    dist = np.sqrt(np.sum(diff**2, axis=-1))
+    probs = alpha * np.exp(-dist / (beta * math.sqrt(2.0)))
+    np.fill_diagonal(probs, 0.0)
+    return probs
+
+
+def waxman_graph(
+    num_nodes: int,
+    alpha: float = 0.2,
+    beta: float = 0.15,
+    rng: RandomState = None,
+    ensure_connected: bool = True,
+    return_points: bool = False,
+) -> "Graph | Tuple[Graph, np.ndarray]":
+    """Generate a Waxman random graph on the unit square.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes.
+    alpha:
+        Overall edge density knob in (0, 1].
+    beta:
+        Locality knob: small beta favours short edges.
+    rng:
+        Randomness source.
+    ensure_connected:
+        Bridge stray components with random edges (see
+        :func:`repro.topology._common.connect_components`).
+    return_points:
+        Also return the node coordinates.
+    """
+    if num_nodes < 1:
+        raise TopologyError(f"num_nodes must be >= 1, got {num_nodes}")
+    generator = ensure_rng(rng)
+    points = generator.random((num_nodes, 2))
+    probs = waxman_edge_probabilities(points, alpha, beta)
+    draws = generator.random((num_nodes, num_nodes))
+    upper = np.triu(draws < probs, k=1)
+    us, vs = np.nonzero(upper)
+
+    builder = GraphBuilder(num_nodes)
+    builder.add_edges(zip(us.tolist(), vs.tolist()))
+    graph = builder.to_graph()
+    if ensure_connected:
+        graph = connect_components(graph, generator)
+    if return_points:
+        return graph, points
+    return graph

@@ -1,0 +1,27 @@
+"""Shared utilities: RNG discipline, statistics helpers, text tables."""
+
+from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
+from repro.utils.stats import (
+    ConfidenceInterval,
+    LinearFit,
+    geometric_spaced,
+    linear_fit,
+    log_log_slope,
+    mean_confidence_interval,
+    power_law_fit,
+)
+from repro.utils.tables import format_table
+
+__all__ = [
+    "RandomState",
+    "ensure_rng",
+    "spawn_rngs",
+    "ConfidenceInterval",
+    "LinearFit",
+    "geometric_spaced",
+    "linear_fit",
+    "log_log_slope",
+    "mean_confidence_interval",
+    "power_law_fit",
+    "format_table",
+]

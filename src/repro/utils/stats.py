@@ -1,0 +1,250 @@
+"""Small statistics helpers used by the analysis and experiment layers.
+
+The paper's headline quantitative claims are all about slopes on log-log or
+lin-log plots (the Chuang-Sirbu exponent is the log-log slope of
+``L(m)/u(m)`` against ``m``), so ordinary-least-squares fitting in
+transformed coordinates is the central primitive here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import AnalysisError
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Result of an ordinary-least-squares straight-line fit ``y = a·x + b``.
+
+    Attributes
+    ----------
+    slope:
+        Fitted slope ``a``.
+    intercept:
+        Fitted intercept ``b``.
+    r_squared:
+        Coefficient of determination of the fit.
+    stderr_slope:
+        Standard error of the slope estimate (0 when the fit is exact or
+        there are only two points).
+    """
+
+    slope: float
+    intercept: float
+    r_squared: float
+    stderr_slope: float
+
+    def predict(self, x: Sequence[float]) -> np.ndarray:
+        """Evaluate the fitted line at the points ``x``."""
+        return self.slope * np.asarray(x, dtype=float) + self.intercept
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A mean with a symmetric normal-approximation confidence interval."""
+
+    mean: float
+    halfwidth: float
+    level: float
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.halfwidth
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.halfwidth
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval (inclusive)."""
+        return self.low <= value <= self.high
+
+
+def linear_fit(x: Sequence[float], y: Sequence[float]) -> LinearFit:
+    """Ordinary least squares fit of ``y`` against ``x``.
+
+    Raises
+    ------
+    AnalysisError
+        If fewer than two points are supplied or ``x`` is degenerate.
+    """
+    xs = np.asarray(x, dtype=float)
+    ys = np.asarray(y, dtype=float)
+    if xs.shape != ys.shape:
+        raise AnalysisError(
+            f"x and y must have the same shape, got {xs.shape} vs {ys.shape}"
+        )
+    if xs.size < 2:
+        raise AnalysisError(f"need at least 2 points to fit a line, got {xs.size}")
+    x_var = float(np.var(xs))
+    if x_var == 0.0:
+        raise AnalysisError("cannot fit a line: all x values are identical")
+
+    x_mean = float(np.mean(xs))
+    y_mean = float(np.mean(ys))
+    slope = float(np.mean((xs - x_mean) * (ys - y_mean)) / x_var)
+    intercept = y_mean - slope * x_mean
+
+    residuals = ys - (slope * xs + intercept)
+    ss_res = float(np.sum(residuals**2))
+    ss_tot = float(np.sum((ys - y_mean) ** 2))
+    r_squared = 1.0 if ss_tot == 0.0 else 1.0 - ss_res / ss_tot
+
+    if xs.size > 2:
+        mse = ss_res / (xs.size - 2)
+        stderr_slope = math.sqrt(mse / (xs.size * x_var))
+    else:
+        stderr_slope = 0.0
+    return LinearFit(slope, intercept, r_squared, stderr_slope)
+
+
+def power_law_fit(x: Sequence[float], y: Sequence[float]) -> LinearFit:
+    """Fit ``y ≈ C · x^a`` by least squares in log-log coordinates.
+
+    Returns a :class:`LinearFit` whose ``slope`` is the exponent ``a`` and
+    whose ``intercept`` is ``ln C``.  Non-positive points are rejected since
+    they have no logarithm.
+    """
+    xs = np.asarray(x, dtype=float)
+    ys = np.asarray(y, dtype=float)
+    if np.any(xs <= 0) or np.any(ys <= 0):
+        raise AnalysisError("power_law_fit requires strictly positive x and y")
+    return linear_fit(np.log(xs), np.log(ys))
+
+
+def log_log_slope(x: Sequence[float], y: Sequence[float]) -> float:
+    """The log-log OLS slope of ``y`` against ``x`` (the power-law exponent)."""
+    return power_law_fit(x, y).slope
+
+
+def mean_confidence_interval(
+    samples: Iterable[float], level: float = 0.95
+) -> ConfidenceInterval:
+    """Normal-approximation confidence interval for the mean of ``samples``.
+
+    Uses the z quantile rather than Student's t: every caller in this
+    package averages dozens-to-thousands of Monte-Carlo samples, where the
+    two are indistinguishable.
+    """
+    values = np.asarray(list(samples), dtype=float)
+    if values.size == 0:
+        raise AnalysisError("cannot compute a confidence interval of no samples")
+    if not 0.0 < level < 1.0:
+        raise AnalysisError(f"confidence level must be in (0, 1), got {level}")
+    mean = float(np.mean(values))
+    if values.size == 1:
+        return ConfidenceInterval(mean, math.inf, level)
+    stderr = float(np.std(values, ddof=1)) / math.sqrt(values.size)
+    z = _normal_quantile(0.5 + level / 2.0)
+    return ConfidenceInterval(mean, z * stderr, level)
+
+
+def geometric_spaced(low: int, high: int, count: int) -> np.ndarray:
+    """Distinct integers roughly geometrically spaced over ``[low, high]``.
+
+    This is how every m- or n-sweep in the experiments is laid out: the
+    paper's figures all use logarithmic x axes, so sample points should be
+    even in log space.  Duplicates arising from rounding are removed, so the
+    result may contain fewer than ``count`` values.
+
+    Examples
+    --------
+    >>> geometric_spaced(1, 1000, 4).tolist()
+    [1, 10, 100, 1000]
+    """
+    if low < 1:
+        raise AnalysisError(f"low must be >= 1 for geometric spacing, got {low}")
+    if high < low:
+        raise AnalysisError(f"high ({high}) must be >= low ({low})")
+    if count < 1:
+        raise AnalysisError(f"count must be >= 1, got {count}")
+    if count == 1 or high == low:
+        return np.unique(np.asarray([low, high], dtype=np.int64))[:count]
+    points = np.geomspace(low, high, count)
+    return np.unique(np.rint(points).astype(np.int64))
+
+
+def _normal_quantile(p: float) -> float:
+    """Inverse standard-normal CDF via the Acklam rational approximation.
+
+    Accurate to ~1e-9 over (0, 1); avoids a scipy dependency in the core
+    library (scipy is only required for the test extras).
+    """
+    if not 0.0 < p < 1.0:
+        raise AnalysisError(f"quantile probability must be in (0, 1), got {p}")
+    # Coefficients from Peter Acklam's algorithm.
+    a = (-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00)
+    b = (-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00)
+    p_low, p_high = 0.02425, 1.0 - 0.02425
+    if p < p_low:
+        q = math.sqrt(-2.0 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        )
+    if p > p_high:
+        q = math.sqrt(-2.0 * math.log(1.0 - p))
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        )
+    q = p - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+        ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0
+    )
+
+
+def pairwise_mean_distance(distance_rows: np.ndarray) -> float:
+    """Mean pairwise distance given a (k, k) matrix of distances.
+
+    The diagonal is ignored.  Used by the affinity model, where ``d̂(α)`` is
+    the mean inter-receiver distance of a configuration.
+    """
+    matrix = np.asarray(distance_rows, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise AnalysisError(
+            f"expected a square distance matrix, got shape {matrix.shape}"
+        )
+    k = matrix.shape[0]
+    if k < 2:
+        return 0.0
+    total = float(np.sum(matrix)) - float(np.trace(matrix))
+    return total / (k * (k - 1))
+
+
+def running_mean(values: Sequence[float]) -> np.ndarray:
+    """Cumulative running mean of ``values`` (used for MCMC diagnostics)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return arr
+    return np.cumsum(arr) / np.arange(1, arr.size + 1)
+
+
+def relative_error(measured: float, expected: float) -> float:
+    """``|measured − expected| / |expected|`` with a 0/0 → 0 convention."""
+    if expected == 0.0:
+        return 0.0 if measured == 0.0 else math.inf
+    return abs(measured - expected) / abs(expected)
+
+
+def describe(values: Sequence[float]) -> Tuple[float, float, float, float]:
+    """Return ``(min, mean, max, std)`` of ``values`` as floats."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise AnalysisError("cannot describe an empty sequence")
+    return (
+        float(arr.min()),
+        float(arr.mean()),
+        float(arr.max()),
+        float(arr.std(ddof=0)),
+    )

@@ -1,0 +1,68 @@
+"""Plain-text table rendering.
+
+Benchmarks and the CLI print their outputs as aligned text tables — the
+reproduction equivalents of the paper's Table 1 and per-figure data series.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def _render_cell(value: Cell, float_format: str) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    float_format: str = ".4g",
+    title: Optional[str] = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned text table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of rows; each row must have ``len(headers)`` cells.
+        ``None`` cells render as ``-``; floats use ``float_format``.
+    float_format:
+        Format spec applied to float cells.
+    title:
+        Optional title line printed above the table.
+
+    Returns
+    -------
+    str
+        The table, ending without a trailing newline.
+    """
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        cells = list(row)
+        if len(cells) != len(headers):
+            raise ValueError(
+                f"row has {len(cells)} cells but table has {len(headers)} columns"
+            )
+        rendered.append([_render_cell(cell, float_format) for cell in cells])
+
+    widths = [max(len(r[i]) for r in rendered) for i in range(len(headers))]
+    separator = "-+-".join("-" * w for w in widths)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(cell.ljust(w) for cell, w in zip(rendered[0], widths)))
+    lines.append(separator)
+    for row_cells in rendered[1:]:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row_cells, widths)))
+    return "\n".join(lines)

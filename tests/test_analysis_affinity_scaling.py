@@ -1,0 +1,201 @@
+"""Tests for :mod:`repro.analysis.affinity_theory` and ``scaling``."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.affinity_theory import (
+    affinity_marginal,
+    affinity_tree_size,
+    affinity_tree_size_with_replacement,
+    disaffinity_marginal,
+    disaffinity_tree_size,
+    disaffinity_tree_size_with_replacement,
+)
+from repro.analysis.scaling import (
+    CHUANG_SIRBU_EXPONENT,
+    chuang_sirbu_prediction,
+    draws_for_expected_distinct,
+    expected_distinct,
+    fit_scaling_exponent,
+    multicast_efficiency,
+)
+from repro.exceptions import AnalysisError
+
+
+class TestDisaffinityClosedForms:
+    def test_marginal_sequence_binary(self):
+        got = disaffinity_marginal(2, 5, np.arange(0, 8)).tolist()
+        assert got == [5, 5, 4, 4, 3, 3, 3, 3]
+
+    def test_marginal_sequence_ternary(self):
+        got = disaffinity_marginal(3, 4, np.arange(0, 9)).tolist()
+        assert got == [4, 4, 4, 3, 3, 3, 3, 3, 3]
+
+    def test_eq36_at_powers_of_k(self):
+        """The paper's explicit anchors: L(1) = D, L(k) = kD, and
+        L(k²) = kD + k(k−1)(D−1)."""
+        for k, depth in [(2, 6), (3, 4)]:
+            assert int(disaffinity_tree_size(k, depth, 1)) == depth
+            assert int(disaffinity_tree_size(k, depth, k)) == k * depth
+            assert int(disaffinity_tree_size(k, depth, k * k)) == (
+                k * depth + k * (k - 1) * (depth - 1)
+            )
+
+    def test_tree_size_equals_marginal_sum_everywhere(self):
+        k, depth = 3, 3
+        for m in range(1, 28):
+            marginals = disaffinity_marginal(k, depth, np.arange(m))
+            assert int(disaffinity_tree_size(k, depth, m)) == int(
+                marginals.sum()
+            )
+
+    def test_full_tree_when_all_leaves_taken(self):
+        k, depth = 2, 5
+        total_links = sum(k**l for l in range(1, depth + 1))
+        assert int(disaffinity_tree_size(k, depth, k**depth)) == total_links
+
+    def test_matches_greedy_placement(self):
+        from repro.graph.paths import bfs
+        from repro.multicast.affinity import extreme_placement
+        from repro.topology.kary import kary_tree
+
+        tree = kary_tree(3, 3)
+        forest = bfs(tree.graph, 0)
+        _, sizes = extreme_placement(forest, tree.leaves(), 27, "disaffinity")
+        theory = disaffinity_tree_size(3, 3, np.arange(1, 28))
+        assert np.array_equal(sizes, theory)
+
+    def test_with_replacement_clips_at_population(self):
+        k, depth = 2, 4
+        full = int(disaffinity_tree_size(k, depth, k**depth))
+        got = disaffinity_tree_size_with_replacement(
+            k, depth, np.array([100, 1000])
+        )
+        assert got.tolist() == [full, full]
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            disaffinity_tree_size(1, 4, 1)
+        with pytest.raises(AnalysisError):
+            disaffinity_tree_size(2, 4, 0)
+        with pytest.raises(AnalysisError):
+            disaffinity_tree_size(2, 4, 17)
+        with pytest.raises(AnalysisError):
+            disaffinity_marginal(2, 4, 16)
+
+
+class TestAffinityClosedForms:
+    def test_marginal_is_ruler_sequence_binary(self):
+        got = affinity_marginal(2, 5, np.arange(0, 8)).tolist()
+        assert got == [5, 1, 2, 1, 3, 1, 2, 1]
+
+    def test_marginal_ternary(self):
+        got = affinity_marginal(3, 3, np.arange(0, 10)).tolist()
+        assert got == [3, 1, 1, 2, 1, 1, 2, 1, 1, 3]
+
+    def test_eq38_at_powers_of_k(self):
+        """L_inf(k^l) = D − l + (k^{l+1} − k)/(k − 1)."""
+        for k, depth in [(2, 6), (3, 4)]:
+            for level in range(0, depth + 1):
+                m = k**level
+                expected = depth - level + (k ** (level + 1) - k) // (k - 1)
+                assert int(affinity_tree_size(k, depth, m)) == expected
+
+    def test_tree_size_equals_marginal_sum(self):
+        k, depth = 2, 5
+        for m in range(1, 33):
+            marginals = affinity_marginal(k, depth, np.arange(m))
+            assert int(affinity_tree_size(k, depth, m)) == int(marginals.sum())
+
+    def test_matches_greedy_placement(self):
+        from repro.graph.paths import bfs
+        from repro.multicast.affinity import extreme_placement
+        from repro.topology.kary import kary_tree
+
+        tree = kary_tree(2, 6)
+        forest = bfs(tree.graph, 0)
+        _, sizes = extreme_placement(forest, tree.leaves(), 64, "affinity")
+        theory = affinity_tree_size(2, 6, np.arange(1, 65))
+        assert np.array_equal(sizes, theory)
+
+    def test_affinity_below_disaffinity(self):
+        k, depth = 2, 7
+        m = np.arange(2, 2**depth)
+        packed = affinity_tree_size(k, depth, m)
+        spread = disaffinity_tree_size(k, depth, m)
+        # Never above, and strictly below until the tree saturates.
+        assert np.all(packed <= spread)
+        mid = m <= 2 ** (depth - 1)
+        assert np.all(packed[mid] < spread[mid])
+
+    def test_with_replacement_is_constant_depth(self):
+        got = affinity_tree_size_with_replacement(9, np.array([1, 10, 10000]))
+        assert got.tolist() == [9, 9, 9]
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            affinity_tree_size(2, 0, 1)
+        with pytest.raises(AnalysisError):
+            affinity_tree_size_with_replacement(5, 0)
+
+
+class TestScalingLaw:
+    def test_expected_distinct_limits(self):
+        assert float(expected_distinct(0, 100)) == 0.0
+        assert float(expected_distinct(1, 100)) == pytest.approx(1.0)
+        assert float(expected_distinct(1e9, 100)) == pytest.approx(100.0)
+
+    def test_expected_distinct_below_both_n_and_population(self):
+        n = np.arange(1, 200)
+        m = expected_distinct(n, 50)
+        assert np.all(m <= n)
+        assert np.all(m <= 50)
+
+    def test_conversion_roundtrip(self):
+        m = np.array([1.0, 7.0, 31.0, 99.0])
+        n = draws_for_expected_distinct(m, 128)
+        assert np.allclose(expected_distinct(n, 128), m)
+
+    def test_large_m_limit_of_conversion(self):
+        """n(m) → −M·ln(1 − m/M) as M grows (the Section-3 limit)."""
+        big_m = 1e7
+        m = np.array([1e5, 5e6])
+        exact = draws_for_expected_distinct(m, big_m)
+        limit = -big_m * np.log1p(-m / big_m)
+        assert np.allclose(exact, limit, rtol=1e-4)
+
+    def test_conversion_rejects_m_at_population(self):
+        with pytest.raises(AnalysisError):
+            draws_for_expected_distinct(10.0, 10)
+
+    def test_prediction_anchor(self):
+        assert float(chuang_sirbu_prediction(1.0)) == 1.0
+        assert float(chuang_sirbu_prediction(10.0)) == pytest.approx(10**0.8)
+
+    def test_fit_recovers_planted_exponent(self, rng):
+        m = np.geomspace(2, 1000, 20)
+        series = 3.0 * m**0.8 * np.exp(rng.normal(0, 0.01, m.size))
+        fit = fit_scaling_exponent(m, series)
+        assert fit.slope == pytest.approx(0.8, abs=0.02)
+
+    def test_fit_drops_m_of_one(self):
+        m = np.array([1.0, 2.0, 4.0, 8.0])
+        series = m**0.5
+        series[0] = 99.0  # garbage at the anchor must not matter
+        fit = fit_scaling_exponent(m, series)
+        assert fit.slope == pytest.approx(0.5)
+
+    def test_fit_needs_two_points(self):
+        with pytest.raises(AnalysisError):
+            fit_scaling_exponent([1.0, 1.0], [1.0, 1.0])
+
+    def test_efficiency(self):
+        got = multicast_efficiency([50.0], [10.0], [5.0])
+        assert float(got[0]) == pytest.approx(1.0)
+        with pytest.raises(AnalysisError):
+            multicast_efficiency([1.0], [0.0], [5.0])
+
+    def test_constant_is_exported(self):
+        assert CHUANG_SIRBU_EXPONENT == 0.8

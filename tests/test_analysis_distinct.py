@@ -1,0 +1,123 @@
+"""Tests for :mod:`repro.analysis.kary_distinct`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.kary_distinct import conversion_error, lm_leaf_distinct_exact
+from repro.exceptions import AnalysisError
+
+
+class TestExactDistinct:
+    def test_single_receiver_is_depth(self):
+        for k, depth in [(2, 5), (3, 4), (4, 3)]:
+            assert float(lm_leaf_distinct_exact(k, depth, 1)) == pytest.approx(
+                depth
+            )
+
+    def test_all_leaves_is_full_tree(self):
+        k, depth = 2, 6
+        full = sum(k**l for l in range(1, depth + 1))
+        assert float(
+            lm_leaf_distinct_exact(k, depth, k**depth)
+        ) == pytest.approx(full)
+
+    def test_monotone_in_m(self):
+        m = np.arange(1, 65)
+        values = lm_leaf_distinct_exact(2, 6, m)
+        assert np.all(np.diff(values) > 0)
+
+    def test_concave_in_m(self):
+        m = np.arange(1, 33)
+        values = lm_leaf_distinct_exact(2, 5, m)
+        assert np.all(np.diff(values, 2) < 1e-9)
+
+    def test_matches_monte_carlo(self, rng):
+        from repro.graph.paths import bfs
+        from repro.multicast.tree import MulticastTreeCounter
+        from repro.topology.kary import kary_tree
+
+        tree = kary_tree(3, 3)
+        counter = MulticastTreeCounter(bfs(tree.graph, 0))
+        leaves = tree.leaves()
+        for m in (2, 9, 20):
+            samples = [
+                counter.tree_size(rng.choice(leaves, size=m, replace=False))
+                for _ in range(1500)
+            ]
+            assert np.mean(samples) == pytest.approx(
+                float(lm_leaf_distinct_exact(3, 3, m)), rel=0.03
+            )
+
+    def test_exact_brute_force_tiny_tree(self):
+        """Enumerate every receiver subset of a k=2, D=2 tree."""
+        from itertools import combinations
+
+        from repro.graph.paths import bfs
+        from repro.multicast.tree import MulticastTreeCounter
+        from repro.topology.kary import kary_tree
+
+        tree = kary_tree(2, 2)
+        counter = MulticastTreeCounter(bfs(tree.graph, 0))
+        leaves = tree.leaves().tolist()
+        for m in (1, 2, 3, 4):
+            sizes = [
+                counter.tree_size(list(combo))
+                for combo in combinations(leaves, m)
+            ]
+            assert float(lm_leaf_distinct_exact(2, 2, m)) == pytest.approx(
+                float(np.mean(sizes))
+            )
+
+    def test_dominates_with_replacement_at_same_count(self):
+        """m distinct receivers need at least as many links as m draws
+        with replacement (duplicates waste draws)."""
+        from repro.analysis.kary_exact import lhat_leaf
+
+        m = np.arange(1, 32)
+        distinct = lm_leaf_distinct_exact(2, 5, m)
+        replacement = lhat_leaf(2, 5, m)
+        assert np.all(distinct >= replacement - 1e-9)
+
+    def test_numerical_stability_paper_scale(self):
+        m = np.array([1, 10, 1000, 100000, 131071, 131072])
+        values = lm_leaf_distinct_exact(2, 17, m)
+        assert np.all(np.isfinite(values))
+        assert np.all(np.diff(values) >= 0)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            lm_leaf_distinct_exact(1, 4, 1)
+        with pytest.raises(AnalysisError):
+            lm_leaf_distinct_exact(2.5, 4, 1)
+        with pytest.raises(AnalysisError):
+            lm_leaf_distinct_exact(2, 0, 1)
+        with pytest.raises(AnalysisError):
+            lm_leaf_distinct_exact(2, 4, 0)
+        with pytest.raises(AnalysisError):
+            lm_leaf_distinct_exact(2, 4, 17)
+        with pytest.raises(AnalysisError):
+            lm_leaf_distinct_exact(2, 4, 2.5)
+
+
+class TestConversionError:
+    def test_error_small_everywhere(self):
+        m = np.unique(np.geomspace(1, 2**10, 12).astype(int))
+        err = conversion_error(2, 10, m)
+        assert float(np.abs(err).max()) < 0.01
+
+    def test_error_shrinks_with_tree_size(self):
+        """The paper's large-M exactness claim, quantified: error decays
+        monotonically with depth."""
+        worst = []
+        for depth in (4, 6, 8, 10):
+            m = np.unique(np.geomspace(1, 2**depth, 10).astype(int))
+            worst.append(float(np.abs(conversion_error(2, depth, m)).max()))
+        assert all(a > b for a, b in zip(worst, worst[1:]))
+
+    def test_error_zero_at_endpoints(self):
+        # m = 1 converts exactly (n(1) ≈ 1); m = M forces the full tree.
+        err = conversion_error(2, 6, np.array([1, 64]))
+        assert abs(float(err[0])) < 1e-9
+        assert abs(float(err[1])) < 1e-9

@@ -1,0 +1,207 @@
+"""Tests for :mod:`repro.analysis.general` and ``reachability_models``."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.general import (
+    delta2_from_rings,
+    lhat_from_rings_leaf,
+    lhat_from_rings_throughout,
+    mean_distance_from_rings,
+    normalized_series,
+)
+from repro.analysis.kary_exact import lhat_leaf, lhat_throughout
+from repro.analysis.reachability_models import (
+    exponential_rings,
+    figure8_families,
+    power_law_rings,
+    super_exponential_rings,
+)
+from repro.exceptions import AnalysisError
+
+
+def kary_rings(k: int, depth: int) -> np.ndarray:
+    return np.concatenate([[1.0], float(k) ** np.arange(1, depth + 1)])
+
+
+class TestRingPredictors:
+    def test_leaf_collapses_to_kary_exact(self):
+        """Eq. 23 with S(r) = k^r equals Eq. 4 exactly."""
+        n = np.array([1.0, 5.0, 40.0, 300.0])
+        for k, depth in [(2, 8), (3, 5)]:
+            assert np.allclose(
+                lhat_from_rings_leaf(kary_rings(k, depth), n),
+                lhat_leaf(k, depth, n),
+            )
+
+    def test_throughout_collapses_to_kary_exact(self):
+        """Eq. 30 with S(r) = k^r equals Eq. 21 exactly."""
+        n = np.array([1.0, 7.0, 65.0])
+        for k, depth in [(2, 7), (4, 4)]:
+            assert np.allclose(
+                lhat_from_rings_throughout(kary_rings(k, depth), n),
+                lhat_throughout(k, depth, n),
+            )
+
+    def test_leaf_at_one_receiver_is_depth(self):
+        rings = kary_rings(2, 9)
+        assert float(lhat_from_rings_leaf(rings, 1)) == pytest.approx(9.0)
+
+    def test_throughout_at_one_is_mean_distance(self):
+        rings = kary_rings(2, 6)
+        got = float(lhat_from_rings_throughout(rings, 1))
+        assert got == pytest.approx(mean_distance_from_rings(rings))
+
+    def test_saturation(self):
+        rings = np.array([1.0, 3.0, 9.0])
+        total_links = 12.0
+        assert float(lhat_from_rings_leaf(rings, 1e9)) == pytest.approx(
+            total_links
+        )
+
+    def test_delta2_matches_finite_difference(self):
+        rings = kary_rings(2, 6)
+        n = np.arange(0, 40, dtype=float)
+        lhat = lhat_from_rings_leaf(rings, n)
+        assert np.allclose(delta2_from_rings(rings, n[:-2]), np.diff(lhat, 2))
+
+    def test_monotone_and_concave(self):
+        rings = np.array([1.0, 4.0, 9.0, 20.0, 44.0])
+        n = np.arange(0, 100, dtype=float)
+        values = lhat_from_rings_throughout(rings, n)
+        assert np.all(np.diff(values) > 0)
+        assert np.all(np.diff(values, 2) < 0)
+
+    def test_mean_distance(self):
+        rings = np.array([1.0, 2.0, 2.0])  # 2 at distance 1, 2 at distance 2
+        assert mean_distance_from_rings(rings) == pytest.approx(1.5)
+
+    def test_rejects_malformed_rings(self):
+        with pytest.raises(AnalysisError):
+            lhat_from_rings_leaf(np.array([1.0]), 3)
+        with pytest.raises(AnalysisError):
+            lhat_from_rings_leaf(np.array([1.0, 0.0, 4.0]), 3)
+        with pytest.raises(AnalysisError):
+            lhat_from_rings_leaf(np.array([[1.0, 2.0]]), 3)
+
+    def test_rejects_negative_n(self):
+        with pytest.raises(AnalysisError):
+            lhat_from_rings_leaf(kary_rings(2, 4), -2)
+
+
+class TestNormalizedSeries:
+    def test_leaf_normalization_starts_at_one(self):
+        rings = kary_rings(2, 10)
+        series = normalized_series(rings, np.array([1.0]), receivers="leaf")
+        assert float(series[0]) == pytest.approx(1.0)
+
+    def test_throughout_normalization_starts_at_one(self):
+        rings = kary_rings(2, 10)
+        series = normalized_series(
+            rings, np.array([1.0]), receivers="throughout"
+        )
+        assert float(series[0]) == pytest.approx(1.0)
+
+    def test_series_decreasing(self):
+        rings = kary_rings(2, 12)
+        n = np.geomspace(1, 4096, 12)
+        series = normalized_series(rings, n, receivers="leaf")
+        assert np.all(np.diff(series) < 0)
+
+    def test_exponential_is_linear_in_log_n(self):
+        """The core Section-4 claim, checked numerically."""
+        from repro.utils.stats import linear_fit
+
+        rings = exponential_rings(20, base=2.0)
+        n = np.geomspace(10, 2**20 / 4, 15)
+        series = normalized_series(rings, n, receivers="leaf")
+        fit = linear_fit(np.log(n), series)
+        assert fit.r_squared > 0.999
+
+    def test_power_law_is_not_linear_in_log_n(self):
+        from repro.utils.stats import linear_fit
+
+        families = figure8_families(depth=20)
+        n = np.geomspace(10, 2**20 / 4, 15)
+        series = normalized_series(
+            families["power_law"], n, receivers="leaf"
+        )
+        fit = linear_fit(np.log(n), series)
+        assert fit.r_squared < 0.99
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(AnalysisError):
+            normalized_series(kary_rings(2, 4), [1.0], receivers="sideways")
+
+    def test_rejects_zero_n(self):
+        with pytest.raises(AnalysisError):
+            normalized_series(kary_rings(2, 4), [0.0])
+
+
+class TestSyntheticFamilies:
+    def test_exponential_values(self):
+        rings = exponential_rings(4, base=3.0)
+        assert rings.tolist() == [1.0, 3.0, 9.0, 27.0, 81.0]
+
+    def test_power_law_hits_horizon(self):
+        rings = power_law_rings(10, exponent=2.5, horizon_size=500.0)
+        assert rings[-1] == pytest.approx(500.0)
+        assert rings[0] == 1.0
+
+    def test_super_exponential_hits_horizon(self):
+        rings = super_exponential_rings(8, horizon_size=1e5)
+        assert rings[-1] == pytest.approx(1e5)
+
+    def test_super_exponential_grows_faster_than_exponential_near_horizon(self):
+        depth = 12
+        families = figure8_families(depth=depth)
+        exp = families["exponential"]
+        sup = families["super_exponential"]
+        # Same endpoint, but super-exponential is below at mid-range
+        # (it back-loads its growth).
+        mid = depth // 2
+        assert sup[mid] < exp[mid]
+        assert sup[-1] == pytest.approx(exp[-1])
+
+    def test_families_share_horizon(self):
+        families = figure8_families(depth=15, base=2.0)
+        values = {name: rings[-1] for name, rings in families.items()}
+        assert all(v == pytest.approx(2.0**15) for v in values.values())
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            exponential_rings(5, base=1.0)
+        with pytest.raises(AnalysisError):
+            power_law_rings(5, exponent=0.0, horizon_size=10)
+        with pytest.raises(AnalysisError):
+            super_exponential_rings(5, horizon_size=1.0)
+        with pytest.raises(AnalysisError):
+            exponential_rings(0)
+
+
+class TestVarianceFromRings:
+    def test_overestimates_exact_on_trees(self):
+        """Disjoint subtrees compete for receivers (negative
+        correlation), so assuming independence over-counts the
+        variance — the conservative direction for sample sizing."""
+        from repro.analysis.general import variance_from_rings_leaf
+        from repro.analysis.kary_variance import lhat_leaf_variance
+
+        n = np.array([4.0, 16.0, 64.0])
+        rings = kary_rings(2, 6)
+        approx = variance_from_rings_leaf(rings, n)
+        exact = lhat_leaf_variance(2, 6, n)
+        assert np.all(approx >= exact - 1e-9)
+        # ...and stays within the right order of magnitude.
+        assert np.all(approx < 4.0 * exact)
+
+    def test_zero_at_boundaries(self):
+        from repro.analysis.general import variance_from_rings_leaf
+
+        rings = kary_rings(2, 5)
+        assert float(variance_from_rings_leaf(rings, 0)) == pytest.approx(0.0)
+        assert float(
+            variance_from_rings_leaf(rings, 1e9)
+        ) == pytest.approx(0.0, abs=1e-6)

@@ -1,0 +1,227 @@
+"""Tests for :mod:`repro.analysis.kary_exact` and ``kary_asymptotic``."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.kary_asymptotic import (
+    delta2_asymptotic,
+    h_exact,
+    h_predicted,
+    lhat_asymptotic,
+    lhat_per_receiver_predicted,
+    lm_asymptotic,
+    lm_exact_via_conversion,
+)
+from repro.analysis.kary_exact import (
+    delta2_lhat,
+    delta_lhat,
+    lhat_leaf,
+    lhat_throughout,
+    num_interior_sites,
+    num_leaf_sites,
+)
+from repro.exceptions import AnalysisError
+
+
+class TestExactSums:
+    def test_lhat_at_zero_is_zero(self):
+        assert float(lhat_leaf(2, 6, 0)) == pytest.approx(0.0)
+        assert float(lhat_throughout(2, 6, 0)) == pytest.approx(0.0)
+
+    def test_lhat_at_one_is_depth(self):
+        """One leaf receiver needs exactly D links."""
+        for k, depth in [(2, 5), (3, 4), (4, 3)]:
+            assert float(lhat_leaf(k, depth, 1)) == pytest.approx(depth)
+
+    def test_lhat_saturates_at_full_tree(self):
+        """As n → ∞, every link ends up in the tree."""
+        k, depth = 2, 6
+        full = sum(k**l for l in range(1, depth + 1))
+        assert float(lhat_leaf(k, depth, 1e9)) == pytest.approx(full)
+        assert float(lhat_throughout(k, depth, 1e9)) == pytest.approx(full)
+
+    def test_lhat_monotone_in_n(self):
+        n = np.arange(0, 300)
+        values = lhat_leaf(3, 5, n)
+        assert np.all(np.diff(values) > 0)
+
+    def test_lhat_concave_in_n(self):
+        """Marginal receivers add ever fewer links (Δ² < 0)."""
+        n = np.arange(0, 200)
+        values = lhat_leaf(2, 8, n)
+        second = np.diff(values, 2)
+        assert np.all(second < 0)
+
+    def test_throughout_at_one_is_mean_site_depth(self):
+        """One uniform receiver costs the average level of non-root sites."""
+        k, depth = 2, 5
+        levels = np.arange(1, depth + 1)
+        weights = np.array([k**l for l in levels], dtype=float)
+        expected = float(np.dot(levels, weights) / weights.sum())
+        assert float(lhat_throughout(k, depth, 1)) == pytest.approx(expected)
+
+    def test_throughout_below_leaf_for_same_n(self):
+        """Interior receivers are closer, so the tree is smaller."""
+        n = np.array([2.0, 8.0, 32.0])
+        assert np.all(lhat_throughout(2, 7, n) < lhat_leaf(2, 7, n))
+
+    def test_discrete_derivative_identities(self):
+        """ΔL̂ and Δ²L̂ match finite differences of L̂."""
+        k, depth = 3, 4
+        n = np.arange(0, 60, dtype=float)
+        lhat = lhat_leaf(k, depth, n)
+        assert np.allclose(delta_lhat(k, depth, n[:-1]), np.diff(lhat))
+        assert np.allclose(delta2_lhat(k, depth, n[:-2]), np.diff(lhat, 2))
+
+    def test_real_valued_k(self):
+        """k is a continuous parameter (the paper varies it toward 1)."""
+        value = float(lhat_leaf(1.5, 6, 10))
+        assert value > 0
+        between = float(lhat_leaf(2.0, 6, 10))
+        assert value != between
+
+    def test_rejects_k_at_most_one(self):
+        with pytest.raises(AnalysisError):
+            lhat_leaf(1.0, 5, 3)
+        with pytest.raises(AnalysisError):
+            lhat_leaf(0.5, 5, 3)
+
+    def test_rejects_negative_n(self):
+        with pytest.raises(AnalysisError):
+            lhat_leaf(2, 5, -1)
+
+    def test_site_counts(self):
+        assert num_leaf_sites(2, 10) == pytest.approx(1024)
+        assert num_interior_sites(2, 3) == pytest.approx(14)  # 2+4+8
+
+    def test_numerical_stability_at_paper_scale(self):
+        """D = 17 (M = 131072) with huge n must stay finite and ordered."""
+        n = np.geomspace(1, 1e7, 40)
+        values = lhat_leaf(2, 17, n)
+        assert np.all(np.isfinite(values))
+        assert np.all(np.diff(values) >= 0)
+
+
+class TestMonteCarloAgreement:
+    @pytest.mark.parametrize("k,depth", [(2, 5), (3, 3)])
+    def test_leaf_formula_matches_simulation(self, k, depth, rng):
+        from repro.graph.paths import bfs
+        from repro.multicast.tree import MulticastTreeCounter
+        from repro.topology.kary import kary_tree
+
+        tree = kary_tree(k, depth)
+        counter = MulticastTreeCounter(bfs(tree.graph, 0))
+        leaves = tree.leaves()
+        for n in (2, 7, 19):
+            samples = [
+                counter.tree_size(leaves[rng.integers(0, len(leaves), n)])
+                for _ in range(600)
+            ]
+            assert np.mean(samples) == pytest.approx(
+                float(lhat_leaf(k, depth, n)), rel=0.04
+            )
+
+    def test_throughout_formula_matches_simulation(self, rng):
+        from repro.graph.paths import bfs
+        from repro.multicast.tree import MulticastTreeCounter
+        from repro.topology.kary import kary_tree
+
+        tree = kary_tree(2, 5)
+        counter = MulticastTreeCounter(bfs(tree.graph, 0))
+        pool = tree.non_root_nodes()
+        for n in (3, 11):
+            samples = [
+                counter.tree_size(pool[rng.integers(0, len(pool), n)])
+                for _ in range(600)
+            ]
+            assert np.mean(samples) == pytest.approx(
+                float(lhat_throughout(2, 5, n)), rel=0.04
+            )
+
+
+class TestAsymptotics:
+    def test_h_prediction_linear_in_x(self):
+        x = np.array([0.1, 0.2, 0.4])
+        assert np.allclose(h_predicted(4, 2 * x), 2 * h_predicted(4, x))
+
+    def test_h_exact_close_to_prediction_k2(self):
+        """The paper's Figure-2 claim: a good fit for x > 1/D at k = 2."""
+        x = np.linspace(0.1, 1.0, 20)
+        exact = h_exact(2, 14, x)
+        predicted = h_predicted(2, x)
+        assert np.max(np.abs(exact - predicted)) < 0.02
+
+    def test_h_exact_oscillates_more_for_k4(self):
+        x = np.linspace(0.1, 1.0, 60)
+        err2 = np.abs(h_exact(2, 14, x) - h_predicted(2, x)).max()
+        err4 = np.abs(h_exact(4, 7, x) - h_predicted(4, x)).max()
+        assert err4 > err2
+
+    def test_h_rejects_nonpositive_x(self):
+        with pytest.raises(AnalysisError):
+            h_exact(2, 10, 0.0)
+
+    def test_delta2_asymptotic_tracks_exact(self):
+        """Eq. 9 approximates Eq. 6 in the large-n, fixed-x regime."""
+        k, depth = 2, 14
+        big_m = num_leaf_sites(k, depth)
+        n = np.array([0.1, 0.3, 0.6]) * big_m
+        exact = delta2_lhat(k, depth, n)
+        approx = delta2_asymptotic(k, depth, n)
+        assert np.allclose(exact, approx, rtol=0.15)
+
+    def test_line_prediction_values(self):
+        """At n = M the predicted per-receiver size is 1/ln k."""
+        assert float(
+            lhat_per_receiver_predicted(2, 1.0)
+        ) == pytest.approx(1 / np.log(2))
+
+    def test_exact_follows_line_in_linear_regime(self):
+        k, depth = 2, 14
+        big_m = num_leaf_sites(k, depth)
+        n = np.geomspace(10, big_m / 8, 12)
+        exact = lhat_leaf(k, depth, n) / n
+        line = lhat_per_receiver_predicted(k, n / big_m)
+        # Within an additive constant below ~0.5 (paper: "within an
+        # additive constant").
+        assert np.max(np.abs(exact - line)) < 0.5
+
+    def test_lhat_asymptotic_boundary_conditions(self):
+        # The integrated form has small boundary offsets: L̂(0) = 1/ln k
+        # and L̂(1) = D + (2 − 2 ln 2)/ln k — both within ~1.5 of the
+        # exact values 0 and D.
+        assert abs(float(lhat_asymptotic(2, 10, 0))) < 1.5
+        assert float(lhat_asymptotic(2, 10, 1)) == pytest.approx(10, abs=1.5)
+
+
+class TestLmConversion:
+    def test_lm_at_m1_is_depth(self):
+        assert float(lm_exact_via_conversion(2, 8, 1.0)) == pytest.approx(
+            8.0, rel=0.01
+        )
+
+    def test_lm_close_to_power_law(self):
+        """Figure 4's claim: within a modest band of m^0.8 over 4 decades."""
+        k, depth = 2, 14
+        big_m = num_leaf_sites(k, depth)
+        m = np.geomspace(1, big_m * 0.5, 30)
+        normalized = lm_exact_via_conversion(k, depth, m) / depth
+        law = m**0.8
+        log_dev = np.abs(np.log(normalized) - np.log(law))
+        assert np.max(log_dev) < 0.6  # within a factor ~1.8 over 4 decades
+
+    def test_lm_asymptotic_tracks_exact(self):
+        k, depth = 2, 12
+        big_m = num_leaf_sites(k, depth)
+        m = np.geomspace(20, big_m * 0.5, 10)
+        exact = lm_exact_via_conversion(k, depth, m)
+        approx = lm_asymptotic(k, depth, m)
+        assert np.allclose(exact, approx, rtol=0.25)
+
+    def test_lm_rejects_m_at_population(self):
+        with pytest.raises(AnalysisError):
+            lm_exact_via_conversion(2, 5, 32.0)
+        with pytest.raises(AnalysisError):
+            lm_asymptotic(2, 5, 32.0)

@@ -1,0 +1,55 @@
+"""Tests for :mod:`repro.analysis.law_range`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.law_range import LawRange, law_validity_range
+from repro.exceptions import AnalysisError
+
+
+class TestLawValidityRange:
+    def test_basic_fields(self):
+        result = law_validity_range(2, 10)
+        assert isinstance(result, LawRange)
+        assert result.k == 2 and result.depth == 10
+        assert 1.0 <= result.m_low < result.m_high
+        assert 0.0 < result.max_fraction_of_sites <= 1.0
+        assert result.anchored_constant > 0
+
+    def test_band_is_respected(self):
+        result = law_validity_range(2, 12, tolerance=0.25)
+        # Worst in-band deviation is at most the band's edge, 1/(1-t).
+        assert result.worst_ratio_inside <= 1.0 / 0.75 + 1e-6
+
+    def test_anchored_constant_drifts_with_depth(self):
+        """The law's constant is not scale-free — the module's headline
+        finding and the practical content of Eq. 18."""
+        constants = [
+            law_validity_range(2, depth).anchored_constant
+            for depth in (10, 14, 17)
+        ]
+        assert constants[0] < constants[1] < constants[2]
+        assert constants[2] > 1.3 * constants[0]
+
+    def test_wide_band_covers_more(self):
+        narrow = law_validity_range(2, 10, tolerance=0.10)
+        wide = law_validity_range(2, 10, tolerance=0.40)
+        assert wide.m_high >= narrow.m_high
+        assert wide.m_low <= narrow.m_low
+
+    def test_range_large_at_paper_depths(self):
+        """At the paper's Figure-3 depths a +/-25% band spans at least
+        half the sweep — the 'remarkably good' fit quantified."""
+        result = law_validity_range(2, 14)
+        assert result.max_fraction_of_sites > 0.5
+
+    def test_other_degrees(self):
+        result = law_validity_range(4, 7)
+        assert result.m_high > result.m_low
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            law_validity_range(2, 10, tolerance=0.0)
+        with pytest.raises(AnalysisError):
+            law_validity_range(2, 10, tolerance=1.0)

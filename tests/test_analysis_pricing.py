@@ -1,0 +1,104 @@
+"""Tests for :mod:`repro.analysis.pricing`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.pricing import ScalingLawTariff, TariffAudit, audit_tariff
+from repro.exceptions import AnalysisError
+
+
+class TestScalingLawTariff:
+    def test_single_receiver_prices_one_path(self):
+        tariff = ScalingLawTariff(mean_path_length=5.0)
+        assert float(tariff.price(1)) == pytest.approx(5.0)
+
+    def test_default_exponent_is_law(self):
+        tariff = ScalingLawTariff(mean_path_length=4.0)
+        assert float(tariff.price(10)) == pytest.approx(4.0 * 10**0.8)
+
+    def test_unicast_pricing_exponent_one(self):
+        tariff = ScalingLawTariff(mean_path_length=3.0, exponent=1.0)
+        assert float(tariff.price(7)) == pytest.approx(21.0)
+
+    def test_rate_scales_price_not_prediction(self):
+        tariff = ScalingLawTariff(mean_path_length=2.0, rate_per_link=3.0)
+        assert float(tariff.price(4)) == pytest.approx(
+            3.0 * float(tariff.predicted_tree_links(4))
+        )
+
+    def test_vectorized(self):
+        tariff = ScalingLawTariff(mean_path_length=1.0)
+        prices = tariff.price([1, 10, 100])
+        assert prices.shape == (3,)
+        assert np.all(np.diff(prices) > 0)
+
+    def test_sublinear_in_group_size(self):
+        tariff = ScalingLawTariff(mean_path_length=1.0)
+        assert float(tariff.price(100)) < 100 * float(tariff.price(1))
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            ScalingLawTariff(mean_path_length=0.0)
+        with pytest.raises(AnalysisError):
+            ScalingLawTariff(mean_path_length=1.0, exponent=1.5)
+        with pytest.raises(AnalysisError):
+            ScalingLawTariff(mean_path_length=1.0, rate_per_link=0.0)
+        tariff = ScalingLawTariff(mean_path_length=1.0)
+        with pytest.raises(AnalysisError):
+            tariff.price(0)
+
+
+class TestAuditTariff:
+    def test_perfect_tariff(self):
+        tariff = ScalingLawTariff(mean_path_length=5.0)
+        m = np.array([1, 10, 100])
+        audit = audit_tariff(tariff, m, tariff.predicted_tree_links(m))
+        assert audit.mean_absolute_error == pytest.approx(0.0)
+        assert audit.revenue_ratio == pytest.approx(1.0)
+
+    def test_overcharging_detected(self):
+        tariff = ScalingLawTariff(mean_path_length=5.0)
+        m = np.array([4, 16])
+        true_cost = tariff.predicted_tree_links(m) / 1.25
+        audit = audit_tariff(tariff, m, true_cost)
+        assert audit.worst_overcharge == pytest.approx(0.25)
+        assert audit.revenue_ratio == pytest.approx(1.25)
+
+    def test_undercharging_detected(self):
+        tariff = ScalingLawTariff(mean_path_length=5.0)
+        m = np.array([4, 16])
+        audit = audit_tariff(tariff, m, tariff.predicted_tree_links(m) * 2.0)
+        assert audit.worst_undercharge == pytest.approx(-0.5)
+
+    def test_validation(self):
+        tariff = ScalingLawTariff(mean_path_length=1.0)
+        with pytest.raises(AnalysisError):
+            audit_tariff(tariff, [1, 2], [1.0])
+        with pytest.raises(AnalysisError):
+            audit_tariff(tariff, [], [])
+        with pytest.raises(AnalysisError):
+            audit_tariff(tariff, [1], [0.0])
+
+    def test_end_to_end_on_simulation(self):
+        """The 0.8 tariff audits within ~20% on a real topology —
+        the paper's 'sufficiently accurate for the practical purpose'."""
+        from repro.experiments.config import MonteCarloConfig, SweepConfig
+        from repro.experiments.runner import measure_sweep
+        from repro.graph.reachability import average_path_length
+        from repro.topology.registry import build_topology
+
+        graph = build_topology("ts1008", scale=0.3, rng=0)
+        tariff = ScalingLawTariff(
+            mean_path_length=average_path_length(graph, rng=0)
+        )
+        sizes = SweepConfig(points=7).sizes((graph.num_nodes - 1) // 4)
+        sweep = measure_sweep(
+            graph, sizes,
+            config=MonteCarloConfig(num_sources=6, num_receiver_sets=10,
+                                    seed=0),
+        )
+        audit = audit_tariff(tariff, sweep.sizes, sweep.mean_tree_size)
+        assert audit.mean_absolute_error < 0.25
+        assert 0.75 < audit.revenue_ratio < 1.35

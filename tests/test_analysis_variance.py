@@ -1,0 +1,110 @@
+"""Tests for :mod:`repro.analysis.kary_variance`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.kary_variance import (
+    coefficient_of_variation,
+    lhat_leaf_std,
+    lhat_leaf_variance,
+)
+from repro.exceptions import AnalysisError
+
+
+class TestExactVariance:
+    def test_zero_at_n_zero_and_one(self):
+        """No receivers -> empty tree; one leaf receiver -> always D
+        links.  Both are deterministic."""
+        assert float(lhat_leaf_variance(2, 6, 0)) == pytest.approx(0.0)
+        assert float(lhat_leaf_variance(2, 6, 1)) == pytest.approx(
+            0.0, abs=1e-9
+        )
+        assert float(lhat_leaf_variance(3, 4, 1)) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_vanishes_at_saturation(self):
+        """With n -> inf every link is used: deterministic again."""
+        assert float(lhat_leaf_variance(2, 5, 1e9)) == pytest.approx(
+            0.0, abs=1e-6
+        )
+
+    def test_positive_in_between(self):
+        n = np.array([2.0, 8.0, 32.0])
+        assert np.all(lhat_leaf_variance(2, 7, n) > 0)
+
+    @pytest.mark.parametrize("k,depth,n", [(2, 5, 4), (2, 5, 16), (3, 3, 6)])
+    def test_matches_monte_carlo(self, k, depth, n):
+        from repro.graph.paths import bfs
+        from repro.multicast.tree import MulticastTreeCounter
+        from repro.topology.kary import kary_tree
+
+        tree = kary_tree(k, depth)
+        counter = MulticastTreeCounter(bfs(tree.graph, 0))
+        leaves = tree.leaves()
+        rng = np.random.default_rng(1)
+        samples = np.array([
+            counter.tree_size(leaves[rng.integers(0, len(leaves), n)])
+            for _ in range(8000)
+        ])
+        assert samples.var() == pytest.approx(
+            float(lhat_leaf_variance(k, depth, n)), rel=0.08
+        )
+
+    def test_exact_brute_force_tiny_tree(self):
+        """Full enumeration of all receiver draws on k=2, D=2 (M=4):
+        every n-tuple of leaves, exact distribution of L."""
+        from itertools import product
+
+        from repro.graph.paths import bfs
+        from repro.multicast.tree import MulticastTreeCounter
+        from repro.topology.kary import kary_tree
+
+        tree = kary_tree(2, 2)
+        counter = MulticastTreeCounter(bfs(tree.graph, 0))
+        leaves = tree.leaves().tolist()
+        for n in (2, 3):
+            sizes = [
+                counter.tree_size(list(draw))
+                for draw in product(leaves, repeat=n)
+            ]
+            sizes = np.asarray(sizes, dtype=float)
+            assert sizes.var() == pytest.approx(
+                float(lhat_leaf_variance(2, 2, n)), abs=1e-9
+            )
+
+    def test_std_is_sqrt(self):
+        n = np.array([3.0, 9.0])
+        assert np.allclose(
+            lhat_leaf_std(2, 6, n) ** 2, lhat_leaf_variance(2, 6, n)
+        )
+
+    def test_real_valued_k(self):
+        value = float(lhat_leaf_variance(2.5, 5, 6))
+        assert value > 0
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            lhat_leaf_variance(1.0, 5, 2)
+        with pytest.raises(AnalysisError):
+            lhat_leaf_variance(2, 5, -1)
+
+
+class TestConcentration:
+    def test_cv_decays_with_depth(self):
+        """The 'tightly centered' claim: σ/μ falls like M^(-1/2) at
+        fixed x = n/M."""
+        cvs = [
+            float(coefficient_of_variation(2, depth, 0.1 * 2**depth))
+            for depth in (8, 10, 12, 14)
+        ]
+        assert all(a > b for a, b in zip(cvs, cvs[1:]))
+        # CV ∝ M^(-1/2): per 2 depth levels M quadruples, so CV halves.
+        for a, b in zip(cvs, cvs[1:]):
+            assert a / b == pytest.approx(2.0, rel=0.2)
+
+    def test_cv_requires_receivers(self):
+        with pytest.raises(AnalysisError):
+            coefficient_of_variation(2, 6, 0)

@@ -1,0 +1,83 @@
+"""Tests for the ``repro-mcast`` CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_range(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "10"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.seed == 0
+        assert args.scale == 1.0
+        assert not args.paper
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "arpa" in out
+        assert "average degrees span" in out
+
+    def test_topo(self, capsys):
+        assert main(["topo", "arpa"]) == 0
+        out = capsys.readouterr().out
+        assert "nodes          : 47" in out
+        assert "T(r) growth" in out
+
+    def test_topo_unknown_is_error(self, capsys):
+        assert main(["topo", "wat"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_figure_analytic(self, capsys):
+        assert main(["figure", "2", "--no-plot"]) == 0
+        out = capsys.readouterr().out
+        assert "figure-2" in out
+        assert "slope[D=11]" in out
+
+    def test_figure_monte_carlo(self, capsys):
+        assert main(["figure", "7", "--scale", "0.1", "--no-plot"]) == 0
+        out = capsys.readouterr().out
+        assert "figure-7a" in out and "figure-7b" in out
+
+    def test_sweep_with_save(self, capsys, tmp_path):
+        path = tmp_path / "out.json"
+        assert main([
+            "sweep", "r100", "--scale", "1.0", "--points", "5",
+            "--save", str(path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fitted exponent" in out
+        from repro.experiments.results import load_measurements
+
+        loaded = load_measurements(path)
+        assert loaded[0].topology == "r100"
+
+    def test_sweep_replacement_mode(self, capsys):
+        assert main([
+            "sweep", "r100", "--scale", "1.0", "--points", "4",
+            "--mode", "replacement",
+        ]) == 0
+        assert "replacement" in capsys.readouterr().out
+
+    def test_ablation_tiebreak(self, capsys):
+        assert main(["ablation", "tiebreak", "--scale", "0.15",
+                     "--no-plot"]) == 0
+        out = capsys.readouterr().out
+        assert "max relative gap" in out
+
+    def test_ablation_source(self, capsys):
+        assert main(["ablation", "source", "--scale", "0.15",
+                     "--no-plot"]) == 0
+        assert "exponent" in capsys.readouterr().out

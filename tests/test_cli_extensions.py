@@ -1,0 +1,97 @@
+"""Tests for the extension CLI commands (study, all, weighted ablation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestStudyCommand:
+    def test_churn_study(self, capsys):
+        assert main(["study", "churn", "--no-plot"]) == 0
+        out = capsys.readouterr().out
+        assert "extension-churn" in out
+        assert "max relative gap" in out
+
+    def test_popularity_study(self, capsys):
+        assert main(["study", "popularity", "--scale", "0.2",
+                     "--no-plot"]) == 0
+        out = capsys.readouterr().out
+        assert "extension-popularity" in out
+        assert "effective sites" in out
+
+    def test_shared_tree_study(self, capsys):
+        assert main(["study", "shared-tree", "--scale", "0.15",
+                     "--no-plot"]) == 0
+        out = capsys.readouterr().out
+        assert "shared-tree-study" in out
+        assert "overhead" in out
+
+    def test_unknown_study_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["study", "cold-fusion"])
+
+
+class TestWeightedAblationCommand:
+    def test_runs(self, capsys):
+        assert main(["ablation", "weighted", "--scale", "0.15",
+                     "--no-plot"]) == 0
+        out = capsys.readouterr().out
+        assert "exponent[weight]" in out
+
+
+class TestAllCommand:
+    def test_writes_every_artifact(self, capsys, tmp_path):
+        outdir = tmp_path / "repro"
+        assert main([
+            "all", "--scale", "0.15", "--outdir", str(outdir), "--no-plot",
+        ]) == 0
+        names = {p.name for p in outdir.iterdir()}
+        expected = (
+            {"table1.txt", "REPORT.md"}
+            | {f"figure{i}.txt" for i in range(1, 10)}
+        )
+        assert expected <= names
+        # Spot-check contents.
+        assert "network" in (outdir / "table1.txt").read_text()
+        assert "m^0.8" in (outdir / "figure4.txt").read_text()
+        assert "beta" in (outdir / "figure9.txt").read_text()
+        report = (outdir / "REPORT.md").read_text()
+        assert "artifacts reproduced" in report
+        assert "## figure-8" in report
+
+
+class TestSteinerStudyCommand:
+    def test_runs(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["study", "steiner", "--scale", "0.15",
+                         "--no-plot"]) == 0
+        out = capsys.readouterr().out
+        assert "extension-steiner" in out
+        assert "spt waste" in out
+
+
+class TestMetricsCommand:
+    def test_power_law_topology(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["metrics", "as", "--scale", "0.4"]) == 0
+        out = capsys.readouterr().out
+        assert "clustering coefficient" in out
+        assert "power-law regime       : True" in out
+
+    def test_geometric_topology(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["metrics", "ti5000", "--scale", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "power-law regime       : False" in out
+
+    def test_narrow_degree_topology(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["metrics", "arpa"]) == 0
+        out = capsys.readouterr().out
+        assert "too narrow" in out

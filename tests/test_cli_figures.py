@@ -1,0 +1,67 @@
+"""CLI smoke coverage for every figure branch and the exceptions module."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.exceptions import (
+    DisconnectedGraphError,
+    GraphError,
+    NodeError,
+    ReproError,
+    SamplingError,
+)
+
+
+class TestFigureBranches:
+    @pytest.mark.parametrize("number", [3, 4, 5, 8])
+    def test_analytic_figures(self, number, capsys):
+        assert main(["figure", str(number), "--no-plot"]) == 0
+        out = capsys.readouterr().out
+        assert f"figure-{number}" in out
+
+    def test_figure1(self, capsys):
+        assert main(["figure", "1", "--scale", "0.15", "--no-plot"]) == 0
+        out = capsys.readouterr().out
+        assert "figure-1a" in out and "figure-1b" in out
+
+    def test_figure6(self, capsys):
+        assert main(["figure", "6", "--scale", "0.15", "--no-plot"]) == 0
+        out = capsys.readouterr().out
+        assert "linearity[" in out
+
+    def test_figure9_quick_path(self, capsys):
+        assert main(["figure", "9", "--no-plot"]) == 0
+        out = capsys.readouterr().out
+        assert "beta=" in out
+        # Quick (non --paper) path uses the reduced depths.
+        assert "D=7" in out and "D=9" in out
+
+    def test_plots_included_by_default(self, capsys):
+        assert main(["figure", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc_type in (
+            GraphError,
+            NodeError,
+            DisconnectedGraphError,
+            SamplingError,
+        ):
+            assert issubclass(exc_type, ReproError)
+
+    def test_node_error_carries_context(self):
+        error = NodeError(12, 5)
+        assert error.node == 12
+        assert error.num_nodes == 5
+        assert "0..4" in str(error)
+
+    def test_catching_base_covers_library_failures(self):
+        from repro.topology.registry import build_topology
+
+        with pytest.raises(ReproError):
+            build_topology("not-a-network")

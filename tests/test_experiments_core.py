@@ -1,0 +1,345 @@
+"""Tests for the experiments core: config, results, runner, ascii_plot."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.ascii_plot import AsciiPlot, Series, render_series_table
+from repro.experiments.config import (
+    AffinityConfig,
+    MonteCarloConfig,
+    PAPER_MONTE_CARLO,
+    QUICK_MONTE_CARLO,
+    SweepConfig,
+)
+from repro.experiments.results import (
+    SweepMeasurement,
+    load_measurements,
+    save_measurements,
+)
+from repro.experiments.runner import measure_single_source_sweep, measure_sweep
+from repro.topology.gtitm import pure_random_graph
+from repro.topology.kary import kary_tree
+
+
+class TestConfigs:
+    def test_paper_defaults(self):
+        assert PAPER_MONTE_CARLO.num_sources == 100
+        assert PAPER_MONTE_CARLO.num_receiver_sets == 100
+        PAPER_MONTE_CARLO.validate()
+
+    def test_quick_is_smaller(self):
+        assert (
+            QUICK_MONTE_CARLO.num_sources * QUICK_MONTE_CARLO.num_receiver_sets
+            < 200
+        )
+
+    def test_scaled(self):
+        half = PAPER_MONTE_CARLO.scaled(0.5)
+        assert half.num_sources == 50
+        tiny = PAPER_MONTE_CARLO.scaled(0.0001)
+        assert tiny.num_sources == 1  # floor at 1
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ExperimentError):
+            PAPER_MONTE_CARLO.scaled(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            MonteCarloConfig(num_sources=0).validate()
+        with pytest.raises(ExperimentError):
+            MonteCarloConfig(tie_break="magic").validate()
+
+    def test_sweep_sizes(self):
+        sizes = SweepConfig(min_size=1, points=4).sizes(1000)
+        assert sizes[0] == 1 and sizes[-1] == 1000
+
+    def test_sweep_respects_max(self):
+        sizes = SweepConfig(max_size=50, points=5).sizes(1000)
+        assert sizes[-1] == 50
+
+    def test_sweep_clips_to_network(self):
+        sizes = SweepConfig(max_size=500, points=5).sizes(30)
+        assert sizes[-1] == 30
+
+    def test_sweep_validation(self):
+        with pytest.raises(ExperimentError):
+            SweepConfig(min_size=0).sizes(10)
+        with pytest.raises(ExperimentError):
+            SweepConfig(points=1).sizes(10)
+        with pytest.raises(ExperimentError):
+            SweepConfig(min_size=20).sizes(10)
+        with pytest.raises(ExperimentError):
+            SweepConfig(min_size=5, max_size=2).sizes(10)
+
+    def test_affinity_validation(self):
+        AffinityConfig().validate()
+        with pytest.raises(ExperimentError):
+            AffinityConfig(betas=()).validate()
+        with pytest.raises(ExperimentError):
+            AffinityConfig(betas=(float("inf"),)).validate()
+        with pytest.raises(ExperimentError):
+            AffinityConfig(num_samples=0).validate()
+
+
+class TestMeasureSweep:
+    @pytest.fixture
+    def graph(self):
+        return pure_random_graph(60, average_degree=4.0, rng=0)
+
+    def test_shapes_and_metadata(self, graph):
+        config = MonteCarloConfig(num_sources=3, num_receiver_sets=4, seed=1)
+        m = measure_sweep(graph, [1, 3, 9], config=config, topology="er")
+        assert m.topology == "er"
+        assert m.sizes == (1, 3, 9)
+        assert m.num_samples == 12
+        assert m.num_nodes == 60
+        assert len(m.mean_tree_size) == 3
+
+    def test_single_receiver_ratio_is_one(self, graph):
+        config = MonteCarloConfig(num_sources=4, num_receiver_sets=6, seed=2)
+        m = measure_sweep(graph, [1], config=config)
+        assert m.mean_ratio[0] == pytest.approx(1.0)
+        assert m.mean_tree_size[0] == pytest.approx(m.mean_unicast_path[0])
+
+    def test_tree_size_monotone_in_m(self, graph):
+        config = MonteCarloConfig(num_sources=5, num_receiver_sets=10, seed=3)
+        m = measure_sweep(graph, [1, 2, 4, 8, 16], config=config)
+        assert all(
+            a < b for a, b in zip(m.mean_tree_size, m.mean_tree_size[1:])
+        )
+
+    def test_replacement_mode_allows_large_n(self, graph):
+        config = MonteCarloConfig(num_sources=2, num_receiver_sets=3, seed=4)
+        m = measure_sweep(graph, [200], mode="replacement", config=config)
+        assert m.mean_tree_size[0] <= graph.num_nodes - 1
+
+    def test_distinct_mode_rejects_oversize(self, graph):
+        with pytest.raises(ExperimentError, match="eligible"):
+            measure_sweep(graph, [60], mode="distinct")
+
+    def test_reproducible(self, graph):
+        config = MonteCarloConfig(num_sources=2, num_receiver_sets=3, seed=9)
+        a = measure_sweep(graph, [2, 5], config=config)
+        b = measure_sweep(graph, [2, 5], config=config)
+        assert a == b
+
+    def test_rng_argument_overrides_seed(self, graph):
+        config = MonteCarloConfig(num_sources=2, num_receiver_sets=3, seed=9)
+        a = measure_sweep(graph, [2], config=config, rng=1)
+        b = measure_sweep(graph, [2], config=config, rng=2)
+        assert a != b
+
+    def test_bad_mode(self, graph):
+        with pytest.raises(ExperimentError, match="mode"):
+            measure_sweep(graph, [2], mode="quantum")
+
+    def test_empty_sizes(self, graph):
+        with pytest.raises(ExperimentError):
+            measure_sweep(graph, [])
+
+    def test_fit_exponent_in_plausible_band(self, graph):
+        config = MonteCarloConfig(num_sources=6, num_receiver_sets=15, seed=5)
+        m = measure_sweep(graph, [1, 2, 4, 8, 14], config=config)
+        slope = m.fit_exponent().slope
+        assert 0.5 < slope < 1.0
+
+
+class TestSingleSourceSweep:
+    def test_kary_root_matches_theory(self):
+        from repro.analysis.kary_exact import lhat_leaf
+
+        tree = kary_tree(2, 6)
+        m = measure_single_source_sweep(
+            tree.graph,
+            0,
+            [4, 16],
+            mode="replacement",
+            num_receiver_sets=500,
+            rng=0,
+            exclude_source_site=True,
+        )
+        # Receivers over all non-root sites, so compare to Eq. 21.
+        from repro.analysis.kary_exact import lhat_throughout
+
+        for size, mean_tree in zip(m.sizes, m.mean_tree_size):
+            assert mean_tree == pytest.approx(
+                float(lhat_throughout(2, 6, size)), rel=0.05
+            )
+
+    def test_std_reported(self, small_mesh):
+        m = measure_single_source_sweep(
+            small_mesh, 0, [3], num_receiver_sets=30, rng=0
+        )
+        assert m.std_tree_size[0] > 0
+
+
+class TestSweepMeasurementContainer:
+    def make(self):
+        return SweepMeasurement(
+            topology="t",
+            mode="distinct",
+            sizes=(1, 10, 100),
+            mean_ratio=(1.0, 6.3, 39.8),
+            mean_tree_size=(4.0, 25.0, 160.0),
+            mean_unicast_path=(4.0, 4.0, 4.0),
+            std_tree_size=(0.0, 2.0, 8.0),
+            num_samples=50,
+            num_nodes=500,
+        )
+
+    def test_derived_series(self):
+        m = self.make()
+        assert m.normalized_tree_size.tolist() == [1.0, 6.3, 39.8]
+        assert m.per_receiver_series[0] == pytest.approx(1.0)
+        assert m.per_receiver_series[2] == pytest.approx(0.398)
+
+    def test_fit_exponent(self):
+        m = self.make()
+        assert m.fit_exponent().slope == pytest.approx(0.8, abs=0.01)
+
+    def test_json_roundtrip(self, tmp_path):
+        m = self.make()
+        path = tmp_path / "m.json"
+        save_measurements([m], path)
+        loaded = load_measurements(path)
+        assert loaded == [m]
+
+    def test_misaligned_arrays_rejected(self):
+        with pytest.raises(ExperimentError, match="align"):
+            SweepMeasurement(
+                topology="t", mode="distinct", sizes=(1, 2),
+                mean_ratio=(1.0,), mean_tree_size=(1.0, 2.0),
+                mean_unicast_path=(1.0, 1.0), std_tree_size=(0.0, 0.0),
+                num_samples=1, num_nodes=5,
+            )
+
+    def test_malformed_payload(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('[{"topology": "x"}]')
+        with pytest.raises(ExperimentError, match="malformed"):
+            load_measurements(path)
+
+    def test_non_list_payload(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"not": "a list"}')
+        with pytest.raises(ExperimentError):
+            load_measurements(path)
+
+
+class TestAsciiPlot:
+    def test_render_contains_points_and_legend(self):
+        plot = AsciiPlot(width=30, height=8, title="demo")
+        plot.add("up", [1, 2, 3], [1, 2, 3])
+        plot.add("down", [1, 2, 3], [3, 2, 1])
+        text = plot.render()
+        assert "demo" in text
+        assert "*=up" in text and "+=down" in text
+        assert text.count("*") >= 3
+
+    def test_log_axes_drop_nonpositive(self):
+        plot = AsciiPlot(log_x=True, log_y=True)
+        plot.add("s", [0.0, 10.0, 100.0], [1.0, 10.0, 100.0])
+        text = plot.render()
+        assert "log x" in text and "log y" in text
+
+    def test_all_points_dropped_raises(self):
+        plot = AsciiPlot(log_y=True)
+        plot.add("s", [1.0], [-5.0])
+        with pytest.raises(ExperimentError, match="no plottable"):
+            plot.render()
+
+    def test_empty_plot_raises(self):
+        with pytest.raises(ExperimentError, match="nothing"):
+            AsciiPlot().render()
+
+    def test_mismatched_series_rejected(self):
+        plot = AsciiPlot()
+        with pytest.raises(ExperimentError):
+            plot.add("s", [1, 2], [1])
+
+    def test_too_many_series(self):
+        plot = AsciiPlot()
+        for i in range(8):
+            plot.add(f"s{i}", [1], [1])
+        with pytest.raises(ExperimentError, match="at most"):
+            plot.add("overflow", [1], [1])
+
+    def test_constant_series_renders(self):
+        plot = AsciiPlot()
+        plot.add("flat", [1, 2, 3], [5, 5, 5])
+        assert plot.render()
+
+
+class TestSeriesTable:
+    def test_merges_on_x_union(self):
+        s1 = Series.from_arrays("a", [1, 2], [10, 20])
+        s2 = Series.from_arrays("b", [2, 3], [200, 300])
+        text = render_series_table("x", [s1, s2])
+        lines = text.splitlines()
+        assert lines[0].split("|")[0].strip() == "x"
+        assert len(lines) == 5  # header, rule, three x values
+
+    def test_missing_cells_dashed(self):
+        s1 = Series.from_arrays("a", [1], [10])
+        s2 = Series.from_arrays("b", [2], [20])
+        text = render_series_table("x", [s1, s2])
+        assert "-" in text.splitlines()[2]
+
+    def test_empty_series_list(self):
+        with pytest.raises(ExperimentError):
+            render_series_table("x", [])
+
+    def test_series_from_arrays_validation(self):
+        with pytest.raises(ExperimentError, match="empty"):
+            Series.from_arrays("s", [], [])
+
+
+class TestCsvExport:
+    def test_csv_rows_and_header(self, tmp_path):
+        import csv
+
+        from repro.experiments.results import save_measurements_csv
+
+        m = TestSweepMeasurementContainer().make()
+        path = tmp_path / "out.csv"
+        save_measurements_csv([m, m], path)
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0][0] == "topology"
+        assert len(rows) == 1 + 2 * 3  # header + 2 measurements x 3 sizes
+        assert rows[1][4] == "1"  # first size
+        assert float(rows[3][5]) == 39.8  # mean_ratio at size 100
+
+
+class TestSourceSiteInclusion:
+    def test_receivers_may_land_on_source(self):
+        """exclude_source_site=False admits zero-cost receivers; the
+        engine must handle the all-at-source corner without dividing by
+        zero."""
+        from repro.graph.core import Graph
+
+        # Two nodes: receivers with replacement frequently all land on
+        # the source.
+        g = Graph.from_edges(2, [(0, 1)])
+        config = MonteCarloConfig(num_sources=4, num_receiver_sets=25, seed=0)
+        m = measure_sweep(
+            g, [1, 3], mode="replacement", config=config,
+            exclude_source_site=False,
+        )
+        assert all(v >= 0 for v in m.mean_tree_size)
+        # Mean tree size < 1: some samples hit only the source.
+        assert m.mean_tree_size[0] < 1.0
+
+    def test_inclusion_lowers_tree_size(self):
+        from repro.topology.gtitm import pure_random_graph
+
+        g = pure_random_graph(60, average_degree=4.0, rng=0)
+        config = MonteCarloConfig(num_sources=5, num_receiver_sets=10, seed=1)
+        excl = measure_sweep(g, [8], config=config, exclude_source_site=True)
+        incl = measure_sweep(g, [8], config=config, exclude_source_site=False)
+        # A receiver at the source contributes no links, so admitting the
+        # source can only shrink the average tree.
+        assert incl.mean_tree_size[0] <= excl.mean_tree_size[0] + 0.5

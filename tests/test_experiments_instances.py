@@ -1,0 +1,70 @@
+"""Tests for :mod:`repro.experiments.instances` (footnote-4 methodology)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.config import MonteCarloConfig
+from repro.experiments.instances import measure_over_instances
+
+CONFIG = MonteCarloConfig(num_sources=3, num_receiver_sets=5, seed=0)
+
+
+class TestMeasureOverInstances:
+    @pytest.fixture(scope="class")
+    def aggregate(self):
+        return measure_over_instances(
+            "r100", [2, 8, 20], num_instances=4, scale=1.0,
+            config=CONFIG, rng=0,
+        )
+
+    def test_shapes(self, aggregate):
+        assert aggregate.num_instances == 4
+        assert aggregate.sizes == (2, 8, 20)
+        assert len(aggregate.mean_ratio) == 3
+        assert len(aggregate.between_instance_std) == 3
+
+    def test_instances_are_distinct(self, aggregate):
+        ratios = {m.mean_ratio for m in aggregate.per_instance}
+        assert len(ratios) == 4
+
+    def test_mean_is_average_of_instances(self, aggregate):
+        stacked = np.asarray([m.mean_ratio for m in aggregate.per_instance])
+        assert np.allclose(stacked.mean(axis=0), aggregate.mean_ratio)
+
+    def test_footnote4_variance_is_small(self, aggregate):
+        """Instance-to-instance spread stays below ~15%: the two
+        methodologies (one instance vs many) agree, as footnote 4
+        implies."""
+        assert aggregate.max_relative_spread() < 0.15
+
+    def test_exponent_spread(self, aggregate):
+        mean, std = aggregate.fit_exponent_spread()
+        assert 0.5 < mean < 1.0
+        assert std < 0.1
+
+    def test_reproducible(self):
+        a = measure_over_instances(
+            "r100", [2, 8], num_instances=2, scale=1.0, config=CONFIG, rng=7
+        )
+        b = measure_over_instances(
+            "r100", [2, 8], num_instances=2, scale=1.0, config=CONFIG, rng=7
+        )
+        assert a.mean_ratio == b.mean_ratio
+
+    def test_rejects_fixed_topology(self):
+        with pytest.raises(ExperimentError, match="fixed artifact"):
+            measure_over_instances("arpa", [2], num_instances=2)
+
+    def test_rejects_single_instance(self):
+        with pytest.raises(ExperimentError, match="at least 2"):
+            measure_over_instances("r100", [2], num_instances=1)
+
+    def test_replacement_mode(self):
+        aggregate = measure_over_instances(
+            "r100", [4, 16], num_instances=2, scale=1.0,
+            mode="replacement", config=CONFIG, rng=1,
+        )
+        assert aggregate.per_instance[0].mode == "replacement"

@@ -1,0 +1,60 @@
+"""Tests for :mod:`repro.experiments.report`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.figures.base import FigureResult
+from repro.experiments.report import ReproductionReport
+
+
+def make_result(figure_id: str = "figure-x") -> FigureResult:
+    result = FigureResult(figure_id, "demo title", "m", "y")
+    result.add_series("data", [1, 2, 4], [1.0, 1.7, 2.9])
+    result.notes["exponent"] = "0.8"
+    return result
+
+
+class TestReproductionReport:
+    def test_render_contains_everything(self):
+        report = ReproductionReport(title="T")
+        report.add_parameter("scale", 0.5)
+        report.add_result(make_result(), comment="looks right")
+        text = report.render()
+        assert text.startswith("# T")
+        assert "| scale | 0.5 |" in text
+        assert "## figure-x" in text
+        assert "looks right" in text
+        assert "**exponent**: 0.8" in text
+        assert "1 artifacts reproduced" in text
+
+    def test_multiple_sections_ordered(self):
+        report = ReproductionReport()
+        report.add_result(make_result("figure-1"))
+        report.add_result(make_result("figure-2"))
+        text = report.render()
+        assert text.index("## figure-1") < text.index("## figure-2")
+        assert report.artifact_ids == ["figure-1", "figure-2"]
+
+    def test_text_section(self):
+        report = ReproductionReport()
+        report.add_text_section("table-1", "raw table body")
+        assert "raw table body" in report.render()
+
+    def test_empty_report_rejected(self):
+        with pytest.raises(ExperimentError, match="no sections"):
+            ReproductionReport().render()
+
+    def test_write(self, tmp_path):
+        report = ReproductionReport()
+        report.add_result(make_result())
+        path = tmp_path / "REPORT.md"
+        report.write(path)
+        assert "## figure-x" in path.read_text()
+
+    def test_table_embedded_as_code_block(self):
+        report = ReproductionReport()
+        report.add_result(make_result())
+        text = report.render()
+        assert text.count("```") >= 2

@@ -1,0 +1,294 @@
+"""Tests for the figure drivers — each must reproduce its paper claim in
+miniature (scales and sample counts chosen so the full file runs in
+seconds; the benchmarks run the same drivers bigger)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import AffinityConfig, MonteCarloConfig, SweepConfig
+from repro.experiments.figures import (
+    FigureResult,
+    run_figure1_panel,
+    run_figure2_panel,
+    run_figure3_panel,
+    run_figure4_panel,
+    run_figure6_panel,
+    run_figure7_panel,
+    run_figure8,
+    run_figure9_panel,
+    run_sampling_ablation,
+    run_source_placement_ablation,
+    run_table1,
+    run_tiebreak_ablation,
+)
+
+QUICK = MonteCarloConfig(num_sources=3, num_receiver_sets=5, seed=0)
+SWEEP = SweepConfig(points=6)
+
+
+class TestFigureResult:
+    def test_add_and_get_series(self):
+        result = FigureResult("f", "t", "x", "y")
+        result.add_series("s", [1, 2], [3, 4])
+        assert result.get_series("s").y == (3.0, 4.0)
+        assert result.series_names == ["s"]
+
+    def test_get_missing_series(self):
+        result = FigureResult("f", "t", "x", "y")
+        from repro.exceptions import ExperimentError
+
+        with pytest.raises(ExperimentError, match="no series"):
+            result.get_series("nope")
+
+    def test_render_includes_notes_table_plot(self):
+        result = FigureResult("fig-x", "demo", "x", "y")
+        result.add_series("s", [1, 2, 4], [1, 2, 3])
+        result.notes["key"] = "value"
+        text = result.render()
+        assert "fig-x" in text
+        assert "key: value" in text
+        assert "legend" in text
+
+    def test_table_only_render(self):
+        result = FigureResult("fig-x", "demo", "x", "y")
+        result.add_series("s", [1], [1])
+        assert "legend" not in result.render(include_plot=False)
+
+
+class TestTable1:
+    def test_subset_rows(self):
+        result = run_table1(names=["arpa", "r100"], scale=1.0,
+                            num_growth_sources=5, rng=0)
+        assert len(result.rows) == 2
+        assert result.rows[0].stats.name == "arpa"
+        assert result.rows[0].kind == "real"
+
+    def test_render(self):
+        result = run_table1(names=["arpa"], num_growth_sources=4, rng=0)
+        text = result.render()
+        assert "arpa" in text and "avg degree" in text
+
+    def test_degree_range(self):
+        result = run_table1(names=["arpa", "ts1008"], scale=0.15,
+                            num_growth_sources=4, rng=0)
+        lo, hi = result.degree_range()
+        assert lo < hi
+
+
+class TestFigure1:
+    def test_panel_has_reference_line(self):
+        result = run_figure1_panel(
+            ["r100"], "figure-1a", scale=1.0, config=QUICK, sweep=SWEEP, rng=0
+        )
+        assert "m^0.8" in result.series_names
+        assert "r100" in result.series_names
+
+    def test_exponent_near_chuang_sirbu(self):
+        result = run_figure1_panel(
+            ["ts1008"], "f", scale=0.25,
+            config=MonteCarloConfig(num_sources=5, num_receiver_sets=10, seed=0),
+            sweep=SweepConfig(points=8), rng=0,
+        )
+        note = result.notes["exponent[ts1008]"]
+        exponent = float(note.split()[0])
+        assert 0.6 < exponent < 0.95
+
+    def test_normalized_at_m1_is_one(self):
+        result = run_figure1_panel(
+            ["r100"], "f", scale=1.0, config=QUICK, sweep=SWEEP, rng=1
+        )
+        series = result.get_series("r100")
+        assert series.x[0] == 1.0
+        assert series.y[0] == pytest.approx(1.0)
+
+
+class TestFigure2:
+    def test_k2_slope_matches_prediction(self):
+        result = run_figure2_panel(2, [11, 14], x_points=25)
+        for depth in (11, 14):
+            slope = float(result.notes[f"slope[D={depth}]"].split()[0])
+            assert slope == pytest.approx(2**-0.5, abs=0.01)
+
+    def test_k4_oscillation_converges_to_trend(self):
+        result = run_figure2_panel(4, [7], x_points=25)
+        slope = float(result.notes["slope[D=7]"].split()[0])
+        assert slope == pytest.approx(4**-0.5, abs=0.08)
+
+    def test_reference_series_present(self):
+        result = run_figure2_panel(2, [11], x_points=10)
+        assert any("x*k^-1/2" in name for name in result.series_names)
+
+
+class TestFigures3And5:
+    def test_leaf_slope_prediction(self):
+        result = run_figure3_panel(2, [14], receivers="leaf", points=50)
+        note = result.notes["fit[D=14]"]
+        slope = float(note.split()[1])
+        assert slope == pytest.approx(-1 / np.log(2), abs=0.1)
+
+    def test_throughout_same_slope_different_intercept(self):
+        leaf = run_figure3_panel(2, [14], receivers="leaf", points=50)
+        thru = run_figure3_panel(2, [14], receivers="throughout", points=50)
+        slope_leaf = float(leaf.notes["fit[D=14]"].split()[1])
+        slope_thru = float(thru.notes["fit[D=14]"].split()[1])
+        int_leaf = float(leaf.notes["fit[D=14]"].split()[5])
+        int_thru = float(thru.notes["fit[D=14]"].split()[5])
+        assert slope_thru == pytest.approx(slope_leaf, abs=0.12)
+        assert int_thru < int_leaf  # "the value of c has changed"
+
+    def test_invalid_receivers(self):
+        with pytest.raises(ValueError):
+            run_figure3_panel(2, [10], receivers="everywhere")
+
+
+class TestFigure4:
+    def test_exponent_near_08(self):
+        result = run_figure4_panel(2, [14], points=30)
+        exponent = float(result.notes["exponent[D=14]"].split()[0])
+        assert exponent == pytest.approx(0.8, abs=0.06)
+
+    def test_reference_line(self):
+        result = run_figure4_panel(4, [7], points=10)
+        assert "m^0.8" in result.series_names
+
+
+class TestFigure6:
+    def test_linearity_dichotomy(self):
+        exp_result = run_figure6_panel(
+            ["as"], "f", scale=0.25, config=QUICK,
+            sweep=SweepConfig(points=7), include_eq30=False,
+            profile_sources=5, rng=0,
+        )
+        sub_result = run_figure6_panel(
+            ["mbone"], "f", scale=0.25, config=QUICK,
+            sweep=SweepConfig(points=7), include_eq30=False,
+            profile_sources=5, rng=0,
+        )
+        assert "growth=exponential" in exp_result.notes["linearity[as]"]
+        assert "growth=sub-exponential" in sub_result.notes["linearity[mbone]"]
+
+    def test_eq30_overlay_close_to_measurement(self):
+        result = run_figure6_panel(
+            ["r100"], "f", scale=1.0,
+            config=MonteCarloConfig(num_sources=5, num_receiver_sets=10, seed=0),
+            sweep=SweepConfig(points=6), include_eq30=True,
+            profile_sources=10, rng=0,
+        )
+        measured = np.asarray(result.get_series("r100").y)
+        predicted = np.asarray(result.get_series("r100 (eq30)").y)
+        # Same shape, same scale: within 25% pointwise.
+        assert np.all(np.abs(measured - predicted) / measured < 0.25)
+
+
+class TestFigure7:
+    def test_growth_notes(self):
+        result = run_figure7_panel(
+            ["as", "mbone"], "f", scale=0.2, num_sources=8, rng=0
+        )
+        assert "exponential" in result.notes["growth[as]"]
+        assert "sub-exponential" in result.notes["growth[mbone]"]
+
+    def test_t_series_monotone(self):
+        result = run_figure7_panel(["r100"], "f", scale=1.0,
+                                   num_sources=5, rng=0)
+        t_values = result.get_series("r100").y
+        assert all(a <= b for a, b in zip(t_values, t_values[1:]))
+
+
+class TestFigure8:
+    def test_exponential_most_linear(self):
+        result = run_figure8(depth=16, points=25)
+        r2 = {
+            family: float(result.notes[f"linearity[{family}]"].split("R^2=")[1].split(",")[0])
+            for family in ("exponential", "power_law", "super_exponential")
+        }
+        assert r2["exponential"] > r2["power_law"]
+        assert r2["exponential"] > 0.999
+
+    def test_three_series(self):
+        result = run_figure8(depth=10, points=10)
+        assert len(result.series) == 3
+
+
+class TestFigure9:
+    def test_beta_ordering_and_convergence(self):
+        config = AffinityConfig(
+            betas=(-2.0, 0.0, 2.0), num_samples=12,
+            burn_in_sweeps=8, thin_sweeps=1,
+        )
+        result = run_figure9_panel(
+            depth=6, config=config, n_values=[2, 8, 64], rng=0
+        )
+        low = result.get_series("beta=-2").y
+        mid = result.get_series("beta=0").y
+        high = result.get_series("beta=2").y
+        # Affinity shrinks the tree at small n...
+        assert high[0] < low[0]
+        # ...and the effect shrinks as n grows.
+        assert abs(high[-1] - low[-1]) < abs(high[0] - low[0])
+
+    def test_notes_record_acceptance(self):
+        config = AffinityConfig(betas=(1.0,), num_samples=4,
+                                burn_in_sweeps=2, thin_sweeps=1)
+        result = run_figure9_panel(depth=5, config=config,
+                                   n_values=[4], rng=0)
+        assert "acceptance" in result.notes["beta=1"]
+
+
+class TestAblations:
+    def test_tiebreak_small_gap(self):
+        result = run_tiebreak_ablation(
+            topology="ts1008", scale=0.2, config=QUICK,
+            sweep=SweepConfig(points=5), rng=0,
+        )
+        gap = float(result.notes["max relative gap"])
+        assert gap < 0.2
+
+    def test_sampling_conversion_accurate(self):
+        result = run_sampling_ablation(
+            topology="r100", scale=1.0,
+            config=MonteCarloConfig(num_sources=6, num_receiver_sets=12, seed=0),
+            sweep=SweepConfig(points=5), rng=0,
+        )
+        err = float(result.notes["max relative error"])
+        assert err < 0.15
+
+    def test_source_placement_two_series(self):
+        result = run_source_placement_ablation(
+            topology="as", scale=0.2, num_receiver_sets=8,
+            sweep=SweepConfig(points=5), rng=0,
+        )
+        assert len(result.series) == 2
+        assert any("hub" in name for name in result.series_names)
+
+
+class TestFigureResultSerialization:
+    def make(self):
+        result = FigureResult("fig-s", "ser demo", "x", "y", log_x=True)
+        result.add_series("a", [1, 2], [3.0, 4.5])
+        result.add_series("b", [1, 4], [0.1, 0.2])
+        result.notes["key"] = "value"
+        return result
+
+    def test_roundtrip_in_memory(self):
+        original = self.make()
+        rebuilt = FigureResult.from_dict(original.to_dict())
+        assert rebuilt.figure_id == original.figure_id
+        assert rebuilt.log_x and not rebuilt.log_y
+        assert rebuilt.notes == original.notes
+        assert rebuilt.get_series("a").y == original.get_series("a").y
+
+    def test_roundtrip_via_file(self, tmp_path):
+        path = tmp_path / "fig.json"
+        original = self.make()
+        original.save(path)
+        rebuilt = FigureResult.load(path)
+        assert rebuilt.to_dict() == original.to_dict()
+
+    def test_malformed_payload(self):
+        from repro.exceptions import ExperimentError
+
+        with pytest.raises(ExperimentError, match="malformed"):
+            FigureResult.from_dict({"title": "missing id"})

@@ -1,0 +1,161 @@
+"""Tests for :mod:`repro.graph.builders`."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import GraphError, NodeError
+from repro.graph.builders import GraphBuilder, from_networkx, to_networkx
+from repro.graph.core import Graph
+
+
+class TestGraphBuilder:
+    def test_empty_builder(self):
+        g = GraphBuilder().to_graph()
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+
+    def test_add_node_returns_new_id(self):
+        b = GraphBuilder()
+        assert b.add_node() == 0
+        assert b.add_node() == 1
+        assert b.num_nodes == 2
+
+    def test_add_nodes_returns_range(self):
+        b = GraphBuilder(2)
+        ids = b.add_nodes(3)
+        assert list(ids) == [2, 3, 4]
+
+    def test_add_nodes_rejects_negative(self):
+        with pytest.raises(GraphError):
+            GraphBuilder().add_nodes(-1)
+
+    def test_add_edge_and_convert(self):
+        b = GraphBuilder(3)
+        assert b.add_edge(0, 1)
+        assert b.add_edge(1, 2)
+        g = b.to_graph()
+        assert g.num_edges == 2
+        assert g.has_edge(0, 1)
+
+    def test_strict_rejects_duplicate(self):
+        b = GraphBuilder(3)
+        b.add_edge(0, 1)
+        with pytest.raises(GraphError, match="duplicate"):
+            b.add_edge(1, 0)
+
+    def test_strict_rejects_self_loop(self):
+        with pytest.raises(GraphError, match="self-loop"):
+            GraphBuilder(2).add_edge(1, 1)
+
+    def test_lenient_drops_and_counts(self):
+        b = GraphBuilder(3, strict=False)
+        assert b.add_edge(0, 1)
+        assert not b.add_edge(1, 0)  # duplicate
+        assert not b.add_edge(2, 2)  # self-loop
+        assert b.num_edges == 1
+        assert b.dropped_edges == 2
+
+    def test_edge_to_unknown_node(self):
+        with pytest.raises(NodeError):
+            GraphBuilder(2).add_edge(0, 5)
+
+    def test_add_edges_counts_new(self):
+        b = GraphBuilder(4, strict=False)
+        added = b.add_edges([(0, 1), (1, 2), (0, 1)])
+        assert added == 2
+
+    def test_add_path(self):
+        b = GraphBuilder(4)
+        b.add_path([0, 1, 2, 3])
+        g = b.to_graph()
+        assert g.num_edges == 3
+        assert g.degree(0) == 1 and g.degree(1) == 2
+
+    def test_add_cycle(self):
+        b = GraphBuilder(4)
+        b.add_cycle([0, 1, 2, 3])
+        g = b.to_graph()
+        assert g.num_edges == 4
+        assert all(g.degree(v) == 2 for v in range(4))
+
+    def test_add_cycle_needs_three_nodes(self):
+        with pytest.raises(GraphError):
+            GraphBuilder(2).add_cycle([0, 1])
+
+    def test_neighbors_and_degree(self):
+        b = GraphBuilder(3)
+        b.add_edge(0, 1)
+        b.add_edge(0, 2)
+        assert b.degree(0) == 2
+        assert b.neighbors(0) == {1, 2}
+
+    def test_has_edge(self):
+        b = GraphBuilder(3)
+        b.add_edge(0, 2)
+        assert b.has_edge(2, 0)
+        assert not b.has_edge(0, 1)
+
+    def test_to_graph_is_valid_csr(self):
+        b = GraphBuilder(50, strict=False)
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            b.add_edge(int(rng.integers(50)), int(rng.integers(50)))
+        g = b.to_graph()
+        # Re-validating the CSR invariants directly:
+        Graph(g.num_nodes, g.indptr.copy(), g.indices.copy(), check=True)
+
+    def test_edges_iteration(self):
+        b = GraphBuilder(3)
+        b.add_edge(2, 0)
+        b.add_edge(1, 2)
+        assert sorted(b.edges()) == [(0, 2), (1, 2)]
+
+
+class TestNetworkxInterop:
+    def test_roundtrip(self, small_mesh):
+        nx_graph = to_networkx(small_mesh)
+        back, labels = from_networkx(nx_graph)
+        assert back == small_mesh
+        assert labels == list(range(16))
+
+    def test_from_networkx_relabels_sorted(self):
+        nx_graph = nx.Graph()
+        nx_graph.add_edge(10, 30)
+        nx_graph.add_edge(30, 20)
+        g, labels = from_networkx(nx_graph)
+        assert labels == [10, 20, 30]
+        assert g.has_edge(0, 2)  # 10-30
+        assert g.has_edge(1, 2)  # 20-30
+
+    def test_from_networkx_drops_self_loops(self):
+        nx_graph = nx.Graph()
+        nx_graph.add_edge(0, 0)
+        nx_graph.add_edge(0, 1)
+        g, _ = from_networkx(nx_graph)
+        assert g.num_edges == 1
+
+    def test_from_networkx_directed_is_undirected(self):
+        nx_graph = nx.DiGraph()
+        nx_graph.add_edge(0, 1)
+        nx_graph.add_edge(1, 0)
+        g, _ = from_networkx(nx_graph)
+        assert g.num_edges == 1
+
+    def test_to_networkx_preserves_counts(self, cycle_graph):
+        nx_graph = to_networkx(cycle_graph)
+        assert nx_graph.number_of_nodes() == 6
+        assert nx_graph.number_of_edges() == 6
+
+    def test_against_networkx_shortest_paths(self, small_mesh):
+        """BFS distances agree with networkx on a meshy graph."""
+        from repro.graph.paths import distances_from
+
+        nx_graph = to_networkx(small_mesh)
+        expected = nx.single_source_shortest_path_length(nx_graph, 0)
+        got = distances_from(small_mesh, 0)
+        for node, dist in expected.items():
+            assert got[node] == dist

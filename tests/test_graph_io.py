@@ -1,0 +1,99 @@
+"""Tests for :mod:`repro.graph.io`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.core import Graph
+from repro.graph.io import (
+    read_edge_list,
+    read_json_graph,
+    write_edge_list,
+    write_json_graph,
+)
+
+
+class TestEdgeList:
+    def test_roundtrip(self, small_mesh, tmp_path):
+        path = tmp_path / "mesh.edges"
+        write_edge_list(small_mesh, path, header="4x4 grid")
+        assert read_edge_list(path) == small_mesh
+
+    def test_header_written_as_comment(self, path_graph, tmp_path):
+        path = tmp_path / "p.edges"
+        write_edge_list(path_graph, path, header="line one\nline two")
+        text = path.read_text()
+        assert text.startswith("# line one\n# line two\n")
+
+    def test_read_with_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("# comment\n\n0 1\n1 2  # trailing comment\n")
+        g = read_edge_list(path)
+        assert g.num_nodes == 3
+        assert g.num_edges == 2
+
+    def test_sparse_ids_compacted(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("10 30\n30 50\n")
+        g = read_edge_list(path)
+        assert g.num_nodes == 3
+        assert g.has_edge(0, 1) and g.has_edge(1, 2)
+
+    def test_clean_mode_dedupes(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("0 1\n1 0\n1 1\n1 2\n")
+        g = read_edge_list(path, clean=True)
+        assert g.num_edges == 2
+
+    def test_strict_mode_raises_on_duplicates(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("0 1\n1 0\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path, clean=False)
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("0\n")
+        with pytest.raises(GraphError, match="expected"):
+            read_edge_list(path)
+
+    def test_non_integer_ids(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("a b\n")
+        with pytest.raises(GraphError, match="non-integer"):
+            read_edge_list(path)
+
+    def test_negative_ids(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("-1 0\n")
+        with pytest.raises(GraphError, match="negative"):
+            read_edge_list(path)
+
+
+class TestJsonGraph:
+    def test_roundtrip_with_metadata(self, cycle_graph, tmp_path):
+        path = tmp_path / "g.json"
+        write_json_graph(cycle_graph, path, metadata={"name": "cycle6"})
+        g, meta = read_json_graph(path)
+        assert g == cycle_graph
+        assert meta == {"name": "cycle6"}
+
+    def test_roundtrip_without_metadata(self, path_graph, tmp_path):
+        path = tmp_path / "g.json"
+        write_json_graph(path_graph, path)
+        g, meta = read_json_graph(path)
+        assert g == path_graph
+        assert meta == {}
+
+    def test_malformed_payload(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"edges": [[0, 1]]}')
+        with pytest.raises(GraphError, match="malformed"):
+            read_json_graph(path)
+
+    def test_bad_metadata_type(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"num_nodes": 2, "edges": [[0, 1]], "metadata": [1]}')
+        with pytest.raises(GraphError, match="metadata"):
+            read_json_graph(path)

@@ -1,0 +1,120 @@
+"""Tests for :mod:`repro.graph.metrics`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AnalysisError, GraphError
+from repro.graph.core import Graph
+from repro.graph.metrics import (
+    clustering_coefficient,
+    degree_assortativity,
+    degree_histogram,
+    degree_tail_fit,
+    topology_metrics,
+)
+
+
+class TestDegreeHistogram:
+    def test_path(self, path_graph):
+        hist = degree_histogram(path_graph)
+        assert hist.tolist() == [0, 2, 3]  # two endpoints, three interior
+
+    def test_empty(self):
+        assert degree_histogram(Graph.from_edges(0, [])).tolist() == [0]
+
+    def test_sums_to_node_count(self, small_mesh):
+        assert int(degree_histogram(small_mesh).sum()) == 16
+
+
+class TestClustering:
+    def test_triangle_is_one(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        assert clustering_coefficient(g) == pytest.approx(1.0)
+
+    def test_tree_is_zero(self, binary_tree_d4):
+        assert clustering_coefficient(binary_tree_d4.graph) == 0.0
+
+    def test_grid_is_zero(self, small_mesh):
+        # Square grids have no triangles.
+        assert clustering_coefficient(small_mesh) == 0.0
+
+    def test_triangle_plus_pendant(self):
+        # Triangle 0-1-2 plus pendant 3 on node 0.
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (0, 2), (0, 3)])
+        # Triples: node0 C(3,2)=3, node1 C(2,2)=1, node2 1 -> 5.
+        # Triangles seen 3 times (once per corner).
+        assert clustering_coefficient(g) == pytest.approx(3 / 5)
+
+    def test_geometric_beats_preferential(self):
+        from repro.topology.mbone import random_geometric_graph
+        from repro.topology.powerlaw import preferential_attachment_graph
+
+        geometric = random_geometric_graph(300, radius=0.12, rng=0)
+        pa = preferential_attachment_graph(300, edges_per_node=2, rng=0)
+        assert clustering_coefficient(geometric) > clustering_coefficient(pa)
+
+
+class TestAssortativity:
+    def test_star_is_negative(self):
+        g = Graph.from_edges(5, [(0, i) for i in range(1, 5)])
+        assert degree_assortativity(g) < -0.9
+
+    def test_regular_graph_is_zero(self, cycle_graph):
+        assert degree_assortativity(cycle_graph) == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(GraphError):
+            degree_assortativity(Graph.from_edges(3, []))
+
+    def test_hub_and_spoke_stand_in_is_disassortative(self):
+        from repro.topology.powerlaw import internet_like_graph
+
+        g = internet_like_graph(1000, rng=0)
+        assert degree_assortativity(g) < 0.0
+
+
+class TestDegreeTailFit:
+    def test_power_law_detected_on_pa_graph(self):
+        from repro.topology.powerlaw import as_like_graph
+
+        g = as_like_graph(2000, rng=1)
+        fit = degree_tail_fit(g)
+        assert fit.slope < -1.0
+        assert fit.r_squared > 0.85
+
+    def test_narrow_degrees_rejected(self, cycle_graph):
+        with pytest.raises(AnalysisError):
+            degree_tail_fit(cycle_graph)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError):
+            degree_tail_fit(Graph.from_edges(0, []))
+
+
+class TestTopologyMetrics:
+    def test_as_stand_in_looks_power_law(self):
+        from repro.topology.powerlaw import as_like_graph
+
+        metrics = topology_metrics(as_like_graph(2000, rng=2), name="as")
+        assert metrics.looks_power_law()
+        assert metrics.name == "as"
+
+    def test_cycle_has_no_tail_fit(self, cycle_graph):
+        metrics = topology_metrics(cycle_graph)
+        assert metrics.degree_tail_slope is None
+        assert not metrics.looks_power_law()
+
+    def test_regime_separation_across_suite(self):
+        """The AS stand-in is power-law; the TIERS stand-in is not."""
+        from repro.topology.registry import build_topology
+
+        as_metrics = topology_metrics(
+            build_topology("as", scale=0.4, rng=0), "as"
+        )
+        tiers_metrics = topology_metrics(
+            build_topology("ti5000", scale=0.4, rng=0), "ti5000"
+        )
+        assert as_metrics.looks_power_law()
+        assert as_metrics.max_degree > tiers_metrics.max_degree

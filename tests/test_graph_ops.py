@@ -1,0 +1,119 @@
+"""Tests for :mod:`repro.graph.ops`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DisconnectedGraphError, GraphError
+from repro.graph.core import Graph
+from repro.graph.ops import (
+    GraphStats,
+    clean_edges,
+    connected_components,
+    diameter,
+    graph_stats,
+    is_connected,
+    largest_connected_component,
+    require_connected,
+)
+
+
+class TestCleanEdges:
+    def test_removes_duplicates_both_orientations(self):
+        cleaned, dropped = clean_edges([(0, 1), (1, 0), (0, 1), (1, 2)])
+        assert cleaned == [(0, 1), (1, 2)]
+        assert dropped == 2
+
+    def test_removes_self_loops(self):
+        cleaned, dropped = clean_edges([(2, 2), (0, 1)])
+        assert cleaned == [(0, 1)]
+        assert dropped == 1
+
+    def test_preserves_first_orientation(self):
+        cleaned, _ = clean_edges([(3, 1), (1, 3)])
+        assert cleaned == [(3, 1)]
+
+    def test_empty(self):
+        assert clean_edges([]) == ([], 0)
+
+
+class TestConnectivity:
+    def test_components_sorted_by_size(self, disconnected_graph):
+        comps = connected_components(disconnected_graph)
+        assert [len(c) for c in comps] == [3, 2, 1]
+        assert comps[0].tolist() == [0, 1, 2]
+
+    def test_single_component(self, cycle_graph):
+        comps = connected_components(cycle_graph)
+        assert len(comps) == 1
+
+    def test_largest_component_extraction(self, disconnected_graph):
+        sub, mapping = largest_connected_component(disconnected_graph)
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 3  # the triangle
+        assert sorted(mapping.tolist()) == [0, 1, 2]
+
+    def test_largest_component_of_empty_raises(self):
+        with pytest.raises(GraphError):
+            largest_connected_component(Graph.from_edges(0, []))
+
+    def test_is_connected(self, cycle_graph, disconnected_graph):
+        assert is_connected(cycle_graph)
+        assert not is_connected(disconnected_graph)
+        assert not is_connected(Graph.from_edges(0, []))
+        assert is_connected(Graph.from_edges(1, []))
+
+    def test_require_connected_raises_with_context(self, disconnected_graph):
+        with pytest.raises(DisconnectedGraphError, match="my-op"):
+            require_connected(disconnected_graph, "my-op")
+
+    def test_require_connected_passes(self, path_graph):
+        require_connected(path_graph)  # no exception
+
+
+class TestDiameter:
+    def test_path_graph_exact(self, path_graph):
+        assert diameter(path_graph, exact=True) == 4
+
+    def test_cycle_graph_exact(self, cycle_graph):
+        assert diameter(cycle_graph, exact=True) == 3
+
+    def test_grid_exact(self, small_mesh):
+        assert diameter(small_mesh, exact=True) == 6
+
+    def test_double_sweep_matches_exact_on_suite(self, rng):
+        from repro.topology.gtitm import pure_random_graph
+
+        for seed in range(3):
+            g = pure_random_graph(80, average_degree=3.0, rng=seed)
+            assert diameter(g, exact=False, rng=rng) == diameter(g, exact=True)
+
+    def test_rejects_disconnected(self, disconnected_graph):
+        with pytest.raises(DisconnectedGraphError):
+            diameter(disconnected_graph)
+
+
+class TestGraphStats:
+    def test_small_graph_full_stats(self, small_mesh):
+        stats = graph_stats(small_mesh, name="grid", rng=0)
+        assert stats.name == "grid"
+        assert stats.num_nodes == 16
+        assert stats.num_edges == 24
+        assert stats.average_degree == pytest.approx(3.0)
+        assert stats.max_degree == 4
+        assert stats.min_degree == 2
+        assert stats.diameter == 6
+
+    def test_average_path_length_exact_on_path(self, path_graph):
+        stats = graph_stats(path_graph, rng=0)
+        # All-pairs distances of the 5-path sum to 40 (ordered), mean 2.0.
+        assert stats.average_path_length == pytest.approx(2.0)
+
+    def test_as_row_matches_headers(self, path_graph):
+        stats = graph_stats(path_graph, rng=0)
+        assert len(stats.as_row()) == len(GraphStats.ROW_HEADERS)
+
+    def test_rejects_disconnected(self, disconnected_graph):
+        with pytest.raises(DisconnectedGraphError):
+            graph_stats(disconnected_graph)

@@ -1,0 +1,205 @@
+"""Tests for :mod:`repro.graph.paths`."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError, NodeError
+from repro.graph.builders import to_networkx
+from repro.graph.core import Graph
+from repro.graph.paths import (
+    bfs,
+    dijkstra,
+    distance_matrix,
+    distances_from,
+    uniform_arc_weights,
+)
+
+
+class TestBfs:
+    def test_distances_on_path(self, path_graph):
+        forest = bfs(path_graph, 0)
+        assert forest.dist.tolist() == [0, 1, 2, 3, 4]
+
+    def test_parents_form_tree_to_source(self, cycle_graph):
+        forest = bfs(cycle_graph, 0)
+        for node in range(1, 6):
+            path = forest.path_to(node)
+            assert path[0] == 0
+            assert path[-1] == node
+            assert len(path) == forest.dist[node] + 1
+
+    def test_source_has_no_parent(self, path_graph):
+        forest = bfs(path_graph, 2)
+        assert forest.parent[2] == -1
+        assert forest.dist[2] == 0
+
+    def test_unreachable_marked(self, disconnected_graph):
+        forest = bfs(disconnected_graph, 0)
+        assert forest.dist[3] == -1
+        assert forest.dist[4] == -1
+        assert forest.parent[3] == -1
+
+    def test_path_to_unreachable_raises(self, disconnected_graph):
+        forest = bfs(disconnected_graph, 0)
+        with pytest.raises(GraphError, match="not reachable"):
+            forest.path_to(4)
+
+    def test_path_to_bad_node_raises(self, path_graph):
+        forest = bfs(path_graph, 0)
+        with pytest.raises(NodeError):
+            forest.path_to(17)
+
+    def test_num_reachable(self, disconnected_graph):
+        assert bfs(disconnected_graph, 0).num_reachable == 3
+        assert bfs(disconnected_graph, 3).num_reachable == 2
+        assert bfs(disconnected_graph, 5).num_reachable == 1
+
+    def test_eccentricity(self, path_graph):
+        assert bfs(path_graph, 0).eccentricity == 4
+        assert bfs(path_graph, 2).eccentricity == 2
+
+    def test_first_tie_break_deterministic(self, diamond_graph):
+        forests = [bfs(diamond_graph, 0) for _ in range(5)]
+        parents = {tuple(f.parent.tolist()) for f in forests}
+        assert len(parents) == 1
+        # Node 3's parent must be the lower-id candidate, node 1.
+        assert forests[0].parent[3] == 1
+
+    def test_random_tie_break_varies(self, diamond_graph):
+        rng = np.random.default_rng(0)
+        parents = {
+            int(bfs(diamond_graph, 0, tie_break="random", rng=rng).parent[3])
+            for _ in range(50)
+        }
+        assert parents == {1, 2}
+
+    def test_random_tie_break_still_shortest(self, small_mesh, rng):
+        reference = bfs(small_mesh, 0).dist
+        for _ in range(10):
+            forest = bfs(small_mesh, 0, tie_break="random", rng=rng)
+            assert np.array_equal(forest.dist, reference)
+
+    def test_invalid_tie_break(self, path_graph):
+        with pytest.raises(ValueError, match="tie_break"):
+            bfs(path_graph, 0, tie_break="nope")
+
+    def test_invalid_source(self, path_graph):
+        with pytest.raises(NodeError):
+            bfs(path_graph, 9)
+
+    def test_matches_networkx_on_random_graph(self):
+        nx_random = nx.gnp_random_graph(60, 0.08, seed=7)
+        edges = list(nx_random.edges())
+        g = Graph.from_edges(60, edges)
+        expected = nx.single_source_shortest_path_length(nx_random, 0)
+        forest = bfs(g, 0)
+        for node in range(60):
+            assert forest.dist[node] == expected.get(node, -1)
+
+    def test_result_arrays_read_only(self, path_graph):
+        forest = bfs(path_graph, 0)
+        with pytest.raises(ValueError):
+            forest.dist[0] = 3
+
+
+class TestDistancesFrom:
+    def test_agrees_with_bfs(self, small_mesh):
+        for source in range(0, 16, 5):
+            assert np.array_equal(
+                distances_from(small_mesh, source),
+                bfs(small_mesh, source).dist,
+            )
+
+    def test_isolated_source(self, disconnected_graph):
+        dist = distances_from(disconnected_graph, 5)
+        assert dist[5] == 0
+        assert np.count_nonzero(dist >= 0) == 1
+
+
+class TestDistanceMatrix:
+    def test_full_matrix_symmetric(self, small_mesh):
+        matrix = distance_matrix(small_mesh)
+        assert matrix.shape == (16, 16)
+        assert np.array_equal(matrix, matrix.T)
+        assert np.all(np.diag(matrix) == 0)
+
+    def test_grid_manhattan_distance(self, small_mesh):
+        matrix = distance_matrix(small_mesh)
+        # Grid distance is Manhattan distance.
+        for a in range(16):
+            for b in range(16):
+                expected = abs(a // 4 - b // 4) + abs(a % 4 - b % 4)
+                assert matrix[a, b] == expected
+
+    def test_row_subset(self, path_graph):
+        matrix = distance_matrix(path_graph, nodes=[4, 0])
+        assert matrix.shape == (2, 5)
+        assert matrix[0].tolist() == [4, 3, 2, 1, 0]
+        assert matrix[1].tolist() == [0, 1, 2, 3, 4]
+
+
+class TestDijkstra:
+    def test_unit_weights_match_bfs(self, small_mesh):
+        forest = dijkstra(small_mesh, 0)
+        assert np.array_equal(
+            forest.cost.astype(int), bfs(small_mesh, 0).dist
+        )
+
+    def test_weighted_route_choice(self):
+        # 0-1-2 cheap (0.5 each), 0-2 direct expensive (2.0).
+        g = Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        weights = np.empty(g.indices.shape[0])
+        for u in range(3):
+            lo, hi = g.indptr[u], g.indptr[u + 1]
+            for pos in range(lo, hi):
+                v = int(g.indices[pos])
+                weights[pos] = 2.0 if {u, v} == {0, 2} else 0.5
+        forest = dijkstra(g, 0, weights)
+        assert forest.cost[2] == pytest.approx(1.0)
+        assert forest.path_to(2) == [0, 1, 2]
+
+    def test_unreachable_is_inf(self, disconnected_graph):
+        forest = dijkstra(disconnected_graph, 0)
+        assert not np.isfinite(forest.cost[3])
+        with pytest.raises(GraphError):
+            forest.path_to(3)
+
+    def test_rejects_nonpositive_weights(self, path_graph):
+        weights = uniform_arc_weights(path_graph)
+        weights[0] = 0.0
+        with pytest.raises(GraphError, match="positive"):
+            dijkstra(path_graph, 0, weights)
+
+    def test_rejects_misshaped_weights(self, path_graph):
+        with pytest.raises(GraphError, match="shape"):
+            dijkstra(path_graph, 0, np.ones(3))
+
+    def test_matches_networkx_weighted(self, small_mesh, rng):
+        weights = uniform_arc_weights(small_mesh)
+        # Symmetric random weights: assign per undirected edge.
+        nx_graph = to_networkx(small_mesh)
+        for u, v in nx_graph.edges():
+            w = float(rng.uniform(0.1, 2.0))
+            nx_graph[u][v]["weight"] = w
+            for a, b in ((u, v), (v, u)):
+                row = small_mesh.neighbors(a)
+                pos = small_mesh.indptr[a] + int(np.searchsorted(row, b))
+                weights[pos] = w
+        expected = nx.single_source_dijkstra_path_length(nx_graph, 0)
+        forest = dijkstra(small_mesh, 0, weights)
+        for node, cost in expected.items():
+            assert forest.cost[node] == pytest.approx(cost)
+
+
+class TestUniformArcWeights:
+    def test_shape_and_value(self, cycle_graph):
+        weights = uniform_arc_weights(cycle_graph, 2.5)
+        assert weights.shape == cycle_graph.indices.shape
+        assert np.all(weights == 2.5)
+
+    def test_rejects_nonpositive(self, cycle_graph):
+        with pytest.raises(GraphError):
+            uniform_arc_weights(cycle_graph, 0.0)

@@ -1,0 +1,142 @@
+"""Tests for :mod:`repro.graph.reachability`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AnalysisError, DisconnectedGraphError
+from repro.graph.reachability import (
+    average_path_length,
+    average_profile,
+    classify_growth,
+    reachability_profile,
+)
+
+
+class TestReachabilityProfile:
+    def test_path_graph_rings(self, path_graph):
+        profile = reachability_profile(path_graph, 0)
+        assert profile.ring_sizes.tolist() == [1, 1, 1, 1, 1]
+        assert profile.eccentricity == 4
+        assert profile.num_reachable == 5
+
+    def test_center_of_path(self, path_graph):
+        profile = reachability_profile(path_graph, 2)
+        assert profile.ring_sizes.tolist() == [1, 2, 2]
+
+    def test_binary_tree_rings_are_powers(self, binary_tree_d4):
+        profile = reachability_profile(binary_tree_d4.graph, 0)
+        assert profile.ring_sizes.tolist() == [1, 2, 4, 8, 16]
+
+    def test_s_and_t_accessors(self, binary_tree_d4):
+        profile = reachability_profile(binary_tree_d4.graph, 0)
+        assert profile.s(2) == 4
+        assert profile.s(99) == 0
+        assert profile.t(2) == 7
+        assert profile.t(99) == 31
+
+    def test_s_rejects_negative(self, path_graph):
+        profile = reachability_profile(path_graph, 0)
+        with pytest.raises(AnalysisError):
+            profile.s(-1)
+        with pytest.raises(AnalysisError):
+            profile.t(-2)
+
+    def test_cumulative(self, binary_tree_d4):
+        profile = reachability_profile(binary_tree_d4.graph, 0)
+        assert profile.cumulative.tolist() == [1, 3, 7, 15, 31]
+
+    def test_mean_distance(self, path_graph):
+        profile = reachability_profile(path_graph, 0)
+        assert profile.mean_distance == pytest.approx((1 + 2 + 3 + 4) / 4)
+
+    def test_mean_distance_single_node(self):
+        from repro.graph.core import Graph
+
+        g = Graph.from_edges(1, [])
+        assert reachability_profile(g, 0).mean_distance == 0.0
+
+    def test_profile_counts_only_reachable(self, disconnected_graph):
+        profile = reachability_profile(disconnected_graph, 3)
+        assert profile.num_reachable == 2
+
+
+class TestAverageProfile:
+    def test_explicit_sources(self, path_graph):
+        avg = average_profile(path_graph, sources=[0, 4])
+        # Both endpoints see rings [1,1,1,1,1].
+        assert avg.mean_ring_sizes.tolist() == [1, 1, 1, 1, 1]
+
+    def test_mixed_sources_padded(self, path_graph):
+        avg = average_profile(path_graph, sources=[0, 2])
+        # Source 2 has rings [1,2,2,0,0]; average with [1,1,1,1,1].
+        assert avg.mean_ring_sizes.tolist() == [1.0, 1.5, 1.5, 0.5, 0.5]
+
+    def test_cumulative_reaches_n(self, small_mesh, rng):
+        avg = average_profile(small_mesh, num_sources=10, rng=rng)
+        assert avg.mean_cumulative[-1] == pytest.approx(16.0)
+
+    def test_log_cumulative_series(self, small_mesh, rng):
+        avg = average_profile(small_mesh, num_sources=4, rng=rng)
+        radii, log_t = avg.log_cumulative_series()
+        assert radii.shape == log_t.shape
+        assert log_t[0] == pytest.approx(0.0)  # ln T(0) = ln 1
+
+    def test_rejects_disconnected(self, disconnected_graph):
+        with pytest.raises(DisconnectedGraphError):
+            average_profile(disconnected_graph)
+
+    def test_rejects_empty_sources(self, path_graph):
+        with pytest.raises(AnalysisError):
+            average_profile(path_graph, sources=[])
+
+
+class TestAveragePathLength:
+    def test_exact_on_small_graph(self, cycle_graph):
+        # 6-cycle from any node: distances 1,1,2,2,3 -> mean 1.8.
+        assert average_path_length(cycle_graph) == pytest.approx(1.8)
+
+    def test_explicit_sources(self, path_graph):
+        got = average_path_length(path_graph, sources=[0])
+        assert got == pytest.approx(2.5)
+
+    def test_rejects_disconnected(self, disconnected_graph):
+        with pytest.raises(DisconnectedGraphError):
+            average_path_length(disconnected_graph)
+
+
+class TestClassifyGrowth:
+    def test_binary_tree_is_exponential(self):
+        from repro.topology.kary import kary_tree
+
+        tree = kary_tree(2, 8)
+        profile = average_profile(tree.graph, sources=[0])
+        assert classify_growth(profile) == "exponential"
+
+    def test_long_path_is_sub_exponential(self):
+        from repro.graph.core import Graph
+
+        n = 200
+        g = Graph.from_edges(n, [(i, i + 1) for i in range(n - 1)])
+        profile = average_profile(g, sources=[0])
+        assert classify_growth(profile) == "sub-exponential"
+
+    def test_grid_is_sub_exponential(self):
+        from repro.graph.builders import GraphBuilder
+
+        side = 16
+        b = GraphBuilder(side * side)
+        for r in range(side):
+            for c in range(side):
+                v = r * side + c
+                if c < side - 1:
+                    b.add_edge(v, v + 1)
+                if r < side - 1:
+                    b.add_edge(v, v + side)
+        profile = average_profile(b.to_graph(), sources=[0])
+        assert classify_growth(profile) == "sub-exponential"
+
+    def test_tiny_profile_defaults_exponential(self, cycle_graph):
+        profile = average_profile(cycle_graph, sources=[0])
+        assert classify_growth(profile) == "exponential"

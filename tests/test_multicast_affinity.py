@@ -1,0 +1,222 @@
+"""Tests for :mod:`repro.multicast.affinity`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AnalysisError, SamplingError
+from repro.graph.paths import bfs
+from repro.multicast.affinity import (
+    AffinitySampler,
+    KaryDistanceOracle,
+    MatrixDistanceOracle,
+    extreme_placement,
+    sample_weighted_tree_size,
+)
+from repro.multicast.tree import MulticastTreeCounter
+from repro.topology.kary import kary_tree
+
+
+@pytest.fixture
+def tree_d5():
+    return kary_tree(2, 5)
+
+
+@pytest.fixture
+def tree_counter(tree_d5):
+    return MulticastTreeCounter(bfs(tree_d5.graph, 0))
+
+
+class TestOracles:
+    def test_matrix_oracle_matches_kary_oracle(self, tree_d5, rng):
+        matrix = MatrixDistanceOracle(tree_d5.graph)
+        kary = KaryDistanceOracle(tree_d5)
+        sites = rng.integers(0, tree_d5.num_nodes, size=40)
+        for u in rng.integers(0, tree_d5.num_nodes, size=10):
+            assert np.array_equal(
+                matrix.distances(int(u), sites), kary.distances(int(u), sites)
+            )
+
+    def test_kary_oracle_k3(self, rng):
+        tree = kary_tree(3, 4)
+        matrix = MatrixDistanceOracle(tree.graph)
+        kary = KaryDistanceOracle(tree)
+        sites = rng.integers(0, tree.num_nodes, size=60)
+        for u in [0, 1, 12, 40, tree.num_nodes - 1]:
+            assert np.array_equal(
+                matrix.distances(u, sites), kary.distances(u, sites)
+            )
+
+    def test_zero_distance_to_self(self, tree_d5):
+        kary = KaryDistanceOracle(tree_d5)
+        sites = np.arange(tree_d5.num_nodes)
+        dists = kary.distances(17, sites)
+        assert dists[17] == 0
+
+    def test_matrix_oracle_refuses_huge_graph(self):
+        class Fake:
+            num_nodes = 50_000
+
+        with pytest.raises(AnalysisError, match="GB"):
+            MatrixDistanceOracle(Fake())
+
+
+class TestAffinitySampler:
+    def test_pair_sum_tracked_incrementally(self, tree_d5, rng):
+        oracle = KaryDistanceOracle(tree_d5)
+        sampler = AffinitySampler(
+            oracle, tree_d5.non_root_nodes(), n=8, beta=0.5, rng=rng
+        )
+        for _ in range(200):
+            sampler.step()
+        # Recompute from scratch and compare with the running value.
+        expected = sampler._total_pair_distance(sampler.sites)
+        assert sampler._pair_sum == pytest.approx(expected)
+
+    def test_beta_zero_accepts_everything(self, tree_d5, rng):
+        oracle = KaryDistanceOracle(tree_d5)
+        sampler = AffinitySampler(
+            oracle, tree_d5.non_root_nodes(), n=5, beta=0.0, rng=rng
+        )
+        sampler.run(100)
+        assert sampler.acceptance_rate == 1.0
+
+    def test_strong_affinity_clusters(self, tree_d5, rng):
+        oracle = KaryDistanceOracle(tree_d5)
+        pool = tree_d5.non_root_nodes()
+        clustered = AffinitySampler(oracle, pool, n=10, beta=20.0, rng=rng)
+        clustered.run(3000)
+        spread = AffinitySampler(oracle, pool, n=10, beta=-20.0, rng=rng)
+        spread.run(3000)
+        assert clustered.mean_pair_distance < spread.mean_pair_distance - 2.0
+
+    def test_single_receiver_chain(self, tree_d5, rng):
+        oracle = KaryDistanceOracle(tree_d5)
+        sampler = AffinitySampler(
+            oracle, tree_d5.non_root_nodes(), n=1, beta=3.0, rng=rng
+        )
+        sampler.run(50)
+        assert sampler.mean_pair_distance == 0.0
+        assert sampler.acceptance_rate == 1.0
+
+    def test_rejects_infinite_beta(self, tree_d5, rng):
+        oracle = KaryDistanceOracle(tree_d5)
+        with pytest.raises(SamplingError, match="finite"):
+            AffinitySampler(
+                oracle, tree_d5.non_root_nodes(), n=3,
+                beta=float("inf"), rng=rng,
+            )
+
+    def test_rejects_empty_pool(self, tree_d5, rng):
+        oracle = KaryDistanceOracle(tree_d5)
+        with pytest.raises(SamplingError):
+            AffinitySampler(oracle, [], n=3, beta=0.5, rng=rng)
+
+    def test_rejects_zero_n(self, tree_d5, rng):
+        oracle = KaryDistanceOracle(tree_d5)
+        with pytest.raises(SamplingError):
+            AffinitySampler(oracle, tree_d5.non_root_nodes(), n=0,
+                            beta=0.5, rng=rng)
+
+
+class TestSampleWeightedTreeSize:
+    def test_beta_ordering(self, tree_d5, tree_counter):
+        oracle = KaryDistanceOracle(tree_d5)
+        pool = tree_d5.non_root_nodes()
+        estimates = {
+            beta: sample_weighted_tree_size(
+                tree_counter, oracle, pool, n=16, beta=beta,
+                num_samples=25, burn_in_sweeps=15, rng=7,
+            ).mean_tree_size
+            for beta in (-5.0, 0.0, 5.0)
+        }
+        assert estimates[5.0] < estimates[0.0] < estimates[-5.0]
+
+    def test_beta_zero_matches_uniform_expectation(self, tree_d5, tree_counter):
+        from repro.analysis.kary_exact import lhat_throughout
+
+        oracle = KaryDistanceOracle(tree_d5)
+        estimate = sample_weighted_tree_size(
+            tree_counter, oracle, tree_d5.non_root_nodes(),
+            n=12, beta=0.0, num_samples=400, rng=11,
+        )
+        theory = float(lhat_throughout(2, 5, 12))
+        assert estimate.mean_tree_size == pytest.approx(theory, rel=0.05)
+
+    def test_estimate_fields(self, tree_d5, tree_counter):
+        oracle = KaryDistanceOracle(tree_d5)
+        estimate = sample_weighted_tree_size(
+            tree_counter, oracle, tree_d5.non_root_nodes(),
+            n=4, beta=1.0, num_samples=5, burn_in_sweeps=2, rng=0,
+        )
+        assert estimate.n == 4
+        assert estimate.beta == 1.0
+        assert estimate.num_samples == 5
+        assert 0.0 < estimate.acceptance_rate <= 1.0
+        assert estimate.std_tree_size >= 0.0
+
+
+class TestExtremePlacement:
+    def test_disaffinity_matches_paper_sequence(self, tree_d5):
+        forest = bfs(kary_tree(2, 5).graph, 0)
+        _, sizes = extreme_placement(
+            forest, kary_tree(2, 5).leaves(), 8, "disaffinity"
+        )
+        deltas = np.diff(np.concatenate([[0], sizes])).tolist()
+        assert deltas == [5, 5, 4, 4, 3, 3, 3, 3]
+
+    def test_affinity_matches_paper_sequence(self):
+        tree = kary_tree(2, 5)
+        forest = bfs(tree.graph, 0)
+        _, sizes = extreme_placement(forest, tree.leaves(), 8, "affinity")
+        deltas = np.diff(np.concatenate([[0], sizes])).tolist()
+        assert deltas == [5, 1, 2, 1, 3, 1, 2, 1]
+
+    def test_affinity_with_replacement_stays_at_depth(self):
+        tree = kary_tree(2, 4)
+        forest = bfs(tree.graph, 0)
+        _, sizes = extreme_placement(
+            forest, tree.leaves(), 10, "affinity", distinct=False
+        )
+        assert sizes.tolist() == [4] * 10  # all receivers pile on one leaf
+
+    def test_disaffinity_with_replacement_saturates(self):
+        tree = kary_tree(2, 3)
+        forest = bfs(tree.graph, 0)
+        _, sizes = extreme_placement(
+            forest, tree.leaves(), 12, "disaffinity", distinct=False
+        )
+        full = sizes[7]
+        assert np.all(sizes[8:] == full)
+
+    def test_distinct_exhaustion_raises(self):
+        tree = kary_tree(2, 3)
+        forest = bfs(tree.graph, 0)
+        with pytest.raises(SamplingError, match="distinct"):
+            extreme_placement(forest, tree.leaves(), 9, "affinity")
+
+    def test_bad_mode(self, tree_d5):
+        forest = bfs(tree_d5.graph, 0)
+        with pytest.raises(AnalysisError, match="mode"):
+            extreme_placement(forest, tree_d5.leaves(), 2, "chaotic")
+
+    def test_works_on_general_graphs(self, small_mesh):
+        forest = bfs(small_mesh, 0)
+        pool = list(range(1, 16))
+        _, spread_sizes = extreme_placement(forest, pool, 5, "disaffinity")
+        _, packed_sizes = extreme_placement(forest, pool, 5, "affinity")
+        assert spread_sizes[-1] >= packed_sizes[-1]
+        assert packed_sizes.tolist() == sorted(packed_sizes.tolist())
+
+
+class TestPathTreeOracle:
+    def test_k1_path_tree_distances(self):
+        """The k = 1 degenerate 'tree' is a path; the oracle must still
+        be exact (the paper varies k continuously toward 1)."""
+        tree = kary_tree(1, 9)
+        oracle = KaryDistanceOracle(tree)
+        sites = np.arange(tree.num_nodes)
+        for u in (0, 4, 9):
+            got = oracle.distances(u, sites)
+            assert np.array_equal(got, np.abs(sites - u))

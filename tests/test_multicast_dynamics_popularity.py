@@ -1,0 +1,246 @@
+"""Tests for :mod:`repro.multicast.dynamics` and ``popularity``."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError, SamplingError
+from repro.graph.paths import bfs
+from repro.multicast.dynamics import DynamicGroup
+from repro.multicast.popularity import (
+    effective_sites,
+    sample_popular_receivers,
+    zipf_site_weights,
+)
+from repro.topology.kary import kary_tree
+
+
+@pytest.fixture
+def group(binary_tree_d4):
+    return DynamicGroup(bfs(binary_tree_d4.graph, 0))
+
+
+class TestDynamicGroupBasics:
+    def test_empty_group(self, group):
+        assert group.num_members == 0
+        assert group.tree_links == 0
+        assert group.recount() == 0
+
+    def test_first_join_costs_full_path(self, group, binary_tree_d4):
+        leaf = int(binary_tree_d4.leaves()[0])
+        assert group.join(leaf) == 4
+        assert group.tree_links == 4
+
+    def test_join_at_source_costs_nothing(self, group):
+        assert group.join(0) == 0
+        assert group.num_members == 1
+        assert group.tree_links == 0
+
+    def test_sibling_join_shares_path(self, group, binary_tree_d4):
+        leaves = binary_tree_d4.leaves()
+        group.join(int(leaves[0]))
+        # The sibling leaf shares all but the last link.
+        assert group.join(int(leaves[1])) == 1
+
+    def test_duplicate_join_costs_nothing(self, group, binary_tree_d4):
+        leaf = int(binary_tree_d4.leaves()[5])
+        group.join(leaf)
+        assert group.join(leaf) == 0
+        assert group.num_members == 2
+        assert group.num_member_sites == 1
+
+    def test_leave_restores_empty_tree(self, group, binary_tree_d4):
+        leaf = int(binary_tree_d4.leaves()[3])
+        group.join(leaf)
+        assert group.leave(leaf) == 4
+        assert group.tree_links == 0
+        assert group.num_members == 0
+
+    def test_leave_keeps_shared_links(self, group, binary_tree_d4):
+        leaves = binary_tree_d4.leaves()
+        group.join(int(leaves[0]))
+        group.join(int(leaves[1]))
+        pruned = group.leave(int(leaves[1]))
+        assert pruned == 1  # only the private leaf link goes
+        assert group.tree_links == 4
+
+    def test_leave_with_multiplicity_prunes_nothing(self, group):
+        group.join(7)
+        group.join(7)
+        assert group.leave(7) == 0
+        assert group.num_members == 1
+
+    def test_leave_absent_member(self, group):
+        with pytest.raises(SamplingError, match="no member"):
+            group.leave(3)
+
+    def test_join_out_of_range(self, group):
+        with pytest.raises(GraphError):
+            group.join(99)
+
+    def test_join_unreachable(self, disconnected_graph):
+        group = DynamicGroup(bfs(disconnected_graph, 0))
+        with pytest.raises(GraphError, match="unreachable"):
+            group.join(4)
+
+    def test_members_copy_is_isolated(self, group):
+        group.join(5)
+        members = group.members()
+        members[5] = 99
+        assert group.members()[5] == 1
+
+
+class TestDynamicGroupInvariant:
+    def test_incremental_matches_recount_random_walk(self, rng):
+        tree = kary_tree(3, 4)
+        group = DynamicGroup(bfs(tree.graph, 0))
+        for _ in range(500):
+            if group.num_members == 0 or rng.random() < 0.55:
+                group.join(int(rng.integers(1, tree.num_nodes)))
+            else:
+                sites = list(group.members())
+                group.leave(sites[int(rng.integers(0, len(sites)))])
+            assert group.tree_links == group.recount()
+
+    def test_invariant_on_mesh(self, small_mesh, rng):
+        group = DynamicGroup(bfs(small_mesh, 0))
+        for _ in range(300):
+            if group.num_members == 0 or rng.random() < 0.5:
+                group.join(int(rng.integers(0, 16)))
+            else:
+                sites = list(group.members())
+                group.leave(sites[int(rng.integers(0, len(sites)))])
+        assert group.tree_links == group.recount()
+
+
+class TestChurnSimulation:
+    def test_steady_state_matches_static_law(self):
+        """Time-averaged churn tree size ≈ E over static snapshots."""
+        from repro.analysis.kary_exact import lhat_throughout
+
+        tree = kary_tree(2, 6)
+        group = DynamicGroup(bfs(tree.graph, 0))
+        target = 16
+        stats = group.simulate_churn(
+            target_members=target, events=6000, rng=0
+        )
+        # Membership hovers near the target...
+        assert stats.mean_members == pytest.approx(target, rel=0.3)
+        # ...and the mean tree size is near the static L̂ at that size.
+        static = float(lhat_throughout(2, 6, stats.mean_members))
+        assert stats.mean_tree_links == pytest.approx(static, rel=0.15)
+
+    def test_graft_and_prune_costs_balance(self):
+        """In steady state, links added ≈ links removed per event."""
+        tree = kary_tree(2, 6)
+        group = DynamicGroup(bfs(tree.graph, 0))
+        stats = group.simulate_churn(target_members=12, events=6000, rng=1)
+        assert stats.mean_graft_cost == pytest.approx(
+            stats.mean_prune_cost, rel=0.2
+        )
+
+    def test_restricted_site_pool(self, binary_tree_d4):
+        group = DynamicGroup(bfs(binary_tree_d4.graph, 0))
+        leaves = binary_tree_d4.leaves()
+        group.simulate_churn(
+            target_members=4, events=200, eligible_sites=leaves, rng=2
+        )
+        assert all(site in leaves for site in group.members())
+
+    def test_validation(self, group):
+        with pytest.raises(SamplingError):
+            group.simulate_churn(target_members=0, events=10)
+        with pytest.raises(SamplingError):
+            group.simulate_churn(target_members=5, events=0)
+        with pytest.raises(SamplingError):
+            group.simulate_churn(
+                target_members=5, events=10, eligible_sites=np.array([])
+            )
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        weights = zipf_site_weights(50, 1.0, shuffle=False)
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_zero_skew_is_uniform(self):
+        weights = zipf_site_weights(10, 0.0, shuffle=False)
+        assert np.allclose(weights, 0.1)
+
+    def test_skew_orders_head(self):
+        weights = zipf_site_weights(10, 1.5, shuffle=False)
+        assert np.all(np.diff(weights) < 0)
+        assert weights[0] > 0.3
+
+    def test_shuffle_permutes(self):
+        plain = zipf_site_weights(40, 1.0, shuffle=False)
+        mixed = zipf_site_weights(40, 1.0, rng=0, shuffle=True)
+        assert sorted(plain.tolist()) == pytest.approx(sorted(mixed.tolist()))
+        assert not np.allclose(plain, mixed)
+
+    def test_validation(self):
+        with pytest.raises(SamplingError):
+            zipf_site_weights(0, 1.0)
+        with pytest.raises(SamplingError):
+            zipf_site_weights(5, -0.1)
+
+
+class TestSamplePopularReceivers:
+    def test_respects_exclusions(self, rng):
+        weights = zipf_site_weights(20, 1.0, shuffle=False)
+        for _ in range(30):
+            sample = sample_popular_receivers(
+                weights, 5, exclude=[0, 1], rng=rng
+            )
+            assert not set(sample.tolist()) & {0, 1}
+
+    def test_distinct_mode(self, rng):
+        weights = zipf_site_weights(20, 1.0, shuffle=False)
+        sample = sample_popular_receivers(weights, 15, distinct=True, rng=rng)
+        assert len(set(sample.tolist())) == 15
+
+    def test_head_dominates_with_replacement(self):
+        rng = np.random.default_rng(3)
+        weights = zipf_site_weights(100, 2.0, shuffle=False)
+        sample = sample_popular_receivers(weights, 2000, rng=rng)
+        counts = np.bincount(sample, minlength=100)
+        assert counts[0] > counts[50:].sum()
+
+    def test_validation(self, rng):
+        weights = zipf_site_weights(5, 1.0, shuffle=False)
+        with pytest.raises(SamplingError):
+            sample_popular_receivers(weights, 0, rng=rng)
+        with pytest.raises(SamplingError):
+            sample_popular_receivers(weights, 6, distinct=True, rng=rng)
+        with pytest.raises(SamplingError):
+            sample_popular_receivers(np.array([-1.0, 2.0]), 1, rng=rng)
+        with pytest.raises(SamplingError):
+            sample_popular_receivers(
+                weights, 2, exclude=[0, 1, 2, 3, 4], rng=rng
+            )
+
+
+class TestEffectiveSites:
+    def test_uniform_matches_paper_formula(self):
+        from repro.analysis.scaling import expected_distinct
+
+        weights = np.full(64, 1.0 / 64)
+        for n in (1, 10, 100):
+            assert effective_sites(weights, n) == pytest.approx(
+                float(expected_distinct(n, 64))
+            )
+
+    def test_skew_reduces_effective_sites(self):
+        flat = zipf_site_weights(200, 0.0, shuffle=False)
+        skewed = zipf_site_weights(200, 1.5, shuffle=False)
+        assert effective_sites(skewed, 100) < effective_sites(flat, 100)
+
+    def test_zero_draws(self):
+        assert effective_sites(np.full(4, 0.25), 0) == 0.0
+
+    def test_monotone_in_n(self):
+        weights = zipf_site_weights(50, 1.0, shuffle=False)
+        values = [effective_sites(weights, n) for n in (1, 5, 25, 125)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+        assert values[-1] <= 50.0

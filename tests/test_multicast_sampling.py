@@ -1,0 +1,107 @@
+"""Tests for :mod:`repro.multicast.sampling`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SamplingError
+from repro.multicast.sampling import (
+    eligible_sites,
+    sample_distinct_receivers,
+    sample_receivers_with_replacement,
+)
+
+
+class TestEligibleSites:
+    def test_no_exclusions(self):
+        assert eligible_sites(5).tolist() == [0, 1, 2, 3, 4]
+
+    def test_with_exclusions(self):
+        assert eligible_sites(5, exclude=(2, 0)).tolist() == [1, 3, 4]
+
+    def test_out_of_range_exclusion(self):
+        with pytest.raises(SamplingError):
+            eligible_sites(5, exclude=(9,))
+
+    def test_negative_population(self):
+        with pytest.raises(SamplingError):
+            eligible_sites(-1)
+
+
+class TestDistinct:
+    def test_distinctness_and_range(self, rng):
+        for _ in range(20):
+            sample = sample_distinct_receivers(30, 10, rng=rng)
+            assert len(set(sample.tolist())) == 10
+            assert sample.min() >= 0 and sample.max() < 30
+
+    def test_source_excluded(self, rng):
+        for _ in range(50):
+            sample = sample_distinct_receivers(10, 9, source=4, rng=rng)
+            assert 4 not in sample
+
+    def test_all_sites_when_m_equals_population(self, rng):
+        sample = sample_distinct_receivers(8, 8, rng=rng)
+        assert sorted(sample.tolist()) == list(range(8))
+
+    def test_too_many_receivers(self, rng):
+        with pytest.raises(SamplingError, match="cannot draw"):
+            sample_distinct_receivers(5, 6, rng=rng)
+
+    def test_too_many_with_source_excluded(self, rng):
+        with pytest.raises(SamplingError):
+            sample_distinct_receivers(5, 5, source=0, rng=rng)
+
+    def test_rejects_zero_m(self, rng):
+        with pytest.raises(SamplingError):
+            sample_distinct_receivers(5, 0, rng=rng)
+
+    def test_uniformity(self):
+        """Each site appears with roughly equal frequency."""
+        rng = np.random.default_rng(0)
+        counts = np.zeros(10)
+        for _ in range(3000):
+            counts[sample_distinct_receivers(10, 3, rng=rng)] += 1
+        expected = 3000 * 3 / 10
+        assert np.all(np.abs(counts - expected) < 0.1 * expected + 5 * np.sqrt(expected))
+
+
+class TestWithReplacement:
+    def test_size_and_range(self, rng):
+        sample = sample_receivers_with_replacement(10, 50, rng=rng)
+        assert sample.shape == (50,)
+        assert sample.min() >= 0 and sample.max() < 10
+
+    def test_duplicates_possible(self, rng):
+        sample = sample_receivers_with_replacement(3, 50, rng=rng)
+        assert len(set(sample.tolist())) < 50
+
+    def test_source_excluded(self, rng):
+        sample = sample_receivers_with_replacement(4, 200, source=1, rng=rng)
+        assert 1 not in sample
+
+    def test_n_may_exceed_population(self, rng):
+        sample = sample_receivers_with_replacement(3, 100, rng=rng)
+        assert sample.shape == (100,)
+
+    def test_rejects_zero_n(self, rng):
+        with pytest.raises(SamplingError):
+            sample_receivers_with_replacement(5, 0, rng=rng)
+
+    def test_rejects_empty_pool(self, rng):
+        with pytest.raises(SamplingError, match="no eligible"):
+            sample_receivers_with_replacement(1, 3, source=0, rng=rng)
+
+    def test_expected_distinct_matches_theory(self):
+        """Empirical distinct-count matches M(1 − (1 − 1/M)^n)."""
+        from repro.analysis.scaling import expected_distinct
+
+        rng = np.random.default_rng(1)
+        population, n = 50, 40
+        distinct = [
+            len(set(sample_receivers_with_replacement(population, n, rng=rng).tolist()))
+            for _ in range(2000)
+        ]
+        theory = float(expected_distinct(n, population))
+        assert np.mean(distinct) == pytest.approx(theory, rel=0.02)

@@ -1,0 +1,163 @@
+"""Tests for :mod:`repro.multicast.shared_tree` and ``weighted``."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExperimentError, GraphError
+from repro.graph.core import Graph
+from repro.graph.paths import bfs, dijkstra, uniform_arc_weights
+from repro.multicast.shared_tree import SharedTreeCost, select_core, shared_tree_cost
+from repro.multicast.tree import MulticastTreeCounter
+from repro.multicast.weighted import weighted_tree_cost
+from repro.topology.gtitm import pure_random_graph
+from repro.topology.kary import kary_tree
+
+
+class TestSelectCore:
+    def test_max_degree_core(self, small_mesh):
+        core = select_core(small_mesh, strategy="max-degree")
+        assert small_mesh.degree(core) == int(small_mesh.degrees.max())
+
+    def test_min_distance_core_on_path(self, path_graph):
+        # The 1-median of a path is its middle.
+        core = select_core(
+            path_graph, strategy="min-distance-sample", candidates=5, rng=0
+        )
+        assert core == 2
+
+    def test_random_core_in_range(self, small_mesh, rng):
+        core = select_core(small_mesh, strategy="random", rng=rng)
+        assert 0 <= core < 16
+
+    def test_unknown_strategy(self, small_mesh):
+        with pytest.raises(ExperimentError, match="strategy"):
+            select_core(small_mesh, strategy="astrology")
+
+    def test_min_distance_beats_random_on_average(self):
+        from repro.graph.paths import distances_from
+
+        g = pure_random_graph(150, average_degree=3.0, rng=0)
+        best = select_core(g, strategy="min-distance-sample",
+                           candidates=30, rng=1)
+        best_total = float(distances_from(g, best).sum())
+        rng = np.random.default_rng(2)
+        random_totals = [
+            float(distances_from(g, int(rng.integers(0, 150))).sum())
+            for _ in range(20)
+        ]
+        assert best_total <= np.median(random_totals)
+
+
+class TestSharedTreeCost:
+    def test_core_at_source_equals_source_tree(self, binary_tree_d4):
+        g = binary_tree_d4.graph
+        receivers = binary_tree_d4.leaves()[:4].tolist()
+        source_tree = MulticastTreeCounter(bfs(g, 0)).tree_size(receivers)
+        shared = shared_tree_cost(g, core=0, source=0, receivers=receivers)
+        assert shared.tree_links == source_tree
+        assert shared.source_to_core_hops == 0
+
+    def test_remote_core_adds_overhead(self, path_graph):
+        # Source 0, single receiver 1, core at the far end 4.
+        shared = shared_tree_cost(path_graph, core=4, source=0, receivers=[1])
+        direct = MulticastTreeCounter(bfs(path_graph, 0)).tree_size([1])
+        assert shared.tree_links > direct
+        assert shared.source_to_core_hops == 4
+
+    def test_counter_reuse(self, small_mesh):
+        core = 5
+        counter = MulticastTreeCounter(bfs(small_mesh, core))
+        a = shared_tree_cost(small_mesh, core, 0, [15], counter=counter)
+        b = shared_tree_cost(small_mesh, core, 0, [15])
+        assert a == b
+
+    def test_counter_core_mismatch(self, small_mesh):
+        counter = MulticastTreeCounter(bfs(small_mesh, 3))
+        with pytest.raises(GraphError, match="rooted"):
+            shared_tree_cost(small_mesh, 5, 0, [15], counter=counter)
+
+    def test_shared_tree_never_below_core_tree(self, small_mesh, rng):
+        core = select_core(small_mesh, strategy="min-distance-sample", rng=0)
+        counter = MulticastTreeCounter(bfs(small_mesh, core))
+        for _ in range(10):
+            receivers = rng.choice(16, size=4, replace=False)
+            cost = shared_tree_cost(
+                small_mesh, core, int(rng.integers(0, 16)), receivers,
+                counter=counter,
+            )
+            only_receivers = counter.tree_size(receivers)
+            assert cost.tree_links >= only_receivers
+
+    def test_delivery_cost_property(self):
+        cost = SharedTreeCost(core=3, tree_links=17, source_to_core_hops=2)
+        assert cost.delivery_cost == 17
+
+
+class TestWeightedTreeCost:
+    def test_unit_weights_match_unweighted_counter(self, small_mesh, rng):
+        weights = uniform_arc_weights(small_mesh)
+        forest = dijkstra(small_mesh, 0, weights)
+        bfs_counter = MulticastTreeCounter(bfs(small_mesh, 0))
+        for _ in range(10):
+            receivers = rng.choice(16, size=5, replace=True)
+            cost = weighted_tree_cost(small_mesh, forest, weights, receivers)
+            # Equal-cost path sets may differ between Dijkstra and BFS
+            # tie-breaking, but unit-weight totals equal the link counts.
+            assert cost.total_weight == pytest.approx(float(cost.num_links))
+            assert cost.unicast_weight == float(
+                bfs_counter.unicast_total(receivers)
+            )
+
+    def test_weighted_tree_at_most_unicast(self, rng):
+        g = pure_random_graph(60, average_degree=4.0, rng=3)
+        weights = uniform_arc_weights(g)
+        # Random symmetric weights.
+        for u, v in g.edges():
+            w = float(rng.uniform(0.5, 3.0))
+            for a, b in ((u, v), (v, u)):
+                row = g.neighbors(a)
+                pos = g.indptr[a] + int(np.searchsorted(row, b))
+                weights[pos] = w
+        forest = dijkstra(g, 0, weights)
+        for _ in range(10):
+            receivers = rng.choice(60, size=8, replace=True)
+            cost = weighted_tree_cost(g, forest, weights, receivers)
+            assert cost.total_weight <= cost.unicast_weight + 1e-9
+            assert 0.0 < cost.efficiency <= 1.0
+
+    def test_duplicate_receivers_free(self, small_mesh):
+        weights = uniform_arc_weights(small_mesh)
+        forest = dijkstra(small_mesh, 0, weights)
+        once = weighted_tree_cost(small_mesh, forest, weights, [15])
+        thrice = weighted_tree_cost(small_mesh, forest, weights, [15, 15, 15])
+        assert once.num_links == thrice.num_links
+        assert once.total_weight == thrice.total_weight
+
+    def test_unreachable_receiver(self, disconnected_graph):
+        weights = uniform_arc_weights(disconnected_graph)
+        forest = dijkstra(disconnected_graph, 0, weights)
+        with pytest.raises(GraphError, match="unreachable"):
+            weighted_tree_cost(disconnected_graph, forest, weights, [4])
+
+    def test_misshaped_weights(self, path_graph):
+        forest = dijkstra(path_graph, 0)
+        with pytest.raises(GraphError, match="shape"):
+            weighted_tree_cost(path_graph, forest, np.ones(3), [2])
+
+    def test_expensive_link_avoided(self):
+        # Square 0-1-3, 0-2-3 with one expensive side: the tree to both
+        # 1 and 3 must route 3 through the cheap side.
+        g = Graph.from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        weights = uniform_arc_weights(g)
+        # Make 0-1 and 1-3 cost 1; 0-2 and 2-3 cost 10.
+        for (a, b), w in [((0, 2), 10.0), ((2, 3), 10.0)]:
+            for x, y in ((a, b), (b, a)):
+                row = g.neighbors(x)
+                pos = g.indptr[x] + int(np.searchsorted(row, y))
+                weights[pos] = w
+        forest = dijkstra(g, 0, weights)
+        cost = weighted_tree_cost(g, forest, weights, [1, 3])
+        assert cost.num_links == 2
+        assert cost.total_weight == pytest.approx(2.0)

@@ -1,0 +1,281 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These pin the structural truths everything else rests on: shortest-path
+properties of BFS, the multicast tree-size bounds, the exactness of the
+k-ary sums, the n↔m conversion, and the affinity closed forms — each
+checked over randomly generated graphs/parameters rather than
+hand-picked examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.affinity_theory import (
+    affinity_marginal,
+    affinity_tree_size,
+    disaffinity_marginal,
+    disaffinity_tree_size,
+)
+from repro.analysis.kary_exact import lhat_leaf, lhat_throughout
+from repro.analysis.scaling import draws_for_expected_distinct, expected_distinct
+from repro.graph.core import Graph
+from repro.graph.ops import clean_edges, connected_components, is_connected
+from repro.graph.paths import bfs, distances_from
+from repro.multicast.tree import MulticastTreeCounter
+from repro.topology.kary import kary_tree
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def connected_graphs(draw, max_nodes: int = 24):
+    """A connected graph: random tree skeleton + random extra edges."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    edges = set()
+    for child in range(1, n):
+        parent = draw(st.integers(min_value=0, max_value=child - 1))
+        edges.add((parent, child))
+    extra = draw(st.integers(min_value=0, max_value=n))
+    for _ in range(extra):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    return Graph.from_edges(n, sorted(edges))
+
+
+@st.composite
+def graph_with_source_and_receivers(draw):
+    graph = draw(connected_graphs())
+    source = draw(st.integers(min_value=0, max_value=graph.num_nodes - 1))
+    receivers = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=graph.num_nodes - 1),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    return graph, source, receivers
+
+
+# ---------------------------------------------------------------------------
+# BFS / shortest paths
+# ---------------------------------------------------------------------------
+
+
+@given(connected_graphs())
+@settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+def test_bfs_triangle_inequality_over_edges(graph):
+    """dist satisfies |dist(u) − dist(v)| <= 1 across every edge."""
+    dist = distances_from(graph, 0)
+    for u, v in graph.edges():
+        assert abs(int(dist[u]) - int(dist[v])) <= 1
+
+
+@given(connected_graphs())
+@settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+def test_bfs_parent_distance_decrement(graph):
+    """Each node's parent is exactly one hop closer to the source."""
+    forest = bfs(graph, 0)
+    for node in range(1, graph.num_nodes):
+        parent = int(forest.parent[node])
+        assert forest.dist[node] == forest.dist[parent] + 1
+        assert graph.has_edge(node, parent)
+
+
+@given(connected_graphs(), st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+def test_random_tiebreak_preserves_distances(graph, seed):
+    reference = distances_from(graph, 0)
+    forest = bfs(graph, 0, tie_break="random", rng=seed)
+    assert np.array_equal(forest.dist, reference)
+
+
+@given(connected_graphs())
+@settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+def test_connected_graph_has_one_component(graph):
+    assert is_connected(graph)
+    assert len(connected_components(graph)) == 1
+
+
+# ---------------------------------------------------------------------------
+# Multicast tree size
+# ---------------------------------------------------------------------------
+
+
+@given(graph_with_source_and_receivers())
+@settings(max_examples=80, suppress_health_check=[HealthCheck.too_slow])
+def test_tree_size_bounds(case):
+    """max path <= L <= min(sum of paths, N − 1)."""
+    graph, source, receivers = case
+    forest = bfs(graph, source)
+    counter = MulticastTreeCounter(forest)
+    links = counter.tree_size(receivers)
+    dists = forest.dist[np.asarray(receivers)]
+    assert links <= int(dists.sum())
+    assert links >= int(dists.max())
+    assert links <= graph.num_nodes - 1
+
+
+@given(graph_with_source_and_receivers())
+@settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+def test_tree_size_submodular_growth(case):
+    """Adding receivers never shrinks the tree, and duplicates are free."""
+    graph, source, receivers = case
+    counter = MulticastTreeCounter(bfs(graph, source))
+    partial = counter.tree_size(receivers[: max(1, len(receivers) // 2)])
+    full = counter.tree_size(receivers)
+    doubled = counter.tree_size(list(receivers) + list(receivers))
+    assert partial <= full
+    assert doubled == full
+
+
+@given(graph_with_source_and_receivers())
+@settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+def test_tree_size_order_invariant(case):
+    """The receiver-set order must not matter."""
+    graph, source, receivers = case
+    counter = MulticastTreeCounter(bfs(graph, source))
+    assert counter.tree_size(receivers) == counter.tree_size(
+        list(reversed(receivers))
+    )
+
+
+@given(graph_with_source_and_receivers())
+@settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+def test_tree_nodes_consistent_with_size(case):
+    graph, source, receivers = case
+    counter = MulticastTreeCounter(bfs(graph, source))
+    links = counter.tree_size(receivers)
+    nodes = counter.tree_nodes(receivers)
+    assert nodes.shape[0] == links + 1
+    assert source in nodes
+    for receiver in receivers:
+        assert receiver in nodes
+
+
+# ---------------------------------------------------------------------------
+# Edge cleaning
+# ---------------------------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=12),
+            st.integers(min_value=0, max_value=12),
+        ),
+        max_size=60,
+    )
+)
+@settings(max_examples=60)
+def test_clean_edges_idempotent_and_loopfree(edges):
+    cleaned, dropped = clean_edges(edges)
+    assert len(cleaned) + dropped == len(edges)
+    assert all(u != v for u, v in cleaned)
+    again, dropped_again = clean_edges(cleaned)
+    assert again == cleaned
+    assert dropped_again == 0
+
+
+# ---------------------------------------------------------------------------
+# k-ary exact sums vs actual trees
+# ---------------------------------------------------------------------------
+
+
+@given(
+    st.integers(min_value=2, max_value=4),
+    st.integers(min_value=2, max_value=5),
+    st.integers(min_value=1, max_value=40),
+    st.integers(min_value=0, max_value=10**6),
+)
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_lhat_leaf_is_unbiased_over_draws(k, depth, n, seed):
+    """A single with-replacement draw's tree size is bounded by theory's
+    support, and theory interleaves the empirical range."""
+    tree = kary_tree(k, depth)
+    counter = MulticastTreeCounter(bfs(tree.graph, 0))
+    leaves = tree.leaves()
+    rng = np.random.default_rng(seed)
+    sample = counter.tree_size(leaves[rng.integers(0, len(leaves), n)])
+    theory = float(lhat_leaf(k, depth, n))
+    # The expectation lies within the deterministic extremes.
+    assert depth - 1e-9 <= theory <= tree.num_nodes - 1 + 1e-9
+    assert depth <= sample <= tree.num_nodes - 1
+
+
+@given(
+    st.integers(min_value=2, max_value=4),
+    st.integers(min_value=2, max_value=5),
+)
+@settings(max_examples=20, deadline=None)
+def test_lhat_orderings(k, depth):
+    """Leaf-receiver trees dominate receivers-throughout trees, and both
+    grow monotonically in n."""
+    n = np.arange(1, 30, dtype=float)
+    leaf = lhat_leaf(k, depth, n)
+    thru = lhat_throughout(k, depth, n)
+    assert np.all(leaf >= thru - 1e-9)
+    assert np.all(np.diff(leaf) > 0)
+    assert np.all(np.diff(thru) > 0)
+
+
+# ---------------------------------------------------------------------------
+# n <-> m conversion
+# ---------------------------------------------------------------------------
+
+
+@given(
+    st.integers(min_value=2, max_value=10**6),
+    st.floats(min_value=0.0, max_value=0.999),
+)
+@settings(max_examples=100)
+def test_conversion_roundtrip_property(population, fraction):
+    m = fraction * population
+    n = float(draws_for_expected_distinct(m, population))
+    if m >= 1.0:
+        # For m >= 1, replacement needs at least as many draws as
+        # distinct targets.  (The continuous interpolation of m̂(n) has
+        # slope > 1 near n = 0, so the inequality is false below m = 1.)
+        assert n >= m - 1e-6
+    back = float(expected_distinct(n, population))
+    assert abs(back - m) < 1e-6 * max(1.0, m)
+
+
+@given(st.integers(min_value=1, max_value=10**4),
+       st.integers(min_value=2, max_value=10**4))
+@settings(max_examples=100)
+def test_expected_distinct_bounds(n, population):
+    m = float(expected_distinct(n, population))
+    assert 0 < m <= min(n, population) + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Affinity closed forms
+# ---------------------------------------------------------------------------
+
+
+@given(st.integers(min_value=2, max_value=5),
+       st.integers(min_value=1, max_value=6))
+@settings(max_examples=40)
+def test_affinity_marginals_telescope(k, depth):
+    big_m = k**depth
+    m_values = np.arange(1, min(big_m, 200) + 1)
+    packed = affinity_tree_size(k, depth, m_values)
+    spread = disaffinity_tree_size(k, depth, m_values)
+    packed_marginals = affinity_marginal(k, depth, np.arange(m_values[-1]))
+    spread_marginals = disaffinity_marginal(k, depth, np.arange(m_values[-1]))
+    assert packed[-1] == packed_marginals.sum()
+    assert spread[-1] == spread_marginals.sum()
+    # Marginal costs bounded by the depth; disaffinity marginals
+    # non-increasing (greedy maximization exhausts long paths first).
+    assert np.all(packed_marginals <= depth)
+    assert np.all(np.diff(spread_marginals) <= 0)
+    # Packing never beats spreading.
+    assert np.all(packed <= spread)

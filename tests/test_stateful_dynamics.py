@@ -1,0 +1,91 @@
+"""Stateful property testing of the churn engine.
+
+A hypothesis rule-based state machine drives :class:`DynamicGroup`
+through arbitrary interleavings of joins and leaves, checking after
+every step that the incrementally-maintained tree size equals a
+from-scratch recount and that reference counting never goes negative.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.graph.paths import bfs
+from repro.multicast.dynamics import DynamicGroup
+from repro.topology.gtitm import pure_random_graph
+from repro.topology.kary import kary_tree
+
+TREE = kary_tree(3, 3)
+TREE_FOREST = bfs(TREE.graph, 0)
+MESH = pure_random_graph(40, average_degree=3.5, rng=7)
+MESH_FOREST = bfs(MESH, 0)
+
+
+class _ChurnMachine(RuleBasedStateMachine):
+    """Shared machinery; subclasses pick the substrate."""
+
+    forest = None  # overridden
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.group = DynamicGroup(self.forest)
+        self.shadow: list = []  # explicit member multiset
+
+    @rule(data=st.data())
+    def join(self, data) -> None:
+        site = data.draw(
+            st.integers(min_value=0, max_value=self.forest.num_nodes - 1),
+            label="join-site",
+        )
+        before = self.group.tree_links
+        grafted = self.group.join(site)
+        self.shadow.append(site)
+        assert grafted >= 0
+        assert self.group.tree_links == before + grafted
+
+    @precondition(lambda self: self.shadow)
+    @rule(data=st.data())
+    def leave(self, data) -> None:
+        index = data.draw(
+            st.integers(min_value=0, max_value=len(self.shadow) - 1),
+            label="leave-index",
+        )
+        site = self.shadow.pop(index)
+        before = self.group.tree_links
+        pruned = self.group.leave(site)
+        assert pruned >= 0
+        assert self.group.tree_links == before - pruned
+
+    @invariant()
+    def incremental_equals_recount(self) -> None:
+        assert self.group.tree_links == self.group.recount()
+
+    @invariant()
+    def membership_matches_shadow(self) -> None:
+        assert self.group.num_members == len(self.shadow)
+        expected: dict = {}
+        for site in self.shadow:
+            expected[site] = expected.get(site, 0) + 1
+        assert self.group.members() == expected
+
+    @invariant()
+    def refs_non_negative(self) -> None:
+        assert int(self.group._refs.min(initial=0)) >= 0
+
+
+class TreeChurnMachine(_ChurnMachine):
+    forest = TREE_FOREST
+
+
+class MeshChurnMachine(_ChurnMachine):
+    forest = MESH_FOREST
+
+
+TestTreeChurn = TreeChurnMachine.TestCase
+TestTreeChurn.settings = settings(max_examples=25, stateful_step_count=30)
+
+TestMeshChurn = MeshChurnMachine.TestCase
+TestMeshChurn.settings = settings(max_examples=25, stateful_step_count=30)

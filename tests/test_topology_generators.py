@@ -1,0 +1,302 @@
+"""Tests for the random-topology generators (Waxman, GT-ITM, TIERS,
+preferential attachment, geometric/MBone, ARPANET)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.graph.ops import is_connected
+from repro.graph.reachability import average_profile, classify_growth
+from repro.topology.arpanet import ARPANET_NUM_NODES, arpanet, arpanet_edges
+from repro.topology.gtitm import (
+    TransitStubParams,
+    pure_random_graph,
+    transit_stub_graph,
+)
+from repro.topology.mbone import mbone_like_graph, random_geometric_graph
+from repro.topology.powerlaw import (
+    as_like_graph,
+    internet_like_graph,
+    preferential_attachment_graph,
+)
+from repro.topology.tiers import TiersParams, tiers_graph
+from repro.topology.waxman import waxman_edge_probabilities, waxman_graph
+
+
+class TestArpanet:
+    def test_fixed_size(self):
+        g = arpanet()
+        assert g.num_nodes == ARPANET_NUM_NODES == 47
+        assert g.num_edges == 65
+
+    def test_deterministic(self):
+        assert arpanet() == arpanet()
+
+    def test_connected(self):
+        assert is_connected(arpanet())
+
+    def test_sparse_degree_profile(self):
+        g = arpanet()
+        assert 2.5 < g.average_degree < 3.2
+        assert g.degrees.max() <= 5
+
+    def test_edge_list_is_clean(self):
+        edges = arpanet_edges()
+        keys = {(min(u, v), max(u, v)) for u, v in edges}
+        assert len(keys) == len(edges)
+        assert all(u != v for u, v in edges)
+
+    def test_sub_exponential_growth(self):
+        profile = average_profile(arpanet(), num_sources=20, rng=0)
+        assert classify_growth(profile) == "sub-exponential"
+
+
+class TestPureRandom:
+    def test_size_and_connectivity(self):
+        g = pure_random_graph(100, average_degree=4.0, rng=0)
+        assert g.num_nodes == 100
+        assert is_connected(g)
+
+    def test_average_degree_near_target(self):
+        g = pure_random_graph(400, average_degree=5.0, rng=1)
+        assert abs(g.average_degree - 5.0) < 1.0
+
+    def test_probability_one_is_complete(self):
+        g = pure_random_graph(10, edge_probability=1.0, rng=0)
+        assert g.num_edges == 45
+
+    def test_probability_zero_connected_by_bridging(self):
+        g = pure_random_graph(10, edge_probability=0.0, rng=0)
+        assert is_connected(g)
+        assert g.num_edges == 9  # exactly the bridges
+
+    def test_probability_zero_without_bridging(self):
+        g = pure_random_graph(
+            10, edge_probability=0.0, rng=0, ensure_connected=False
+        )
+        assert g.num_edges == 0
+
+    def test_requires_exactly_one_density_argument(self):
+        with pytest.raises(TopologyError):
+            pure_random_graph(10, rng=0)
+        with pytest.raises(TopologyError):
+            pure_random_graph(10, edge_probability=0.5, average_degree=2.0)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(TopologyError):
+            pure_random_graph(10, edge_probability=1.5)
+
+    def test_reproducible(self):
+        assert pure_random_graph(60, average_degree=3.0, rng=7) == \
+            pure_random_graph(60, average_degree=3.0, rng=7)
+
+
+class TestWaxman:
+    def test_size_and_connectivity(self):
+        g = waxman_graph(120, rng=0)
+        assert g.num_nodes == 120
+        assert is_connected(g)
+
+    def test_locality_bias(self):
+        """Small beta strongly favours short edges over long ones."""
+        _, points = waxman_graph(150, alpha=0.5, beta=0.05, rng=3,
+                                 return_points=True)
+        g, points = waxman_graph(150, alpha=0.5, beta=0.05, rng=3,
+                                 return_points=True)
+        lengths = [
+            float(np.hypot(*(points[u] - points[v]))) for u, v in g.edges()
+        ]
+        assert np.mean(lengths) < 0.35  # unit-square random mean is ~0.52
+
+    def test_probability_matrix_properties(self):
+        rng = np.random.default_rng(0)
+        pts = rng.random((20, 2))
+        probs = waxman_edge_probabilities(pts, alpha=0.3, beta=0.2)
+        assert probs.shape == (20, 20)
+        assert np.allclose(probs, probs.T)
+        assert np.all(np.diag(probs) == 0)
+        assert probs.max() <= 0.3
+
+    def test_rejects_bad_alpha_beta(self):
+        pts = np.zeros((3, 2))
+        with pytest.raises(TopologyError):
+            waxman_edge_probabilities(pts, alpha=0.0, beta=0.1)
+        with pytest.raises(TopologyError):
+            waxman_edge_probabilities(pts, alpha=0.5, beta=-1.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(TopologyError):
+            waxman_graph(0)
+
+
+class TestTransitStub:
+    def test_expected_nodes(self):
+        params = TransitStubParams()
+        g = transit_stub_graph(params, rng=0)
+        assert g.num_nodes == params.expected_nodes()
+
+    def test_connected(self):
+        assert is_connected(transit_stub_graph(rng=1))
+
+    def test_density_knob(self):
+        sparse = transit_stub_graph(
+            TransitStubParams(stub_edge_probability=0.1), rng=2
+        )
+        dense = transit_stub_graph(
+            TransitStubParams(
+                stub_edge_probability=0.5,
+                extra_stub_stub_edges=100,
+            ),
+            rng=2,
+        )
+        assert dense.average_degree > sparse.average_degree + 1.0
+
+    def test_parameter_validation(self):
+        with pytest.raises(TopologyError):
+            TransitStubParams(transit_domains=0).validate()
+        with pytest.raises(TopologyError):
+            TransitStubParams(stub_edge_probability=1.5).validate()
+        with pytest.raises(TopologyError):
+            TransitStubParams(extra_stub_stub_edges=-1).validate()
+
+    def test_reproducible(self):
+        assert transit_stub_graph(rng=9) == transit_stub_graph(rng=9)
+
+    def test_exponential_growth(self):
+        g = transit_stub_graph(rng=3)
+        profile = average_profile(g, num_sources=20, rng=0)
+        assert classify_growth(profile) == "exponential"
+
+
+class TestTiers:
+    def test_expected_nodes(self):
+        params = TiersParams(
+            wan_nodes=20, num_mans=3, man_nodes=10,
+            lans_per_man=2, lan_hosts=5,
+        )
+        g = tiers_graph(params, rng=0)
+        assert g.num_nodes == params.expected_nodes() == 20 + 30 + 6 * 6
+
+    def test_connected(self):
+        assert is_connected(tiers_graph(rng=4))
+
+    def test_lan_hosts_are_leaves(self):
+        params = TiersParams(
+            wan_nodes=10, num_mans=2, man_nodes=5,
+            lans_per_man=2, lan_hosts=4,
+        )
+        g = tiers_graph(params, rng=1)
+        # At least the 16 LAN host nodes must have degree 1.
+        assert int((g.degrees == 1).sum()) >= 16
+
+    def test_redundancy_adds_edges(self):
+        base = TiersParams(wan_nodes=40, num_mans=0, man_nodes=0,
+                           lans_per_man=0, lan_hosts=0, wan_redundancy=0)
+        redundant = TiersParams(wan_nodes=40, num_mans=0, man_nodes=0,
+                                lans_per_man=0, lan_hosts=0, wan_redundancy=2)
+        g0 = tiers_graph(base, rng=5)
+        g2 = tiers_graph(redundant, rng=5)
+        assert g0.num_edges == 39  # pure MST
+        assert g2.num_edges > g0.num_edges + 20
+
+    def test_parameter_validation(self):
+        with pytest.raises(TopologyError):
+            TiersParams(wan_nodes=0).validate()
+        with pytest.raises(TopologyError):
+            TiersParams(wan_redundancy=-1).validate()
+
+    def test_reproducible(self):
+        assert tiers_graph(rng=11) == tiers_graph(rng=11)
+
+
+class TestPreferentialAttachment:
+    def test_size_and_connectivity(self):
+        g = preferential_attachment_graph(500, edges_per_node=2, rng=0)
+        assert g.num_nodes == 500
+        assert is_connected(g)
+
+    def test_average_degree_close_to_2m(self):
+        g = preferential_attachment_graph(1000, edges_per_node=3, rng=1)
+        assert abs(g.average_degree - 6.0) < 0.6
+
+    def test_heavy_tail(self):
+        g = preferential_attachment_graph(2000, edges_per_node=2, rng=2)
+        assert int(g.degrees.max()) > 8 * int(np.median(g.degrees))
+
+    def test_fringe_makes_degree_one_nodes(self):
+        g = preferential_attachment_graph(
+            500, edges_per_node=2, fringe_fraction=0.4, rng=3
+        )
+        assert int((g.degrees == 1).sum()) >= 150
+
+    def test_parameter_validation(self):
+        with pytest.raises(TopologyError):
+            preferential_attachment_graph(1)
+        with pytest.raises(TopologyError):
+            preferential_attachment_graph(10, edges_per_node=0)
+        with pytest.raises(TopologyError):
+            preferential_attachment_graph(10, fringe_fraction=1.0)
+        with pytest.raises(TopologyError):
+            preferential_attachment_graph(10, edges_per_node=2,
+                                          fringe_fraction=0.9)
+
+    def test_named_variants(self):
+        internet = internet_like_graph(800, rng=0)
+        as_map = as_like_graph(800, rng=0)
+        assert is_connected(internet) and is_connected(as_map)
+        # The fringe pulls the Internet-like average degree below AS-like.
+        assert internet.average_degree < as_map.average_degree
+
+    def test_exponential_growth(self):
+        g = as_like_graph(1000, rng=5)
+        profile = average_profile(g, num_sources=20, rng=0)
+        assert classify_growth(profile) == "exponential"
+
+
+class TestGeometricAndMbone:
+    def test_geometric_size_and_connectivity(self):
+        g = random_geometric_graph(300, radius=0.1, rng=0)
+        assert g.num_nodes == 300
+        assert is_connected(g)
+
+    def test_geometric_radius_controls_density(self):
+        sparse = random_geometric_graph(200, radius=0.06, rng=1,
+                                        ensure_connected=False)
+        dense = random_geometric_graph(200, radius=0.2, rng=1,
+                                       ensure_connected=False)
+        assert dense.num_edges > 3 * sparse.num_edges
+
+    def test_geometric_rejects_bad_params(self):
+        with pytest.raises(TopologyError):
+            random_geometric_graph(0, radius=0.1)
+        with pytest.raises(TopologyError):
+            random_geometric_graph(10, radius=0.0)
+
+    def test_geometric_sub_exponential(self):
+        g = random_geometric_graph(1500, radius=0.04, rng=2)
+        profile = average_profile(g, num_sources=10, rng=0)
+        assert classify_growth(profile) == "sub-exponential"
+
+    def test_mbone_size_and_connectivity(self):
+        g = mbone_like_graph(800, rng=0)
+        assert g.num_nodes == 800
+        assert is_connected(g)
+
+    def test_mbone_host_fraction(self):
+        g = mbone_like_graph(1000, backbone_fraction=0.3, rng=1)
+        assert int((g.degrees == 1).sum()) >= 500
+
+    def test_mbone_rejects_bad_params(self):
+        with pytest.raises(TopologyError):
+            mbone_like_graph(1)
+        with pytest.raises(TopologyError):
+            mbone_like_graph(100, backbone_fraction=0.0)
+        with pytest.raises(TopologyError):
+            mbone_like_graph(100, long_tunnel_fraction=1.0)
+
+    def test_mbone_sub_exponential(self):
+        g = mbone_like_graph(1500, rng=3)
+        profile = average_profile(g, num_sources=15, rng=0)
+        assert classify_growth(profile) == "sub-exponential"

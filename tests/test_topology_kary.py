@@ -1,0 +1,117 @@
+"""Tests for :mod:`repro.topology.kary`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.graph.paths import bfs, distance_matrix
+from repro.topology.kary import kary_num_leaves, kary_num_nodes, kary_tree
+
+
+class TestCounts:
+    @pytest.mark.parametrize(
+        "k,depth,nodes,leaves",
+        [
+            (2, 0, 1, 1),
+            (2, 3, 15, 8),
+            (3, 2, 13, 9),
+            (4, 3, 85, 64),
+            (1, 5, 6, 1),
+        ],
+    )
+    def test_closed_form_counts(self, k, depth, nodes, leaves):
+        assert kary_num_nodes(k, depth) == nodes
+        assert kary_num_leaves(k, depth) == leaves
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(TopologyError):
+            kary_num_nodes(0, 3)
+
+    def test_rejects_negative_depth(self):
+        with pytest.raises(TopologyError):
+            kary_num_nodes(2, -1)
+
+
+class TestTreeStructure:
+    def test_graph_is_a_tree(self, binary_tree_d4):
+        g = binary_tree_d4.graph
+        assert g.num_edges == g.num_nodes - 1
+        forest = bfs(g, 0)
+        assert forest.num_reachable == g.num_nodes
+
+    def test_bfs_levels_match_level_of(self, ternary_tree_d3):
+        forest = bfs(ternary_tree_d3.graph, 0)
+        for node in range(ternary_tree_d3.num_nodes):
+            assert forest.dist[node] == ternary_tree_d3.level_of(node)
+
+    def test_bfs_parents_match_heap_parents(self, binary_tree_d4):
+        forest = bfs(binary_tree_d4.graph, 0)
+        for node in range(1, binary_tree_d4.num_nodes):
+            assert forest.parent[node] == binary_tree_d4.parent_of(node)
+
+    def test_root_properties(self, binary_tree_d4):
+        assert binary_tree_d4.root == 0
+        assert binary_tree_d4.parent_of(0) == -1
+        assert binary_tree_d4.level_of(0) == 0
+
+    def test_children_of(self, binary_tree_d4):
+        assert binary_tree_d4.children_of(0) == [1, 2]
+        assert binary_tree_d4.children_of(1) == [3, 4]
+        leaf = binary_tree_d4.num_nodes - 1
+        assert binary_tree_d4.children_of(leaf) == []
+
+    def test_children_parent_inverse(self, ternary_tree_d3):
+        for node in range(ternary_tree_d3.num_nodes):
+            for child in ternary_tree_d3.children_of(node):
+                assert ternary_tree_d3.parent_of(child) == node
+
+    def test_leaves(self, binary_tree_d4):
+        leaves = binary_tree_d4.leaves()
+        assert leaves.shape[0] == 16
+        assert all(binary_tree_d4.level_of(int(v)) == 4 for v in leaves)
+        assert all(binary_tree_d4.graph.degree(int(v)) == 1 for v in leaves)
+
+    def test_non_root_nodes(self, binary_tree_d4):
+        pool = binary_tree_d4.non_root_nodes()
+        assert pool.shape[0] == binary_tree_d4.num_nodes - 1
+        assert 0 not in pool
+
+    def test_level_start(self, ternary_tree_d3):
+        assert ternary_tree_d3.level_start(0) == 0
+        assert ternary_tree_d3.level_start(1) == 1
+        assert ternary_tree_d3.level_start(2) == 4
+        assert ternary_tree_d3.level_start(3) == 13
+
+    def test_level_start_out_of_range(self, binary_tree_d4):
+        with pytest.raises(TopologyError):
+            binary_tree_d4.level_start(5)
+
+    def test_ancestors(self, binary_tree_d4):
+        leaf = binary_tree_d4.num_nodes - 1
+        chain = list(binary_tree_d4.ancestors(leaf))
+        assert chain[-1] == 0
+        assert len(chain) == 4
+
+    def test_distance_matches_bfs(self, ternary_tree_d3):
+        matrix = distance_matrix(ternary_tree_d3.graph)
+        rng = np.random.default_rng(5)
+        nodes = rng.integers(0, ternary_tree_d3.num_nodes, size=(30, 2))
+        for u, v in nodes:
+            assert ternary_tree_d3.distance(int(u), int(v)) == matrix[u, v]
+
+    def test_distance_symmetric_and_zero_on_diagonal(self, binary_tree_d4):
+        assert binary_tree_d4.distance(7, 7) == 0
+        assert binary_tree_d4.distance(3, 12) == binary_tree_d4.distance(12, 3)
+
+    def test_path_tree_k1(self):
+        tree = kary_tree(1, 6)
+        assert tree.num_nodes == 7
+        assert tree.graph.num_edges == 6
+        assert tree.level_of(6) == 6
+        assert tree.distance(0, 6) == 6
+
+    def test_refuses_enormous_trees(self):
+        with pytest.raises(TopologyError, match="refused"):
+            kary_tree(2, 24)

@@ -1,0 +1,141 @@
+"""Tests for :mod:`repro.topology.registry`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.graph.ops import is_connected
+from repro.topology.registry import (
+    GENERATED_TOPOLOGIES,
+    REAL_TOPOLOGIES,
+    TOPOLOGY_NAMES,
+    build_suite,
+    build_topology,
+    topology_spec,
+)
+
+
+class TestNames:
+    def test_eight_topologies(self):
+        assert len(TOPOLOGY_NAMES) == 8
+
+    def test_partition_into_real_and_generated(self):
+        assert set(GENERATED_TOPOLOGIES) | set(REAL_TOPOLOGIES) == set(
+            TOPOLOGY_NAMES
+        )
+        assert not set(GENERATED_TOPOLOGIES) & set(REAL_TOPOLOGIES)
+
+    def test_paper_names_present(self):
+        for name in ("arpa", "mbone", "internet", "as",
+                     "r100", "ts1000", "ts1008", "ti5000"):
+            assert name in TOPOLOGY_NAMES
+
+
+class TestBuildTopology:
+    @pytest.mark.parametrize("name", TOPOLOGY_NAMES)
+    def test_every_topology_builds_connected(self, name):
+        g = build_topology(name, scale=0.1, rng=0)
+        assert is_connected(g)
+        assert g.num_nodes >= 8
+
+    def test_case_insensitive(self):
+        assert build_topology("ARPA").num_nodes == 47
+
+    def test_unknown_name(self):
+        with pytest.raises(TopologyError, match="unknown topology"):
+            build_topology("lan9000")
+
+    def test_bad_scale(self):
+        with pytest.raises(TopologyError, match="scale"):
+            build_topology("r100", scale=0.0)
+
+    def test_scale_controls_size(self):
+        small = build_topology("ts1000", scale=0.2, rng=0)
+        large = build_topology("ts1000", scale=1.0, rng=0)
+        assert large.num_nodes > 3 * small.num_nodes
+
+    def test_arpa_ignores_scale(self):
+        assert build_topology("arpa", scale=0.1).num_nodes == 47
+        assert build_topology("arpa", scale=3.0).num_nodes == 47
+
+    def test_reproducible_given_seed(self):
+        assert build_topology("ti5000", scale=0.1, rng=5) == build_topology(
+            "ti5000", scale=0.1, rng=5
+        )
+
+    def test_paper_scale_sizes(self):
+        """At scale 1.0 the suite is in the right node-count ballpark."""
+        expectations = {
+            "r100": (95, 105),
+            "ts1000": (900, 1100),
+            "ts1008": (900, 1100),
+        }
+        for name, (lo, hi) in expectations.items():
+            g = build_topology(name, scale=1.0, rng=0)
+            assert lo <= g.num_nodes <= hi, name
+
+
+class TestBuildSuite:
+    def test_default_builds_all(self):
+        suite = build_suite(scale=0.1, rng=0)
+        assert set(suite) == set(TOPOLOGY_NAMES)
+        assert all(is_connected(g) for g in suite.values())
+
+    def test_subset(self):
+        suite = build_suite(["arpa", "r100"], scale=1.0, rng=0)
+        assert set(suite) == {"arpa", "r100"}
+
+    def test_independent_streams(self):
+        """Changing suite composition must not change a member's graph."""
+        alone = build_suite(["r100"], scale=1.0, rng=0)["r100"]
+        paired = build_suite(["r100", "as"], scale=1.0, rng=0)["r100"]
+        assert alone == paired
+
+
+class TestTopologySpec:
+    def test_spec_lookup(self):
+        spec = topology_spec("ts1000")
+        assert spec.kind == "generated"
+        assert "transit-stub" in spec.description
+
+    def test_spec_unknown(self):
+        with pytest.raises(TopologyError):
+            topology_spec("nope")
+
+    def test_spec_build_validates_scale(self):
+        with pytest.raises(TopologyError):
+            topology_spec("r100").build(scale=-1.0)
+
+
+class TestExtraTopologies:
+    def test_waxman_is_an_extra_not_in_the_suite(self):
+        from repro.topology.registry import EXTRA_TOPOLOGIES
+
+        assert "waxman" in EXTRA_TOPOLOGIES
+        assert "waxman" not in TOPOLOGY_NAMES
+
+    def test_waxman_builds_connected_and_sparse(self):
+        g = build_topology("waxman", rng=0)
+        assert is_connected(g)
+        assert 3.0 < g.average_degree < 7.0
+
+    def test_waxman_obeys_the_law(self):
+        """The original Chuang-Sirbu evaluation included Waxman graphs;
+        ours must land in the same exponent band."""
+        from repro.experiments import MonteCarloConfig, SweepConfig, measure_sweep
+
+        g = build_topology("waxman", rng=0)
+        sweep = measure_sweep(
+            g,
+            SweepConfig(points=8).sizes(g.num_nodes // 4),
+            config=MonteCarloConfig(num_sources=6, num_receiver_sets=10,
+                                    seed=0),
+        )
+        assert 0.6 < sweep.fit_exponent().slope < 0.95
+
+    def test_unknown_error_lists_extras(self):
+        from repro.exceptions import TopologyError
+
+        with pytest.raises(TopologyError, match="waxman"):
+            build_topology("nonexistent")

@@ -1,0 +1,236 @@
+"""Tests for :mod:`repro.utils` (rng, stats, tables)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AnalysisError
+from repro.utils.rng import ensure_rng, sample_distinct, spawn_rngs
+from repro.utils.stats import (
+    describe,
+    geometric_spaced,
+    linear_fit,
+    log_log_slope,
+    mean_confidence_interval,
+    pairwise_mean_distance,
+    power_law_fit,
+    relative_error,
+    running_mean,
+)
+from repro.utils.tables import format_table
+
+
+class TestRng:
+    def test_ensure_rng_from_seed_reproducible(self):
+        a = ensure_rng(42).integers(10**9)
+        b = ensure_rng(42).integers(10**9)
+        assert a == b
+
+    def test_ensure_rng_passthrough(self):
+        g = np.random.default_rng(0)
+        assert ensure_rng(g) is g
+
+    def test_ensure_rng_from_none(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_ensure_rng_from_seed_sequence(self):
+        seq = np.random.SeedSequence(5)
+        assert isinstance(ensure_rng(seq), np.random.Generator)
+
+    def test_ensure_rng_rejects_junk(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+    def test_spawn_independent_streams(self):
+        children = spawn_rngs(7, 3)
+        draws = [c.integers(10**9) for c in children]
+        assert len(set(draws)) == 3
+
+    def test_spawn_reproducible(self):
+        a = [c.integers(10**9) for c in spawn_rngs(7, 2)]
+        b = [c.integers(10**9) for c in spawn_rngs(7, 2)]
+        assert a == b
+
+    def test_spawn_zero(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_spawn_negative(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_sample_distinct(self):
+        sample = sample_distinct(0, 20, 5)
+        assert len(set(sample.tolist())) == 5
+
+    def test_sample_distinct_with_exclusions(self):
+        sample = sample_distinct(0, 5, 3, exclude=[0, 1])
+        assert set(sample.tolist()) <= {2, 3, 4}
+
+    def test_sample_distinct_overflow(self):
+        with pytest.raises(ValueError):
+            sample_distinct(0, 4, 5)
+        with pytest.raises(ValueError):
+            sample_distinct(0, 4, 4, exclude=[0])
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        fit = linear_fit([0, 1, 2, 3], [1, 3, 5, 7])
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.stderr_slope == pytest.approx(0.0, abs=1e-12)
+
+    def test_noisy_line(self, rng):
+        x = np.linspace(0, 10, 200)
+        y = -0.7 * x + 2.0 + rng.normal(0, 0.05, x.size)
+        fit = linear_fit(x, y)
+        assert fit.slope == pytest.approx(-0.7, abs=0.02)
+        assert fit.stderr_slope > 0
+
+    def test_predict(self):
+        fit = linear_fit([0, 1], [0, 2])
+        assert fit.predict([3]).tolist() == [6.0]
+
+    def test_flat_data_r_squared_one(self):
+        fit = linear_fit([0, 1, 2], [5, 5, 5])
+        assert fit.slope == 0.0
+        assert fit.r_squared == 1.0
+
+    def test_degenerate_inputs(self):
+        with pytest.raises(AnalysisError):
+            linear_fit([1], [2])
+        with pytest.raises(AnalysisError):
+            linear_fit([2, 2, 2], [1, 2, 3])
+        with pytest.raises(AnalysisError):
+            linear_fit([1, 2], [1, 2, 3])
+
+    def test_power_law_fit(self):
+        x = np.geomspace(1, 100, 10)
+        fit = power_law_fit(x, 5 * x**1.3)
+        assert fit.slope == pytest.approx(1.3)
+        assert math.exp(fit.intercept) == pytest.approx(5.0)
+
+    def test_power_law_rejects_nonpositive(self):
+        with pytest.raises(AnalysisError):
+            power_law_fit([1, 0], [1, 2])
+        with pytest.raises(AnalysisError):
+            power_law_fit([1, 2], [1, -2])
+
+    def test_log_log_slope(self):
+        x = np.geomspace(1, 1000, 8)
+        assert log_log_slope(x, x**0.8) == pytest.approx(0.8)
+
+
+class TestConfidenceInterval:
+    def test_tight_data(self):
+        ci = mean_confidence_interval([10.0] * 50)
+        assert ci.mean == 10.0
+        assert ci.halfwidth == pytest.approx(0.0, abs=1e-12)
+        assert ci.contains(10.0)
+
+    def test_coverage_roughly_correct(self):
+        rng = np.random.default_rng(3)
+        hits = 0
+        trials = 300
+        for _ in range(trials):
+            samples = rng.normal(0.0, 1.0, 40)
+            if mean_confidence_interval(samples, level=0.95).contains(0.0):
+                hits += 1
+        assert 0.90 <= hits / trials <= 0.99
+
+    def test_single_sample_infinite(self):
+        ci = mean_confidence_interval([3.0])
+        assert ci.halfwidth == math.inf
+
+    def test_bounds(self):
+        ci = mean_confidence_interval([1.0, 3.0])
+        assert ci.low < 2.0 < ci.high
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            mean_confidence_interval([])
+        with pytest.raises(AnalysisError):
+            mean_confidence_interval([1.0, 2.0], level=1.5)
+
+
+class TestGeometricSpaced:
+    def test_exact_decades(self):
+        assert geometric_spaced(1, 1000, 4).tolist() == [1, 10, 100, 1000]
+
+    def test_endpoints_included(self):
+        grid = geometric_spaced(3, 777, 9)
+        assert grid[0] == 3 and grid[-1] == 777
+
+    def test_distinct_and_sorted(self):
+        grid = geometric_spaced(1, 20, 30)  # more points than integers
+        assert np.all(np.diff(grid) > 0)
+
+    def test_single_point(self):
+        assert geometric_spaced(5, 9, 1).tolist() == [5]
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            geometric_spaced(0, 10, 3)
+        with pytest.raises(AnalysisError):
+            geometric_spaced(10, 5, 3)
+        with pytest.raises(AnalysisError):
+            geometric_spaced(1, 10, 0)
+
+
+class TestSmallHelpers:
+    def test_pairwise_mean_distance(self):
+        matrix = np.array([[0, 2, 4], [2, 0, 6], [4, 6, 0]], dtype=float)
+        assert pairwise_mean_distance(matrix) == pytest.approx(4.0)
+
+    def test_pairwise_single(self):
+        assert pairwise_mean_distance(np.zeros((1, 1))) == 0.0
+
+    def test_pairwise_rejects_nonsquare(self):
+        with pytest.raises(AnalysisError):
+            pairwise_mean_distance(np.zeros((2, 3)))
+
+    def test_running_mean(self):
+        assert running_mean([2.0, 4.0, 6.0]).tolist() == [2.0, 3.0, 4.0]
+        assert running_mean([]).size == 0
+
+    def test_relative_error(self):
+        assert relative_error(11.0, 10.0) == pytest.approx(0.1)
+        assert relative_error(0.0, 0.0) == 0.0
+        assert relative_error(1.0, 0.0) == math.inf
+
+    def test_describe(self):
+        lo, mean, hi, std = describe([1.0, 2.0, 3.0])
+        assert (lo, mean, hi) == (1.0, 2.0, 3.0)
+        assert std == pytest.approx(np.std([1, 2, 3]))
+        with pytest.raises(AnalysisError):
+            describe([])
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, None]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "-" in lines[1]
+        assert "-" in lines[3]  # None cell rendered as dash
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_float_format(self):
+        text = format_table(["v"], [[3.14159]], float_format=".2f")
+        assert "3.14" in text
+        assert "3.1416" not in text
+
+    def test_bool_rendering(self):
+        text = format_table(["flag"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError, match="columns"):
+            format_table(["a", "b"], [[1]])
