@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench repro examples clean
+.PHONY: install test bench bench-smoke repro examples clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -12,6 +12,10 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Seconds-long engine-throughput sanity run (no trajectory record).
+bench-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_runner_scaling.py --smoke --no-record
 
 # Full artifact regeneration into ./reproduction (quick settings).
 repro:

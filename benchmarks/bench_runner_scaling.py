@@ -1,0 +1,211 @@
+"""Throughput trajectory of the Monte-Carlo engine: scalar vs batched vs parallel.
+
+Runs the Figure-1 workload (distinct-receiver sweep on the internet-like
+topology) through each engine configuration, reports samples/second, and
+appends one record to the ``BENCH_runner.json`` trajectory so engine
+regressions show up as a drop between consecutive records.
+
+Usage::
+
+    python benchmarks/bench_runner_scaling.py             # full workload
+    python benchmarks/bench_runner_scaling.py --smoke     # seconds, for CI
+    python benchmarks/bench_runner_scaling.py --workers 1 2 4
+
+The batched and scalar engines produce bit-identical measurements, and
+every worker count produces bit-identical measurements; both properties
+are asserted on each run, so the benchmark doubles as an end-to-end
+equivalence check at realistic scale.
+
+Record format (one JSON object per run, newest last)::
+
+    {
+      "workload": {"topology": "internet", "num_nodes": ..., "sizes": [...],
+                   "num_sources": ..., "num_receiver_sets": ..., "mode": ...},
+      "results": [{"engine": "scalar",  "workers": 1,
+                   "seconds": ..., "samples_per_sec": ...}, ...],
+      "speedup_batched_vs_scalar": ...,
+      "speedup_parallel_vs_scalar": ...
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+from typing import List, Optional
+
+from repro.experiments.config import MonteCarloConfig, SweepConfig
+from repro.experiments.runner import measure_sweep
+from repro.topology.registry import build_topology
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_runner.json"
+
+#: The Figure-1 methodology knobs: bench_fig1's topology scale and source
+#: count, with the paper's Nrcvr=100 receiver sets per source (Section 2).
+FULL = dict(scale=0.3, sources=10, receiver_sets=100, points=10)
+SMOKE = dict(scale=0.02, sources=2, receiver_sets=3, points=4)
+
+
+def _timed_sweep(graph, sizes, config, engine):
+    start = time.perf_counter()
+    measurement = measure_sweep(
+        graph,
+        sizes,
+        mode="distinct",
+        config=config,
+        topology="internet",
+        rng=config.seed,
+        engine=engine,
+        use_cache=False,  # time the real work, not the forest cache
+    )
+    return measurement, time.perf_counter() - start
+
+
+def run(
+    scale: float,
+    sources: int,
+    receiver_sets: int,
+    points: int,
+    workers: List[int],
+    seed: int = 0,
+) -> dict:
+    """Time every engine layout on one workload; returns the record."""
+    graph = build_topology("internet", scale=scale, rng=seed)
+    sizes = SweepConfig(points=points).sizes(max(2, graph.num_nodes // 4))
+    config = MonteCarloConfig(
+        num_sources=sources, num_receiver_sets=receiver_sets, seed=seed
+    )
+    total_samples = sources * receiver_sets * len(sizes)
+    workload = {
+        "topology": "internet",
+        "num_nodes": graph.num_nodes,
+        "sizes": list(sizes),
+        "num_sources": sources,
+        "num_receiver_sets": receiver_sets,
+        "mode": "distinct",
+        "total_samples": total_samples,
+    }
+    print(
+        f"workload: internet ({graph.num_nodes} nodes), "
+        f"{sources}x{receiver_sets} samples over {len(sizes)} sizes"
+    )
+
+    results = []
+    reference = None
+    scalar_seconds = None
+    batched_seconds = None
+    best_parallel = None
+    layouts = [("scalar", 1), ("batched", 1)]
+    layouts += [("batched", k) for k in workers if k > 1]
+    for engine, num_workers in layouts:
+        cfg = replace(config, num_workers=num_workers)
+        measurement, seconds = _timed_sweep(graph, sizes, cfg, engine)
+        if reference is None:
+            reference = measurement
+        elif measurement != reference:
+            raise AssertionError(
+                f"{engine}/workers={num_workers} disagrees with the "
+                "scalar reference measurement"
+            )
+        rate = total_samples / seconds
+        results.append(
+            {
+                "engine": engine,
+                "workers": num_workers,
+                "seconds": round(seconds, 4),
+                "samples_per_sec": round(rate, 1),
+            }
+        )
+        print(
+            f"  {engine:>7s} workers={num_workers}: "
+            f"{seconds:8.3f}s  {rate:10.0f} samples/s"
+        )
+        if engine == "scalar":
+            scalar_seconds = seconds
+        elif num_workers == 1:
+            batched_seconds = seconds
+        else:
+            best_parallel = min(best_parallel or seconds, seconds)
+
+    record = {"workload": workload, "results": results}
+    if scalar_seconds and batched_seconds:
+        record["speedup_batched_vs_scalar"] = round(
+            scalar_seconds / batched_seconds, 2
+        )
+    if scalar_seconds and best_parallel:
+        record["speedup_parallel_vs_scalar"] = round(
+            scalar_seconds / best_parallel, 2
+        )
+    return record
+
+
+def append_trajectory(record: dict, output: Path) -> None:
+    trajectory = []
+    if output.exists():
+        trajectory = json.loads(output.read_text(encoding="utf-8"))
+        if not isinstance(trajectory, list):
+            raise SystemExit(f"{output} is not a JSON trajectory list")
+    trajectory.append(record)
+    output.write_text(
+        json.dumps(trajectory, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"appended record #{len(trajectory)} to {output}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workload (CI-friendly, seconds)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="internet topology scale (default 0.3)")
+    parser.add_argument("--sources", type=int, default=None)
+    parser.add_argument("--receiver-sets", type=int, default=None)
+    parser.add_argument("--points", type=int, default=None)
+    parser.add_argument("--workers", type=int, nargs="*", default=[4],
+                        help="parallel worker counts to time (besides 1)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help="trajectory file (JSON list, appended)")
+    parser.add_argument("--no-record", action="store_true",
+                        help="print timings without touching the trajectory")
+    parser.add_argument("--check-speedup", type=float, default=None,
+                        metavar="X",
+                        help="exit nonzero unless batched >= X times faster")
+    args = parser.parse_args(argv)
+
+    base = SMOKE if args.smoke else FULL
+    record = run(
+        scale=args.scale if args.scale is not None else base["scale"],
+        sources=args.sources if args.sources is not None else base["sources"],
+        receiver_sets=(
+            args.receiver_sets
+            if args.receiver_sets is not None
+            else base["receiver_sets"]
+        ),
+        points=args.points if args.points is not None else base["points"],
+        workers=args.workers,
+        seed=args.seed,
+    )
+    speedup = record.get("speedup_batched_vs_scalar")
+    if speedup is not None:
+        print(f"batched single-core speedup over scalar: {speedup}x")
+    if not args.no_record:
+        append_trajectory(record, args.output)
+    if args.check_speedup is not None and (
+        speedup is None or speedup < args.check_speedup
+    ):
+        print(
+            f"FAIL: batched speedup {speedup} below required "
+            f"{args.check_speedup}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

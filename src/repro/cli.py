@@ -53,6 +53,16 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="print data tables only, no ASCII plots",
         )
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            metavar="N",
+            help=(
+                "worker processes for the Monte-Carlo sweeps "
+                "(results are bit-identical for any N)"
+            ),
+        )
 
     p_table1 = sub.add_parser("table1", help="reproduce Table 1")
     add_common(p_table1, scale_default=1.0)
@@ -119,9 +129,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _mc_config(args):
+    from dataclasses import replace
+
     from repro.experiments.config import PAPER_MONTE_CARLO, QUICK_MONTE_CARLO
 
-    return PAPER_MONTE_CARLO if args.paper else QUICK_MONTE_CARLO
+    config = PAPER_MONTE_CARLO if args.paper else QUICK_MONTE_CARLO
+    workers = getattr(args, "workers", 1)
+    if workers != config.num_workers:
+        config = replace(config, num_workers=workers)
+    return config
 
 
 def _print_results(results, no_plot: bool) -> None:

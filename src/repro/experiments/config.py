@@ -41,12 +41,18 @@ class MonteCarloConfig:
     seed:
         Base seed; every (source, receiver-set) cell derives its own
         stream, so results are order-independent and reproducible.
+    num_workers:
+        Processes the runner fans sources out over (1 = in-process).
+        Because each source's samples come from its own spawned RNG
+        stream and partial sums are reduced in source order, results are
+        bit-identical for every worker count.
     """
 
     num_sources: int = 100
     num_receiver_sets: int = 100
     tie_break: str = "first"
     seed: Optional[int] = 0
+    num_workers: int = 1
 
     def validate(self) -> None:
         if self.num_sources < 1:
@@ -60,6 +66,10 @@ class MonteCarloConfig:
         if self.tie_break not in ("first", "random"):
             raise ExperimentError(
                 f'tie_break must be "first" or "random", got {self.tie_break!r}'
+            )
+        if self.num_workers < 1:
+            raise ExperimentError(
+                f"num_workers must be >= 1, got {self.num_workers}"
             )
 
     def scaled(self, factor: float) -> "MonteCarloConfig":

@@ -4,42 +4,228 @@ For each of ``Nsource`` random sources (drawn with replacement): run one
 BFS; then for each swept group size and each of ``Nrcvr`` receiver sets,
 draw the receivers, count the delivery-tree links ``L`` and the average
 unicast path ``ū`` of the sample, and record the ratio ``L/ū``.  The
-reported value per group size is the average over all
-``Nsource × Nrcvr`` samples.
+reported value per group size is the average over the samples that
+produced a well-defined ratio (a sample whose receivers all sit on the
+source has ``ū = 0`` and is excluded from the divisor as well as the
+numerator — possible only when the source site is eligible).
 
 Both receiver conventions are supported: ``mode="distinct"`` (the
 Chuang-Sirbu ``L(m)``) and ``mode="replacement"`` (the analytical
-``L̂(n)``).  Each (source, set) cell uses its own spawned RNG stream, so
-results do not depend on iteration order and sub-sweeps are reproducible.
+``L̂(n)``).  Each source uses its own spawned RNG stream, so results do
+not depend on iteration order and sub-sweeps are reproducible.
+
+Execution engines
+-----------------
+The hot path is batched: per (source, size) the runner draws the whole
+``Nrcvr × size`` receiver matrix in O(1) RNG calls
+(:mod:`repro.multicast.sampling`), then counts the source's entire sweep
+— every size, every receiver set — in one flat vectorized ancestor walk
+(:meth:`repro.multicast.tree.MulticastTreeCounter.count_trees_and_unicast`).
+``engine="scalar"`` keeps the original one-sample-at-a-time loop as a
+reference; both engines consume identical random streams and produce
+**bit-identical** measurements (enforced by the tier-1 suite), so the
+scalar path exists purely for cross-checking and benchmarking.
+
+Setting ``MonteCarloConfig.num_workers > 1`` fans sources out over a
+``ProcessPoolExecutor``.  Per-source partial sums are computed by the
+same code in every layout and reduced in source order, so the result is
+bit-identical for any worker count.
+
+BFS forests for ``tie_break="first"`` are served from the process-wide
+:class:`repro.graph.forest_cache.ForestCache`, keyed by graph content —
+figure drivers that rebuild the same topology reuse each other's
+forests.  ``tie_break="random"`` consumes the per-source stream and is
+never cached.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.exceptions import ExperimentError
 from repro.graph.core import Graph
+from repro.graph.forest_cache import default_forest_cache
 from repro.graph.ops import require_connected
 from repro.graph.paths import bfs
 from repro.multicast.sampling import (
     sample_distinct_receivers,
+    sample_distinct_receivers_sweep,
     sample_receivers_with_replacement,
+    sample_receivers_with_replacement_sweep,
 )
 from repro.multicast.tree import MulticastTreeCounter
 from repro.experiments.config import MonteCarloConfig
 from repro.experiments.results import SweepMeasurement
-from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
+from repro.utils.rng import RandomState, ensure_rng
 
 __all__ = ["measure_sweep", "measure_single_source_sweep"]
 
 _MODES = ("distinct", "replacement")
+_ENGINES = ("batched", "scalar")
 
 
 def _check_mode(mode: str) -> None:
     if mode not in _MODES:
         raise ExperimentError(f"mode must be one of {_MODES}, got {mode!r}")
+
+
+def _check_engine(engine: str) -> None:
+    if engine not in _ENGINES:
+        raise ExperimentError(
+            f"engine must be one of {_ENGINES}, got {engine!r}"
+        )
+
+
+def _spawn_seed_sequences(
+    master: np.random.Generator, count: int
+) -> List[np.random.SeedSequence]:
+    """Children of the master's seed sequence (one per source).
+
+    SeedSequences — unlike live generators — are cheap to ship to worker
+    processes and reconstruct the exact per-source streams there.
+    """
+    seed_seq = master.bit_generator.seed_seq  # type: ignore[attr-defined]
+    if seed_seq is None:  # pragma: no cover - legacy bit generators
+        seed_seq = np.random.SeedSequence(int(master.integers(2**63)))
+    return list(seed_seq.spawn(count))
+
+
+def _count_samples(
+    counter: MulticastTreeCounter,
+    source_rng: np.random.Generator,
+    num_nodes: int,
+    size_list: Sequence[int],
+    num_receiver_sets: int,
+    mode: str,
+    exclude: Optional[int],
+    engine: str,
+) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+    """Per-size links and unicast totals for one source's whole sweep.
+
+    Both engines consume the same random stream (the batched samplers
+    are stream-compatible with repeated scalar draws, and counting draws
+    nothing), so the returned integer arrays are identical between them.
+    The batched engine counts every size of the sweep in one flat
+    vectorized walk; the scalar engine is the seed's sample-at-a-time
+    reference loop.
+    """
+    if engine == "batched":
+        if mode == "distinct":
+            matrices = sample_distinct_receivers_sweep(
+                num_nodes, size_list, num_receiver_sets,
+                source=exclude, rng=source_rng,
+            )
+        else:
+            matrices = sample_receivers_with_replacement_sweep(
+                num_nodes, size_list, num_receiver_sets,
+                source=exclude, rng=source_rng,
+            )
+        return counter.count_trees_and_unicast(matrices)
+    links_list = []
+    totals_list = []
+    for size in size_list:
+        links = np.empty(num_receiver_sets, dtype=np.int64)
+        totals = np.empty(num_receiver_sets, dtype=np.int64)
+        for i in range(num_receiver_sets):
+            if mode == "distinct":
+                receivers = sample_distinct_receivers(
+                    num_nodes, size, source=exclude, rng=source_rng
+                )
+            else:
+                receivers = sample_receivers_with_replacement(
+                    num_nodes, size, source=exclude, rng=source_rng
+                )
+            links[i] = counter.tree_size(receivers)
+            totals[i] = counter.unicast_total(receivers)
+        links_list.append(links)
+        totals_list.append(totals)
+    return links_list, totals_list
+
+
+def _source_forest(
+    graph: Graph,
+    source: int,
+    tie_break: str,
+    source_rng: np.random.Generator,
+    use_cache: bool,
+):
+    if tie_break == "random":
+        # The random tie-break draws from the per-source stream; caching
+        # would either skip those draws or key on transient state.
+        return bfs(graph, source, tie_break="random", rng=source_rng)
+    if use_cache:
+        return default_forest_cache().forest(graph, source, tie_break="first")
+    return bfs(graph, source, tie_break="first")
+
+
+def _source_partials(
+    graph: Graph,
+    child_seed: np.random.SeedSequence,
+    size_list: Sequence[int],
+    mode: str,
+    num_receiver_sets: int,
+    tie_break: str,
+    exclude_source_site: bool,
+    engine: str,
+    use_cache: bool,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-size partial sums contributed by one source.
+
+    Returns ``(ratio_sum, tree_sum, tree_sq_sum, path_sum, count)``
+    arrays over the swept sizes; ``count`` holds the number of samples
+    whose ratio was well-defined (``ū > 0``).
+    """
+    source_rng = np.random.default_rng(child_seed)
+    source = int(source_rng.integers(0, graph.num_nodes))
+    forest = _source_forest(graph, source, tie_break, source_rng, use_cache)
+    counter = MulticastTreeCounter(forest)
+    exclude = source if exclude_source_site else None
+
+    num_sizes = len(size_list)
+    ratio_sum = np.zeros(num_sizes)
+    tree_sum = np.zeros(num_sizes)
+    tree_sq_sum = np.zeros(num_sizes)
+    path_sum = np.zeros(num_sizes)
+    count = np.zeros(num_sizes, dtype=np.int64)
+    links_list, totals_list = _count_samples(
+        counter, source_rng, graph.num_nodes, size_list,
+        num_receiver_sets, mode, exclude, engine,
+    )
+    for size_idx, size in enumerate(size_list):
+        links = links_list[size_idx]
+        mean_path = totals_list[size_idx] / size
+        valid = mean_path > 0
+        kept = links[valid].astype(float)
+        count[size_idx] = int(np.count_nonzero(valid))
+        ratio_sum[size_idx] = float(np.sum(kept / mean_path[valid]))
+        tree_sum[size_idx] = float(kept.sum())
+        tree_sq_sum[size_idx] = float(np.sum(kept * kept))
+        path_sum[size_idx] = float(mean_path[valid].sum())
+    return ratio_sum, tree_sum, tree_sq_sum, path_sum, count
+
+
+def _source_chunk_partials(
+    graph: Graph,
+    child_seeds: Sequence[np.random.SeedSequence],
+    size_list: Sequence[int],
+    mode: str,
+    num_receiver_sets: int,
+    tie_break: str,
+    exclude_source_site: bool,
+    engine: str,
+    use_cache: bool,
+) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+    """Worker task: partials for a contiguous run of sources."""
+    return [
+        _source_partials(
+            graph, child, size_list, mode, num_receiver_sets,
+            tie_break, exclude_source_site, engine, use_cache,
+        )
+        for child in child_seeds
+    ]
 
 
 def measure_sweep(
@@ -50,6 +236,8 @@ def measure_sweep(
     topology: str = "graph",
     exclude_source_site: bool = True,
     rng: RandomState = None,
+    engine: str = "batched",
+    use_cache: bool = True,
 ) -> SweepMeasurement:
     """Measure averaged tree sizes over a sweep of group sizes.
 
@@ -65,7 +253,8 @@ def measure_sweep(
         Receiver convention (see module docs).
     config:
         Monte-Carlo settings; defaults to :class:`MonteCarloConfig`'s
-        paper values.
+        paper values.  ``config.num_workers`` selects process
+        parallelism (bit-identical for every worker count).
     topology:
         Name recorded in the result.
     exclude_source_site:
@@ -73,8 +262,16 @@ def measure_sweep(
         source-site ablation flips this).
     rng:
         Overrides ``config.seed`` when given.
+    engine:
+        ``"batched"`` (vectorized hot path, the default) or
+        ``"scalar"`` (the per-sample reference loop).  Both produce
+        bit-identical measurements.
+    use_cache:
+        Serve ``tie_break="first"`` forests from the process-wide
+        :class:`~repro.graph.forest_cache.ForestCache`.
     """
     _check_mode(mode)
+    _check_engine(engine)
     config = config or MonteCarloConfig()
     config.validate()
     require_connected(graph, "measure_sweep")
@@ -90,58 +287,59 @@ def measure_sweep(
         )
 
     master = ensure_rng(rng if rng is not None else config.seed)
-    source_rngs = spawn_rngs(master, config.num_sources)
+    children = _spawn_seed_sequences(master, config.num_sources)
+    task_args = (
+        size_list, mode, config.num_receiver_sets, config.tie_break,
+        exclude_source_site, engine, use_cache,
+    )
+
+    num_workers = min(config.num_workers, config.num_sources)
+    if num_workers > 1:
+        bounds = np.linspace(0, len(children), num_workers + 1, dtype=int)
+        chunks = [
+            children[lo:hi] for lo, hi in zip(bounds, bounds[1:]) if hi > lo
+        ]
+        with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+            chunk_results = list(
+                pool.map(
+                    _source_chunk_partials,
+                    [graph] * len(chunks),
+                    chunks,
+                    *[[arg] * len(chunks) for arg in task_args],
+                )
+            )
+        partials = [p for chunk in chunk_results for p in chunk]
+    else:
+        partials = [
+            _source_partials(graph, child, *task_args) for child in children
+        ]
 
     num_sizes = len(size_list)
     ratio_sum = np.zeros(num_sizes)
     tree_sum = np.zeros(num_sizes)
     tree_sq_sum = np.zeros(num_sizes)
     path_sum = np.zeros(num_sizes)
+    counts = np.zeros(num_sizes, dtype=np.int64)
+    # Reduce in source order: bit-identical however the work was laid out.
+    for ratio, tree, tree_sq, path, count in partials:
+        ratio_sum += ratio
+        tree_sum += tree
+        tree_sq_sum += tree_sq
+        path_sum += path
+        counts += count
 
-    for source_rng in source_rngs:
-        source = int(source_rng.integers(0, graph.num_nodes))
-        forest = bfs(
-            graph,
-            source,
-            tie_break=config.tie_break,
-            rng=source_rng if config.tie_break == "random" else None,
-        )
-        counter = MulticastTreeCounter(forest)
-        exclude = source if exclude_source_site else None
-        for size_idx, size in enumerate(size_list):
-            for _ in range(config.num_receiver_sets):
-                if mode == "distinct":
-                    receivers = sample_distinct_receivers(
-                        graph.num_nodes, size, source=exclude, rng=source_rng
-                    )
-                else:
-                    receivers = sample_receivers_with_replacement(
-                        graph.num_nodes, size, source=exclude, rng=source_rng
-                    )
-                links = counter.tree_size(receivers)
-                total_hops = counter.unicast_total(receivers)
-                mean_path = total_hops / size
-                if mean_path <= 0:
-                    # Receivers all at the source: only possible when the
-                    # source site is eligible; the ratio is 0/0 -> skip.
-                    continue
-                ratio_sum[size_idx] += links / mean_path
-                tree_sum[size_idx] += links
-                tree_sq_sum[size_idx] += links * links
-                path_sum[size_idx] += mean_path
-
-    total = config.num_sources * config.num_receiver_sets
-    mean_tree = tree_sum / total
-    variance = np.maximum(tree_sq_sum / total - mean_tree**2, 0.0)
+    divisor = np.maximum(counts, 1)  # all-skipped sizes report 0.0
+    mean_tree = tree_sum / divisor
+    variance = np.maximum(tree_sq_sum / divisor - mean_tree**2, 0.0)
     return SweepMeasurement(
         topology=topology,
         mode=mode,
         sizes=tuple(size_list),
-        mean_ratio=tuple(float(v) for v in ratio_sum / total),
+        mean_ratio=tuple(float(v) for v in ratio_sum / divisor),
         mean_tree_size=tuple(float(v) for v in mean_tree),
-        mean_unicast_path=tuple(float(v) for v in path_sum / total),
+        mean_unicast_path=tuple(float(v) for v in path_sum / divisor),
         std_tree_size=tuple(float(v) for v in np.sqrt(variance)),
-        num_samples=total,
+        num_samples=config.num_sources * config.num_receiver_sets,
         num_nodes=graph.num_nodes,
     )
 
@@ -155,13 +353,18 @@ def measure_single_source_sweep(
     tie_break: str = "first",
     exclude_source_site: bool = True,
     rng: RandomState = None,
+    engine: str = "batched",
+    use_cache: bool = True,
 ) -> SweepMeasurement:
     """Like :func:`measure_sweep` but for one fixed source.
 
     Used by the k-ary-tree validations (the source is the root by
-    construction) and by per-source diagnostics.
+    construction) and by per-source diagnostics.  Tree-size statistics
+    average over every sample; the ratio averages over the samples where
+    it is defined (``ū > 0``).
     """
     _check_mode(mode)
+    _check_engine(engine)
     require_connected(graph, "measure_single_source_sweep")
     source = graph.check_node(source)
     config = MonteCarloConfig(
@@ -170,43 +373,31 @@ def measure_single_source_sweep(
         tie_break=tie_break,
         seed=None,
     )
+    config.validate()
     generator = ensure_rng(rng)
     size_list = [int(s) for s in sizes]
     if not size_list or min(size_list) < 1:
         raise ExperimentError("sizes must be positive and non-empty")
 
-    forest = bfs(
-        graph,
-        source,
-        tie_break=tie_break,
-        rng=generator if tie_break == "random" else None,
-    )
+    forest = _source_forest(graph, source, tie_break, generator, use_cache)
     counter = MulticastTreeCounter(forest)
     exclude = source if exclude_source_site else None
 
     ratios, trees, paths, stds = [], [], [], []
-    for size in size_list:
-        samples = np.empty(num_receiver_sets)
-        ratio_acc = 0.0
-        path_acc = 0.0
-        for i in range(num_receiver_sets):
-            if mode == "distinct":
-                receivers = sample_distinct_receivers(
-                    graph.num_nodes, size, source=exclude, rng=generator
-                )
-            else:
-                receivers = sample_receivers_with_replacement(
-                    graph.num_nodes, size, source=exclude, rng=generator
-                )
-            links = counter.tree_size(receivers)
-            mean_path = counter.unicast_total(receivers) / size
-            samples[i] = links
-            ratio_acc += links / mean_path if mean_path > 0 else 0.0
-            path_acc += mean_path
-        ratios.append(ratio_acc / num_receiver_sets)
-        trees.append(float(samples.mean()))
-        paths.append(path_acc / num_receiver_sets)
-        stds.append(float(samples.std(ddof=0)))
+    links_list, totals_list = _count_samples(
+        counter, generator, graph.num_nodes, size_list,
+        num_receiver_sets, mode, exclude, engine,
+    )
+    for size_idx, size in enumerate(size_list):
+        links = links_list[size_idx]
+        mean_path = totals_list[size_idx] / size
+        valid = mean_path > 0
+        num_valid = int(np.count_nonzero(valid))
+        ratio_total = float(np.sum(links[valid] / mean_path[valid]))
+        ratios.append(ratio_total / num_valid if num_valid else 0.0)
+        trees.append(float(links.mean()))
+        paths.append(float(mean_path.mean()))
+        stds.append(float(links.std(ddof=0)))
 
     return SweepMeasurement(
         topology=f"source-{source}",

@@ -2,6 +2,11 @@
 
 from repro.graph.builders import GraphBuilder, from_networkx, to_networkx
 from repro.graph.core import Graph
+from repro.graph.forest_cache import (
+    ForestCache,
+    default_forest_cache,
+    graph_fingerprint,
+)
 from repro.graph.io import (
     read_edge_list,
     read_json_graph,
@@ -47,6 +52,9 @@ from repro.graph.reachability import (
 __all__ = [
     "Graph",
     "GraphBuilder",
+    "ForestCache",
+    "default_forest_cache",
+    "graph_fingerprint",
     "from_networkx",
     "to_networkx",
     "read_edge_list",

@@ -1,0 +1,189 @@
+"""An LRU cache of BFS forests keyed by graph content.
+
+The Monte-Carlo drivers repeatedly rebuild structurally identical
+topologies (each figure driver constructs its own :class:`Graph` from the
+same seed) and then BFS from the same sources.  Because :class:`Graph` is
+immutable, a shortest-path forest is a pure function of
+``(graph content, source, tie-break policy, tie-break seed)`` — so those
+four values key a process-wide cache and the recomputation disappears.
+
+Keying
+------
+Graphs are identified by :func:`graph_fingerprint`: a SHA-1 over the node
+count and the raw CSR arrays.  Two independently built but structurally
+identical graphs therefore share cache entries (this is what makes the
+cache effective across figure drivers, benches, and the CLI ``all`` run).
+The fingerprint is memoized per graph *object*, so the O(E) hash is paid
+once per built graph, not once per lookup.
+
+``tie_break="first"`` forests are deterministic and cached under
+``seed=None``.  ``tie_break="random"`` forests are only cacheable when the
+caller names the randomness: pass an integer ``seed`` and the cached entry
+is the forest produced by ``bfs(..., rng=seed)``.  Passing a live
+generator is rejected — its state is not a stable key.
+
+Invalidation
+------------
+Entries never go stale (graphs are immutable; the fingerprint is the
+content), so the only eviction is LRU once ``max_entries`` is exceeded.
+``clear()`` empties a cache explicitly — tests that count BFS invocations
+and long-lived services that churn through many topologies use it.
+
+A module-level default cache (:func:`default_forest_cache`) serves
+``distance_matrix``, the experiment runner, and anything else that does
+not manage its own; it holds at most :data:`DEFAULT_MAX_ENTRIES` forests
+(two int32 arrays each, so ~8 MB per thousand cached 10k-node forests).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from repro.exceptions import GraphError
+from repro.graph.core import Graph
+from repro.graph.paths import ShortestPathForest, bfs
+
+__all__ = [
+    "ForestCache",
+    "graph_fingerprint",
+    "default_forest_cache",
+    "DEFAULT_MAX_ENTRIES",
+]
+
+#: Default capacity of a :class:`ForestCache`, in forests.
+DEFAULT_MAX_ENTRIES = 512
+
+# fingerprint memo: id(graph) -> (graph, hex digest).  Holding the graph
+# keeps the id stable; the dict is bounded to avoid pinning unbounded
+# numbers of dead topologies in memory.
+_FINGERPRINT_MEMO: "OrderedDict[int, Tuple[Graph, str]]" = OrderedDict()
+_FINGERPRINT_MEMO_MAX = 64
+_FINGERPRINT_LOCK = threading.Lock()
+
+
+def graph_fingerprint(graph: Graph) -> str:
+    """Stable content fingerprint of ``graph`` (SHA-1 hex digest).
+
+    Identical CSR content yields identical fingerprints across processes
+    and sessions, which is what lets worker processes and repeated driver
+    runs share cache keys.
+    """
+    with _FINGERPRINT_LOCK:
+        memo = _FINGERPRINT_MEMO.get(id(graph))
+        if memo is not None and memo[0] is graph:
+            _FINGERPRINT_MEMO.move_to_end(id(graph))
+            return memo[1]
+    digest = hashlib.sha1()
+    digest.update(int(graph.num_nodes).to_bytes(8, "little"))
+    digest.update(graph.indptr.tobytes())
+    digest.update(graph.indices.tobytes())
+    fingerprint = digest.hexdigest()
+    with _FINGERPRINT_LOCK:
+        _FINGERPRINT_MEMO[id(graph)] = (graph, fingerprint)
+        while len(_FINGERPRINT_MEMO) > _FINGERPRINT_MEMO_MAX:
+            _FINGERPRINT_MEMO.popitem(last=False)
+    return fingerprint
+
+
+class ForestCache:
+    """LRU cache of :class:`ShortestPathForest` results.
+
+    Parameters
+    ----------
+    max_entries:
+        Number of forests retained; least-recently-used entries are
+        evicted beyond it.
+
+    Thread safety: all operations hold an internal lock, so one cache may
+    serve multiple threads (worker *processes* each have their own).
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        if max_entries < 1:
+            raise GraphError(
+                f"max_entries must be >= 1, got {max_entries}"
+            )
+        self._max_entries = int(max_entries)
+        self._entries: "OrderedDict[Tuple[str, int, str, Optional[int]], ShortestPathForest]" = (
+            OrderedDict()
+        )
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def max_entries(self) -> int:
+        """Capacity in forests."""
+        return self._max_entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    @staticmethod
+    def _key(
+        graph: Graph, source: int, tie_break: str, seed: Optional[int]
+    ) -> Tuple[str, int, str, Optional[int]]:
+        if tie_break == "random":
+            if seed is None:
+                raise GraphError(
+                    "caching a random-tie-break forest requires an integer "
+                    "seed; live generator state is not a stable cache key"
+                )
+            seed = int(seed)
+        elif seed is not None:
+            raise GraphError(
+                'seed is only meaningful with tie_break="random"'
+            )
+        return (graph_fingerprint(graph), int(source), tie_break, seed)
+
+    def forest(
+        self,
+        graph: Graph,
+        source: int,
+        tie_break: str = "first",
+        seed: Optional[int] = None,
+    ) -> ShortestPathForest:
+        """The BFS forest for ``(graph, source, tie_break, seed)``.
+
+        Computes and stores the forest on a miss; forests are immutable,
+        so the returned object is shared between callers.
+        """
+        key = self._key(graph, source, tie_break, seed)
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return cached
+            self.misses += 1
+        forest = bfs(graph, source, tie_break=tie_break, rng=seed)
+        with self._lock:
+            self._entries[key] = forest
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+        return forest
+
+    def __repr__(self) -> str:
+        return (
+            f"ForestCache(entries={len(self._entries)}/{self._max_entries}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+_DEFAULT_CACHE = ForestCache()
+
+
+def default_forest_cache() -> ForestCache:
+    """The process-wide cache used when callers do not supply their own."""
+    return _DEFAULT_CACHE

@@ -18,7 +18,11 @@ from repro.multicast.popularity import (
 from repro.multicast.sampling import (
     eligible_sites,
     sample_distinct_receivers,
+    sample_distinct_receivers_batch,
+    sample_distinct_receivers_sweep,
     sample_receivers_with_replacement,
+    sample_receivers_with_replacement_batch,
+    sample_receivers_with_replacement_sweep,
 )
 from repro.multicast.steiner import (
     SteinerTree,
@@ -44,7 +48,11 @@ __all__ = [
     "sample_weighted_tree_size",
     "eligible_sites",
     "sample_distinct_receivers",
+    "sample_distinct_receivers_batch",
+    "sample_distinct_receivers_sweep",
     "sample_receivers_with_replacement",
+    "sample_receivers_with_replacement_batch",
+    "sample_receivers_with_replacement_sweep",
     "DeliveryTree",
     "MulticastTreeCounter",
     "build_delivery_tree",

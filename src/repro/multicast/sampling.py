@@ -12,11 +12,20 @@ Two sampling modes mirror the paper's two tree-size functions:
 Both modes exclude the source by default (a receiver co-located with the
 source adds nothing to the tree; Section 3.4 explicitly excludes the
 root).  Pass ``exclude=()`` to allow receivers anywhere.
+
+Each mode also has a **batched** form that draws a whole
+``(num_sets, size)`` matrix of receiver sets from a constant number of
+RNG calls (:func:`sample_distinct_receivers_batch`,
+:func:`sample_receivers_with_replacement_batch`).  The batched and
+scalar forms consume the *same* random stream: drawing ``k`` sets in one
+batch yields exactly the ``k`` sets that ``k`` sequential scalar calls
+on the same generator would produce.  The Monte-Carlo engine relies on
+this to keep its vectorized and reference paths bit-identical.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -25,7 +34,11 @@ from repro.utils.rng import RandomState, ensure_rng
 
 __all__ = [
     "sample_distinct_receivers",
+    "sample_distinct_receivers_batch",
+    "sample_distinct_receivers_sweep",
     "sample_receivers_with_replacement",
+    "sample_receivers_with_replacement_batch",
+    "sample_receivers_with_replacement_sweep",
     "eligible_sites",
 ]
 
@@ -47,6 +60,17 @@ def eligible_sites(
     return np.setdiff1d(
         np.arange(num_nodes, dtype=np.int64), excluded, assume_unique=True
     )
+
+
+def _distinct_pool(num_nodes: int, m: int, source: Optional[int]) -> np.ndarray:
+    if m < 1:
+        raise SamplingError(f"m must be >= 1, got {m}")
+    pool = eligible_sites(num_nodes, () if source is None else (source,))
+    if m > pool.size:
+        raise SamplingError(
+            f"cannot draw {m} distinct receivers from {pool.size} eligible sites"
+        )
+    return pool
 
 
 def sample_distinct_receivers(
@@ -73,15 +97,157 @@ def sample_distinct_receivers(
     SamplingError
         If fewer than ``m`` eligible sites exist.
     """
-    if m < 1:
-        raise SamplingError(f"m must be >= 1, got {m}")
-    pool = eligible_sites(num_nodes, () if source is None else (source,))
-    if m > pool.size:
-        raise SamplingError(
-            f"cannot draw {m} distinct receivers from {pool.size} eligible sites"
-        )
+    return sample_distinct_receivers_batch(
+        num_nodes, m, 1, source=source, rng=rng
+    )[0]
+
+
+def sample_distinct_receivers_batch(
+    num_nodes: int,
+    m: int,
+    num_sets: int,
+    source: Optional[int] = None,
+    rng: RandomState = None,
+) -> np.ndarray:
+    """Draw ``num_sets`` independent distinct-receiver sets at once.
+
+    Returns a ``(num_sets, m)`` int32 matrix whose rows are uniform
+    ``m``-subsets of the eligible sites, in random order.  The rows are
+    produced by a partial Fisher-Yates shuffle vectorized across sets and
+    driven by a single ``rng.random((num_sets, m))`` draw, so row ``r``
+    equals the ``r``-th sequential :func:`sample_distinct_receivers` call
+    on the same generator.
+    """
+    if num_sets < 1:
+        raise SamplingError(f"num_sets must be >= 1, got {num_sets}")
+    pool = _distinct_pool(num_nodes, m, source)
     generator = ensure_rng(rng)
-    return generator.choice(pool, size=m, replace=False)
+    u = generator.random((num_sets, m))
+    size = pool.size
+    # All swap targets up front: floor(u * remaining) is uniform on the
+    # untouched suffix; the minimum guards the u -> 1.0 rounding edge.
+    remaining = size - np.arange(m, dtype=np.int64)
+    swap = np.minimum((u * remaining).astype(np.int64), remaining - 1)
+    swap += np.arange(m, dtype=np.int64)
+    if num_sets == 1:
+        return _sparse_fisher_yates(pool, swap[0], m)[np.newaxis, :]
+    base = np.arange(num_sets, dtype=np.int64) * size
+    # The partial Fisher-Yates itself is sequential in i but vectorized
+    # across sets; precomputed flat swap indices keep each step to two
+    # gathers and two scatters, and the int32 pool copies halve the
+    # memory traffic of the O(num_sets * pool) setup.
+    flat_swap = np.ascontiguousarray(swap.T + base)
+    flat_prefix = np.ascontiguousarray(
+        np.arange(m, dtype=np.int64)[:, np.newaxis] + base
+    )
+    perm = np.repeat(pool.astype(np.int32)[np.newaxis, :], num_sets, axis=0)
+    flat = perm.reshape(-1)
+    for i in range(m):
+        j = flat_swap[i]
+        bi = flat_prefix[i]
+        picked = flat[j]
+        flat[j] = flat[bi]
+        flat[bi] = picked
+    return np.ascontiguousarray(perm[:, :m])
+
+
+def sample_distinct_receivers_sweep(
+    num_nodes: int,
+    sizes: Sequence[int],
+    num_sets: int,
+    source: Optional[int] = None,
+    rng: RandomState = None,
+) -> List[np.ndarray]:
+    """Distinct-receiver matrices for a whole sweep of group sizes.
+
+    Value- and stream-identical to calling
+    :func:`sample_distinct_receivers_batch` once per size in order, but
+    the ``num_sets`` pool copies are materialized once for the whole
+    sweep: after each size's partial Fisher-Yates, only the O(m)
+    positions it touched are restored from the pool, instead of paying
+    the O(pool) re-initialization per size.  This is the Monte-Carlo
+    engine's per-source fast path.
+    """
+    if num_sets < 1:
+        raise SamplingError(f"num_sets must be >= 1, got {num_sets}")
+    size_list = [int(m) for m in sizes]
+    if not size_list:
+        return []
+    if num_sets == 1:
+        return [
+            sample_distinct_receivers_batch(
+                num_nodes, m, 1, source=source, rng=rng
+            )
+            for m in size_list
+        ]
+    for m in size_list:
+        if m < 1:
+            raise SamplingError(f"m must be >= 1, got {m}")
+    pool = _distinct_pool(num_nodes, max(size_list), source)
+    generator = ensure_rng(rng)
+    size = pool.size
+    pool32 = pool.astype(np.int32)
+    perm = np.repeat(pool32[np.newaxis, :], num_sets, axis=0)
+    flat = perm.reshape(-1)
+    base = np.arange(num_sets, dtype=np.int64) * size
+    out = []
+    for m in size_list:
+        u = generator.random((num_sets, m))
+        remaining = size - np.arange(m, dtype=np.int64)
+        swap = np.minimum((u * remaining).astype(np.int64), remaining - 1)
+        swap += np.arange(m, dtype=np.int64)
+        flat_swap = np.ascontiguousarray(swap.T + base)
+        flat_prefix = np.ascontiguousarray(
+            np.arange(m, dtype=np.int64)[:, np.newaxis] + base
+        )
+        for i in range(m):
+            j = flat_swap[i]
+            bi = flat_prefix[i]
+            picked = flat[j]
+            flat[j] = flat[bi]
+            flat[bi] = picked
+        # A real copy, never a view: np.ascontiguousarray would alias
+        # perm when m == size, and the restore below would then wipe the
+        # appended matrix in place.
+        out.append(perm[:, :m].copy())
+        # Undo this size's damage: every touched flat position is either
+        # a swap target or one of the first m slots of its row.
+        touched = np.concatenate([flat_swap.ravel(), flat_prefix.ravel()])
+        flat[touched] = pool32[touched % size]
+    return out
+
+
+def _sparse_fisher_yates(
+    pool: np.ndarray, swap: np.ndarray, m: int
+) -> np.ndarray:
+    """One partial Fisher-Yates row without materializing the pool copy.
+
+    Applies exactly the swap sequence of the vectorized batch path, but
+    tracks only the O(m) displaced positions in a dict — the profitable
+    layout when a single row is drawn (the scalar samplers), where the
+    per-step numpy dispatch and the O(pool) copy would dominate.
+    """
+    displaced = {}
+    out = np.empty(m, dtype=np.int32)
+    for i, j in enumerate(swap.tolist()):
+        vj = displaced.get(j)
+        if vj is None:
+            vj = pool[j]
+        vi = displaced.get(i)
+        if vi is None:
+            vi = pool[i]
+        out[i] = vj
+        displaced[j] = vi
+    return out
+
+
+def _replacement_pool(num_nodes: int, n: int, source: Optional[int]) -> np.ndarray:
+    if n < 1:
+        raise SamplingError(f"n must be >= 1, got {n}")
+    pool = eligible_sites(num_nodes, () if source is None else (source,))
+    if pool.size == 0:
+        raise SamplingError("no eligible receiver sites")
+    return pool
 
 
 def sample_receivers_with_replacement(
@@ -91,10 +257,58 @@ def sample_receivers_with_replacement(
     rng: RandomState = None,
 ) -> np.ndarray:
     """Draw ``n`` receiver sites uniformly with replacement (``L̂(n)``)."""
-    if n < 1:
-        raise SamplingError(f"n must be >= 1, got {n}")
-    pool = eligible_sites(num_nodes, () if source is None else (source,))
-    if pool.size == 0:
-        raise SamplingError("no eligible receiver sites")
+    pool = _replacement_pool(num_nodes, n, source)
     generator = ensure_rng(rng)
     return pool[generator.integers(0, pool.size, size=n)]
+
+
+def sample_receivers_with_replacement_sweep(
+    num_nodes: int,
+    sizes: Sequence[int],
+    num_sets: int,
+    source: Optional[int] = None,
+    rng: RandomState = None,
+) -> List[np.ndarray]:
+    """With-replacement matrices for a whole sweep of group sizes.
+
+    Value- and stream-identical to calling
+    :func:`sample_receivers_with_replacement_batch` once per size in
+    order; the eligible-site pool is built once for the sweep.
+    """
+    if num_sets < 1:
+        raise SamplingError(f"num_sets must be >= 1, got {num_sets}")
+    size_list = [int(n) for n in sizes]
+    if not size_list:
+        return []
+    pool = _replacement_pool(num_nodes, max(size_list), source)
+    for n in size_list:
+        if n < 1:
+            raise SamplingError(f"n must be >= 1, got {n}")
+    generator = ensure_rng(rng)
+    pool32 = pool.astype(np.int32)
+    return [
+        pool32[generator.integers(0, pool.size, size=(num_sets, n))]
+        for n in size_list
+    ]
+
+
+def sample_receivers_with_replacement_batch(
+    num_nodes: int,
+    n: int,
+    num_sets: int,
+    source: Optional[int] = None,
+    rng: RandomState = None,
+) -> np.ndarray:
+    """Draw ``num_sets`` with-replacement receiver sets at once.
+
+    Returns a ``(num_sets, n)`` int32 matrix from one bounded-integer
+    draw; numpy fills it row-major from the bit stream, so row ``r``
+    equals the ``r``-th sequential
+    :func:`sample_receivers_with_replacement` call on the same generator.
+    """
+    if num_sets < 1:
+        raise SamplingError(f"num_sets must be >= 1, got {num_sets}")
+    pool = _replacement_pool(num_nodes, n, source)
+    generator = ensure_rng(rng)
+    idx = generator.integers(0, pool.size, size=(num_sets, n))
+    return pool.astype(np.int32)[idx]

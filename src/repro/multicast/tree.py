@@ -56,6 +56,21 @@ class MulticastTreeCounter:
         self._source = forest.source
         self._stamp = np.zeros(forest.num_nodes, dtype=np.int64)
         self._epoch = 0
+        # Per-set stamps for the batched walk, lazily sized to the largest
+        # (num_sets x num_nodes) request seen so far; claim is the
+        # same-shaped scratch electing one walker per (set, node).  Both
+        # are int32, as is the parent copy the walk gathers from — the
+        # batched walk is memory-bound, so half-width state is a real win.
+        self._parent32 = forest.parent.astype(np.int32)
+        self._dist32 = forest.dist.astype(np.int32)
+        self._batch_stamp: np.ndarray = np.empty(0, dtype=np.int32)
+        self._batch_claim: np.ndarray = np.empty(0, dtype=np.int32)
+        self._batch_epoch = 0
+        # Walk keys pack (row, node) as ``row << shift | node`` so the
+        # row/node splits in the hot loop are shifts and masks, not
+        # division; span is the padded per-row key range.
+        self._key_shift = max(forest.num_nodes - 1, 0).bit_length()
+        self._key_span = 1 << self._key_shift
 
     @property
     def forest(self) -> ShortestPathForest:
@@ -114,6 +129,177 @@ class MulticastTreeCounter:
                 node = int(parent[node])
         return np.asarray(sorted(members), dtype=np.int64)
 
+    def tree_sizes_batch(self, receiver_matrix: Sequence[Sequence[int]]) -> np.ndarray:
+        """Delivery-tree link counts for many receiver sets at once.
+
+        Parameters
+        ----------
+        receiver_matrix:
+            ``(num_sets, size)`` integer matrix; each row is one receiver
+            set (duplicates within a row are fine, exactly as in
+            :meth:`tree_size`).
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(num_sets,)`` int64 array, ``out[r] == tree_size(row r)``.
+
+        Notes
+        -----
+        All rows are walked simultaneously: each iteration advances every
+        still-active (set, node) walker one parent step, stamps the newly
+        visited nodes of each set, and retires walkers that reach the
+        source or an already-stamped node.  The loop runs at most
+        ``eccentricity(source)`` times, with O(active walkers) vector
+        work per iteration — the per-receiver Python loop of
+        :meth:`tree_size` disappears entirely.
+        """
+        matrix = self._as_receiver_matrix(receiver_matrix)
+        self._check_reachable(matrix)
+        return self._walk_blocks([matrix])[0]
+
+    def count_trees_and_unicast(
+        self, matrices: Sequence[Sequence[Sequence[int]]]
+    ) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+        """Link counts and unicast totals for several receiver matrices.
+
+        Equivalent to calling :meth:`tree_sizes_batch` and
+        :meth:`unicast_totals_batch` on each matrix, but all matrices
+        share one flat walk (one level loop instead of one per matrix)
+        and one distance gather serves both the reachability check and
+        the unicast totals.  This is the Monte-Carlo engine's fast path:
+        a whole per-source sweep — every group size, every receiver set —
+        costs a single walk over the forest.
+        """
+        blocks = []
+        totals = []
+        for receiver_matrix in matrices:
+            matrix = self._as_receiver_matrix(receiver_matrix)
+            d = self._check_reachable(matrix)
+            totals.append(
+                d.sum(axis=1, dtype=np.int64)
+                if matrix.size
+                else np.zeros(matrix.shape[0], dtype=np.int64)
+            )
+            blocks.append(matrix)
+        return self._walk_blocks(blocks), totals
+
+    # Rows walked together are capped so the stamp/claim scratch stays
+    # cache-resident: random gathers into a buffer that spills out of L2
+    # cost several times more per walker step than the per-chunk loop
+    # overhead they would save.
+    _WALK_SCRATCH_BYTES = 1 << 20
+
+    def _walk_blocks(self, blocks: List[np.ndarray]) -> List[np.ndarray]:
+        """Level-synchronous walk over the rows of all ``blocks``.
+
+        Returns one ``(num_sets,)`` link-count array per block; row ``r``
+        of block ``b`` behaves exactly like an independent
+        :meth:`tree_size` call on that row.  Rows are regrouped into
+        cache-sized chunks — many small matrices cost one walk, and an
+        oversized matrix is split rather than spilling the scratch.
+        """
+        row_counts = [block.shape[0] for block in blocks]
+        total_rows = sum(row_counts)
+        links = np.zeros(total_rows, dtype=np.int64)
+        rows_cap = max(1, self._WALK_SCRATCH_BYTES // (4 * self._key_span))
+        chunk: List[np.ndarray] = []
+        chunk_rows = 0
+        links_offset = 0
+        for block in blocks:
+            taken = 0
+            rows = block.shape[0]
+            while taken < rows:
+                take = min(rows - taken, rows_cap - chunk_rows)
+                chunk.append(block[taken:taken + take])
+                chunk_rows += take
+                taken += take
+                if chunk_rows == rows_cap:
+                    self._walk_chunk(chunk, chunk_rows, links, links_offset)
+                    links_offset += chunk_rows
+                    chunk, chunk_rows = [], 0
+        if chunk_rows:
+            self._walk_chunk(chunk, chunk_rows, links, links_offset)
+        out = []
+        offset = 0
+        for rows in row_counts:
+            out.append(links[offset:offset + rows])
+            offset += rows
+        return out
+
+    def _walk_chunk(
+        self,
+        blocks: List[np.ndarray],
+        num_rows: int,
+        links: np.ndarray,
+        links_offset: int,
+    ) -> None:
+        """Walk ``num_rows`` receiver rows; add counts into ``links``.
+
+        Walker state is one packed ``row << shift | node`` int32 key per
+        (row, node) pair (the chunk cap keeps ``num_rows << shift`` far
+        below 2**31).
+        """
+        shift = self._key_shift
+        span = self._key_span
+        needed = num_rows * span
+        if self._batch_stamp.size < needed:
+            self._batch_stamp = np.zeros(needed, dtype=np.int32)
+            self._batch_claim = np.zeros(needed, dtype=np.int32)
+            self._batch_epoch = 0
+        if self._batch_epoch >= np.iinfo(np.int32).max - 1:
+            self._batch_stamp[:] = 0
+            self._batch_epoch = 0
+        self._batch_epoch += 1
+        epoch = self._batch_epoch
+        stamp = self._batch_stamp
+        claim = self._batch_claim
+        parent = self._parent32
+        mask = np.int32(span - 1)
+        key_parts = []
+        row = 0
+        for block in blocks:
+            rows, size = block.shape
+            if rows and size:
+                row_ids = np.repeat(
+                    np.arange(row, row + rows, dtype=np.int32) << shift, size
+                )
+                flat = np.asarray(block.ravel(), dtype=np.int32)
+                key_parts.append(row_ids | flat)
+            row += rows
+        if not key_parts:
+            return
+        keys = np.concatenate(key_parts)
+        # Pre-stamping the source cell of every row retires walkers the
+        # moment they arrive there, so the level loop needs no separate
+        # source test.
+        stamp[
+            (np.arange(num_rows, dtype=np.int32) << shift) | self._source
+        ] = epoch
+        claimed = []
+        while keys.size:
+            fresh = stamp[keys] != epoch
+            keys = keys[fresh]
+            if keys.size == 0:
+                break
+            # Two walkers of one row may reach the same node in the same
+            # step (duplicate receivers, merging paths): keep one each.
+            # Last write to claim[key] wins, electing one walker per key
+            # without a sort.
+            order = np.arange(keys.size, dtype=np.int32)
+            claim[keys] = order
+            winner = claim[keys] == order
+            keys = keys[winner]
+            stamp[keys] = epoch
+            claimed.append(keys)
+            nodes = keys & mask
+            keys = keys + (parent[nodes] - nodes)
+        if claimed:
+            stamped = np.concatenate(claimed)
+            links[links_offset:links_offset + num_rows] += np.bincount(
+                stamped >> shift, minlength=num_rows
+            )[:num_rows]
+
     def unicast_total(self, receivers: Sequence[int]) -> int:
         """Total link traversals if each receiver were reached by unicast.
 
@@ -124,11 +310,49 @@ class MulticastTreeCounter:
         idx = np.asarray(receivers, dtype=np.int64).ravel()
         d = self._dist[idx]
         if np.any(d < 0):
-            bad = int(idx[np.argmax(self._dist[idx] < 0)])
+            bad = int(idx[int(np.argmax(d < 0))])
             raise GraphError(
                 f"receiver {bad} is unreachable from source {self._source}"
             )
         return int(d.sum())
+
+    def unicast_totals_batch(
+        self, receiver_matrix: Sequence[Sequence[int]]
+    ) -> np.ndarray:
+        """Per-row unicast totals for a ``(num_sets, size)`` receiver matrix.
+
+        ``out[r] == unicast_total(row r)``; the whole matrix is gathered
+        and reduced in two vector operations.
+        """
+        matrix = self._as_receiver_matrix(receiver_matrix)
+        if matrix.size == 0:
+            return np.zeros(matrix.shape[0], dtype=np.int64)
+        d = self._check_reachable(matrix)
+        return d.sum(axis=1, dtype=np.int64)
+
+    @staticmethod
+    def _as_receiver_matrix(receiver_matrix) -> np.ndarray:
+        matrix = np.asarray(receiver_matrix)
+        if matrix.dtype not in (np.int32, np.int64):
+            matrix = matrix.astype(np.int64)
+        if matrix.ndim != 2:
+            raise GraphError(
+                f"receiver_matrix must be 2-D (num_sets, size), "
+                f"got shape {matrix.shape}"
+            )
+        return matrix
+
+    def _check_reachable(self, matrix: np.ndarray) -> np.ndarray:
+        """Gathered distances for ``matrix``; raises on the first (in
+        row-major order) unreachable receiver."""
+        d = self._dist32[matrix]
+        if np.any(d < 0):
+            flat = matrix.ravel()
+            bad = int(flat[int(np.argmax(d.ravel() < 0))])
+            raise GraphError(
+                f"receiver {bad} is unreachable from source {self._source}"
+            )
+        return d
 
 
 @dataclass(frozen=True)

@@ -247,9 +247,11 @@ class TestAblations:
         assert gap < 0.2
 
     def test_sampling_conversion_accurate(self):
+        # Batching makes larger sample counts free here; the tighter
+        # estimate keeps this band test far from Monte-Carlo noise.
         result = run_sampling_ablation(
             topology="r100", scale=1.0,
-            config=MonteCarloConfig(num_sources=6, num_receiver_sets=12, seed=0),
+            config=MonteCarloConfig(num_sources=10, num_receiver_sets=20, seed=0),
             sweep=SweepConfig(points=5), rng=0,
         )
         err = float(result.notes["max relative error"])

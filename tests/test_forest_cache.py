@@ -1,0 +1,135 @@
+"""Tests for the content-keyed LRU forest cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.core import Graph
+from repro.graph.forest_cache import (
+    DEFAULT_MAX_ENTRIES,
+    ForestCache,
+    default_forest_cache,
+    graph_fingerprint,
+)
+from repro.graph.paths import bfs
+
+
+def ring(n: int) -> Graph:
+    return Graph.from_edges(n, [(i, (i + 1) % n) for i in range(n)])
+
+
+class TestFingerprint:
+    def test_identical_content_shares_fingerprint(self):
+        # Two independently built but identical graphs — the property the
+        # cross-driver cache sharing rests on.
+        assert graph_fingerprint(ring(8)) == graph_fingerprint(ring(8))
+
+    def test_different_graphs_differ(self):
+        assert graph_fingerprint(ring(8)) != graph_fingerprint(ring(9))
+        chord = Graph.from_edges(
+            8, [(i, (i + 1) % 8) for i in range(8)] + [(0, 4)]
+        )
+        assert graph_fingerprint(ring(8)) != graph_fingerprint(chord)
+
+    def test_memoized_per_object(self):
+        graph = ring(16)
+        assert graph_fingerprint(graph) == graph_fingerprint(graph)
+
+
+class TestForestCache:
+    def test_hit_returns_same_object(self):
+        cache = ForestCache()
+        graph = ring(10)
+        first = cache.forest(graph, 0)
+        second = cache.forest(graph, 0)
+        assert second is first
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_rebuilt_identical_graph_hits(self):
+        cache = ForestCache()
+        forest = cache.forest(ring(10), 3)
+        again = cache.forest(ring(10), 3)
+        assert again is forest
+        assert cache.hits == 1
+
+    def test_forest_is_correct(self):
+        cache = ForestCache()
+        graph = ring(9)
+        forest = cache.forest(graph, 2)
+        reference = bfs(graph, 2)
+        assert forest.source == 2
+        assert np.array_equal(forest.dist, reference.dist)
+
+    def test_distinct_keys_miss(self):
+        cache = ForestCache()
+        graph = ring(10)
+        cache.forest(graph, 0)
+        cache.forest(graph, 1)  # different source
+        cache.forest(ring(11), 0)  # different graph
+        assert (cache.hits, cache.misses) == (0, 3)
+        assert len(cache) == 3
+
+    def test_lru_eviction_order(self):
+        cache = ForestCache(max_entries=2)
+        graph = ring(12)
+        cache.forest(graph, 0)
+        cache.forest(graph, 1)
+        cache.forest(graph, 0)  # refresh 0 -> 1 is now least recent
+        cache.forest(graph, 2)  # evicts 1
+        assert len(cache) == 2
+        cache.forest(graph, 0)
+        assert cache.hits == 2  # 0 survived
+        cache.forest(graph, 1)
+        assert cache.misses == 4  # 1 was evicted and recomputed
+
+    def test_clear_resets(self):
+        cache = ForestCache()
+        cache.forest(ring(8), 0)
+        cache.forest(ring(8), 0)
+        cache.clear()
+        assert len(cache) == 0
+        assert (cache.hits, cache.misses) == (0, 0)
+
+    def test_capacity_validation(self):
+        with pytest.raises(GraphError, match="max_entries"):
+            ForestCache(max_entries=0)
+        assert ForestCache().max_entries == DEFAULT_MAX_ENTRIES
+
+    def test_repr_mentions_counters(self):
+        cache = ForestCache(max_entries=4)
+        cache.forest(ring(6), 0)
+        assert "hits=0" in repr(cache) and "misses=1" in repr(cache)
+
+
+class TestRandomTieBreak:
+    def test_requires_integer_seed(self):
+        cache = ForestCache()
+        with pytest.raises(GraphError, match="seed"):
+            cache.forest(ring(8), 0, tie_break="random")
+
+    def test_seed_is_part_of_key(self):
+        cache = ForestCache()
+        graph = ring(10)
+        a = cache.forest(graph, 0, tie_break="random", seed=1)
+        b = cache.forest(graph, 0, tie_break="random", seed=2)
+        assert cache.misses == 2
+        again = cache.forest(graph, 0, tie_break="random", seed=1)
+        assert again is a and again is not b
+
+    def test_cached_forest_matches_direct_bfs(self):
+        cache = ForestCache()
+        graph = ring(10)
+        cached = cache.forest(graph, 0, tie_break="random", seed=5)
+        direct = bfs(graph, 0, tie_break="random", rng=5)
+        assert np.array_equal(cached.parent, direct.parent)
+
+    def test_seed_rejected_for_first(self):
+        cache = ForestCache()
+        with pytest.raises(GraphError, match="random"):
+            cache.forest(ring(8), 0, tie_break="first", seed=1)
+
+
+def test_default_cache_is_shared_singleton():
+    assert default_forest_cache() is default_forest_cache()
