@@ -2,12 +2,16 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke repro examples clean
+.PHONY: install lint test bench bench-smoke repro examples clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
 
-test:
+# Static invariant checks (determinism, cache aliasing, dtype safety).
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.lint src
+
+test: lint
 	$(PYTHON) -m pytest tests/
 
 bench:

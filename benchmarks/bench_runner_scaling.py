@@ -177,6 +177,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="exit nonzero unless batched >= X times faster")
     args = parser.parse_args(argv)
 
+    if not args.no_record:
+        # A trajectory point is a durable claim about the tree; refuse to
+        # record one from a tree that violates the repo's lint invariants.
+        from repro.lint import lint_paths, render_text
+
+        findings = lint_paths([Path(__file__).resolve().parent.parent / "src"])
+        if findings:
+            print(render_text(findings), file=sys.stderr)
+            print(
+                "FAIL: refusing to record a trajectory point while the tree "
+                "has lint findings (use --no-record to time anyway)",
+                file=sys.stderr,
+            )
+            return 1
+
     base = SMOKE if args.smoke else FULL
     record = run(
         scale=args.scale if args.scale is not None else base["scale"],

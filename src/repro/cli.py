@@ -7,6 +7,7 @@ Subcommands map one-to-one onto the experiment drivers:
 * ``repro-mcast topo NAME`` — build a topology and print its stats.
 * ``repro-mcast sweep NAME`` — run an L(m) sweep and fit the exponent.
 * ``repro-mcast ablation WHICH`` — run one of the DESIGN.md ablations.
+* ``repro-mcast lint [PATHS]`` — the repro.lint static invariant checks.
 
 All stochastic commands take ``--seed`` and are fully reproducible.
 ``--paper`` switches the Monte-Carlo sample counts to the paper's
@@ -124,6 +125,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--outdir", default="reproduction", help="output directory"
     )
     add_common(p_all)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the repro.lint static invariant checks"
+    )
+    p_lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/, else .)",
+    )
+    p_lint.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the JSON report (findings + rule docs + counts)",
+    )
 
     return parser
 
@@ -393,6 +408,12 @@ def _cmd_all(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint import run_lint
+
+    return run_lint(args.paths, json_output=args.json)
+
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "figure": _cmd_figure,
@@ -402,6 +423,7 @@ _COMMANDS = {
     "study": _cmd_study,
     "metrics": _cmd_metrics,
     "all": _cmd_all,
+    "lint": _cmd_lint,
 }
 
 

@@ -25,11 +25,21 @@ from repro.experiments.figures.figure6 import run_figure6, run_figure6_panel
 from repro.experiments.figures.figure7 import run_figure7, run_figure7_panel
 from repro.experiments.figures.figure8 import run_figure8
 from repro.experiments.figures.figure9 import run_figure9, run_figure9_panel
+from repro.experiments.figures.registry import (
+    figure_ids,
+    get_figure_driver,
+    register_figure,
+    registered_figures,
+)
 from repro.experiments.figures.shared_tree_study import run_shared_tree_study
 from repro.experiments.figures.table1 import Table1Result, Table1Row, run_table1
 
 __all__ = [
     "FigureResult",
+    "register_figure",
+    "registered_figures",
+    "figure_ids",
+    "get_figure_driver",
     "run_table1",
     "Table1Result",
     "Table1Row",

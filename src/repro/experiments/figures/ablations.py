@@ -26,6 +26,7 @@ import numpy as np
 from repro.analysis.scaling import draws_for_expected_distinct
 from repro.experiments.config import MonteCarloConfig, QUICK_MONTE_CARLO, SweepConfig
 from repro.experiments.figures.base import FigureResult
+from repro.experiments.figures.registry import register_figure
 from repro.experiments.runner import measure_single_source_sweep, measure_sweep
 from repro.topology.registry import build_topology
 from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
@@ -44,6 +45,7 @@ def _sizes_for(graph, sweep: Optional[SweepConfig], fraction: float):
     return sweep.sizes(limit)
 
 
+@register_figure("ablation:tiebreak")
 def run_tiebreak_ablation(
     topology: str = "ts1008",
     scale: float = 0.25,
@@ -90,6 +92,7 @@ def run_tiebreak_ablation(
     return result
 
 
+@register_figure("ablation:sampling")
 def run_sampling_ablation(
     topology: str = "ts1000",
     scale: float = 0.25,
@@ -140,6 +143,7 @@ def run_sampling_ablation(
     return result
 
 
+@register_figure("ablation:source")
 def run_source_placement_ablation(
     topology: str = "as",
     scale: float = 0.25,
@@ -182,6 +186,7 @@ def run_source_placement_ablation(
     return result
 
 
+@register_figure("ablation:weighted")
 def run_weighted_links_ablation(
     topology: str = "ts1000",
     scale: float = 0.3,

@@ -22,6 +22,7 @@ import numpy as np
 from repro.analysis.kary_exact import lhat_throughout
 from repro.experiments.config import SweepConfig
 from repro.experiments.figures.base import FigureResult
+from repro.experiments.figures.registry import register_figure
 from repro.graph.paths import bfs
 from repro.multicast.dynamics import DynamicGroup
 from repro.multicast.popularity import (
@@ -38,6 +39,7 @@ from repro.utils.stats import power_law_fit
 __all__ = ["run_popularity_study", "run_churn_study", "run_steiner_study"]
 
 
+@register_figure("study:popularity")
 def run_popularity_study(
     topology: str = "ts1000",
     scale: float = 0.3,
@@ -96,6 +98,7 @@ def run_popularity_study(
     return result
 
 
+@register_figure("study:churn")
 def run_churn_study(
     k: int = 2,
     depth: int = 8,
@@ -143,6 +146,7 @@ def run_churn_study(
     return result
 
 
+@register_figure("study:steiner")
 def run_steiner_study(
     topology: str = "ts1000",
     scale: float = 0.3,

@@ -21,6 +21,7 @@ import numpy as np
 from repro.analysis.scaling import CHUANG_SIRBU_EXPONENT, chuang_sirbu_prediction
 from repro.experiments.config import MonteCarloConfig, QUICK_MONTE_CARLO, SweepConfig
 from repro.experiments.figures.base import FigureResult
+from repro.experiments.figures.registry import register_figure
 from repro.experiments.results import SweepMeasurement
 from repro.experiments.runner import measure_sweep
 from repro.topology.registry import GENERATED_TOPOLOGIES, REAL_TOPOLOGIES, build_topology
@@ -104,6 +105,7 @@ def run_figure1_panel(
     return result
 
 
+@register_figure("figure1")
 def run_figure1(
     scale: float = 0.25,
     config: Optional[MonteCarloConfig] = None,

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.analysis.kary_asymptotic import h_exact, h_predicted
 from repro.experiments.figures.base import FigureResult
+from repro.experiments.figures.registry import register_figure
 from repro.utils.stats import linear_fit
 
 __all__ = ["run_figure2_panel", "run_figure2", "FIGURE2_CASES"]
@@ -58,6 +59,7 @@ def run_figure2_panel(
     return result
 
 
+@register_figure("figure2")
 def run_figure2(
     cases: Sequence[Tuple[int, Sequence[int]]] = FIGURE2_CASES,
     x_points: int = 40,

@@ -25,6 +25,7 @@ import numpy as np
 from repro.analysis.kary_asymptotic import lhat_per_receiver_predicted
 from repro.analysis.kary_exact import lhat_leaf, lhat_throughout, num_leaf_sites
 from repro.experiments.figures.base import FigureResult
+from repro.experiments.figures.registry import register_figure
 from repro.utils.stats import linear_fit
 
 __all__ = [
@@ -99,6 +100,7 @@ def run_figure3_panel(
     return result
 
 
+@register_figure("figure3")
 def run_figure3(
     cases: Sequence[Tuple[int, Sequence[int]]] = FIGURE3_CASES,
     points: int = 60,
@@ -112,6 +114,7 @@ def run_figure3(
     }
 
 
+@register_figure("figure5")
 def run_figure5(
     cases: Sequence[Tuple[int, Sequence[int]]] = FIGURE3_CASES,
     points: int = 60,

@@ -25,6 +25,7 @@ from repro.analysis.scaling import (
     fit_scaling_exponent,
 )
 from repro.experiments.figures.base import FigureResult
+from repro.experiments.figures.registry import register_figure
 
 __all__ = ["run_figure4_panel", "run_figure4", "FIGURE4_CASES"]
 
@@ -80,6 +81,7 @@ def run_figure4_panel(
     return result
 
 
+@register_figure("figure4")
 def run_figure4(
     cases: Sequence[Tuple[int, Sequence[int]]] = FIGURE4_CASES,
     points: int = 40,

@@ -23,6 +23,7 @@ import numpy as np
 from repro.analysis.general import lhat_from_rings_throughout, mean_distance_from_rings
 from repro.experiments.config import MonteCarloConfig, QUICK_MONTE_CARLO, SweepConfig
 from repro.experiments.figures.base import FigureResult
+from repro.experiments.figures.registry import register_figure
 from repro.experiments.runner import measure_sweep
 from repro.graph.reachability import average_profile, classify_growth
 from repro.topology.registry import GENERATED_TOPOLOGIES, REAL_TOPOLOGIES, build_topology
@@ -103,6 +104,7 @@ def run_figure6_panel(
     return result
 
 
+@register_figure("figure6")
 def run_figure6(
     scale: float = 0.25,
     config: Optional[MonteCarloConfig] = None,

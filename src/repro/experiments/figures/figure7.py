@@ -16,6 +16,7 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from repro.experiments.figures.base import FigureResult
+from repro.experiments.figures.registry import register_figure
 from repro.graph.reachability import average_profile, classify_growth
 from repro.topology.registry import GENERATED_TOPOLOGIES, REAL_TOPOLOGIES, build_topology
 from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
@@ -65,6 +66,7 @@ def run_figure7_panel(
     return result
 
 
+@register_figure("figure7")
 def run_figure7(
     scale: float = 0.25,
     num_sources: int = 50,

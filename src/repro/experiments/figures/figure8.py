@@ -18,11 +18,13 @@ import numpy as np
 from repro.analysis.general import normalized_series
 from repro.analysis.reachability_models import figure8_families
 from repro.experiments.figures.base import FigureResult
+from repro.experiments.figures.registry import register_figure
 from repro.utils.stats import linear_fit
 
 __all__ = ["run_figure8"]
 
 
+@register_figure("figure8")
 def run_figure8(
     depth: int = 20,
     base: float = 2.0,

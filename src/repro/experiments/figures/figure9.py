@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.experiments.config import AffinityConfig
 from repro.experiments.figures.base import FigureResult
+from repro.experiments.figures.registry import register_figure
 from repro.graph.paths import bfs
 from repro.graph.reachability import reachability_profile
 from repro.multicast.affinity import KaryDistanceOracle, sample_weighted_tree_size
@@ -109,6 +110,7 @@ def run_figure9_panel(
     return result
 
 
+@register_figure("figure9")
 def run_figure9(
     depths: Tuple[int, ...] = (10, 12),
     k: int = 2,

@@ -1,0 +1,82 @@
+"""Name → driver registry for the reproduction's figures and studies.
+
+Every module under :mod:`repro.experiments.figures` registers its main
+driver(s) with :func:`register_figure` at import time, so anything that
+wants to enumerate "what can this repo reproduce" — the CLI, the report
+builder, pre-commit tooling — asks :func:`registered_figures` instead of
+hard-coding a list.  The ``repro.lint`` rule RR005 enforces the
+convention statically: a figure module that defines ``run_*`` drivers
+but never registers one fails the lint gate.
+
+Registered ids follow the paper's naming (``"figure1"`` … ``"figure9"``,
+``"table1"``) with namespaced extras for the beyond-the-paper drivers
+(``"ablation:tiebreak"``, ``"study:shared-tree"``, …).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.exceptions import ExperimentError
+
+__all__ = [
+    "register_figure",
+    "registered_figures",
+    "figure_ids",
+    "get_figure_driver",
+]
+
+_REGISTRY: Dict[str, Callable] = {}
+
+
+def register_figure(figure_id: str) -> Callable[[Callable], Callable]:
+    """Decorator registering a driver callable under ``figure_id``.
+
+    Re-decorating the *same* callable is idempotent (module reloads);
+    registering a different callable under a taken id raises
+    :class:`~repro.exceptions.ExperimentError`.
+    """
+    if not isinstance(figure_id, str) or not figure_id:
+        raise ExperimentError(
+            f"figure id must be a non-empty string, got {figure_id!r}"
+        )
+
+    def decorate(driver: Callable) -> Callable:
+        existing = _REGISTRY.get(figure_id)
+        if existing is not None and existing is not driver:
+            raise ExperimentError(
+                f"figure id {figure_id!r} is already registered by "
+                f"{existing.__module__}.{existing.__qualname__}"
+            )
+        _REGISTRY[figure_id] = driver
+        return driver
+
+    return decorate
+
+
+def registered_figures() -> Dict[str, Callable]:
+    """A snapshot of the registry (id -> driver callable)."""
+    return dict(_REGISTRY)
+
+
+def figure_ids() -> List[str]:
+    """All registered ids, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_figure_driver(figure_id: str) -> Callable:
+    """The driver registered under ``figure_id``.
+
+    Raises
+    ------
+    ExperimentError
+        If nothing is registered under that id (the message lists what
+        is available).
+    """
+    try:
+        return _REGISTRY[figure_id]
+    except KeyError:
+        raise ExperimentError(
+            f"no figure driver registered under {figure_id!r}; "
+            f"available: {figure_ids()}"
+        ) from None

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.experiments.config import MonteCarloConfig, QUICK_MONTE_CARLO, SweepConfig
 from repro.experiments.figures.base import FigureResult
+from repro.experiments.figures.registry import register_figure
 from repro.graph.paths import bfs
 from repro.multicast.sampling import sample_distinct_receivers
 from repro.multicast.shared_tree import select_core, shared_tree_cost
@@ -33,6 +34,7 @@ __all__ = ["run_shared_tree_study"]
 CORE_STRATEGIES = ("random", "max-degree", "min-distance-sample")
 
 
+@register_figure("study:shared-tree")
 def run_shared_tree_study(
     topology: str = "ts1000",
     scale: float = 0.3,

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.experiments.figures.registry import register_figure
 from repro.graph.ops import GraphStats, graph_stats
 from repro.graph.reachability import average_profile, classify_growth
 from repro.topology.registry import TOPOLOGY_NAMES, build_topology, topology_spec
@@ -72,6 +73,7 @@ class Table1Result:
         return min(degrees), max(degrees)
 
 
+@register_figure("table1")
 def run_table1(
     names: Optional[Sequence[str]] = None,
     scale: float = 1.0,

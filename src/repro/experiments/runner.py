@@ -178,7 +178,7 @@ def _source_partials(
     arrays over the swept sizes; ``count`` holds the number of samples
     whose ratio was well-defined (``ū > 0``).
     """
-    source_rng = np.random.default_rng(child_seed)
+    source_rng = ensure_rng(child_seed)
     source = int(source_rng.integers(0, graph.num_nodes))
     forest = _source_forest(graph, source, tie_break, source_rng, use_cache)
     counter = MulticastTreeCounter(forest)

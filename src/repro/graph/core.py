@@ -272,7 +272,7 @@ class Graph:
         for node in keep:
             self.check_node(int(node))
         old_to_new = -np.ones(self._num_nodes, dtype=np.int64)
-        old_to_new[keep] = np.arange(keep.size)
+        old_to_new[keep] = np.arange(keep.size, dtype=np.int64)
         edges: List[Tuple[int, int]] = []
         for new_u, old_u in enumerate(keep):
             for old_v in self.neighbors(int(old_u)):

@@ -29,6 +29,16 @@ content), so the only eviction is LRU once ``max_entries`` is exceeded.
 ``clear()`` empties a cache explicitly — tests that count BFS invocations
 and long-lived services that churn through many topologies use it.
 
+Write protection
+----------------
+Cached forests are *shared* — one entry may serve every figure driver in
+a process — so :meth:`ForestCache.forest` re-asserts
+``writeable=False`` on the ``dist``/``parent`` arrays each time it hands
+an entry out.  In-place writes raise ``ValueError`` at the write site
+(the runtime backstop for the static rule RR002 in ``repro.lint``);
+callers that genuinely need a writable forest take an independent copy
+from :meth:`ForestCache.borrow_mutable`.
+
 A module-level default cache (:func:`default_forest_cache`) serves
 ``distance_matrix``, the experiment runner, and anything else that does
 not manage its own; it holds at most :data:`DEFAULT_MAX_ENTRIES` forests
@@ -146,6 +156,16 @@ class ForestCache:
             )
         return (graph_fingerprint(graph), int(source), tie_break, seed)
 
+    @staticmethod
+    def _freeze(forest: ShortestPathForest) -> ShortestPathForest:
+        # Re-assert writeable=False on every hand-out, not just at
+        # construction: a caller that thawed the arrays via setflags
+        # must not leak a writable view to the *next* caller.  Clearing
+        # the flag is always legal, so this is a few ns per hit.
+        forest.dist.setflags(write=False)
+        forest.parent.setflags(write=False)
+        return forest
+
     def forest(
         self,
         graph: Graph,
@@ -155,8 +175,13 @@ class ForestCache:
     ) -> ShortestPathForest:
         """The BFS forest for ``(graph, source, tie_break, seed)``.
 
-        Computes and stores the forest on a miss; forests are immutable,
-        so the returned object is shared between callers.
+        Computes and stores the forest on a miss.  The returned object
+        is shared between every caller that asks for the same key, and
+        its ``dist``/``parent`` arrays are handed out with
+        ``writeable=False`` — in-place mutation raises ``ValueError``
+        (numpy's read-only error) instead of silently corrupting the
+        forest for all other users.  Callers that legitimately need to
+        write use :meth:`borrow_mutable`.
         """
         key = self._key(graph, source, tie_break, seed)
         with self._lock:
@@ -164,7 +189,7 @@ class ForestCache:
             if cached is not None:
                 self._entries.move_to_end(key)
                 self.hits += 1
-                return cached
+                return self._freeze(cached)
             self.misses += 1
         forest = bfs(graph, source, tie_break=tie_break, rng=seed)
         with self._lock:
@@ -172,7 +197,38 @@ class ForestCache:
             self._entries.move_to_end(key)
             while len(self._entries) > self._max_entries:
                 self._entries.popitem(last=False)
-        return forest
+        return self._freeze(forest)
+
+    #: Alias; ``cache.get(...)`` reads naturally at call sites that
+    #: treat the cache as a mapping.
+    get = forest
+
+    def borrow_mutable(
+        self,
+        graph: Graph,
+        source: int,
+        tie_break: str = "first",
+        seed: Optional[int] = None,
+    ) -> ShortestPathForest:
+        """A privately-owned, writable copy of a cached forest.
+
+        The escape hatch for callers that want to edit ``dist`` or
+        ``parent`` (what-if rewiring, damage studies): the returned
+        forest's arrays are independent copies with ``writeable=True``,
+        so mutations can never reach the shared cache entry.  Costs one
+        O(num_nodes) copy per call; the cache entry itself is reused.
+        """
+        cached = self.forest(graph, source, tie_break=tie_break, seed=seed)
+        copy = ShortestPathForest(
+            source=cached.source,
+            dist=cached.dist.copy(),
+            parent=cached.parent.copy(),
+        )
+        # The copies own their buffers, so re-enabling writes is legal
+        # and affects nobody else.
+        copy.dist.setflags(write=True)
+        copy.parent.setflags(write=True)
+        return copy
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,65 @@
+"""``repro.lint`` — static invariant checks for the reproduction.
+
+The reproduction's central claims (batched == scalar bit-identity,
+worker-count invariance, cacheable forests) rest on code conventions —
+seeded RNG streams, immutable cached arrays, int32 hot-path discipline —
+that no test can fully enforce.  This package checks them statically:
+
+* :mod:`repro.lint.engine` — the AST walker, rule registry,
+  :class:`~repro.lint.engine.Finding`, and ``# repro-lint: disable=RRnnn``
+  suppression handling;
+* :mod:`repro.lint.rules` — the RR001–RR006 rule set;
+* :mod:`repro.lint.reporting` — text and JSON rendering.
+
+Run it as ``python -m repro.lint [paths]`` or ``repro-mcast lint``;
+``make lint`` gates the test suite and the benchmark trajectory on a
+clean tree.  See ``docs/static-analysis.md`` for the rule catalogue.
+"""
+
+from repro.lint.engine import (
+    Finding,
+    Rule,
+    lint_file,
+    lint_paths,
+    lint_source,
+    register_rule,
+    registered_rules,
+)
+from repro.lint.reporting import render_json, render_text, rule_docs
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+    "registered_rules",
+    "render_json",
+    "render_text",
+    "rule_docs",
+    "run_lint",
+]
+
+
+def run_lint(paths=None, json_output: bool = False, quiet: bool = False) -> int:
+    """Lint ``paths`` (default ``src``/cwd), print a report, return exit code.
+
+    Shared by ``python -m repro.lint`` and ``repro-mcast lint``: exit
+    status 0 means no findings, 1 means findings, 2 means a path could
+    not be read.
+    """
+    import os
+    import sys
+
+    if not paths:
+        paths = ["src"] if os.path.isdir("src") else ["."]
+    for path in paths:
+        if not os.path.exists(path):
+            print(f"repro.lint: no such path: {path}", file=sys.stderr)
+            return 2
+    findings = lint_paths(paths)
+    report = render_json(findings) if json_output else render_text(findings)
+    if not quiet or findings:
+        print(report)
+    return 1 if findings else 0

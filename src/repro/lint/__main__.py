@@ -1,0 +1,61 @@
+"""``python -m repro.lint`` — command-line entry point.
+
+Usage::
+
+    python -m repro.lint                # lint ./src (or . if no src/)
+    python -m repro.lint src tests      # lint specific paths
+    python -m repro.lint --json src     # machine-readable report
+    python -m repro.lint --list-rules   # print the rule catalogue
+
+Exit status: 0 clean, 1 findings, 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.lint import run_lint
+from repro.lint.reporting import rule_docs
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "AST-based invariant checker: seeded randomness (RR001), "
+            "cached-forest immutability (RR002), int32 dtype discipline "
+            "(RR003), exception hygiene (RR004), figure registration "
+            "(RR005), mutable defaults (RR006)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/, else .)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the JSON report (findings + rule docs + counts)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule id with its summary and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule_id, doc in sorted(rule_docs().items()):
+            print(f"{rule_id} [{doc['severity']}] {doc['summary']}")
+        return 0
+    return run_lint(args.paths, json_output=args.json)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

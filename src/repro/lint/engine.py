@@ -1,0 +1,335 @@
+"""The ``repro.lint`` AST-walking engine.
+
+The linter exists because the Monte-Carlo engine's guarantees — seeded,
+stream-identical randomness; shared immutable BFS forests; an int32 hot
+path — are *conventions*, and conventions rot.  Each convention is
+encoded as a :class:`Rule` that inspects one file's AST and reports
+:class:`Finding` objects; this module provides the shared machinery:
+
+* a rule registry (:func:`register_rule` / :func:`registered_rules`);
+* per-file visitor dispatch — the engine walks each module's AST once
+  and hands every node to the rules that declared a ``visit_<NodeType>``
+  method, maintaining a lexical scope stack the rules can consult;
+* suppression comments — a finding on a line carrying
+  ``# repro-lint: disable=RR001`` (comma-separated ids, or a bare
+  ``disable`` for all rules) is dropped before it is reported.
+
+Rules are *stateful per file*: the engine instantiates a fresh rule
+object for every file, calls ``begin_file``/``end_file`` hooks around
+the walk, and deduplicates identical findings (nested scopes may cause
+a rule to observe the same statement twice).
+
+The engine has no configuration file on purpose: the rule set is the
+project's invariants, not a style preference, and the only sanctioned
+opt-out is an in-line suppression comment that reviewers can see.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Type
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "register_rule",
+    "registered_rules",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "PARSE_ERROR_RULE_ID",
+]
+
+#: Findings about unparseable files carry this pseudo rule id.
+PARSE_ERROR_RULE_ID = "RR000"
+
+_SEVERITIES = ("error", "warning")
+_RULE_ID_PATTERN = re.compile(r"^RR\d{3}$")
+_SUPPRESS_PATTERN = re.compile(
+    r"#\s*repro-lint:\s*disable(?:=(?P<ids>[A-Z0-9,\s]+))?"
+)
+
+#: Scope-introducing AST nodes tracked on ``FileContext.scope_stack``.
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    severity: str
+    message: str
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def render(self) -> str:
+        return f"{self.location}: {self.rule_id} [{self.severity}] {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule_id": self.rule_id,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set the class attributes below and implement any number of
+    ``visit_<NodeType>`` methods (``visit_Call``, ``visit_Assign``, ...);
+    the engine calls each exactly once per matching node, in source
+    order, before descending into the node's children.  ``begin_file``
+    runs before the walk, ``end_file`` after — rules that need
+    whole-module context accumulate candidates during the walk and emit
+    them from ``end_file``.
+    """
+
+    #: Stable identifier, ``RRnnn``.
+    rule_id: str = ""
+    #: ``"error"`` or ``"warning"`` (both fail the lint gate).
+    severity: str = "error"
+    #: One-line description shown in ``--json`` output and docs.
+    summary: str = ""
+    #: Why the invariant matters (shown in ``--json`` rule docs).
+    rationale: str = ""
+
+    def applies_to(self, path: str) -> bool:
+        """Whether this rule runs on ``path`` (posix-normalized)."""
+        return True
+
+    def begin_file(self, ctx: "FileContext") -> None:  # pragma: no cover
+        pass
+
+    def end_file(self, ctx: "FileContext") -> None:  # pragma: no cover
+        pass
+
+
+_RULES: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding ``cls`` to the global rule registry."""
+    if not _RULE_ID_PATTERN.match(cls.rule_id or ""):
+        raise ValueError(
+            f"rule id must match RRnnn, got {cls.rule_id!r} on {cls.__name__}"
+        )
+    if cls.severity not in _SEVERITIES:
+        raise ValueError(
+            f"severity must be one of {_SEVERITIES}, got {cls.severity!r}"
+        )
+    existing = _RULES.get(cls.rule_id)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"rule id {cls.rule_id} already registered by {existing.__name__}"
+        )
+    _RULES[cls.rule_id] = cls
+    return cls
+
+
+def registered_rules() -> List[Type[Rule]]:
+    """All registered rule classes, sorted by rule id."""
+    _load_builtin_rules()
+    return [_RULES[rule_id] for rule_id in sorted(_RULES)]
+
+
+def _load_builtin_rules() -> None:
+    # Imported lazily so engine <-> rules is not a hard import cycle.
+    from repro.lint import rules  # noqa: F401
+
+
+class FileContext:
+    """Per-file state shared between the engine and the rules."""
+
+    def __init__(self, path: str, source: str) -> None:
+        #: Posix-normalized path, as shown in findings.
+        self.path = path.replace(os.sep, "/")
+        self.source = source
+        #: Lexical scope stack of *enclosing* nodes.  When a visitor runs
+        #: on a node, the stack holds the scopes around it (not the node
+        #: itself), so ``not ctx.scope_stack`` means "module top level".
+        self.scope_stack: List[ast.AST] = []
+        self._suppressions = _parse_suppressions(source)
+        self._findings: Set[Finding] = set()
+
+    @property
+    def function_stack(self) -> List[ast.AST]:
+        """Enclosing function scopes only (classes filtered out)."""
+        return [
+            node
+            for node in self.scope_stack
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+        ]
+
+    def at_module_level(self) -> bool:
+        return not self.scope_stack
+
+    def report(
+        self,
+        rule: Rule,
+        node: ast.AST,
+        message: str,
+        line: Optional[int] = None,
+    ) -> None:
+        """Record a finding at ``node`` unless suppressed on that line."""
+        lineno = int(line if line is not None else getattr(node, "lineno", 1))
+        col = int(getattr(node, "col_offset", 0))
+        suppressed = self._suppressions.get(lineno)
+        if suppressed is not None and (
+            suppressed == "all" or rule.rule_id in suppressed
+        ):
+            return
+        self._findings.add(
+            Finding(
+                path=self.path,
+                line=lineno,
+                col=col,
+                rule_id=rule.rule_id,
+                severity=rule.severity,
+                message=message,
+            )
+        )
+
+    def findings(self) -> List[Finding]:
+        return sorted(self._findings)
+
+
+def _parse_suppressions(source: str):
+    """Map line number -> suppressed rule-id set (or ``"all"``).
+
+    Comments are found with :mod:`tokenize` rather than string scanning,
+    so ``# repro-lint: disable`` inside a string literal is inert.
+    """
+    suppressions: Dict[int, object] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_PATTERN.search(token.string)
+            if not match:
+                continue
+            ids = match.group("ids")
+            line = token.start[0]
+            if ids is None:
+                suppressions[line] = "all"
+                continue
+            wanted = {part.strip() for part in ids.split(",") if part.strip()}
+            existing = suppressions.get(line)
+            if existing == "all":
+                continue
+            if isinstance(existing, set):
+                existing.update(wanted)
+            else:
+                suppressions[line] = wanted
+    except tokenize.TokenError:
+        # The AST parse will report the real problem.
+        pass
+    return suppressions
+
+
+def _active_rules(path: str) -> List[Rule]:
+    normalized = path.replace(os.sep, "/")
+    active = []
+    for cls in registered_rules():
+        rule = cls()
+        if rule.applies_to(normalized):
+            active.append(rule)
+    return active
+
+
+def lint_source(source: str, path: str = "<string>") -> List[Finding]:
+    """Lint python ``source``; ``path`` labels the findings."""
+    ctx = FileContext(path, source)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=ctx.path,
+                line=int(exc.lineno or 1),
+                col=int(exc.offset or 0),
+                rule_id=PARSE_ERROR_RULE_ID,
+                severity="error",
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    rules = _active_rules(path)
+    dispatch: Dict[type, List] = {}
+    for rule in rules:
+        rule.begin_file(ctx)
+        for name in dir(rule):
+            if not name.startswith("visit_"):
+                continue
+            node_type = getattr(ast, name[len("visit_"):], None)
+            if node_type is None:
+                raise ValueError(
+                    f"{type(rule).__name__}.{name} names no ast node type"
+                )
+            dispatch.setdefault(node_type, []).append(getattr(rule, name))
+    _walk(tree, ctx, dispatch)
+    for rule in rules:
+        rule.end_file(ctx)
+    return ctx.findings()
+
+
+def _walk(node: ast.AST, ctx: FileContext, dispatch: Dict[type, List]) -> None:
+    for handler in dispatch.get(type(node), ()):
+        handler(node, ctx)
+    scoped = isinstance(node, _SCOPE_NODES)
+    if scoped:
+        ctx.scope_stack.append(node)
+    for child in ast.iter_child_nodes(node):
+        _walk(child, ctx, dispatch)
+    if scoped:
+        ctx.scope_stack.pop()
+
+
+def lint_file(path) -> List[Finding]:
+    """Lint one file on disk."""
+    path = os.fspath(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return lint_source(source, path)
+
+
+def _iter_python_files(paths: Sequence) -> Iterable[str]:
+    for path in paths:
+        path = os.fspath(path)
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs
+                    if d not in ("__pycache__", ".git") and not d.endswith(".egg-info")
+                )
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        yield os.path.join(root, name)
+        else:
+            yield path
+
+
+def lint_paths(paths: Sequence) -> List[Finding]:
+    """Lint every ``*.py`` under ``paths`` (files or directories).
+
+    Findings are sorted by (path, line, col, rule id); an empty list
+    means the tree is clean.
+    """
+    findings: List[Finding] = []
+    for file_path in _iter_python_files(paths):
+        findings.extend(lint_file(file_path))
+    return sorted(findings)

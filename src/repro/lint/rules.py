@@ -1,0 +1,688 @@
+"""The built-in ``repro.lint`` rules (RR001–RR006).
+
+Each rule encodes one invariant the Monte-Carlo engine's correctness
+arguments rest on; `docs/static-analysis.md` is the narrative version.
+Rules are deliberately narrow: they under-approximate (an alias the
+tracker loses is missed, not guessed at) so that a finding is always
+worth reading — the lint gate treats every finding as fatal.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.engine import FileContext, Rule, register_rule
+
+__all__ = [
+    "UnseededRandomRule",
+    "CachedForestMutationRule",
+    "DtypeDisciplineRule",
+    "OverbroadExceptRule",
+    "UnregisteredFigureRule",
+    "MutableDefaultRule",
+]
+
+_INT32_MAX = 2**31 - 1
+
+
+def _attr_chain(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """``a.b.c`` as ``("a", "b", "c")``; None for non-name chains."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def _pre_order(nodes: Sequence[ast.AST], skip_scopes: bool = True):
+    """Source-ordered walk of ``nodes`` and their descendants.
+
+    With ``skip_scopes`` the walk does not descend into nested
+    function/class definitions — their bodies are separate scopes and
+    are analyzed on their own visit.
+    """
+    for node in nodes:
+        yield node
+        if skip_scopes and isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+        ):
+            continue
+        yield from _pre_order(list(ast.iter_child_nodes(node)), skip_scopes)
+
+
+# ---------------------------------------------------------------------------
+# RR001 — unseeded / global randomness
+# ---------------------------------------------------------------------------
+
+
+@register_rule
+class UnseededRandomRule(Rule):
+    """Every random draw must flow through ``repro.utils.rng``."""
+
+    rule_id = "RR001"
+    severity = "error"
+    summary = (
+        "global/np.random usage outside utils/rng.py — route randomness "
+        "through ensure_rng()/spawn_rngs()"
+    )
+    rationale = (
+        "Batched/scalar engine equivalence and worker-count invariance "
+        "are proved stream-by-stream: every draw comes from a seeded "
+        "per-source generator.  One np.random.* or stdlib-random call "
+        "taps hidden global state and silently breaks reproducibility."
+    )
+
+    #: Files allowed to touch numpy's generator constructors directly.
+    _ALLOWED_SUFFIXES = ("repro/utils/rng.py",)
+    #: Deterministic seed containers / types, not draw sources.
+    _STATELESS = {
+        "SeedSequence",
+        "Generator",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+
+    def applies_to(self, path: str) -> bool:
+        return not path.endswith(self._ALLOWED_SUFFIXES)
+
+    def begin_file(self, ctx: FileContext) -> None:
+        self._random_modules: Set[str] = set()
+        self._random_names: Set[str] = set()
+
+    def visit_Import(self, node: ast.Import, ctx: FileContext) -> None:
+        for alias in node.names:
+            if alias.name == "random":
+                self._random_modules.add(alias.asname or "random")
+
+    def visit_ImportFrom(self, node: ast.ImportFrom, ctx: FileContext) -> None:
+        if node.module not in ("random", "numpy.random"):
+            return
+        for alias in node.names:
+            if alias.name in self._STATELESS:
+                continue
+            self._random_names.add(alias.asname or alias.name)
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        chain = _attr_chain(node.func)
+        if chain is None:
+            return
+        if (
+            len(chain) == 3
+            and chain[0] in ("np", "numpy")
+            and chain[1] == "random"
+            and chain[2] not in self._STATELESS
+        ):
+            ctx.report(
+                self,
+                node,
+                f"call to {'.'.join(chain)}() bypasses the seeded-stream "
+                "helpers; use repro.utils.rng.ensure_rng/spawn_rngs",
+            )
+        elif len(chain) == 2 and chain[0] in self._random_modules:
+            ctx.report(
+                self,
+                node,
+                f"stdlib random call {'.'.join(chain)}() uses hidden global "
+                "state; use a numpy Generator from repro.utils.rng",
+            )
+        elif len(chain) == 1 and (
+            chain[0] == "default_rng" or chain[0] in self._random_names
+        ):
+            ctx.report(
+                self,
+                node,
+                f"bare {chain[0]}() constructs an unmanaged generator; use "
+                "repro.utils.rng.ensure_rng",
+            )
+
+
+# ---------------------------------------------------------------------------
+# RR002 — cached forests are shared immutable state
+# ---------------------------------------------------------------------------
+
+#: ndarray methods that mutate in place.
+_MUTATING_METHODS = {"sort", "resize", "fill", "partition", "put", "itemset"}
+#: ShortestPathForest array attributes (the cached state itself).
+_FOREST_ARRAYS = ("dist", "parent")
+
+
+@register_rule
+class CachedForestMutationRule(Rule):
+    """Arrays obtained from a forest cache must never be written."""
+
+    rule_id = "RR002"
+    severity = "error"
+    summary = (
+        "ForestCache-returned array mutated, thawed, or returned as a "
+        "view from a public function"
+    )
+    rationale = (
+        "A cached forest is shared by every driver, bench, and worker "
+        "that ever asks for the same (graph, source) pair.  Writing "
+        "through it — or handing a writable view across a public API — "
+        "corrupts every later reader; the runtime writeable=False guard "
+        "catches this late, the rule catches it at review time."
+    )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef, ctx: FileContext) -> None:
+        self._analyze(node, ctx)
+
+    def visit_AsyncFunctionDef(
+        self, node: ast.AsyncFunctionDef, ctx: FileContext
+    ) -> None:
+        self._analyze(node, ctx)
+
+    # -- helpers ---------------------------------------------------------
+
+    @staticmethod
+    def _mentions_cache(node: ast.AST) -> bool:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and "cache" in sub.id.lower():
+                return True
+            if isinstance(sub, ast.Attribute) and "cache" in sub.attr.lower():
+                return True
+        return False
+
+    @classmethod
+    def _is_cache_getter(cls, node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("forest", "get")
+            and cls._mentions_cache(node.func.value)
+        )
+
+    @classmethod
+    def _is_view(
+        cls, node: ast.AST, forests: Set[str], views: Set[str]
+    ) -> bool:
+        """Whether ``node`` evaluates to an array aliasing cached state."""
+        if isinstance(node, ast.Name):
+            return node.id in views
+        if isinstance(node, ast.Attribute) and node.attr in _FOREST_ARRAYS:
+            value = node.value
+            if isinstance(value, ast.Name) and value.id in forests:
+                return True
+            return cls._is_cache_getter(value)
+        if isinstance(node, ast.Subscript):
+            return cls._is_view(node.value, forests, views)
+        return False
+
+    @staticmethod
+    def _thaws(node: ast.Call) -> bool:
+        """``x.setflags(...)`` calls that re-enable writing."""
+        for keyword in node.keywords:
+            if keyword.arg == "write" and isinstance(keyword.value, ast.Constant):
+                return bool(keyword.value.value)
+        if node.args and isinstance(node.args[0], ast.Constant):
+            return bool(node.args[0].value)
+        return False
+
+    def _analyze(self, fn: ast.AST, ctx: FileContext) -> None:
+        forests: Set[str] = set()
+        views: Set[str] = set()
+        public = not fn.name.startswith("_")
+        for node in _pre_order(fn.body):
+            if isinstance(node, ast.Assign):
+                self._handle_assign(node, ctx, forests, views)
+            elif isinstance(node, ast.AugAssign):
+                if self._is_view(node.target, forests, views):
+                    ctx.report(
+                        self,
+                        node,
+                        "augmented assignment writes through a cached "
+                        "forest array; use borrow_mutable() for a copy",
+                    )
+            elif isinstance(node, ast.Call):
+                self._handle_call(node, ctx, forests, views)
+            elif isinstance(node, ast.Return) and node.value is not None:
+                if public and self._is_view(node.value, forests, views):
+                    ctx.report(
+                        self,
+                        node,
+                        f"public function {fn.name}() returns a view of a "
+                        "cached forest array; return a copy instead",
+                    )
+
+    def _handle_assign(
+        self,
+        node: ast.Assign,
+        ctx: FileContext,
+        forests: Set[str],
+        views: Set[str],
+    ) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Subscript) and self._is_view(
+                target.value, forests, views
+            ):
+                ctx.report(
+                    self,
+                    node,
+                    "item assignment writes through a cached forest array; "
+                    "use borrow_mutable() for a copy",
+                )
+        if len(node.targets) != 1 or not isinstance(node.targets[0], ast.Name):
+            return
+        name = node.targets[0].id
+        value = node.value
+        if self._is_cache_getter(value):
+            forests.add(name)
+            views.discard(name)
+        elif self._is_view(value, forests, views):
+            views.add(name)
+            forests.discard(name)
+        else:
+            # Rebinding (including to an explicit .copy()) ends tracking.
+            forests.discard(name)
+            views.discard(name)
+
+    def _handle_call(
+        self,
+        node: ast.Call,
+        ctx: FileContext,
+        forests: Set[str],
+        views: Set[str],
+    ) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        if not self._is_view(func.value, forests, views):
+            return
+        if func.attr in _MUTATING_METHODS:
+            ctx.report(
+                self,
+                node,
+                f".{func.attr}() mutates a cached forest array in place; "
+                "use borrow_mutable() for a copy",
+            )
+        elif func.attr == "setflags" and self._thaws(node):
+            ctx.report(
+                self,
+                node,
+                "setflags(write=True) thaws a cached forest array shared "
+                "with other callers",
+            )
+
+
+# ---------------------------------------------------------------------------
+# RR003 — int32 hot-path dtype discipline
+# ---------------------------------------------------------------------------
+
+
+@register_rule
+class DtypeDisciplineRule(Rule):
+    """No implicit dtypes where int32 scratch is in play."""
+
+    rule_id = "RR003"
+    severity = "error"
+    summary = (
+        "dtype-mixing hazard near declared-int32 scratch (np.arange "
+        "without dtype, float/oversized stores into int32 arrays)"
+    )
+    rationale = (
+        "The batched walk is memory-bound and keeps all scratch int32; "
+        "np.arange defaults to the platform int and a float or wide "
+        "store silently upcasts or wraps, so the engines drift apart on "
+        "exactly the large instances the equivalence suite cannot "
+        "afford to cover."
+    )
+
+    def begin_file(self, ctx: FileContext) -> None:
+        # Local declarations are per function scope (two functions may
+        # reuse a name like ``dist`` for different dtypes); ``self.x``
+        # attribute declarations are file-wide (set in __init__, used in
+        # other methods).  Scope key: id() of the innermost function
+        # node, or None at module level.
+        self._locals: Dict[Optional[int], Set[str]] = {}
+        self._attrs: Set[str] = set()
+        self._aliases: List[Tuple[Optional[int], str, Tuple[str, str]]] = []
+        self._arange_candidates: List[ast.Call] = []
+        self._store_candidates: List[
+            Tuple[Optional[int], Tuple[str, str], ast.AST, str]
+        ] = []
+
+    @staticmethod
+    def _scope(ctx: FileContext) -> Optional[int]:
+        stack = ctx.function_stack
+        return id(stack[-1]) if stack else None
+
+    # -- dtype spelling --------------------------------------------------
+
+    @staticmethod
+    def _is_int32_dtype(node: ast.AST) -> bool:
+        if isinstance(node, ast.Constant) and node.value == "int32":
+            return True
+        chain = _attr_chain(node)
+        return chain is not None and chain[-1] == "int32"
+
+    @classmethod
+    def _declares_int32(cls, value: ast.AST) -> bool:
+        """``np.zeros(..., dtype=np.int32)`` / ``x.astype(np.int32)``."""
+        if not isinstance(value, ast.Call):
+            return False
+        for keyword in value.keywords:
+            if keyword.arg == "dtype" and cls._is_int32_dtype(keyword.value):
+                return True
+        if (
+            isinstance(value.func, ast.Attribute)
+            and value.func.attr == "astype"
+            and value.args
+            and cls._is_int32_dtype(value.args[0])
+        ):
+            return True
+        return False
+
+    @staticmethod
+    def _target_key(target: ast.AST) -> Optional[Tuple[str, str]]:
+        """``("local", name)`` for ``x``, ``("attr", name)`` for ``o.x``."""
+        if isinstance(target, ast.Name):
+            return ("local", target.id)
+        if isinstance(target, ast.Attribute) and isinstance(
+            target.value, ast.Name
+        ):
+            return ("attr", target.attr)
+        return None
+
+    # -- visitors --------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        chain = _attr_chain(node.func)
+        if chain is None or chain[-1] != "arange":
+            return
+        if len(chain) == 2 and chain[0] not in ("np", "numpy"):
+            return
+        if not any(keyword.arg == "dtype" for keyword in node.keywords):
+            self._arange_candidates.append(node)
+
+    def visit_Assign(self, node: ast.Assign, ctx: FileContext) -> None:
+        scope = self._scope(ctx)
+        if len(node.targets) == 1:
+            key = self._target_key(node.targets[0])
+            if key is not None:
+                if self._declares_int32(node.value):
+                    if key[0] == "attr":
+                        self._attrs.add(key[1])
+                    else:
+                        self._locals.setdefault(scope, set()).add(key[1])
+                elif key[0] == "local" and isinstance(
+                    node.value, (ast.Name, ast.Attribute)
+                ):
+                    source = self._target_key(node.value)
+                    if source is not None:
+                        self._aliases.append((scope, key[1], source))
+        for target in node.targets:
+            if isinstance(target, ast.Subscript):
+                base = self._target_key(target.value)
+                if base is not None:
+                    self._record_store(scope, base, node.value, node)
+
+    def visit_AugAssign(self, node: ast.AugAssign, ctx: FileContext) -> None:
+        if isinstance(node.target, ast.Subscript):
+            base = self._target_key(node.target.value)
+        else:
+            base = self._target_key(node.target)
+        if base is not None:
+            self._record_store(self._scope(ctx), base, node.value, node)
+
+    def _record_store(
+        self,
+        scope: Optional[int],
+        base: Tuple[str, str],
+        value: ast.AST,
+        node: ast.AST,
+    ) -> None:
+        for sub in ast.walk(value):
+            if isinstance(sub, ast.Constant):
+                if isinstance(sub.value, float):
+                    self._store_candidates.append(
+                        (scope, base, node, "a float value")
+                    )
+                    return
+                if (
+                    isinstance(sub.value, int)
+                    and not isinstance(sub.value, bool)
+                    and abs(sub.value) > _INT32_MAX
+                ):
+                    self._store_candidates.append(
+                        (scope, base, node, "an int32-overflowing constant")
+                    )
+                    return
+            if isinstance(sub, ast.Call):
+                chain = _attr_chain(sub.func)
+                if (
+                    chain is not None
+                    and chain[-1] in ("zeros", "empty", "ones", "full")
+                    and chain[0] in ("np", "numpy")
+                    and not any(k.arg == "dtype" for k in sub.keywords)
+                ):
+                    self._store_candidates.append(
+                        (scope, base, node,
+                         f"np.{chain[-1]}() with the default dtype")
+                    )
+                    return
+
+    def _declared(self, scope: Optional[int], key: Tuple[str, str]) -> bool:
+        if key[0] == "attr":
+            return key[1] in self._attrs
+        return key[1] in self._locals.get(scope, ())
+
+    def end_file(self, ctx: FileContext) -> None:
+        # Close declared-int32 over simple aliases within each scope
+        # (``stamp = self._batch_stamp``).
+        changed = True
+        while changed:
+            changed = False
+            for scope, alias, source in self._aliases:
+                if self._declared(scope, source):
+                    local = self._locals.setdefault(scope, set())
+                    if alias not in local:
+                        local.add(alias)
+                        changed = True
+        if not self._attrs and not any(self._locals.values()):
+            return
+        for node in self._arange_candidates:
+            ctx.report(
+                self,
+                node,
+                "np.arange without an explicit dtype in a module with "
+                "int32 scratch (the platform default poisons int32 math)",
+            )
+        for scope, base, node, what in self._store_candidates:
+            if self._declared(scope, base):
+                ctx.report(
+                    self,
+                    node,
+                    f"stores {what} into declared-int32 scratch {base[1]!r}",
+                )
+
+
+# ---------------------------------------------------------------------------
+# RR004 — swallowed exceptions
+# ---------------------------------------------------------------------------
+
+_LOGGING_NAMES = {"logging", "logger", "log", "warnings"}
+
+
+@register_rule
+class OverbroadExceptRule(Rule):
+    """Overbroad handlers must re-raise or at least log."""
+
+    rule_id = "RR004"
+    severity = "warning"
+    summary = "bare/overbroad except that neither re-raises nor logs"
+    rationale = (
+        "A swallowed exception in a Monte-Carlo sweep turns a crash "
+        "into a silently skewed estimate — exactly the sampling "
+        "artifact the paper's critics warn about.  Catch the narrow "
+        "exception, or re-raise/log in the handler."
+    )
+
+    def visit_ExceptHandler(
+        self, node: ast.ExceptHandler, ctx: FileContext
+    ) -> None:
+        described = self._overbroad(node.type)
+        if described is None:
+            return
+        for sub in _pre_order(node.body, skip_scopes=True):
+            if isinstance(sub, ast.Raise):
+                return
+            if isinstance(sub, ast.Call):
+                chain = _attr_chain(sub.func)
+                if chain is not None and (
+                    chain[0] in _LOGGING_NAMES or chain[-1] == "print"
+                ):
+                    return
+        ctx.report(
+            self,
+            node,
+            f"{described} swallows errors without re-raise or logging; "
+            "catch the specific exception or handle it visibly",
+        )
+
+    @staticmethod
+    def _overbroad(type_node: Optional[ast.AST]) -> Optional[str]:
+        if type_node is None:
+            return "bare except:"
+        names = []
+        nodes = (
+            list(type_node.elts)
+            if isinstance(type_node, ast.Tuple)
+            else [type_node]
+        )
+        for sub in nodes:
+            chain = _attr_chain(sub)
+            if chain is not None and chain[-1] in ("Exception", "BaseException"):
+                names.append(chain[-1])
+        if names:
+            return f"except {'/'.join(names)}"
+        return None
+
+
+# ---------------------------------------------------------------------------
+# RR005 — figure modules must register their drivers
+# ---------------------------------------------------------------------------
+
+
+@register_rule
+class UnregisteredFigureRule(Rule):
+    """Figure modules must register with the figure registry."""
+
+    rule_id = "RR005"
+    severity = "warning"
+    summary = (
+        "module under experiments/figures/ defines run_* drivers but "
+        "never calls register_figure"
+    )
+    rationale = (
+        "The figure registry is how `repro-mcast all`, the report "
+        "builder, and future tooling enumerate what can be reproduced; "
+        "an unregistered driver is invisible to all of them and decays "
+        "unexercised."
+    )
+
+    _EXEMPT_BASENAMES = ("__init__.py", "base.py", "registry.py")
+
+    def applies_to(self, path: str) -> bool:
+        if "experiments/figures/" not in path:
+            return False
+        return path.rsplit("/", 1)[-1] not in self._EXEMPT_BASENAMES
+
+    def begin_file(self, ctx: FileContext) -> None:
+        self._first_driver: Optional[ast.FunctionDef] = None
+        self._registers = False
+
+    def visit_FunctionDef(self, node: ast.FunctionDef, ctx: FileContext) -> None:
+        if (
+            ctx.at_module_level()
+            and node.name.startswith("run_")
+            and self._first_driver is None
+        ):
+            self._first_driver = node
+
+    def visit_Name(self, node: ast.Name, ctx: FileContext) -> None:
+        if node.id == "register_figure":
+            self._registers = True
+
+    def visit_Attribute(self, node: ast.Attribute, ctx: FileContext) -> None:
+        if node.attr == "register_figure":
+            self._registers = True
+
+    def end_file(self, ctx: FileContext) -> None:
+        if self._first_driver is not None and not self._registers:
+            ctx.report(
+                self,
+                self._first_driver,
+                f"figure module defines {self._first_driver.name}() but "
+                "never registers a driver with "
+                "repro.experiments.figures.registry.register_figure",
+            )
+
+
+# ---------------------------------------------------------------------------
+# RR006 — mutable default arguments
+# ---------------------------------------------------------------------------
+
+_MUTABLE_CONSTRUCTORS = {"list", "dict", "set", "bytearray", "defaultdict"}
+
+
+@register_rule
+class MutableDefaultRule(Rule):
+    """No mutable default arguments."""
+
+    rule_id = "RR006"
+    severity = "warning"
+    summary = "mutable default argument (list/dict/set literal or call)"
+    rationale = (
+        "A mutable default is evaluated once and shared across calls — "
+        "state leaks between supposedly independent experiment runs, "
+        "the same bug class the forest-cache guards exist for.  Default "
+        "to None (or an immutable tuple) and construct inside."
+    )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef, ctx: FileContext) -> None:
+        self._check(node, ctx)
+
+    def visit_AsyncFunctionDef(
+        self, node: ast.AsyncFunctionDef, ctx: FileContext
+    ) -> None:
+        self._check(node, ctx)
+
+    def visit_Lambda(self, node: ast.Lambda, ctx: FileContext) -> None:
+        self._check(node, ctx)
+
+    def _check(self, node: ast.AST, ctx: FileContext) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            described = self._mutable(default)
+            if described is not None:
+                name = getattr(node, "name", "<lambda>")
+                ctx.report(
+                    self,
+                    default,
+                    f"{name}() uses {described} as a default argument; "
+                    "shared across calls — default to None instead",
+                )
+
+    @staticmethod
+    def _mutable(node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.List):
+            return "a list literal"
+        if isinstance(node, ast.Dict):
+            return "a dict literal"
+        if isinstance(node, ast.Set):
+            return "a set literal"
+        if isinstance(node, ast.Call):
+            chain = _attr_chain(node.func)
+            if chain is not None and chain[-1] in _MUTABLE_CONSTRUCTORS:
+                return f"{chain[-1]}()"
+        return None

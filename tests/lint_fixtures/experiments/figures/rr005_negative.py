@@ -1,0 +1,12 @@
+"""RR005 negative case: the driver registers with the figure registry.
+
+Never imported by the tests — registration here would otherwise pollute
+the real registry.
+"""
+
+from repro.experiments.figures.registry import register_figure
+
+
+@register_figure("fixture:rr005")
+def run_fixture_figure(scale=1.0):
+    return scale

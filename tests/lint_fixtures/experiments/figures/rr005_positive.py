@@ -1,0 +1,5 @@
+"""RR005 positive case: a figure module with an unregistered driver."""
+
+
+def run_fixture_figure(scale=1.0):  # expect: RR005
+    return scale

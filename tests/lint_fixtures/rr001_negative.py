@@ -1,0 +1,17 @@
+"""RR001 negative cases: the seeded-stream discipline."""
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+def seeded(rng=None):
+    generator = ensure_rng(rng)
+    return generator.integers(10)
+
+
+def spawned(rng: np.random.Generator):
+    children = spawn_rngs(rng, 3)
+    # SeedSequence is a deterministic seed container, not a draw source.
+    seq = np.random.SeedSequence(7)
+    return children, seq

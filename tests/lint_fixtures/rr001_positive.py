@@ -1,0 +1,23 @@
+"""RR001 positive cases: unseeded / global randomness."""
+
+import random
+
+import numpy as np
+
+
+def global_numpy_draw():
+    return np.random.random(4)  # expect: RR001
+
+
+def global_numpy_seed():
+    np.random.seed(0)  # expect: RR001
+
+
+def stdlib_random(items):
+    random.shuffle(items)  # expect: RR001
+    return items
+
+
+def bare_default_rng():
+    rng = np.random.default_rng()  # expect: RR001
+    return rng

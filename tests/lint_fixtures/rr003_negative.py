@@ -1,0 +1,18 @@
+"""RR003 negative cases: explicit dtypes; per-scope name reuse."""
+
+import numpy as np
+
+
+def int32_walk(n):
+    stamp = np.zeros(n, dtype=np.int32)
+    order = np.arange(n, dtype=np.int32)
+    stamp[order] = 1
+    return stamp
+
+
+def float_elsewhere(n):
+    # Another function may reuse the name for a float array (Dijkstra
+    # vs BFS in graph/paths.py) without poisoning this scope.
+    stamp = np.full(n, np.inf)
+    stamp[0] = 0.0
+    return stamp

@@ -1,0 +1,7 @@
+"""RR003 gating: no int32 scratch in the module, bare arange is fine."""
+
+import numpy as np
+
+
+def plain_range(n):
+    return np.arange(n)

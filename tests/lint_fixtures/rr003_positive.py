@@ -1,0 +1,25 @@
+"""RR003 positive cases: dtype mixing near declared-int32 scratch."""
+
+import numpy as np
+
+
+class Walker:
+    def __init__(self, n):
+        self._stamp = np.zeros(n, dtype=np.int32)
+
+    def step(self, keys):
+        order = np.arange(keys.size)  # expect: RR003
+        self._stamp[keys] = 1.0  # expect: RR003
+        return order
+
+
+def overflow(n):
+    claim = np.empty(n, dtype="int32")
+    claim[0] = 3_000_000_000  # expect: RR003
+    return claim
+
+
+def default_dtype_store(n):
+    scratch = np.zeros(n, dtype=np.int32)
+    scratch[:] = np.zeros(n)  # expect: RR003
+    return scratch

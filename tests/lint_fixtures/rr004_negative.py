@@ -1,0 +1,27 @@
+"""RR004 negative cases: narrow catches, re-raises, logged handlers."""
+
+import logging
+
+logger = logging.getLogger(__name__)
+
+
+def narrow(task):
+    try:
+        return task()
+    except ValueError:
+        return None
+
+
+def reraise(task):
+    try:
+        return task()
+    except Exception as exc:
+        raise RuntimeError("wrapped") from exc
+
+
+def logged(task):
+    try:
+        return task()
+    except Exception:
+        logger.warning("task failed, using fallback")
+        return None

@@ -1,0 +1,22 @@
+"""RR004 positive cases: swallowed exceptions."""
+
+
+def swallow_bare(task):
+    try:
+        task()
+    except:  # expect: RR004
+        pass
+
+
+def swallow_exception(task):
+    try:
+        return task()
+    except Exception:  # expect: RR004
+        return None
+
+
+def swallow_tuple(task):
+    try:
+        return task()
+    except (ValueError, BaseException):  # expect: RR004
+        return 0

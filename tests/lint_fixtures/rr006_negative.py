@@ -1,0 +1,19 @@
+"""RR006 negative cases: immutable defaults and default_factory."""
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+
+def append_to(item, bucket=None):
+    bucket = [] if bucket is None else bucket
+    bucket.append(item)
+    return bucket
+
+
+def windowed(sizes: Sequence[int] = (), pair: Tuple[int, int] = (0, 1)):
+    return list(sizes), pair
+
+
+@dataclass
+class Config:
+    names: list = field(default_factory=list)

@@ -1,0 +1,18 @@
+"""RR006 positive cases: mutable default arguments."""
+
+
+def append_to(item, bucket=[]):  # expect: RR006
+    bucket.append(item)
+    return bucket
+
+
+def merge(extra={}):  # expect: RR006
+    return dict(extra)
+
+
+def tags(*, seen=set()):  # expect: RR006
+    return seen
+
+
+def build(factory=list()):  # expect: RR006
+    return factory

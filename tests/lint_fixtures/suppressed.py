@@ -1,0 +1,14 @@
+"""Suppression path: violations silenced with repro-lint comments."""
+
+import numpy as np
+
+
+def seeded_elsewhere():
+    return np.random.random()  # repro-lint: disable=RR001
+
+
+def grab_bag(bucket=[]):  # repro-lint: disable
+    try:
+        return bucket.pop()
+    except Exception:  # repro-lint: disable=RR004,RR001
+        return None

@@ -1,0 +1,58 @@
+"""The figure registry is populated by importing the figures package."""
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments import figures
+
+EXPECTED_IDS = {
+    "table1",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "ablation:tiebreak",
+    "ablation:sampling",
+    "ablation:source",
+    "ablation:weighted",
+    "study:popularity",
+    "study:churn",
+    "study:steiner",
+    "study:shared-tree",
+}
+
+
+def test_importing_the_package_registers_every_driver():
+    registered = figures.registered_figures()
+    assert EXPECTED_IDS <= set(registered)
+    assert all(callable(driver) for driver in registered.values())
+
+
+def test_figure_ids_are_sorted():
+    ids = figures.figure_ids()
+    assert ids == sorted(ids)
+
+
+def test_get_figure_driver_roundtrip():
+    assert figures.get_figure_driver("figure1") is figures.run_figure1
+    assert figures.get_figure_driver("table1") is figures.run_table1
+
+
+def test_unknown_id_raises_and_lists_known_ids():
+    with pytest.raises(ExperimentError, match="figure1"):
+        figures.get_figure_driver("no-such-figure")
+
+
+def test_conflicting_registration_is_rejected():
+    with pytest.raises(ExperimentError, match="already registered"):
+        figures.register_figure("figure1")(lambda: None)
+
+
+def test_reregistering_the_same_callable_is_idempotent():
+    driver = figures.get_figure_driver("figure8")
+    assert figures.register_figure("figure8")(driver) is driver

@@ -131,5 +131,68 @@ class TestRandomTieBreak:
             cache.forest(ring(8), 0, tie_break="first", seed=1)
 
 
+class TestWriteGuards:
+    """Cached forests are shared: handed out read-only, copied to write."""
+
+    def test_mutating_cached_dist_raises(self):
+        cache = ForestCache()
+        forest = cache.forest(ring(10), 0)
+        with pytest.raises(ValueError, match="read-only"):
+            forest.dist[3] = 99
+
+    def test_mutating_cached_parent_raises(self):
+        cache = ForestCache()
+        forest = cache.forest(ring(10), 0)
+        with pytest.raises(ValueError, match="read-only"):
+            forest.parent[...] = -1
+
+    def test_thawed_entry_is_refrozen_on_next_hand_out(self):
+        cache = ForestCache()
+        graph = ring(10)
+        first = cache.forest(graph, 0)
+        # A misbehaving caller re-enables writes on the shared arrays...
+        first.dist.setflags(write=True)
+        # ...but the next hand-out arrives frozen again.
+        second = cache.forest(graph, 0)
+        assert second is first
+        with pytest.raises(ValueError, match="read-only"):
+            second.dist[0] = 7
+
+    def test_get_is_an_alias_for_forest(self):
+        cache = ForestCache()
+        graph = ring(10)
+        assert cache.get(graph, 4) is cache.forest(graph, 4)
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_borrow_mutable_is_writable_independent_copy(self):
+        cache = ForestCache()
+        graph = ring(10)
+        shared = cache.forest(graph, 0)
+        borrowed = cache.borrow_mutable(graph, 0)
+        assert borrowed is not shared
+        assert np.array_equal(borrowed.dist, shared.dist)
+        assert np.array_equal(borrowed.parent, shared.parent)
+        borrowed.dist[5] = 123
+        borrowed.parent[5] = 7
+        # The shared cache entry never sees the edits.
+        assert shared.dist[5] != 123
+        assert cache.forest(graph, 0).dist[5] == shared.dist[5]
+
+    def test_borrow_mutable_reuses_the_cache_entry(self):
+        cache = ForestCache()
+        graph = ring(10)
+        cache.forest(graph, 0)
+        cache.borrow_mutable(graph, 0)
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_borrow_mutable_random_tie_break(self):
+        cache = ForestCache()
+        graph = ring(10)
+        borrowed = cache.borrow_mutable(graph, 0, tie_break="random", seed=3)
+        direct = bfs(graph, 0, tie_break="random", rng=3)
+        assert np.array_equal(borrowed.parent, direct.parent)
+        borrowed.parent[1] = -5  # must not raise
+
+
 def test_default_cache_is_shared_singleton():
     assert default_forest_cache() is default_forest_cache()
