@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install lint test bench bench-smoke repro examples clean
+.PHONY: install lint test bench bench-smoke serve-smoke repro examples clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -11,7 +11,7 @@ install:
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.lint src
 
-test: lint
+test: lint serve-smoke
 	$(PYTHON) -m pytest tests/
 
 bench:
@@ -20,6 +20,10 @@ bench:
 # Seconds-long engine-throughput sanity run (no trajectory record).
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_runner_scaling.py --smoke --no-record
+
+# End-to-end estimation-service probe: real sockets, all four endpoints.
+serve-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli serve --selftest --topologies arpa --sources 4 --receiver-sets 4
 
 # Full artifact regeneration into ./reproduction (quick settings).
 repro:

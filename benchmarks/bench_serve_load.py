@@ -1,0 +1,261 @@
+"""In-process load generator for the repro.serve estimation service.
+
+Drives :meth:`EstimationService.dispatch` directly (no sockets, so the
+numbers are the service's own cost, not the kernel's) through three
+phases and appends one record to the ``BENCH_serve.json`` trajectory:
+
+1. **table phase** — unique group sizes answered from the precomputed
+   estimator table, then the same sizes again to exercise the response
+   cache.  Reports req/s and p50/p99 latency.
+2. **simulation phase** — the same queries with ``"exact": true``, so
+   every request pays for a fresh Monte-Carlo run.  The ratio of the
+   two throughputs is the table layer's speedup (the acceptance bar is
+   10x; in practice it is orders of magnitude).
+3. **coalesce phase** — N identical concurrent exact requests, which
+   must collapse onto exactly one backend simulation.
+
+Usage::
+
+    python benchmarks/bench_serve_load.py            # full workload
+    python benchmarks/bench_serve_load.py --smoke    # seconds, for CI
+
+Record format (one JSON object per run, newest last)::
+
+    {
+      "workload": {"topology": ..., "num_requests": ..., ...},
+      "table_phase": {"req_per_sec": ..., "p50_ms": ..., "p99_ms": ...},
+      "cache_phase": {...},
+      "simulation_phase": {...},
+      "speedup_table_vs_simulation": ...,
+      "coalesce": {"concurrent": ..., "backend_runs": 1, "ratio": ...},
+      "cache_hit_ratio": ...
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.serve import EstimationService, ServiceConfig
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+FULL = dict(topology="r100", requests=2000, sim_requests=20,
+            sources=10, receiver_sets=20)
+SMOKE = dict(topology="arpa", requests=200, sim_requests=4,
+             sources=2, receiver_sets=3)
+
+
+def _percentiles(latencies: List[float]) -> Dict[str, float]:
+    ordered = np.sort(np.asarray(latencies))
+    return {
+        "p50_ms": round(float(ordered[len(ordered) // 2]) * 1e3, 4),
+        "p99_ms": round(float(ordered[int(len(ordered) * 0.99)]) * 1e3, 4),
+    }
+
+
+async def _drive(service: EstimationService, payloads: List[dict]) -> Dict:
+    """Issue requests sequentially, timing each dispatch end to end."""
+    latencies = []
+    start = time.perf_counter()
+    for payload in payloads:
+        t0 = time.perf_counter()
+        response = await service.dispatch(
+            "POST", "/v1/simulate", json.dumps(payload).encode()
+        )
+        latencies.append(time.perf_counter() - t0)
+        if response.status != 200:
+            raise AssertionError(
+                f"simulate returned {response.status}: {response.body!r}"
+            )
+    seconds = time.perf_counter() - start
+    stats = {
+        "requests": len(payloads),
+        "seconds": round(seconds, 4),
+        "req_per_sec": round(len(payloads) / seconds, 1),
+    }
+    stats.update(_percentiles(latencies))
+    return stats
+
+
+async def _bench(topology: str, requests: int, sim_requests: int,
+                 sources: int, receiver_sets: int, seed: int) -> dict:
+    service = EstimationService(ServiceConfig(
+        topologies=(topology,),
+        num_sources=sources,
+        num_receiver_sets=receiver_sets,
+        seed=seed,
+    ))
+    await service.startup()
+    table = service.tables[(topology, "distinct")]
+    rng = np.random.default_rng(seed)
+    sizes = rng.integers(table.m_min, table.m_max + 1, size=requests)
+
+    workload = {
+        "topology": topology,
+        "table_m_range": [table.m_min, table.m_max],
+        "num_requests": requests,
+        "num_sim_requests": sim_requests,
+        "num_sources": sources,
+        "num_receiver_sets": receiver_sets,
+        "mode": "distinct",
+    }
+    print(f"workload: {topology}, {requests} table requests, "
+          f"{sim_requests} exact simulations, {sources}x{receiver_sets} samples")
+
+    # Phase 1a: cold table lookups (unique-ish sizes, cache mostly misses).
+    table_stats = await _drive(
+        service, [{"topology": topology, "m": int(m)} for m in sizes]
+    )
+    print(f"  table:      {table_stats['req_per_sec']:>10.1f} req/s  "
+          f"p99 {table_stats['p99_ms']:.3f} ms")
+
+    # Phase 1b: identical sequence again — response-cache hits.
+    cache_stats = await _drive(
+        service, [{"topology": topology, "m": int(m)} for m in sizes]
+    )
+    print(f"  cache:      {cache_stats['req_per_sec']:>10.1f} req/s  "
+          f"p99 {cache_stats['p99_ms']:.3f} ms")
+
+    # Phase 2: per-request Monte-Carlo (unique sizes, no cache, no table).
+    sim_sizes = rng.choice(
+        np.arange(table.m_min, table.m_max + 1), size=sim_requests,
+        replace=False,
+    )
+    sim_stats = await _drive(
+        service,
+        [{"topology": topology, "m": int(m), "exact": True}
+         for m in sim_sizes],
+    )
+    print(f"  simulation: {sim_stats['req_per_sec']:>10.1f} req/s  "
+          f"p99 {sim_stats['p99_ms']:.3f} ms")
+
+    # Phase 3: N identical concurrent exact requests -> one backend run.
+    concurrent = 16
+    started_before = service._flight.started
+    coalesced_before = service._flight.coalesced
+    payload = json.dumps(
+        {"topology": topology, "m": int(table.m_max // 2) or 1,
+         "exact": True}
+    ).encode()
+    responses = await asyncio.gather(*(
+        service.dispatch("POST", "/v1/simulate", payload)
+        for _ in range(concurrent)
+    ))
+    if any(r.status != 200 for r in responses):
+        raise AssertionError("coalesce phase saw a non-200 response")
+    backend_runs = service._flight.started - started_before
+    coalesced = service._flight.coalesced - coalesced_before
+    if backend_runs != 1:
+        raise AssertionError(
+            f"coalescing failed: {backend_runs} backend runs for "
+            f"{concurrent} identical concurrent requests"
+        )
+    print(f"  coalesce:   {concurrent} concurrent -> "
+          f"{backend_runs} backend run, {coalesced} coalesced")
+
+    cache_hit_ratio = round(
+        service._cache.hits / (service._cache.hits + service._cache.misses), 4
+    )
+    await service.shutdown()
+    return {
+        "workload": workload,
+        "table_phase": table_stats,
+        "cache_phase": cache_stats,
+        "simulation_phase": sim_stats,
+        "speedup_table_vs_simulation": round(
+            table_stats["req_per_sec"] / sim_stats["req_per_sec"], 1
+        ),
+        "coalesce": {
+            "concurrent": concurrent,
+            "backend_runs": backend_runs,
+            "coalesced": coalesced,
+            "ratio": round(coalesced / (backend_runs + coalesced), 4),
+        },
+        "cache_hit_ratio": cache_hit_ratio,
+    }
+
+
+def append_trajectory(record: dict, output: Path) -> None:
+    trajectory = []
+    if output.exists():
+        trajectory = json.loads(output.read_text(encoding="utf-8"))
+        if not isinstance(trajectory, list):
+            raise SystemExit(f"{output} is not a JSON trajectory list")
+    trajectory.append(record)
+    output.write_text(
+        json.dumps(trajectory, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"appended record #{len(trajectory)} to {output}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workload (CI-friendly, seconds)")
+    parser.add_argument("--topology", default=None)
+    parser.add_argument("--requests", type=int, default=None,
+                        help="table-phase request count")
+    parser.add_argument("--sim-requests", type=int, default=None,
+                        help="simulation-phase request count")
+    parser.add_argument("--sources", type=int, default=None)
+    parser.add_argument("--receiver-sets", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help="trajectory file (JSON list, appended)")
+    parser.add_argument("--no-record", action="store_true",
+                        help="print numbers without touching the trajectory")
+    parser.add_argument("--check-speedup", type=float, default=10.0,
+                        metavar="X",
+                        help="exit nonzero unless table serving is >= X "
+                             "times faster than per-request simulation")
+    args = parser.parse_args(argv)
+
+    if not args.no_record:
+        # A trajectory point is a durable claim about the tree; refuse to
+        # record one from a tree that violates the repo's lint invariants.
+        from repro.lint import lint_paths, render_text
+
+        findings = lint_paths([Path(__file__).resolve().parent.parent / "src"])
+        if findings:
+            print(render_text(findings), file=sys.stderr)
+            print(
+                "FAIL: refusing to record a trajectory point while the tree "
+                "has lint findings (use --no-record to time anyway)",
+                file=sys.stderr,
+            )
+            return 1
+
+    base = SMOKE if args.smoke else FULL
+    record = asyncio.run(_bench(
+        topology=args.topology or base["topology"],
+        requests=args.requests or base["requests"],
+        sim_requests=args.sim_requests or base["sim_requests"],
+        sources=args.sources or base["sources"],
+        receiver_sets=args.receiver_sets or base["receiver_sets"],
+        seed=args.seed,
+    ))
+    speedup = record["speedup_table_vs_simulation"]
+    print(f"table-served speedup over per-request simulation: {speedup}x")
+    if not args.no_record:
+        append_trajectory(record, args.output)
+    if args.check_speedup is not None and speedup < args.check_speedup:
+        print(
+            f"FAIL: table speedup {speedup} below required "
+            f"{args.check_speedup}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,7 @@ Subcommands map one-to-one onto the experiment drivers:
 * ``repro-mcast topo NAME`` — build a topology and print its stats.
 * ``repro-mcast sweep NAME`` — run an L(m) sweep and fit the exponent.
 * ``repro-mcast ablation WHICH`` — run one of the DESIGN.md ablations.
+* ``repro-mcast serve`` — the asyncio estimation service (repro.serve).
 * ``repro-mcast lint [PATHS]`` — the repro.lint static invariant checks.
 
 All stochastic commands take ``--seed`` and are fully reproducible.
@@ -125,6 +126,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--outdir", default="reproduction", help="output directory"
     )
     add_common(p_all)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the asyncio estimation service (repro.serve)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument(
+        "--port", type=int, default=8321, help="TCP port (0 = ephemeral)"
+    )
+    p_serve.add_argument(
+        "--topologies",
+        default="arpa,r100",
+        help="comma-separated registry names to pre-warm tables for",
+    )
+    p_serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=5000.0,
+        help="simulate deadline before degrading to table/closed form",
+    )
+    p_serve.add_argument(
+        "--scale", type=float, default=1.0, help="topology scale (1.0 = paper)"
+    )
+    p_serve.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    p_serve.add_argument(
+        "--sources", type=int, default=20, help="Monte-Carlo sources per run"
+    )
+    p_serve.add_argument(
+        "--receiver-sets",
+        type=int,
+        default=20,
+        help="Monte-Carlo receiver sets per source",
+    )
+    p_serve.add_argument(
+        "--selftest",
+        action="store_true",
+        help=(
+            "boot on an ephemeral port, issue one request per endpoint, "
+            "exit nonzero on any mismatch"
+        ),
+    )
 
     p_lint = sub.add_parser(
         "lint", help="run the repro.lint static invariant checks"
@@ -408,6 +449,37 @@ def _cmd_all(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve.app import ServerApp, run_selftest
+    from repro.serve.handlers import EstimationService, ServiceConfig
+
+    names = tuple(
+        name.strip().lower()
+        for name in args.topologies.split(",")
+        if name.strip()
+    )
+    config = ServiceConfig(
+        topologies=names,
+        scale=args.scale,
+        seed=args.seed,
+        num_sources=args.sources,
+        num_receiver_sets=args.receiver_sets,
+        deadline_seconds=args.deadline_ms / 1000.0,
+    )
+    if args.selftest:
+        return asyncio.run(run_selftest(config))
+    app = ServerApp(EstimationService(config))
+    try:
+        asyncio.run(app.serve_forever(args.host, args.port))
+    except KeyboardInterrupt:
+        # Platforms without loop signal handlers skip the drain; the
+        # normal path returns after serve_forever's graceful stop.
+        pass
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.lint import run_lint
 
@@ -423,6 +495,7 @@ _COMMANDS = {
     "study": _cmd_study,
     "metrics": _cmd_metrics,
     "all": _cmd_all,
+    "serve": _cmd_serve,
     "lint": _cmd_lint,
 }
 

@@ -107,8 +107,15 @@ class ForestCache:
         Number of forests retained; least-recently-used entries are
         evicted beyond it.
 
-    Thread safety: all operations hold an internal lock, so one cache may
-    serve multiple threads (worker *processes* each have their own).
+    Thread safety: lookups and inserts hold an internal lock, so one
+    cache may serve multiple threads (worker *processes* each have their
+    own).  Misses are additionally **single-flight** per key: when many
+    threads ask for the same uncached forest at once — the serving
+    layer's concurrent simulate handlers do exactly this — one thread
+    runs the BFS while the rest wait on its completion event, so the
+    O(V+E) work is paid once, not once per caller, and an eviction
+    racing the insert simply sends a late waiter back around the
+    lookup/compute loop.
     """
 
     def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
@@ -121,6 +128,10 @@ class ForestCache:
             OrderedDict()
         )
         self._lock = threading.Lock()
+        # key -> Event for the in-flight BFS computing that key.
+        self._pending: Dict[
+            Tuple[str, int, str, Optional[int]], threading.Event
+        ] = {}
         self.hits = 0
         self.misses = 0
 
@@ -175,28 +186,48 @@ class ForestCache:
     ) -> ShortestPathForest:
         """The BFS forest for ``(graph, source, tie_break, seed)``.
 
-        Computes and stores the forest on a miss.  The returned object
-        is shared between every caller that asks for the same key, and
-        its ``dist``/``parent`` arrays are handed out with
-        ``writeable=False`` — in-place mutation raises ``ValueError``
-        (numpy's read-only error) instead of silently corrupting the
-        forest for all other users.  Callers that legitimately need to
-        write use :meth:`borrow_mutable`.
+        Computes and stores the forest on a miss.  Concurrent misses on
+        the same key coalesce: the first caller computes, the others
+        block on its completion event and then take the cache hit (if
+        the entry was evicted before a waiter woke, that waiter loops
+        and becomes the new computing thread — a rare, small cache
+        pathology, never an error).  Should the computing thread fail,
+        waiters retry rather than inherit its exception.
+
+        The returned object is shared between every caller that asks
+        for the same key, and its ``dist``/``parent`` arrays are handed
+        out with ``writeable=False`` — in-place mutation raises
+        ``ValueError`` (numpy's read-only error) instead of silently
+        corrupting the forest for all other users.  Callers that
+        legitimately need to write use :meth:`borrow_mutable`.
         """
         key = self._key(graph, source, tie_break, seed)
-        with self._lock:
-            cached = self._entries.get(key)
-            if cached is not None:
+        while True:
+            with self._lock:
+                cached = self._entries.get(key)
+                if cached is not None:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    return self._freeze(cached)
+                pending = self._pending.get(key)
+                if pending is None:
+                    pending = threading.Event()
+                    self._pending[key] = pending
+                    self.misses += 1
+                    break
+            pending.wait()
+        try:
+            forest = bfs(graph, source, tie_break=tie_break, rng=seed)
+            with self._lock:
+                self._entries[key] = forest
                 self._entries.move_to_end(key)
-                self.hits += 1
-                return self._freeze(cached)
-            self.misses += 1
-        forest = bfs(graph, source, tie_break=tie_break, rng=seed)
-        with self._lock:
-            self._entries[key] = forest
-            self._entries.move_to_end(key)
-            while len(self._entries) > self._max_entries:
-                self._entries.popitem(last=False)
+                while len(self._entries) > self._max_entries:
+                    self._entries.popitem(last=False)
+        finally:
+            # Wake waiters even on failure; they re-check and recompute.
+            with self._lock:
+                self._pending.pop(key, None)
+            pending.set()
         return self._freeze(forest)
 
     #: Alias; ``cache.get(...)`` reads naturally at call sites that

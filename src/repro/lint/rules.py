@@ -1,4 +1,4 @@
-"""The built-in ``repro.lint`` rules (RR001–RR006).
+"""The built-in ``repro.lint`` rules (RR001–RR007).
 
 Each rule encodes one invariant the Monte-Carlo engine's correctness
 arguments rest on; `docs/static-analysis.md` is the narrative version.
@@ -21,6 +21,7 @@ __all__ = [
     "OverbroadExceptRule",
     "UnregisteredFigureRule",
     "MutableDefaultRule",
+    "BlockingAsyncCallRule",
 ]
 
 _INT32_MAX = 2**31 - 1
@@ -686,3 +687,129 @@ class MutableDefaultRule(Rule):
             if chain is not None and chain[-1] in _MUTABLE_CONSTRUCTORS:
                 return f"{chain[-1]}()"
         return None
+
+
+# ---------------------------------------------------------------------------
+# RR007 — no blocking calls inside the serving layer's coroutines
+# ---------------------------------------------------------------------------
+
+#: Modules whose direct calls block the event loop.
+_BLOCKING_MODULES = {"time", "subprocess", "socket"}
+#: Blocking functions importable by bare name, keyed by home module.
+_BLOCKING_FROM_IMPORTS = {
+    ("time", "sleep"): "time.sleep",
+    ("subprocess", "run"): "subprocess.run",
+    ("subprocess", "call"): "subprocess.call",
+    ("subprocess", "check_call"): "subprocess.check_call",
+    ("subprocess", "check_output"): "subprocess.check_output",
+    ("subprocess", "Popen"): "subprocess.Popen",
+    ("socket", "create_connection"): "socket.create_connection",
+    ("socket", "getaddrinfo"): "socket.getaddrinfo",
+    ("urllib.request", "urlopen"): "urllib.request.urlopen",
+}
+#: ``time`` attributes that do NOT block (clock reads are fine).
+_TIME_NONBLOCKING = {
+    "monotonic",
+    "monotonic_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "process_time",
+    "process_time_ns",
+    "time",
+    "time_ns",
+    "thread_time",
+    "thread_time_ns",
+    "gmtime",
+    "localtime",
+    "strftime",
+    "strptime",
+    "mktime",
+    "ctime",
+    "asctime",
+}
+
+
+@register_rule
+class BlockingAsyncCallRule(Rule):
+    """No synchronous sleeps, sockets, files, or subprocesses in handlers."""
+
+    rule_id = "RR007"
+    severity = "error"
+    summary = (
+        "blocking call (time.sleep, sync socket/file I/O, subprocess) "
+        "inside an async def in repro/serve/"
+    )
+    rationale = (
+        "The serving layer is one event loop; a single blocking call in "
+        "a coroutine stalls every in-flight request at once — the "
+        "tail-latency failure the EstimatorTable/coalescing design "
+        "exists to prevent.  Blocking work belongs on the executor "
+        "(loop.run_in_executor) or behind an awaitable."
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return "repro/serve/" in path
+
+    def begin_file(self, ctx: FileContext) -> None:
+        # module alias -> canonical module ("import time as t")
+        self._modules: Dict[str, str] = {}
+        # bare name -> dotted description ("from time import sleep")
+        self._names: Dict[str, str] = {}
+
+    def visit_Import(self, node: ast.Import, ctx: FileContext) -> None:
+        for alias in node.names:
+            if alias.name == "urllib.request":
+                # Unaliased dotted imports are matched on the full
+                # ``urllib.request.urlopen`` chain in _blocking().
+                if alias.asname is not None:
+                    self._modules[alias.asname] = "urllib.request"
+                continue
+            root = alias.name.split(".", 1)[0]
+            if root in _BLOCKING_MODULES:
+                self._modules[alias.asname or root] = root
+
+    def visit_ImportFrom(self, node: ast.ImportFrom, ctx: FileContext) -> None:
+        for alias in node.names:
+            described = _BLOCKING_FROM_IMPORTS.get((node.module, alias.name))
+            if described is not None:
+                self._names[alias.asname or alias.name] = described
+
+    def visit_AsyncFunctionDef(
+        self, node: ast.AsyncFunctionDef, ctx: FileContext
+    ) -> None:
+        # Nested sync defs are skipped: defining one does not block, and
+        # whether it is ever called from the coroutine is beyond an
+        # under-approximating rule.  Nested async defs get their own
+        # visit.
+        for sub in _pre_order(node.body, skip_scopes=True):
+            if isinstance(sub, ast.Call):
+                described = self._blocking(sub)
+                if described is not None:
+                    ctx.report(
+                        self,
+                        sub,
+                        f"{described} blocks the event loop inside "
+                        f"coroutine {node.name}(); await an async "
+                        "equivalent or use loop.run_in_executor",
+                    )
+
+    def _blocking(self, node: ast.Call) -> Optional[str]:
+        chain = _attr_chain(node.func)
+        if chain is None:
+            return None
+        if len(chain) == 1:
+            if chain[0] == "open":
+                return "built-in open()"
+            described = self._names.get(chain[0])
+            return f"{described}()" if described else None
+        # ``urllib.request.urlopen`` via plain ``import urllib.request``.
+        if chain[:2] == ("urllib", "request") and len(chain) == 3:
+            return f"urllib.request.{chain[2]}()"
+        module = self._modules.get(chain[0])
+        if module is None:
+            return None
+        if module == "time":
+            if chain[-1] in _TIME_NONBLOCKING:
+                return None
+            return f"time.{chain[-1]}()"
+        return f"{module}.{chain[-1]}()"

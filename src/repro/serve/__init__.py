@@ -1,0 +1,59 @@
+"""``repro.serve`` — the asyncio estimation service.
+
+Everything the reproduction can compute on demand — closed-form k-ary
+tree sizes (Eqs. 4/18/21), the distinct-site conversion (Eqs. 1–2), and
+Monte-Carlo ``L(m)`` on any registered topology — behind a stdlib-only
+HTTP façade:
+
+* ``POST /v1/estimate``  — closed-form k-ary answers (exact and
+  asymptotic forms, leaf and throughout receiver placements, n ↔ m
+  conversion).  Pure arithmetic; never touches the simulator.
+* ``POST /v1/simulate``  — Monte-Carlo ``L(m)`` served from a
+  precomputed :class:`~repro.serve.tables.EstimatorTable` grid when
+  possible, from the PR-1 batched engine when an exact fresh run is
+  requested, and from the closed-form Chuang-Sirbu law when the
+  simulator misses its deadline (``"degraded": true``).
+* ``GET /healthz``       — liveness + table inventory.
+* ``GET /metrics``       — Prometheus text format: request counts,
+  latency histograms, response-cache hit ratio, coalesce ratio.
+
+Layering (each module is independently testable, no sockets below
+``app``):
+
+* :mod:`repro.serve.tables`   — ``EstimatorTable``: log-spaced ``L(m)``
+  grids with log-log interpolation and a documented error bound.
+* :mod:`repro.serve.coalesce` — ``SingleFlight`` (identical in-flight
+  requests share one backend future) and the TTL+LRU ``TTLCache``.
+* :mod:`repro.serve.metrics`  — counters/histograms and the Prometheus
+  text rendering.
+* :mod:`repro.serve.handlers` — ``EstimationService``: request
+  validation, routing, table/simulation/degradation policy.  Handlers
+  are plain coroutines over bytes-in/bytes-out — unit tests drive them
+  directly.
+* :mod:`repro.serve.app`      — the asyncio socket server, graceful
+  drain on SIGINT/SIGTERM, and the ``--selftest`` probe.
+
+See ``docs/serving.md`` for schemas, the precompute/degradation
+semantics, and the ops runbook.
+"""
+
+from repro.serve.coalesce import SingleFlight, TTLCache
+from repro.serve.handlers import (
+    EstimationService,
+    Response,
+    ServeError,
+    ServiceConfig,
+)
+from repro.serve.metrics import ServeMetrics
+from repro.serve.tables import EstimatorTable
+
+__all__ = [
+    "EstimationService",
+    "EstimatorTable",
+    "Response",
+    "ServeError",
+    "ServeMetrics",
+    "ServiceConfig",
+    "SingleFlight",
+    "TTLCache",
+]

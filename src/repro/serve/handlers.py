@@ -1,0 +1,586 @@
+"""Request handling for the estimation service (no sockets in here).
+
+:class:`EstimationService` owns the full answer policy; the socket
+layer (:mod:`repro.serve.app`) only frames HTTP around
+:meth:`EstimationService.dispatch`, so every behavior below is unit
+tested by calling coroutines directly.
+
+The simulate answer ladder
+--------------------------
+For ``POST /v1/simulate`` the service tries, in order:
+
+1. **Response cache** — a TTL+LRU of finished answers
+   (``"source": "cache"``).  Degraded answers are never cached.
+2. **Estimator table** — the per-topology ``L(m)`` grid
+   (``"source": "table"``), built at startup for the configured
+   topologies and lazily (coalesced, deadline-bounded) for any other
+   registry name.  Covered queries never touch the simulator.
+3. **Simulation** — a fresh batched Monte-Carlo run
+   (``"source": "simulation"``), for ``"exact": true`` requests and
+   sizes outside a table's grid.  Identical concurrent runs are
+   coalesced onto one future.
+4. **Degradation** — when step 2's lazy build or step 3's run exceeds
+   the deadline, the caller is *not* handed a 500: it gets the best
+   closed-form/interpolated answer available (``"degraded": true``,
+   ``"source": "table"`` or ``"closed-form"``), while the backend
+   computation keeps running and lands in the table/cache for the next
+   caller.
+
+All blocking work (topology builds, sweeps) runs on a small thread
+pool via ``run_in_executor`` — handler coroutines themselves never
+block, which is exactly the invariant lint rule RR007 enforces on this
+package.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.exceptions import ReproError
+from repro.serve.coalesce import SingleFlight, TTLCache
+from repro.serve.metrics import ServeMetrics
+from repro.serve.tables import EstimatorTable
+
+__all__ = ["ServeError", "Response", "ServiceConfig", "EstimationService"]
+
+logger = logging.getLogger("repro.serve")
+
+_JSON = "application/json"
+_TEXT = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class ServeError(ReproError):
+    """A request error with an HTTP status (4xx for caller mistakes)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = int(status)
+
+
+@dataclass(frozen=True)
+class Response:
+    """What the socket layer writes back: status, content type, body."""
+
+    status: int
+    content_type: str
+    body: bytes
+
+    @staticmethod
+    def json(status: int, payload: Dict[str, Any]) -> "Response":
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        return Response(status=status, content_type=_JSON, body=body)
+
+    @staticmethod
+    def text(status: int, content: str) -> "Response":
+        return Response(
+            status=status, content_type=_TEXT, body=content.encode("utf-8")
+        )
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Service-level knobs (the CLI flags map onto these).
+
+    ``topologies`` are pre-warmed at startup; any other registry name is
+    still servable, with its table built lazily on first demand.  The
+    Monte-Carlo settings deliberately default far below the paper's
+    100×100: a serving backend wants bounded latency, and the estimator
+    tables do the averaging work once instead of per request.
+    """
+
+    topologies: Tuple[str, ...] = ("arpa", "r100")
+    scale: float = 1.0
+    seed: int = 0
+    num_sources: int = 20
+    num_receiver_sets: int = 20
+    deadline_seconds: float = 5.0
+    points_per_decade: int = 16
+    cache_max_entries: int = 4096
+    cache_ttl_seconds: float = 300.0
+    executor_threads: int = 2
+
+    def validate(self) -> None:
+        from repro.topology.registry import topology_spec
+
+        if self.deadline_seconds <= 0:
+            raise ServeError(
+                500, f"deadline must be positive, got {self.deadline_seconds}"
+            )
+        if self.executor_threads < 1:
+            raise ServeError(500, "executor_threads must be >= 1")
+        for name in self.topologies:
+            topology_spec(name)  # raises TopologyError for unknown names
+
+
+def _number(payload: Dict, key: str, *, required: bool = False) -> Optional[float]:
+    value = payload.get(key)
+    if value is None:
+        if required:
+            raise ServeError(400, f"missing required field {key!r}")
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ServeError(400, f"field {key!r} must be a number, got {value!r}")
+    return float(value)
+
+
+def _choice(payload: Dict, key: str, options: Tuple[str, ...], default: str) -> str:
+    value = payload.get(key, default)
+    if value not in options:
+        raise ServeError(
+            400, f"field {key!r} must be one of {options}, got {value!r}"
+        )
+    return value
+
+
+def _flag(payload: Dict, key: str, default: bool = False) -> bool:
+    value = payload.get(key, default)
+    if not isinstance(value, bool):
+        raise ServeError(400, f"field {key!r} must be a boolean, got {value!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class _SimulateRequest:
+    topology: str
+    m: int
+    mode: str
+    exact: bool
+    deadline: Optional[float]
+
+
+class EstimationService:
+    """The estimation/simulation service behind the HTTP endpoints."""
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        metrics: Optional[ServeMetrics] = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.config.validate()
+        self.metrics = metrics or ServeMetrics()
+        self.tables: Dict[Tuple[str, str], EstimatorTable] = {}
+        self._graphs: Dict[str, Any] = {}
+        self._flight = SingleFlight()
+        self._cache = TTLCache(
+            max_entries=self.config.cache_max_entries,
+            ttl_seconds=self.config.cache_ttl_seconds,
+        )
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._started = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def startup(self) -> None:
+        """Build graphs and estimator tables for the configured suite.
+
+        Builds run concurrently on the thread pool; the service accepts
+        traffic only after the pre-warm completes, so the configured
+        topologies are always answered from tables.
+        """
+        if self._started:
+            return
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.executor_threads,
+            thread_name_prefix="repro-serve",
+        )
+        await asyncio.gather(
+            *(
+                self._table(name, "distinct", deadline=None)
+                for name in self.config.topologies
+            )
+        )
+        self._started = True
+
+    async def shutdown(self) -> None:
+        """Release the worker threads (in-flight futures still finish)."""
+        self._started = False
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+
+    # -- blocking backend (runs on the thread pool only) -----------------
+
+    def _build_graph_sync(self, name: str):
+        from repro.topology.registry import build_topology
+
+        return build_topology(name, scale=self.config.scale, rng=self.config.seed)
+
+    def _build_table_sync(self, name: str, mode: str) -> EstimatorTable:
+        from repro.experiments.config import MonteCarloConfig
+
+        graph = self._graphs[name]
+        return EstimatorTable.from_sweep(
+            graph,
+            name,
+            mode=mode,
+            config=MonteCarloConfig(
+                num_sources=self.config.num_sources,
+                num_receiver_sets=self.config.num_receiver_sets,
+                seed=self.config.seed,
+            ),
+            rng=self.config.seed,
+            points_per_decade=self.config.points_per_decade,
+        )
+
+    def _simulate_sync(self, name: str, m: int, mode: str) -> Dict[str, float]:
+        from repro.experiments.config import MonteCarloConfig
+        from repro.experiments.runner import measure_sweep
+
+        graph = self._graphs[name]
+        measurement = measure_sweep(
+            graph,
+            [m],
+            mode=mode,
+            config=MonteCarloConfig(
+                num_sources=self.config.num_sources,
+                num_receiver_sets=self.config.num_receiver_sets,
+                seed=self.config.seed,
+            ),
+            topology=name,
+            rng=self.config.seed,
+        )
+        return {
+            "tree_size": float(measurement.mean_tree_size[0]),
+            "mean_unicast_path": float(measurement.mean_unicast_path[0]),
+            "normalized_tree_size": float(measurement.normalized_tree_size[0]),
+            "num_samples": int(measurement.num_samples),
+        }
+
+    # -- coalesced async access to the backend ---------------------------
+
+    def _in_executor(self, fn, *args):
+        if self._executor is None:
+            raise ServeError(503, "service is shut down")
+        return asyncio.get_running_loop().run_in_executor(
+            self._executor, fn, *args
+        )
+
+    async def _graph(self, name: str, deadline: Optional[float]) -> Any:
+        if name not in self._graphs:
+
+            async def build() -> None:
+                self._graphs[name] = await self._in_executor(
+                    self._build_graph_sync, name
+                )
+
+            await self._flight.run(("graph", name), build, timeout=deadline)
+        return self._graphs[name]
+
+    async def _table(
+        self, name: str, mode: str, deadline: Optional[float]
+    ) -> EstimatorTable:
+        """The (possibly lazily built) table for ``(name, mode)``.
+
+        Raises :class:`asyncio.TimeoutError` when a lazy build misses
+        the deadline — the caller degrades; the build itself continues
+        and installs the table for later requests.
+        """
+        key = (name, mode)
+        if key not in self.tables:
+
+            async def build() -> None:
+                await self._graph(name, deadline=None)
+                self.tables[key] = await self._in_executor(
+                    self._build_table_sync, name, mode
+                )
+
+            await self._flight.run(("table", name, mode), build, timeout=deadline)
+        return self.tables[key]
+
+    # -- /v1/estimate ----------------------------------------------------
+
+    async def handle_estimate(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Closed-form k-ary answers: Eqs. 4/14/18/21 plus Eqs. 1–2.
+
+        Exactly one of ``n`` (draws with replacement) and ``m``
+        (distinct sites) must be given; the other is reported through
+        the paper's conversion.  Pure arithmetic — this endpoint never
+        touches the simulator, whatever the load.
+        """
+        from repro.analysis.kary_asymptotic import (
+            lhat_asymptotic,
+            lm_asymptotic,
+            lm_exact_via_conversion,
+        )
+        from repro.analysis.kary_exact import (
+            lhat_leaf,
+            lhat_throughout,
+            num_interior_sites,
+            num_leaf_sites,
+        )
+        from repro.analysis.scaling import (
+            draws_for_expected_distinct,
+            expected_distinct,
+        )
+
+        k = _number(payload, "k", required=True)
+        depth_f = _number(payload, "depth", required=True)
+        if depth_f != int(depth_f):
+            raise ServeError(400, f"depth must be an integer, got {depth_f}")
+        depth = int(depth_f)
+        receivers = _choice(payload, "receivers", ("leaf", "throughout"), "leaf")
+        form = _choice(payload, "form", ("exact", "asymptotic"), "exact")
+        n = _number(payload, "n")
+        m = _number(payload, "m")
+        if (n is None) == (m is None):
+            raise ServeError(400, "provide exactly one of 'n' and 'm'")
+
+        if receivers == "leaf":
+            population = num_leaf_sites(k, depth)
+        else:
+            population = num_interior_sites(k, depth)
+
+        if m is not None:
+            n_value = float(draws_for_expected_distinct(m, population))
+            m_value = float(m)
+        else:
+            n_value = float(n)
+            m_value = float(expected_distinct(n, population))
+
+        if form == "exact":
+            if receivers == "leaf":
+                if m is not None:
+                    tree = float(lm_exact_via_conversion(k, depth, m))
+                else:
+                    tree = float(lhat_leaf(k, depth, n_value))
+            else:
+                tree = float(lhat_throughout(k, depth, n_value))
+        else:
+            if receivers != "leaf":
+                raise ServeError(
+                    400,
+                    "the asymptotic forms (Eqs. 14/18) are derived for "
+                    "leaf receivers only",
+                )
+            if m is not None:
+                tree = float(lm_asymptotic(k, depth, m))
+            else:
+                tree = float(lhat_asymptotic(k, depth, n_value))
+
+        return {
+            "k": k,
+            "depth": depth,
+            "receivers": receivers,
+            "form": form,
+            "population": float(population),
+            "n": n_value,
+            "m": m_value,
+            "tree_size": tree,
+            "per_receiver": tree / n_value if n_value > 0 else None,
+        }
+
+    # -- /v1/simulate ----------------------------------------------------
+
+    def _parse_simulate(self, payload: Dict[str, Any]) -> _SimulateRequest:
+        from repro.topology.registry import topology_spec
+
+        name = payload.get("topology")
+        if not isinstance(name, str):
+            raise ServeError(400, "field 'topology' must be a string name")
+        try:
+            topology_spec(name)
+        except ReproError as exc:
+            raise ServeError(400, str(exc))
+        m = _number(payload, "m", required=True)
+        if m < 1 or m != int(m):
+            raise ServeError(400, f"m must be a positive integer, got {m}")
+        mode = _choice(payload, "mode", ("distinct", "replacement"), "distinct")
+        deadline_ms = _number(payload, "deadline_ms")
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ServeError(400, "deadline_ms must be positive")
+        return _SimulateRequest(
+            topology=name.lower(),
+            m=int(m),
+            mode=mode,
+            exact=_flag(payload, "exact", False),
+            deadline=(
+                deadline_ms / 1000.0
+                if deadline_ms is not None
+                else self.config.deadline_seconds
+            ),
+        )
+
+    def _answer(
+        self,
+        req: _SimulateRequest,
+        source: str,
+        tree: Optional[float],
+        path: Optional[float],
+        degraded: bool,
+        **extra: Any,
+    ) -> Dict[str, Any]:
+        self.metrics.count_answer(source)
+        if degraded:
+            self.metrics.count_degraded()
+        payload: Dict[str, Any] = {
+            "topology": req.topology,
+            "m": req.m,
+            "mode": req.mode,
+            "source": source,
+            "degraded": degraded,
+            "tree_size": tree,
+            "mean_unicast_path": path,
+            "normalized_tree_size": (
+                tree / path if tree is not None and path else None
+            ),
+        }
+        payload.update(extra)
+        return payload
+
+    def _degraded_answer(self, req: _SimulateRequest) -> Dict[str, Any]:
+        """Best non-blocking answer once the deadline has passed.
+
+        Interpolate from a finished table when one covers the query;
+        otherwise fall back to the Chuang-Sirbu law itself —
+        ``L(m)/ū = m^0.8`` — which is normalized-only (the law carries
+        no absolute scale without ``ū``).
+        """
+        from repro.analysis.scaling import chuang_sirbu_prediction
+
+        table = self.tables.get((req.topology, req.mode))
+        if table is not None and table.covers(req.m):
+            tree, path = table.lookup(req.m)
+            return self._answer(
+                req,
+                "table",
+                tree,
+                path,
+                degraded=True,
+                rel_error_bound=table.rel_error_bound,
+            )
+        normalized = float(chuang_sirbu_prediction(req.m))
+        answer = self._answer(req, "closed-form", None, None, degraded=True)
+        answer["normalized_tree_size"] = normalized
+        return answer
+
+    async def handle_simulate(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Monte-Carlo ``L(m)`` via the cache → table → simulate ladder."""
+        req = self._parse_simulate(payload)
+        cache_key = (req.topology, req.mode, req.m, req.exact)
+        cached = self._cache.get(cache_key)
+        if cached is not None:
+            answer = dict(cached)
+            answer["source"] = "cache"
+            self.metrics.count_answer("cache")
+            return answer
+
+        if not req.exact:
+            try:
+                table = await self._table(req.topology, req.mode, req.deadline)
+            except asyncio.TimeoutError:
+                return self._degraded_answer(req)
+            if table.covers(req.m):
+                tree, path = table.lookup(req.m)
+                answer = self._answer(
+                    req,
+                    "table",
+                    tree,
+                    path,
+                    degraded=False,
+                    rel_error_bound=table.rel_error_bound,
+                )
+                self._cache.put(cache_key, answer)
+                return answer
+            # Size outside the grid: fall through to a real run.
+
+        async def simulate() -> Dict[str, float]:
+            await self._graph(req.topology, deadline=None)
+            return await self._in_executor(
+                self._simulate_sync, req.topology, req.m, req.mode
+            )
+
+        flight_key = ("simulate", req.topology, req.mode, req.m)
+        try:
+            result = await self._flight.run(flight_key, simulate, req.deadline)
+        except asyncio.TimeoutError:
+            return self._degraded_answer(req)
+        answer = self._answer(
+            req,
+            "simulation",
+            result["tree_size"],
+            result["mean_unicast_path"],
+            degraded=False,
+            num_samples=result["num_samples"],
+        )
+        # measure_sweep averages ratios per sample rather than dividing
+        # the averages, so report its normalized value, not tree/path.
+        answer["normalized_tree_size"] = result["normalized_tree_size"]
+        self._cache.put(cache_key, answer)
+        return answer
+
+    # -- /healthz and /metrics -------------------------------------------
+
+    def handle_healthz(self) -> Dict[str, Any]:
+        return {
+            "status": "ok" if self._started else "starting",
+            "topologies": list(self.config.topologies),
+            "tables": [
+                table.to_dict()
+                for _key, table in sorted(self.tables.items())
+            ],
+            "inflight": len(self._flight),
+            "response_cache_entries": len(self._cache),
+        }
+
+    def handle_metrics(self) -> str:
+        self.metrics.record_cache(self._cache.hits, self._cache.misses)
+        self.metrics.record_flight(self._flight.started, self._flight.coalesced)
+        return self.metrics.render()
+
+    # -- routing ---------------------------------------------------------
+
+    async def dispatch(self, method: str, path: str, body: bytes) -> Response:
+        """Route one request; never raises (errors become responses)."""
+        endpoint = {
+            "/v1/estimate": "estimate",
+            "/v1/simulate": "simulate",
+            "/healthz": "healthz",
+            "/metrics": "metrics",
+        }.get(path, "unknown")
+        start = time.perf_counter()
+        try:
+            response = await self._route(method, path, endpoint, body)
+        except ServeError as exc:
+            response = Response.json(exc.status, {"error": str(exc)})
+        except ReproError as exc:
+            # Estimation/experiment-layer rejections are caller errors.
+            response = Response.json(400, {"error": str(exc)})
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            logger.exception("unhandled error serving %s %s", method, path)
+            response = Response.json(500, {"error": f"internal error: {exc}"})
+        self.metrics.observe_request(
+            endpoint, response.status, time.perf_counter() - start
+        )
+        return response
+
+    async def _route(
+        self, method: str, path: str, endpoint: str, body: bytes
+    ) -> Response:
+        if endpoint == "unknown":
+            return Response.json(404, {"error": f"no such endpoint: {path}"})
+        if endpoint in ("estimate", "simulate"):
+            if method != "POST":
+                return Response.json(405, {"error": f"{path} expects POST"})
+            try:
+                payload = json.loads(body.decode("utf-8")) if body else {}
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                return Response.json(400, {"error": f"invalid JSON body: {exc}"})
+            if not isinstance(payload, dict):
+                return Response.json(400, {"error": "body must be a JSON object"})
+            if endpoint == "estimate":
+                return Response.json(200, await self.handle_estimate(payload))
+            return Response.json(200, await self.handle_simulate(payload))
+        if method != "GET":
+            return Response.json(405, {"error": f"{path} expects GET"})
+        if endpoint == "healthz":
+            return Response.json(200, self.handle_healthz())
+        return Response.text(200, self.handle_metrics())

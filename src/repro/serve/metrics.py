@@ -1,0 +1,203 @@
+"""Service counters, latency histograms, and Prometheus text rendering.
+
+One :class:`ServeMetrics` instance per service.  The exposition format
+is the Prometheus text format, version 0.0.4 — the thing every scraper
+and ``curl`` understands — rendered on demand by :meth:`render`; there
+is no background collector thread.
+
+Series
+------
+* ``repro_serve_requests_total{endpoint,status}`` — counter.
+* ``repro_serve_request_latency_seconds`` — histogram per endpoint
+  (cumulative ``_bucket{le=...}``, ``_sum``, ``_count``).
+* ``repro_serve_answers_total{source}`` — where simulate answers came
+  from: ``cache`` / ``table`` / ``simulation`` / ``closed-form``.
+* ``repro_serve_degraded_total`` — deadline-degraded responses.
+* ``repro_serve_coalesced_total`` / ``repro_serve_backend_runs_total``
+  — joins versus actual backend computations.
+* ``repro_serve_response_cache_hit_ratio`` and
+  ``repro_serve_coalesce_ratio`` — derived gauges, recomputed at render
+  time so they never drift from the counters they summarize.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["ServeMetrics", "DEFAULT_BUCKETS"]
+
+#: Histogram upper bounds (seconds).  Table lookups land in the first
+#: few buckets, fresh Monte-Carlo runs in the last few — the spread is
+#: the point of serving from tables.
+DEFAULT_BUCKETS = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+_PREFIX = "repro_serve"
+
+
+def _fmt(value: float) -> str:
+    """Prometheus-friendly number rendering (no exponent surprises)."""
+    if value == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+class ServeMetrics:
+    """Mutable counter state behind ``GET /metrics``."""
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        if not buckets or list(buckets) != sorted(set(buckets)):
+            raise ValueError("buckets must be a sorted, deduplicated sequence")
+        self._buckets: Tuple[float, ...] = tuple(float(b) for b in buckets)
+        self._requests: Dict[Tuple[str, int], int] = {}
+        # endpoint -> (per-bucket counts + overflow slot, sum, count)
+        self._latency: Dict[str, List] = {}
+        self._answers: Dict[str, int] = {}
+        self.degraded_total = 0
+        self.coalesced_total = 0
+        self.backend_runs_total = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- recording -------------------------------------------------------
+
+    def observe_request(
+        self, endpoint: str, status: int, seconds: Optional[float] = None
+    ) -> None:
+        key = (endpoint, int(status))
+        self._requests[key] = self._requests.get(key, 0) + 1
+        if seconds is None:
+            return
+        hist = self._latency.get(endpoint)
+        if hist is None:
+            hist = [[0] * (len(self._buckets) + 1), 0.0, 0]
+            self._latency[endpoint] = hist
+        hist[0][bisect.bisect_left(self._buckets, seconds)] += 1
+        hist[1] += float(seconds)
+        hist[2] += 1
+
+    def count_answer(self, source: str) -> None:
+        self._answers[source] = self._answers.get(source, 0) + 1
+
+    def count_degraded(self) -> None:
+        self.degraded_total += 1
+
+    def record_cache(self, hits: int, misses: int) -> None:
+        """Absolute hit/miss counts copied from the response cache."""
+        self.cache_hits = int(hits)
+        self.cache_misses = int(misses)
+
+    def record_flight(self, started: int, coalesced: int) -> None:
+        """Absolute leader/follower counts copied from the SingleFlight."""
+        self.backend_runs_total = int(started)
+        self.coalesced_total = int(coalesced)
+
+    # -- derived ratios --------------------------------------------------
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def coalesce_ratio(self) -> float:
+        """Fraction of backend demands absorbed by an in-flight twin."""
+        total = self.backend_runs_total + self.coalesced_total
+        return self.coalesced_total / total if total else 0.0
+
+    # -- exposition ------------------------------------------------------
+
+    def render(self) -> str:
+        """The Prometheus text-format document (trailing newline)."""
+        lines: List[str] = []
+
+        def header(name: str, kind: str, help_text: str) -> None:
+            lines.append(f"# HELP {_PREFIX}_{name} {help_text}")
+            lines.append(f"# TYPE {_PREFIX}_{name} {kind}")
+
+        header("requests_total", "counter", "HTTP requests by endpoint and status.")
+        for (endpoint, status), count in sorted(self._requests.items()):
+            lines.append(
+                f'{_PREFIX}_requests_total{{endpoint="{endpoint}",'
+                f'status="{status}"}} {count}'
+            )
+
+        header(
+            "request_latency_seconds",
+            "histogram",
+            "Request handling latency by endpoint.",
+        )
+        for endpoint in sorted(self._latency):
+            counts, total, n = self._latency[endpoint]
+            running = 0
+            for bound, bucket in zip(self._buckets, counts):
+                running += bucket
+                lines.append(
+                    f'{_PREFIX}_request_latency_seconds_bucket{{'
+                    f'endpoint="{endpoint}",le="{_fmt(bound)}"}} {running}'
+                )
+            lines.append(
+                f'{_PREFIX}_request_latency_seconds_bucket{{'
+                f'endpoint="{endpoint}",le="+Inf"}} {n}'
+            )
+            lines.append(
+                f'{_PREFIX}_request_latency_seconds_sum{{'
+                f'endpoint="{endpoint}"}} {repr(total)}'
+            )
+            lines.append(
+                f'{_PREFIX}_request_latency_seconds_count{{'
+                f'endpoint="{endpoint}"}} {n}'
+            )
+
+        header("answers_total", "counter", "Simulate answers by source.")
+        for source, count in sorted(self._answers.items()):
+            lines.append(
+                f'{_PREFIX}_answers_total{{source="{source}"}} {count}'
+            )
+
+        header("degraded_total", "counter", "Deadline-degraded responses.")
+        lines.append(f"{_PREFIX}_degraded_total {self.degraded_total}")
+
+        header(
+            "backend_runs_total", "counter", "Backend computations started."
+        )
+        lines.append(f"{_PREFIX}_backend_runs_total {self.backend_runs_total}")
+
+        header(
+            "coalesced_total",
+            "counter",
+            "Requests that joined an identical in-flight computation.",
+        )
+        lines.append(f"{_PREFIX}_coalesced_total {self.coalesced_total}")
+
+        header(
+            "response_cache_hit_ratio",
+            "gauge",
+            "TTL+LRU response cache hit fraction.",
+        )
+        lines.append(
+            f"{_PREFIX}_response_cache_hit_ratio {repr(self.cache_hit_ratio)}"
+        )
+
+        header(
+            "coalesce_ratio",
+            "gauge",
+            "Fraction of backend demand absorbed by coalescing.",
+        )
+        lines.append(f"{_PREFIX}_coalesce_ratio {repr(self.coalesce_ratio)}")
+        return "\n".join(lines) + "\n"

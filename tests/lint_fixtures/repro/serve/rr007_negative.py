@@ -1,0 +1,26 @@
+"""RR007 negative fixture: non-blocking patterns in serve-layer coroutines."""
+
+import asyncio
+import time
+
+
+async def patient_handler():
+    await asyncio.sleep(0.01)
+    return time.perf_counter()
+
+
+async def offloaded_handler(loop, path):
+    def read_blob():
+        # Blocking work inside a nested *sync* def is the executor
+        # pattern, not an event-loop stall.
+        with open(path) as handle:
+            return handle.read()
+
+    return await loop.run_in_executor(None, read_blob)
+
+
+def synchronous_helper():
+    # Plain functions may block; only coroutine bodies are constrained.
+    time.sleep(0.0)
+    with open("scratch.txt") as handle:
+        return handle.read()

@@ -1,0 +1,33 @@
+"""RR007 positive fixture: blocking calls inside serve-layer coroutines."""
+
+import socket
+import subprocess
+import time
+import urllib.request
+from subprocess import run as launch
+from time import sleep
+
+
+async def sleepy_handler():
+    time.sleep(0.5)  # expect: RR007
+    sleep(0.1)  # expect: RR007
+
+
+async def shelling_handler(cmd):
+    subprocess.run(cmd)  # expect: RR007
+    launch(cmd)  # expect: RR007
+    subprocess.check_output(cmd)  # expect: RR007
+
+
+async def io_handler(host):
+    socket.create_connection((host, 80))  # expect: RR007
+    urllib.request.urlopen("http://example.invalid")  # expect: RR007
+    with open("data.json") as handle:  # expect: RR007
+        return handle.read()
+
+
+async def outer():
+    async def inner():
+        time.sleep(1.0)  # expect: RR007
+
+    return inner

@@ -81,3 +81,32 @@ class TestCommands:
         assert main(["ablation", "source", "--scale", "0.15",
                      "--no-plot"]) == 0
         assert "exponent" in capsys.readouterr().out
+
+
+class TestServe:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8321
+        assert args.topologies == "arpa,r100"
+        assert args.deadline_ms == 5000.0
+        assert args.scale == 1.0
+        assert args.seed == 0
+        assert args.sources == 20
+        assert args.receiver_sets == 20
+        assert not args.selftest
+
+    def test_selftest_round_trip(self, capsys):
+        # Exercises the real socket stack end to end: start the server
+        # on an ephemeral port, probe all four endpoints, shut down.
+        code = main([
+            "serve", "--selftest", "--topologies", "arpa",
+            "--sources", "4", "--receiver-sets", "4",
+        ])
+        assert code == 0
+        assert "selftest OK" in capsys.readouterr().out
+
+    def test_selftest_unknown_topology_fails(self, capsys):
+        code = main(["serve", "--selftest", "--topologies", "atlantis"])
+        assert code != 0
+        assert "atlantis" in capsys.readouterr().err

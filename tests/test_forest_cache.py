@@ -194,5 +194,122 @@ class TestWriteGuards:
         borrowed.parent[1] = -5  # must not raise
 
 
+class TestConcurrency:
+    """Thread-safety and single-flight regressions for shared caches.
+
+    The serving layer points many executor threads at one cache; these
+    tests run real thread pools against small caches so lookup/insert
+    interleavings and eviction races actually happen.
+    """
+
+    def test_concurrent_borrowers_under_eviction_pressure(self):
+        import threading
+
+        cache = ForestCache(max_entries=3)  # far fewer slots than keys
+        graph = ring(16)
+        expected = {s: bfs(graph, s) for s in range(8)}
+        errors = []
+        start = threading.Barrier(8)
+
+        def worker(seed):
+            rng = np.random.default_rng(seed)
+            start.wait()
+            try:
+                for _ in range(50):
+                    source = int(rng.integers(0, 8))
+                    forest = cache.forest(graph, source)
+                    if not np.array_equal(forest.dist, expected[source].dist):
+                        errors.append(f"wrong forest for source {source}")
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(repr(exc))
+
+        threads = [
+            threading.Thread(target=worker, args=(seed,)) for seed in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert errors == []
+        assert len(cache) <= 3
+        assert cache.hits + cache.misses == 8 * 50
+
+    def test_concurrent_misses_coalesce_to_one_bfs(self, monkeypatch):
+        import threading
+        import time as time_module
+
+        import repro.graph.forest_cache as forest_cache_module
+
+        calls = []
+        real_bfs = forest_cache_module.bfs
+
+        def slow_bfs(graph, source, **kwargs):
+            calls.append(source)
+            time_module.sleep(0.05)  # hold the miss open so others pile up
+            return real_bfs(graph, source, **kwargs)
+
+        monkeypatch.setattr(forest_cache_module, "bfs", slow_bfs)
+        cache = ForestCache()
+        graph = ring(12)
+        start = threading.Barrier(6)
+        results = []
+
+        def worker():
+            start.wait()
+            results.append(cache.forest(graph, 0))
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert calls == [0]  # exactly one BFS despite six simultaneous misses
+        assert len(results) == 6
+        assert all(forest is results[0] for forest in results)
+        assert cache.misses == 1
+        assert cache.hits == 5
+
+    def test_waiters_recover_when_the_leader_fails(self, monkeypatch):
+        import threading
+        import time as time_module
+
+        import repro.graph.forest_cache as forest_cache_module
+
+        real_bfs = forest_cache_module.bfs
+        calls = []
+
+        def flaky_bfs(graph, source, **kwargs):
+            calls.append(source)
+            time_module.sleep(0.02)
+            if len(calls) == 1:
+                raise RuntimeError("transient BFS failure")
+            return real_bfs(graph, source, **kwargs)
+
+        monkeypatch.setattr(forest_cache_module, "bfs", flaky_bfs)
+        cache = ForestCache()
+        graph = ring(10)
+        start = threading.Barrier(4)
+        outcomes = []
+
+        def worker():
+            start.wait()
+            try:
+                outcomes.append(cache.forest(graph, 0))
+            except RuntimeError:
+                outcomes.append("failed")
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        # Exactly one caller inherits the leader's exception; every
+        # waiter retries and gets a real forest rather than the error.
+        assert outcomes.count("failed") == 1
+        forests = [o for o in outcomes if o != "failed"]
+        assert len(forests) == 3
+        assert all(np.array_equal(f.dist, forests[0].dist) for f in forests)
+
+
 def test_default_cache_is_shared_singleton():
     assert default_forest_cache() is default_forest_cache()

@@ -1,0 +1,210 @@
+"""Unit tests for the serving primitives: SingleFlight, TTLCache, metrics."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve.coalesce import SingleFlight, TTLCache
+from repro.serve.metrics import ServeMetrics
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestSingleFlight:
+    def test_concurrent_joiners_share_one_computation(self):
+        async def go():
+            flight = SingleFlight()
+            runs = []
+            gate = asyncio.Event()
+
+            async def compute():
+                runs.append(1)
+                await gate.wait()
+                return 42
+
+            tasks = [
+                asyncio.ensure_future(flight.run("key", compute))
+                for _ in range(5)
+            ]
+            while flight.coalesced < 4:
+                await asyncio.sleep(0)
+            gate.set()
+            return await asyncio.gather(*tasks), runs, flight
+
+        results, runs, flight = run(go())
+        assert results == [42] * 5
+        assert len(runs) == 1
+        assert flight.started == 1
+        assert flight.coalesced == 4
+        assert len(flight) == 0  # done task forgotten
+
+    def test_sequential_calls_do_not_coalesce(self):
+        async def go():
+            flight = SingleFlight()
+
+            async def compute():
+                return "x"
+
+            first = await flight.run("key", compute)
+            second = await flight.run("key", compute)
+            return first, second, flight
+
+        first, second, flight = run(go())
+        assert (first, second) == ("x", "x")
+        assert flight.started == 2
+        assert flight.coalesced == 0
+
+    def test_timeout_abandons_wait_but_not_computation(self):
+        async def go():
+            flight = SingleFlight()
+            gate = asyncio.Event()
+            finished = []
+
+            async def compute():
+                await gate.wait()
+                finished.append(True)
+                return "late"
+
+            with pytest.raises(asyncio.TimeoutError):
+                await flight.run("key", compute, timeout=0.01)
+            # The shielded task is still in flight; a new joiner gets it.
+            assert len(flight) == 1
+            gate.set()
+            value = await flight.run("key", compute)
+            return value, finished, flight
+
+        value, finished, flight = run(go())
+        assert value == "late"
+        assert finished == [True]  # ran exactly once, to completion
+        assert flight.started == 1
+        assert flight.coalesced == 1
+
+    def test_leader_exception_propagates_to_all_joiners(self):
+        async def go():
+            flight = SingleFlight()
+            gate = asyncio.Event()
+
+            async def compute():
+                await gate.wait()
+                raise ValueError("bad batch")
+
+            tasks = [
+                asyncio.ensure_future(flight.run("key", compute))
+                for _ in range(3)
+            ]
+            while flight.coalesced < 2:
+                await asyncio.sleep(0)
+            gate.set()
+            return await asyncio.gather(*tasks, return_exceptions=True)
+
+        results = run(go())
+        assert all(isinstance(r, ValueError) for r in results)
+
+
+class TestTTLCache:
+    def test_hit_miss_and_counters(self):
+        cache = TTLCache(max_entries=4, ttl_seconds=10.0)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_expiry_via_injected_clock(self):
+        now = [0.0]
+        cache = TTLCache(max_entries=4, ttl_seconds=5.0, clock=lambda: now[0])
+        cache.put("a", "fresh")
+        now[0] = 4.9
+        assert cache.get("a") == "fresh"
+        now[0] = 5.0
+        assert cache.get("a") is None
+        assert len(cache) == 0  # expired entry dropped on observation
+
+    def test_put_refreshes_ttl(self):
+        now = [0.0]
+        cache = TTLCache(max_entries=4, ttl_seconds=5.0, clock=lambda: now[0])
+        cache.put("a", 1)
+        now[0] = 4.0
+        cache.put("a", 2)
+        now[0] = 8.0
+        assert cache.get("a") == 2
+
+    def test_lru_eviction_prefers_stale_entries(self):
+        cache = TTLCache(max_entries=2, ttl_seconds=100.0)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # touch "a" so "b" is the LRU victim
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            TTLCache(max_entries=0)
+        with pytest.raises(ValueError):
+            TTLCache(ttl_seconds=0)
+
+    def test_clear_resets_counters(self):
+        cache = TTLCache()
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert (cache.hits, cache.misses) == (0, 0)
+
+
+class TestServeMetrics:
+    def test_request_counter_and_histogram(self):
+        metrics = ServeMetrics()
+        metrics.observe_request("estimate", 200, 0.0007)
+        metrics.observe_request("estimate", 200, 0.3)
+        metrics.observe_request("estimate", 400, 0.001)
+        text = metrics.render()
+        assert 'requests_total{endpoint="estimate",status="200"} 2' in text
+        assert 'requests_total{endpoint="estimate",status="400"} 1' in text
+        # Cumulative buckets: the 0.0007s sample is <= 0.001, both
+        # sub-second samples are <= 0.5, all three <= +Inf.
+        assert 'latency_seconds_bucket{endpoint="estimate",le="0.001"} 2' in text
+        assert 'latency_seconds_bucket{endpoint="estimate",le="0.5"} 3' in text
+        assert 'latency_seconds_bucket{endpoint="estimate",le="+Inf"} 3' in text
+        assert 'latency_seconds_count{endpoint="estimate"} 3' in text
+
+    def test_overflow_sample_lands_only_in_inf(self):
+        metrics = ServeMetrics()
+        metrics.observe_request("simulate", 200, 99.0)
+        text = metrics.render()
+        assert 'latency_seconds_bucket{endpoint="simulate",le="10"} 0' in text
+        assert 'latency_seconds_bucket{endpoint="simulate",le="+Inf"} 1' in text
+
+    def test_ratios(self):
+        metrics = ServeMetrics()
+        assert metrics.cache_hit_ratio == 0.0
+        assert metrics.coalesce_ratio == 0.0
+        metrics.record_cache(hits=3, misses=1)
+        metrics.record_flight(started=2, coalesced=6)
+        assert metrics.cache_hit_ratio == pytest.approx(0.75)
+        assert metrics.coalesce_ratio == pytest.approx(0.75)
+        text = metrics.render()
+        assert "repro_serve_response_cache_hit_ratio 0.75" in text
+        assert "repro_serve_coalesce_ratio 0.75" in text
+
+    def test_answer_sources_and_degraded(self):
+        metrics = ServeMetrics()
+        for source in ("table", "table", "cache", "closed-form"):
+            metrics.count_answer(source)
+        metrics.count_degraded()
+        text = metrics.render()
+        assert 'answers_total{source="table"} 2' in text
+        assert 'answers_total{source="cache"} 1' in text
+        assert 'answers_total{source="closed-form"} 1' in text
+        assert "repro_serve_degraded_total 1" in text
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            ServeMetrics(buckets=(1.0, 0.5))
+        with pytest.raises(ValueError):
+            ServeMetrics(buckets=())

@@ -1,0 +1,186 @@
+"""Tests for repro.serve.tables: grids, lookup, and the error contract.
+
+The headline test here is the interpolation-accuracy check promised by
+the ``tables`` module docstring: an :class:`EstimatorTable` built from
+exact Eq. 4 values must stay within :data:`INTERP_REL_ERROR_BOUND` of
+the exact curve on a dense *off-knot* grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.kary_asymptotic import lm_exact_via_conversion
+from repro.analysis.kary_exact import num_leaf_sites
+from repro.exceptions import ExperimentError
+from repro.serve.tables import (
+    DEFAULT_POINTS_PER_DECADE,
+    INTERP_REL_ERROR_BOUND,
+    EstimatorTable,
+    log_spaced_sizes,
+)
+
+
+class TestLogSpacedSizes:
+    def test_endpoints_and_monotonicity(self):
+        sizes = log_spaced_sizes(1, 5000)
+        assert sizes[0] == 1
+        assert sizes[-1] == 5000
+        assert np.all(np.diff(sizes) > 0)
+        assert sizes.dtype == np.int64
+
+    def test_density_tracks_points_per_decade(self):
+        coarse = log_spaced_sizes(1, 10_000, points_per_decade=4)
+        fine = log_spaced_sizes(1, 10_000, points_per_decade=32)
+        assert coarse.size < fine.size
+        # 4 decades at 32/decade, minus integer-rounding collisions at
+        # the small end, still leaves well over half the nominal count.
+        assert fine.size > 64
+
+    def test_degenerate_range_is_two_knots_worth(self):
+        sizes = log_spaced_sizes(7, 7)
+        assert sizes.tolist() == [7]
+
+    @pytest.mark.parametrize("lo,hi", [(0, 10), (5, 4), (-1, 1)])
+    def test_bad_ranges_raise(self, lo, hi):
+        with pytest.raises(ExperimentError):
+            log_spaced_sizes(lo, hi)
+
+    def test_bad_density_raises(self):
+        with pytest.raises(ExperimentError):
+            log_spaced_sizes(1, 100, points_per_decade=0)
+
+
+class TestEstimatorTableValidation:
+    def _table(self, **overrides):
+        fields = dict(
+            name="t",
+            mode="distinct",
+            sizes=np.array([1, 10, 100]),
+            tree_size=np.array([1.0, 9.0, 70.0]),
+            mean_path=np.array([5.0, 5.0, 5.0]),
+            source="closed-form",
+        )
+        fields.update(overrides)
+        return EstimatorTable(**fields)
+
+    def test_valid_table_round_trips(self):
+        table = self._table()
+        assert table.m_min == 1
+        assert table.m_max == 100
+        summary = table.to_dict()
+        assert summary["knots"] == 3
+        assert summary["rel_error_bound"] == INTERP_REL_ERROR_BOUND
+
+    def test_single_knot_rejected(self):
+        with pytest.raises(ExperimentError):
+            self._table(
+                sizes=np.array([5]),
+                tree_size=np.array([2.0]),
+                mean_path=np.array([3.0]),
+            )
+
+    def test_non_increasing_sizes_rejected(self):
+        with pytest.raises(ExperimentError):
+            self._table(sizes=np.array([1, 10, 10]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ExperimentError):
+            self._table(tree_size=np.array([1.0, 9.0]))
+
+    def test_nonpositive_tree_rejected(self):
+        with pytest.raises(ExperimentError):
+            self._table(tree_size=np.array([1.0, 0.0, 70.0]))
+
+
+class TestLookup:
+    def test_knot_queries_return_stored_values(self):
+        table = EstimatorTable.from_closed_form(3.0, 6)
+        for m in (table.m_min, int(table.sizes[len(table.sizes) // 2]), table.m_max):
+            tree, path = table.lookup(m)
+            knot = np.searchsorted(table.sizes, m)
+            assert tree == pytest.approx(table.tree_size[knot], rel=1e-12)
+            assert path == pytest.approx(6.0)
+
+    def test_out_of_range_raises_rather_than_extrapolates(self):
+        table = EstimatorTable.from_closed_form(2.0, 8)
+        assert not table.covers(0)
+        assert not table.covers(table.m_max + 1)
+        with pytest.raises(ExperimentError):
+            table.lookup(0)
+        with pytest.raises(ExperimentError):
+            table.lookup(table.m_max + 1)
+
+    def test_covers_is_inclusive(self):
+        table = EstimatorTable.from_closed_form(2.0, 8)
+        assert table.covers(table.m_min)
+        assert table.covers(table.m_max)
+
+
+class TestInterpolationAccuracy:
+    """The documented error contract, verified against exact Eq. 4."""
+
+    @pytest.mark.parametrize("k,depth", [(2.0, 14), (4.0, 8), (8.0, 5)])
+    def test_off_knot_error_within_documented_bound(self, k, depth):
+        table = EstimatorTable.from_closed_form(k, depth)
+        assert table.rel_error_bound == INTERP_REL_ERROR_BOUND
+        hi = int(np.floor(num_leaf_sites(k, depth))) - 1
+        # Dense integer grid: every admissible m (subsampled above 20k
+        # to keep the test fast), so knots and off-knot points both
+        # appear; the bound is about the off-knot ones.
+        step = max(1, hi // 20_000)
+        m = np.arange(1, hi + 1, step, dtype=float)
+        exact = lm_exact_via_conversion(k, depth, m)
+        interp = np.array([table.lookup(x)[0] for x in m])
+        rel = np.abs(interp - exact) / exact
+        assert rel.max() < INTERP_REL_ERROR_BOUND
+
+    def test_error_shrinks_with_grid_density(self):
+        k, depth = 2.0, 12
+        hi = int(np.floor(num_leaf_sites(k, depth))) - 1
+        m = np.arange(2, hi, dtype=float)
+        exact = lm_exact_via_conversion(k, depth, m)
+
+        def max_err(points_per_decade):
+            table = EstimatorTable.from_closed_form(
+                k, depth, points_per_decade=points_per_decade
+            )
+            interp = np.array([table.lookup(x)[0] for x in m])
+            return np.max(np.abs(interp - exact) / exact)
+
+        assert max_err(32) < max_err(4)
+
+    def test_m_max_truncates_the_grid(self):
+        table = EstimatorTable.from_closed_form(2.0, 10, m_max=100)
+        assert table.m_max == 100
+        assert not table.covers(101)
+
+    def test_too_shallow_tree_rejected(self):
+        with pytest.raises(ExperimentError):
+            EstimatorTable.from_closed_form(2.0, 1)
+
+
+class TestFromSweep:
+    def test_simulation_table_covers_topology_range(self):
+        from repro.experiments.config import MonteCarloConfig
+        from repro.topology.registry import build_topology
+
+        graph = build_topology("arpa")
+        table = EstimatorTable.from_sweep(
+            graph,
+            "arpa",
+            config=MonteCarloConfig(num_sources=4, num_receiver_sets=4, seed=0),
+            rng=0,
+            points_per_decade=DEFAULT_POINTS_PER_DECADE,
+        )
+        assert table.source == "simulation"
+        assert table.m_min == 1
+        assert table.m_max == graph.num_nodes - 1
+        # L(1) is one unicast path, so normalized L/u-bar is exactly 1
+        # in expectation; the table stores the raw averages.
+        tree, path = table.lookup(1)
+        assert tree == pytest.approx(path, rel=0.2)
+        # Small-sample noise allows local dips, but the sweep must grow
+        # overall: a full-group tree dwarfs a single unicast path.
+        assert table.tree_size[-1] > 5 * table.tree_size[0]
