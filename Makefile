@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install lint test bench bench-smoke serve-smoke repro examples clean
+.PHONY: install lint test bench bench-smoke serve-smoke chaos-smoke repro examples clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -11,7 +11,7 @@ install:
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.lint src
 
-test: lint serve-smoke
+test: lint serve-smoke chaos-smoke
 	$(PYTHON) -m pytest tests/
 
 bench:
@@ -24,6 +24,10 @@ bench-smoke:
 # End-to-end estimation-service probe: real sockets, all four endpoints.
 serve-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.cli serve --selftest --topologies arpa --sources 4 --receiver-sets 4
+
+# Seeded fault schedules vs the serving invariants + no-op fire() budget.
+chaos-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/chaos_smoke.py --rounds 50
 
 # Full artifact regeneration into ./reproduction (quick settings).
 repro:

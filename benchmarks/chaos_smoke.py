@@ -1,0 +1,108 @@
+"""Chaos smoke: seeded fault schedules + the no-op fault-point budget.
+
+Two gates, both fast enough for ``make test`` (the suite budget is 30
+seconds; a typical run is well under five):
+
+1. **No-op overhead** — with no plan active, ``FaultPoint.fire()`` must
+   stay under :data:`NOOP_BUDGET_SECONDS` per call.  The fault points
+   sit on production hot paths (the forest cache's compute loop, every
+   simulate dispatch), so "free when disarmed" is a hard requirement,
+   not a nicety.
+2. **Seeded schedules** — ``--rounds`` (default 50) random fault
+   schedules through :func:`repro.faults.chaos.run_serve_rounds`; any
+   violated serving invariant prints the failing seed and a
+   ``run_serve_round(seed=N)`` replay line, then exits nonzero.
+
+Usage::
+
+    python benchmarks/chaos_smoke.py               # 50 rounds
+    python benchmarks/chaos_smoke.py --rounds 10   # quicker spot check
+    python benchmarks/chaos_smoke.py --seed-base 1000
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import faults  # noqa: E402
+from repro.faults.chaos import run_serve_rounds  # noqa: E402
+
+#: Per-call ceiling for a disarmed fire(); the measured cost is a global
+#: load plus an ``is None`` test, two orders of magnitude below this.
+NOOP_BUDGET_SECONDS = 1.5e-6
+
+_SMOKE_POINT = faults.point(
+    "bench.chaos_smoke", "overhead-measurement seam (never armed)"
+)
+
+
+def measure_noop_fire(iterations: int = 200_000, repeats: int = 3) -> float:
+    """Best-of-``repeats`` per-call cost of a disarmed ``fire()``."""
+    assert faults.active_plan() is None, "smoke must run with no plan armed"
+    fire = _SMOKE_POINT.fire
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(iterations):
+            fire()
+        best = min(best, (time.perf_counter() - start) / iterations)
+    return best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--rounds", type=int, default=50,
+        help="number of seeded chaos rounds (default 50)",
+    )
+    parser.add_argument(
+        "--seed-base", type=int, default=0,
+        help="first seed; rounds use seed-base..seed-base+rounds-1",
+    )
+    args = parser.parse_args(argv)
+
+    per_call = measure_noop_fire()
+    print(
+        f"no-op fire(): {per_call * 1e9:.0f} ns/call "
+        f"(budget {NOOP_BUDGET_SECONDS * 1e9:.0f} ns)"
+    )
+    if per_call >= NOOP_BUDGET_SECONDS:
+        print(
+            "chaos smoke FAIL: disarmed fault points are too expensive "
+            "for production hot paths"
+        )
+        return 1
+
+    # The rounds inject failures on purpose; the serving layer's
+    # per-degradation warnings would drown the verdict line.
+    logging.getLogger("repro.serve").setLevel(logging.ERROR)
+    seeds = range(args.seed_base, args.seed_base + args.rounds)
+    start = time.perf_counter()
+    reports = run_serve_rounds(seeds)
+    elapsed = time.perf_counter() - start
+    failed = [report for report in reports if not report.ok]
+    injected = sum(report.injected for report in reports)
+    print(
+        f"{len(reports)} chaos rounds in {elapsed:.1f}s, "
+        f"{injected} faults injected, {len(failed)} failed"
+    )
+    for report in failed:
+        print(report.summary())
+    if failed:
+        print(
+            "chaos smoke FAIL: replay any seed above with "
+            "repro.faults.chaos.run_serve_round(seed=N)"
+        )
+        return 1
+    print("chaos smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -166,6 +166,17 @@ def build_parser() -> argparse.ArgumentParser:
             "exit nonzero on any mismatch"
         ),
     )
+    p_serve.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="JSON_OR_PATH",
+        help=(
+            "activate a fault-injection plan while the selftest probes "
+            "run: inline JSON (starts with '{') or a path to a JSON "
+            "file; see docs/fault-injection.md for the schema "
+            "(requires --selftest)"
+        ),
+    )
 
     p_lint = sub.add_parser(
         "lint", help="run the repro.lint static invariant checks"
@@ -449,6 +460,26 @@ def _cmd_all(args) -> int:
     return 0
 
 
+def _load_fault_plan(spec: str):
+    """``--fault-plan`` value → FaultPlan (inline JSON or a file path)."""
+    import json
+
+    from repro.faults import FaultPlan
+
+    text = spec.strip()
+    if not text.startswith("{"):
+        with open(spec, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"--fault-plan is not valid JSON: {exc}")
+    try:
+        return FaultPlan.from_dict(payload)
+    except ValueError as exc:
+        raise SystemExit(f"--fault-plan rejected: {exc}")
+
+
 def _cmd_serve(args) -> int:
     import asyncio
 
@@ -468,8 +499,17 @@ def _cmd_serve(args) -> int:
         num_receiver_sets=args.receiver_sets,
         deadline_seconds=args.deadline_ms / 1000.0,
     )
+    plan = None
+    if args.fault_plan is not None:
+        if not args.selftest:
+            raise SystemExit(
+                "--fault-plan only applies to --selftest runs; a "
+                "long-running server under a standing fault plan is not "
+                "a supported configuration"
+            )
+        plan = _load_fault_plan(args.fault_plan)
     if args.selftest:
-        return asyncio.run(run_selftest(config))
+        return asyncio.run(run_selftest(config, plan=plan))
     app = ServerApp(EstimationService(config))
     try:
         asyncio.run(app.serve_forever(args.host, args.port))

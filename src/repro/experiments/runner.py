@@ -40,11 +40,13 @@ never cached.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import logging
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import faults
 from repro.exceptions import ExperimentError
 from repro.graph.core import Graph
 from repro.graph.forest_cache import default_forest_cache
@@ -63,8 +65,17 @@ from repro.utils.rng import RandomState, ensure_rng
 
 __all__ = ["measure_sweep", "measure_single_source_sweep"]
 
+logger = logging.getLogger("repro.experiments")
+
 _MODES = ("distinct", "replacement")
 _ENGINES = ("batched", "scalar")
+
+_FP_WORKER_EXIT = faults.point(
+    "runner.worker.exit",
+    "Parent-side, as a worker chunk's result is collected; a 'crash' "
+    "simulates the worker process dying — the chunk must be recomputed "
+    "inline and the source-order reduction stay bit-identical.",
+)
 
 
 def _check_mode(mode: str) -> None:
@@ -300,14 +311,27 @@ def measure_sweep(
             children[lo:hi] for lo, hi in zip(bounds, bounds[1:]) if hi > lo
         ]
         with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
-            chunk_results = list(
-                pool.map(
-                    _source_chunk_partials,
-                    [graph] * len(chunks),
-                    chunks,
-                    *[[arg] * len(chunks) for arg in task_args],
-                )
-            )
+            futures = [
+                pool.submit(_source_chunk_partials, graph, chunk, *task_args)
+                for chunk in chunks
+            ]
+            chunk_results = []
+            for index, (chunk, future) in enumerate(zip(chunks, futures)):
+                try:
+                    _FP_WORKER_EXIT.fire(chunk=index)
+                    chunk_results.append(future.result())
+                except (faults.WorkerCrash, BrokenExecutor) as exc:
+                    # A dead worker costs us its chunk, never the run:
+                    # _source_chunk_partials is a pure function of the
+                    # chunk's seed sequences, so the inline recompute is
+                    # bit-identical to what the worker would have sent.
+                    logger.warning(
+                        "worker for chunk %d/%d died (%s); recomputing inline",
+                        index + 1, len(chunks), exc,
+                    )
+                    chunk_results.append(
+                        _source_chunk_partials(graph, chunk, *task_args)
+                    )
         partials = [p for chunk in chunk_results for p in chunk]
     else:
         partials = [

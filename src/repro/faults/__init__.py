@@ -1,0 +1,40 @@
+"""Deterministic fault injection and virtual time (``repro.faults``).
+
+The package has three layers:
+
+* :mod:`repro.faults.points` — named fault-point seams instrumented
+  into production code (``faults.point(...)`` / ``fire()``), a
+  zero-cost no-op unless a plan is active;
+* :mod:`repro.faults.plan` — seed-scripted :class:`FaultPlan`
+  schedules deciding which firings inject which failures;
+* :mod:`repro.faults.clock` — the injectable :class:`SystemClock` /
+  :class:`VirtualClock` pair behind every timing decision in the
+  serving layer.
+
+:mod:`repro.faults.chaos` builds on all three to run seeded chaos
+rounds against the estimation service; see ``docs/fault-injection.md``.
+"""
+
+from repro.faults.clock import SystemClock, VirtualClock
+from repro.faults.plan import (
+    FaultEvent,
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    WorkerCrash,
+)
+from repro.faults.points import FaultPoint, active_plan, catalog, point
+
+__all__ = [
+    "FaultPoint",
+    "point",
+    "catalog",
+    "active_plan",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultEvent",
+    "FaultInjected",
+    "WorkerCrash",
+    "SystemClock",
+    "VirtualClock",
+]

@@ -1,0 +1,194 @@
+"""Injectable clocks: real monotonic time, or deterministic virtual time.
+
+Every timing decision in the serving layer — TTL expiry in
+:class:`~repro.serve.coalesce.TTLCache`, estimator-table staleness,
+deadline waits around backend computations, and the latency histograms
+behind ``/metrics`` — flows through a single injected clock object
+instead of raw ``time.monotonic()`` reads (lint rule RR008 enforces
+this on ``repro/serve/``).  That one seam is what makes the chaos and
+timing tests instant and deterministic: swap :class:`SystemClock` for a
+:class:`VirtualClock` and "five seconds pass" becomes a method call.
+
+A clock is three things:
+
+* a callable returning monotonic seconds (``now = clock()``) — the
+  drop-in for the ``clock=`` hook ``TTLCache`` already takes;
+* ``await clock.sleep(seconds)`` — an async sleep on that timeline;
+* ``await clock.wait_for(awaitable, timeout)`` — ``asyncio.wait_for``
+  semantics on that timeline (raises :class:`asyncio.TimeoutError`,
+  cancels only the wrapped awaitable, never the underlying shielded
+  computation).
+
+:class:`VirtualClock` only moves when :meth:`VirtualClock.advance` is
+called.  Timers registered by ``sleep``/``wait_for`` fire during the
+advance; ``advance`` may be called from any thread (a fault plan's
+``delay`` action advances from executor threads), so timer wake-ups are
+marshalled onto the registering event loop with
+``call_soon_threadsafe``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+import threading
+import time
+from typing import Any, Awaitable, List, Optional, Tuple
+
+__all__ = ["SystemClock", "VirtualClock"]
+
+
+class SystemClock:
+    """The real monotonic clock (production default).
+
+    ``SystemClock()()`` is ``time.monotonic()``; the async helpers
+    delegate to :mod:`asyncio`, so services constructed without an
+    explicit clock behave exactly as before the clock seam existed.
+    """
+
+    def __call__(self) -> float:
+        return time.monotonic()
+
+    async def sleep(self, seconds: float) -> None:
+        await asyncio.sleep(seconds)
+
+    async def wait_for(self, awaitable: Awaitable, timeout: Optional[float]) -> Any:
+        if timeout is None:
+            return await awaitable
+        return await asyncio.wait_for(awaitable, timeout)
+
+    def __repr__(self) -> str:
+        return "SystemClock()"
+
+
+class _Timer:
+    """One virtual-time wake-up: an event set when the clock passes it."""
+
+    __slots__ = ("deadline", "event", "loop", "cancelled")
+
+    def __init__(
+        self,
+        deadline: float,
+        event: asyncio.Event,
+        loop: asyncio.AbstractEventLoop,
+    ) -> None:
+        self.deadline = deadline
+        self.event = event
+        self.loop = loop
+        self.cancelled = False
+
+
+class VirtualClock:
+    """A manually-advanced monotonic clock for deterministic tests.
+
+    ``clock()`` returns the current virtual time; :meth:`advance` moves
+    it forward and wakes every ``sleep``/``wait_for`` timer whose
+    deadline has been reached.  Nothing ever moves on its own, so a
+    test (or a fault plan's ``delay`` action) controls exactly when a
+    TTL expires or a deadline fires — no real waiting, no flakiness.
+
+    Thread safety: ``advance`` and ``__call__`` may be called from any
+    thread.  Timer events are set via ``call_soon_threadsafe`` on the
+    loop that registered them, so an executor thread advancing the
+    clock correctly wakes coroutines on the serving loop.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._lock = threading.Lock()
+        self._timers: List[Tuple[float, int, _Timer]] = []
+        self._counter = itertools.count()
+
+    def __call__(self) -> float:
+        with self._lock:
+            return self._now
+
+    @property
+    def pending_timers(self) -> int:
+        """Live ``sleep``/``wait_for`` timers (tests poll this to know a
+        deadline wait has actually been registered before advancing)."""
+        with self._lock:
+            return sum(1 for _, _, t in self._timers if not t.cancelled)
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward and fire every timer that comes due."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance time backwards ({seconds})")
+        due: List[_Timer] = []
+        with self._lock:
+            self._now += float(seconds)
+            while self._timers and self._timers[0][0] <= self._now:
+                _, _, timer = heapq.heappop(self._timers)
+                if not timer.cancelled:
+                    due.append(timer)
+            now = self._now
+        for timer in due:
+            try:
+                timer.loop.call_soon_threadsafe(timer.event.set)
+            except RuntimeError:
+                # The registering loop already closed; nobody is waiting.
+                pass
+        return now
+
+    def _register(self, delay: float) -> _Timer:
+        timer = _Timer(
+            deadline=self(), event=asyncio.Event(),
+            loop=asyncio.get_running_loop(),
+        )
+        with self._lock:
+            timer.deadline = self._now + float(delay)
+            if timer.deadline <= self._now:
+                timer.event.set()
+            else:
+                heapq.heappush(
+                    self._timers, (timer.deadline, next(self._counter), timer)
+                )
+        return timer
+
+    def _cancel(self, timer: _Timer) -> None:
+        with self._lock:
+            timer.cancelled = True
+
+    async def sleep(self, seconds: float) -> None:
+        """Block until :meth:`advance` moves past ``now + seconds``."""
+        timer = self._register(seconds)
+        try:
+            await timer.event.wait()
+        finally:
+            self._cancel(timer)
+
+    async def wait_for(self, awaitable: Awaitable, timeout: Optional[float]) -> Any:
+        """``asyncio.wait_for`` semantics against virtual time.
+
+        The timeout fires when :meth:`advance` crosses the deadline —
+        never from wall-clock passage.  On (virtual) timeout the
+        wrapped awaitable is cancelled, matching ``asyncio.wait_for``;
+        callers protecting a shared computation pass a shielded
+        awaitable, exactly as with the real clock.
+        """
+        future = asyncio.ensure_future(awaitable)
+        if timeout is None:
+            return await future
+        timer = self._register(timeout)
+        expiry = asyncio.ensure_future(timer.event.wait())
+        try:
+            done, _pending = await asyncio.wait(
+                {future, expiry}, return_when=asyncio.FIRST_COMPLETED
+            )
+            if future in done:
+                return future.result()
+            future.cancel()
+            # Let the cancellation propagate before reporting timeout.
+            try:
+                await future
+            except asyncio.CancelledError:
+                pass
+            raise asyncio.TimeoutError()
+        finally:
+            self._cancel(timer)
+            if not expiry.done():
+                expiry.cancel()
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now={self():.6f}, timers={self.pending_timers})"

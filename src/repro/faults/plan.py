@@ -1,0 +1,328 @@
+"""Seed-scripted fault plans: what to inject, where, and when.
+
+A :class:`FaultPlan` is a deterministic schedule over the registered
+fault points.  It is built from :class:`FaultSpec` entries — "at point
+``serve.backend.simulate``, raise with probability 0.3, at most twice"
+— plus a seed; every probabilistic decision comes from one seeded
+generator (via :func:`repro.utils.rng.ensure_rng`), so the same plan
+replayed against the same sequence of ``fire()`` calls injects the
+identical fault sequence.  The plan records every trigger in
+:attr:`FaultPlan.events`, which is both the chaos suites' replay
+evidence and the determinism regression anchor.
+
+Actions
+-------
+``raise``
+    Raise :class:`FaultInjected` (an infrastructure failure — it is
+    deliberately *not* a :class:`~repro.exceptions.ReproError`, so the
+    serving layer treats it as a backend fault to degrade around, never
+    as a caller error to 400 on).
+``timeout``
+    Raise :class:`asyncio.TimeoutError` — the deadline fired.
+``reset``
+    Raise :class:`ConnectionResetError` — the peer vanished
+    (socket-layer points).
+``crash``
+    Raise :class:`WorkerCrash` — a worker process died (the runner's
+    fan-out points).
+``delay``
+    Advance the plan's :class:`~repro.faults.clock.VirtualClock` by
+    ``delay_seconds`` — time passes without anybody sleeping.
+``call``
+    Invoke ``spec.callback()`` — the escape hatch chaos tests use to
+    script precise interleavings (not expressible in JSON plans).
+
+Activation installs the plan as the process-global plan consulted by
+every :meth:`FaultPoint.fire`:
+
+>>> plan = FaultPlan([FaultSpec("serve.backend.simulate", "raise")])
+>>> with plan.activate():
+...     pass  # instrumented code now fails per the schedule
+
+JSON round-trip (:meth:`FaultPlan.from_dict` / :meth:`FaultPlan.to_dict`)
+backs the CLI ``--fault-plan`` flag; see ``docs/fault-injection.md``
+for the schema.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.faults.clock import VirtualClock
+from repro.faults.points import _set_active
+
+__all__ = [
+    "FaultInjected",
+    "WorkerCrash",
+    "FaultSpec",
+    "FaultEvent",
+    "FaultPlan",
+]
+
+_ACTIONS = ("raise", "timeout", "reset", "crash", "delay", "call")
+
+
+class FaultInjected(RuntimeError):
+    """An injected infrastructure failure.
+
+    Deliberately rooted at :class:`RuntimeError` rather than
+    ``ReproError``: the serving layer maps ``ReproError`` to HTTP 400
+    (caller mistakes), while injected faults must exercise the
+    *backend-failure* paths — degradation, retries, waiter wake-ups.
+    """
+
+
+class WorkerCrash(FaultInjected):
+    """An injected worker-process death (the runner retries the chunk)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injection rule: where, what, how often.
+
+    Attributes
+    ----------
+    point:
+        Fault-point name the rule matches (exact match).
+    action:
+        One of ``raise`` / ``timeout`` / ``reset`` / ``crash`` /
+        ``delay`` / ``call`` (see the module docstring).
+    probability:
+        Chance an eligible firing injects, decided by the plan's seeded
+        generator.  1.0 (the default) injects on every eligible firing
+        without consuming randomness.
+    max_fires:
+        Stop injecting after this many injections (None = unlimited).
+    skip_first:
+        Let this many matching firings pass before becoming eligible
+        (e.g. "the second table build fails").
+    delay_seconds:
+        Virtual-time advance for ``delay`` actions.
+    message:
+        Text carried by the injected exception.
+    callback:
+        Callable for ``call`` actions (test-only; not serializable).
+    """
+
+    point: str
+    action: str = "raise"
+    probability: float = 1.0
+    max_fires: Optional[int] = None
+    skip_first: int = 0
+    delay_seconds: float = 0.0
+    message: str = ""
+    callback: Optional[Callable[[], None]] = None
+
+    def validate(self) -> None:
+        if self.action not in _ACTIONS:
+            raise ValueError(
+                f"action must be one of {_ACTIONS}, got {self.action!r}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+        if self.max_fires is not None and self.max_fires < 0:
+            raise ValueError(f"max_fires must be >= 0, got {self.max_fires}")
+        if self.skip_first < 0:
+            raise ValueError(f"skip_first must be >= 0, got {self.skip_first}")
+        if self.action == "delay" and self.delay_seconds < 0:
+            raise ValueError(
+                f"delay_seconds must be >= 0, got {self.delay_seconds}"
+            )
+        if self.action == "call" and self.callback is None:
+            raise ValueError("a 'call' spec needs a callback")
+
+    def to_dict(self) -> Dict[str, Any]:
+        if self.callback is not None:
+            raise ValueError("'call' specs with callbacks are not serializable")
+        out: Dict[str, Any] = {"point": self.point, "action": self.action}
+        if self.probability != 1.0:
+            out["probability"] = self.probability
+        if self.max_fires is not None:
+            out["max_fires"] = self.max_fires
+        if self.skip_first:
+            out["skip_first"] = self.skip_first
+        if self.action == "delay":
+            out["delay_seconds"] = self.delay_seconds
+        if self.message:
+            out["message"] = self.message
+        return out
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One entry of a plan's replay log."""
+
+    sequence: int  #: 0-based index of the ``fire()`` call under this plan
+    point: str
+    action: Optional[str]  #: the injected action, or None (passed through)
+    context: Tuple[Tuple[str, Any], ...] = field(default=())
+
+    def injected(self) -> bool:
+        return self.action is not None
+
+
+class FaultPlan:
+    """A deterministic, seeded fault schedule over the point catalog."""
+
+    def __init__(
+        self,
+        specs: Sequence[FaultSpec],
+        seed: int = 0,
+        clock: Optional[VirtualClock] = None,
+        name: str = "",
+    ) -> None:
+        from repro.utils.rng import ensure_rng
+
+        for spec in specs:
+            spec.validate()
+            if spec.action == "delay" and clock is None:
+                raise ValueError(
+                    f"spec for {spec.point!r} uses a 'delay' action but the "
+                    "plan has no VirtualClock to advance"
+                )
+        self.specs: Tuple[FaultSpec, ...] = tuple(specs)
+        self.seed = int(seed)
+        self.clock = clock
+        self.name = name or f"plan-{self.seed}"
+        self._rng = ensure_rng(self.seed)
+        self._lock = threading.Lock()
+        self._by_point: Dict[str, List[int]] = {}
+        for index, spec in enumerate(self.specs):
+            self._by_point.setdefault(spec.point, []).append(index)
+        self._seen: List[int] = [0] * len(self.specs)  # matching firings
+        self._fired: List[int] = [0] * len(self.specs)  # injections done
+        self._sequence = 0
+        self.events: List[FaultEvent] = []
+
+    # -- schedule evaluation --------------------------------------------
+
+    def trigger(self, point_name: str, **context) -> None:
+        """Decide and perform the injection (if any) for one firing.
+
+        Called from :meth:`FaultPoint.fire` — potentially from several
+        threads at once; the decision (counters + RNG draw) is taken
+        under a lock, the injection itself (raise / clock advance /
+        callback) happens outside it.
+        """
+        with self._lock:
+            sequence = self._sequence
+            self._sequence += 1
+            chosen: Optional[FaultSpec] = None
+            for index in self._by_point.get(point_name, ()):
+                spec = self.specs[index]
+                self._seen[index] += 1
+                if chosen is not None:
+                    continue  # keep counting later specs' seen totals
+                if self._seen[index] <= spec.skip_first:
+                    continue
+                if spec.max_fires is not None and (
+                    self._fired[index] >= spec.max_fires
+                ):
+                    continue
+                if spec.probability < 1.0 and (
+                    float(self._rng.random()) >= spec.probability
+                ):
+                    continue
+                self._fired[index] += 1
+                chosen = spec
+            self.events.append(
+                FaultEvent(
+                    sequence=sequence,
+                    point=point_name,
+                    action=None if chosen is None else chosen.action,
+                    context=tuple(sorted(context.items())),
+                )
+            )
+        if chosen is None:
+            return
+        self._inject(chosen)
+
+    def _inject(self, spec: FaultSpec) -> None:
+        message = spec.message or f"injected fault at {spec.point}"
+        if spec.action == "raise":
+            raise FaultInjected(message)
+        if spec.action == "timeout":
+            raise asyncio.TimeoutError(message)
+        if spec.action == "reset":
+            raise ConnectionResetError(message)
+        if spec.action == "crash":
+            raise WorkerCrash(message)
+        if spec.action == "delay":
+            assert self.clock is not None  # enforced at construction
+            self.clock.advance(spec.delay_seconds)
+            return
+        spec.callback()  # "call" (validated at construction)
+
+    # -- bookkeeping -----------------------------------------------------
+
+    @property
+    def injected_count(self) -> int:
+        with self._lock:
+            return sum(self._fired)
+
+    def fired_events(self) -> List[FaultEvent]:
+        """The injections only (the replay-determinism fingerprint)."""
+        with self._lock:
+            return [event for event in self.events if event.injected()]
+
+    # -- activation ------------------------------------------------------
+
+    @contextlib.contextmanager
+    def activate(self):
+        """Install this plan as the process-global active plan."""
+        _set_active(self)
+        try:
+            yield self
+        finally:
+            _set_active(None)
+
+    # -- (de)serialization ----------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "faults": [spec.to_dict() for spec in self.specs],
+        }
+
+    @classmethod
+    def from_dict(
+        cls, payload: Dict[str, Any], clock: Optional[VirtualClock] = None
+    ) -> "FaultPlan":
+        if not isinstance(payload, dict):
+            raise ValueError("a fault plan must be a JSON object")
+        raw_specs = payload.get("faults")
+        if not isinstance(raw_specs, list) or not raw_specs:
+            raise ValueError("fault plan needs a non-empty 'faults' array")
+        allowed = {
+            "point", "action", "probability", "max_fires",
+            "skip_first", "delay_seconds", "message",
+        }
+        specs = []
+        for raw in raw_specs:
+            if not isinstance(raw, dict) or "point" not in raw:
+                raise ValueError(f"each fault needs a 'point': {raw!r}")
+            unknown = set(raw) - allowed
+            if unknown:
+                raise ValueError(
+                    f"unknown fault spec fields {sorted(unknown)} in {raw!r}"
+                )
+            specs.append(FaultSpec(**raw))
+        return cls(
+            specs,
+            seed=int(payload.get("seed", 0)),
+            clock=clock,
+            name=str(payload.get("name", "")),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultPlan(name={self.name!r}, seed={self.seed}, "
+            f"specs={len(self.specs)}, injected={self.injected_count})"
+        )

@@ -1,0 +1,102 @@
+"""Named fault points and the process-global active plan.
+
+A *fault point* is a named seam in production code where a fault plan
+may inject failure: ``_FP = faults.point("forest_cache.compute", ...)``
+at module import, then ``_FP.fire()`` on the hot path.  With no active
+plan, ``fire()`` is a single module-global load and an ``is None``
+test — cheap enough to leave in the hottest loops (the chaos smoke
+benchmark asserts the no-op overhead stays under a microsecond per
+call).  Under an active :class:`~repro.faults.plan.FaultPlan`, the
+plan's seeded schedule decides whether this particular firing raises,
+times out, delays virtual time, or passes through.
+
+Points are registered in a process-wide catalog so documentation,
+``--fault-plan`` validation, and the chaos generators can enumerate
+every seam that exists (:func:`catalog`).  Registration is idempotent
+for an identical description and rejects silent redefinition.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+__all__ = ["FaultPoint", "point", "catalog", "active_plan"]
+
+#: The active plan, or None.  Read on every ``fire()``; written only by
+#: FaultPlan activation under ``_ACTIVATION_LOCK``.
+_ACTIVE = None
+_ACTIVATION_LOCK = threading.Lock()
+
+_CATALOG: Dict[str, "FaultPoint"] = {}
+
+
+class FaultPoint:
+    """One named injection seam.  Create via :func:`point`."""
+
+    __slots__ = ("name", "description")
+
+    def __init__(self, name: str, description: str) -> None:
+        self.name = name
+        self.description = description
+
+    def fire(self, **context) -> None:
+        """Give the active plan (if any) a chance to inject a fault here.
+
+        The injected behavior is whatever the plan's matching specs
+        prescribe — typically raising (``FaultInjected``,
+        ``asyncio.TimeoutError``, ``ConnectionResetError``, ...) or
+        advancing a virtual clock.  With no active plan this returns
+        immediately.
+        """
+        plan = _ACTIVE
+        if plan is None:
+            return
+        plan.trigger(self.name, **context)
+
+    def __repr__(self) -> str:
+        return f"FaultPoint({self.name!r})"
+
+
+def point(name: str, description: str) -> FaultPoint:
+    """Register (or look up) the fault point called ``name``.
+
+    Instrumented modules call this at import time and keep the returned
+    object; registering the same name twice with a different
+    description raises — a point's meaning must not silently drift.
+    """
+    if not name or any(ch.isspace() for ch in name):
+        raise ValueError(f"fault point names must be non-empty tokens, got {name!r}")
+    existing = _CATALOG.get(name)
+    if existing is not None:
+        if existing.description != description:
+            raise ValueError(
+                f"fault point {name!r} already registered with a different "
+                "description"
+            )
+        return existing
+    created = FaultPoint(name, description)
+    _CATALOG[name] = created
+    return created
+
+
+def catalog() -> List[FaultPoint]:
+    """Every registered fault point, sorted by name."""
+    return [_CATALOG[name] for name in sorted(_CATALOG)]
+
+
+def active_plan():
+    """The currently active :class:`FaultPlan`, or None."""
+    return _ACTIVE
+
+
+def _set_active(plan) -> None:
+    """Install/clear the active plan (called by FaultPlan.activate)."""
+    global _ACTIVE
+    with _ACTIVATION_LOCK:
+        if plan is not None and _ACTIVE is not None:
+            raise RuntimeError(
+                "a fault plan is already active; deactivate it before "
+                "activating another (plans do not nest)"
+            )
+        _ACTIVE = plan

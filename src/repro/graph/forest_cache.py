@@ -52,6 +52,7 @@ import threading
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
+from repro import faults
 from repro.exceptions import GraphError
 from repro.graph.core import Graph
 from repro.graph.paths import ShortestPathForest, bfs
@@ -65,6 +66,19 @@ __all__ = [
 
 #: Default capacity of a :class:`ForestCache`, in forests.
 DEFAULT_MAX_ENTRIES = 512
+
+_FP_COMPUTE = faults.point(
+    "forest_cache.compute",
+    "In the single-flight leader, before the BFS runs; a failure here "
+    "must wake every waiter and leave them free to retry — never an "
+    "inherited exception or a hang.",
+)
+_FP_EVICT_RACE = faults.point(
+    "forest_cache.evict_race",
+    "In a waiter, right after the leader's completion event fires and "
+    "before the cache is re-checked; a 'call' action here scripts an "
+    "eviction into the race window the retry loop exists for.",
+)
 
 # fingerprint memo: id(graph) -> (graph, hex digest).  Holding the graph
 # keeps the id stable; the dict is bounded to avoid pinning unbounded
@@ -216,7 +230,9 @@ class ForestCache:
                     self.misses += 1
                     break
             pending.wait()
+            _FP_EVICT_RACE.fire(key=key)
         try:
+            _FP_COMPUTE.fire(key=key)
             forest = bfs(graph, source, tie_break=tie_break, rng=seed)
             with self._lock:
                 self._entries[key] = forest

@@ -1,4 +1,4 @@
-"""The built-in ``repro.lint`` rules (RR001–RR007).
+"""The built-in ``repro.lint`` rules (RR001–RR008).
 
 Each rule encodes one invariant the Monte-Carlo engine's correctness
 arguments rest on; `docs/static-analysis.md` is the narrative version.
@@ -22,6 +22,7 @@ __all__ = [
     "UnregisteredFigureRule",
     "MutableDefaultRule",
     "BlockingAsyncCallRule",
+    "RawClockReadRule",
 ]
 
 _INT32_MAX = 2**31 - 1
@@ -813,3 +814,80 @@ class BlockingAsyncCallRule(Rule):
                 return None
             return f"time.{chain[-1]}()"
         return f"{module}.{chain[-1]}()"
+
+
+# ---------------------------------------------------------------------------
+# RR008 — no raw clock reads in the serving layer
+# ---------------------------------------------------------------------------
+
+#: ``time`` attributes that read a clock (and so bypass the injected one).
+_CLOCK_READS = {
+    "monotonic",
+    "monotonic_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "time",
+    "time_ns",
+}
+
+
+@register_rule
+class RawClockReadRule(Rule):
+    """Serving code reads the injected clock, never ``time.*`` directly."""
+
+    rule_id = "RR008"
+    severity = "error"
+    summary = (
+        "raw time.monotonic()/time.time()/perf_counter() call in "
+        "repro/serve/ — read the service's injected clock instead"
+    )
+    rationale = (
+        "Every timing decision in the serving layer (TTL expiry, "
+        "deadlines, table staleness, latency histograms) flows through "
+        "one injected clock so VirtualClock tests control time "
+        "deterministically.  A direct time.* read is invisible to that "
+        "clock: the code works in production and silently diverges "
+        "under virtual time — exactly the flakiness the seam removes.  "
+        "References (e.g. a ``clock=time.monotonic`` default) are fine; "
+        "only calls are flagged."
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return "repro/serve/" in path
+
+    def begin_file(self, ctx: FileContext) -> None:
+        # module alias -> "time" ("import time as t")
+        self._time_aliases: Set[str] = set()
+        # bare name -> original time attribute ("from time import monotonic")
+        self._clock_names: Dict[str, str] = {}
+
+    def visit_Import(self, node: ast.Import, ctx: FileContext) -> None:
+        for alias in node.names:
+            if alias.name == "time":
+                self._time_aliases.add(alias.asname or "time")
+
+    def visit_ImportFrom(self, node: ast.ImportFrom, ctx: FileContext) -> None:
+        if node.module != "time":
+            return
+        for alias in node.names:
+            if alias.name in _CLOCK_READS:
+                self._clock_names[alias.asname or alias.name] = alias.name
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        chain = _attr_chain(node.func)
+        if chain is None:
+            return
+        if len(chain) == 1:
+            read = self._clock_names.get(chain[0])
+        elif len(chain) == 2 and chain[0] in self._time_aliases:
+            read = chain[1] if chain[1] in _CLOCK_READS else None
+        else:
+            read = None
+        if read is not None:
+            ctx.report(
+                self,
+                node,
+                f"time.{read}() bypasses the injected clock; call the "
+                "service clock (self._clock() / the clock= hook) so "
+                "virtual-time tests stay deterministic",
+            )

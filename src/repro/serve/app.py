@@ -19,13 +19,27 @@ job is framing and lifecycle:
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import json
 import signal
 from typing import Dict, Optional, Set, Tuple
 
+from repro import faults
 from repro.serve.handlers import EstimationService, Response, ServiceConfig
 
 __all__ = ["ServerApp", "run_selftest", "http_request"]
+
+_FP_APP_READ = faults.point(
+    "serve.app.read",
+    "Before reading the next request off a connection; 'reset' simulates "
+    "the client vanishing mid-keep-alive — the connection is dropped, the "
+    "service itself is untouched.",
+)
+_FP_APP_WRITE = faults.point(
+    "serve.app.write",
+    "Before draining a response to the socket; 'reset' simulates the "
+    "client disappearing under a written response, 'delay' a slow reader.",
+)
 
 _MAX_HEADER_BYTES = 64 * 1024
 _MAX_BODY_BYTES = 4 * 1024 * 1024
@@ -115,6 +129,7 @@ class ServerApp:
             task.add_done_callback(self._connections.discard)
         try:
             while not self._stopping.is_set():
+                _FP_APP_READ.fire()
                 try:
                     request = await _read_request(reader)
                 except (ValueError, asyncio.IncompleteReadError) as exc:
@@ -133,6 +148,7 @@ class ServerApp:
                     headers.get("connection", "keep-alive").lower() != "close"
                     and not self._stopping.is_set()
                 )
+                _FP_APP_WRITE.fire()
                 writer.write(_render_response(response, keep_alive))
                 await writer.drain()
                 if not keep_alive:
@@ -211,13 +227,25 @@ async def http_request(
         raw = await reader.read()
     finally:
         writer.close()
-    header_end = raw.index(b"\r\n\r\n")
+    header_end = raw.find(b"\r\n\r\n")
+    if header_end < 0:
+        raise ConnectionResetError("connection closed before a full response")
     status = int(raw[:header_end].split(b"\r\n")[0].split(b" ")[1])
     return status, raw[header_end + 4 :]
 
 
-async def run_selftest(config: Optional[ServiceConfig] = None) -> int:
-    """One request per endpoint over real sockets; 0 iff all pass."""
+async def run_selftest(
+    config: Optional[ServiceConfig] = None,
+    plan: Optional["faults.FaultPlan"] = None,
+) -> int:
+    """One request per endpoint over real sockets; 0 iff all pass.
+
+    With a ``plan`` (the CLI's ``--fault-plan``), the schedule is active
+    while the probes run: the selftest then accepts *degraded* simulate
+    answers (that is the behavior under test) but still fails on any
+    non-200, on a degraded answer from a non-fallback source, and on a
+    degraded answer appearing with no plan active.
+    """
     from repro.analysis.kary_exact import lhat_leaf
 
     config = config or ServiceConfig(
@@ -227,56 +255,72 @@ async def run_selftest(config: Optional[ServiceConfig] = None) -> int:
     app = ServerApp(service)
     await app.start(host="127.0.0.1", port=0)
     failures = []
+    activation = plan.activate() if plan is not None else contextlib.nullcontext()
     try:
         port = app.port
         assert port is not None
-
-        status, body = await http_request(
-            "127.0.0.1", port, "POST", "/v1/estimate",
-            {"k": 4, "depth": 7, "n": 100},
-        )
-        estimate = json.loads(body)
-        expected = float(lhat_leaf(4.0, 7, 100.0))
-        if status != 200:
-            failures.append(f"estimate returned {status}: {estimate}")
-        elif abs(estimate["tree_size"] - expected) > 1e-9 * expected:
-            failures.append(
-                f"estimate mismatch: {estimate['tree_size']} vs {expected}"
+        with activation:
+            status, body = await http_request(
+                "127.0.0.1", port, "POST", "/v1/estimate",
+                {"k": 4, "depth": 7, "n": 100},
             )
-
-        topology = config.topologies[0]
-        status, body = await http_request(
-            "127.0.0.1", port, "POST", "/v1/simulate",
-            {"topology": topology, "m": 5},
-        )
-        simulate = json.loads(body)
-        table = service.tables.get((topology, "distinct"))
-        if status != 200 or table is None:
-            failures.append(f"simulate returned {status}: {simulate}")
-        else:
-            tree, _path = table.lookup(5)
-            if simulate["source"] not in ("table", "cache"):
+            estimate = json.loads(body)
+            expected = float(lhat_leaf(4.0, 7, 100.0))
+            if status != 200:
+                failures.append(f"estimate returned {status}: {estimate}")
+            elif abs(estimate["tree_size"] - expected) > 1e-9 * expected:
                 failures.append(
-                    f"simulate not table-served: {simulate['source']}"
-                )
-            elif abs(simulate["tree_size"] - tree) > 1e-12 * tree:
-                failures.append(
-                    f"simulate mismatch: {simulate['tree_size']} vs {tree}"
+                    f"estimate mismatch: {estimate['tree_size']} vs {expected}"
                 )
 
-        status, body = await http_request("127.0.0.1", port, "GET", "/healthz")
-        health = json.loads(body)
-        if status != 200 or health.get("status") != "ok":
-            failures.append(f"healthz returned {status}: {health}")
+            topology = config.topologies[0]
+            status, body = await http_request(
+                "127.0.0.1", port, "POST", "/v1/simulate",
+                {"topology": topology, "m": 5},
+            )
+            simulate = json.loads(body)
+            table = service.tables.get((topology, "distinct"))
+            if status != 200 or table is None:
+                failures.append(f"simulate returned {status}: {simulate}")
+            elif simulate.get("degraded"):
+                if plan is None:
+                    failures.append(
+                        f"simulate degraded without a fault plan: {simulate}"
+                    )
+                elif simulate["source"] not in ("table", "closed-form"):
+                    failures.append(
+                        "degraded simulate from non-fallback source "
+                        f"{simulate['source']!r}"
+                    )
+            else:
+                tree, _path = table.lookup(5)
+                if simulate["source"] not in ("table", "cache"):
+                    failures.append(
+                        f"simulate not table-served: {simulate['source']}"
+                    )
+                elif abs(simulate["tree_size"] - tree) > 1e-12 * tree:
+                    failures.append(
+                        f"simulate mismatch: {simulate['tree_size']} vs {tree}"
+                    )
 
-        status, body = await http_request("127.0.0.1", port, "GET", "/metrics")
-        metrics_text = body.decode("utf-8")
-        if status != 200 or "repro_serve_requests_total" not in metrics_text:
-            failures.append(f"metrics returned {status}")
+            status, body = await http_request(
+                "127.0.0.1", port, "GET", "/healthz"
+            )
+            health = json.loads(body)
+            if status != 200 or health.get("status") != "ok":
+                failures.append(f"healthz returned {status}: {health}")
+
+            status, body = await http_request(
+                "127.0.0.1", port, "GET", "/metrics"
+            )
+            metrics_text = body.decode("utf-8")
+            if status != 200 or "repro_serve_requests_total" not in metrics_text:
+                failures.append(f"metrics returned {status}")
     finally:
         await app.stop(drain_seconds=2.0)
     for failure in failures:
         print(f"selftest FAIL: {failure}")
     if not failures:
-        print("selftest OK: estimate, simulate, healthz, metrics")
+        suffix = f" (fault plan {plan.name!r} active)" if plan is not None else ""
+        print(f"selftest OK: estimate, simulate, healthz, metrics{suffix}")
     return 1 if failures else 0

@@ -41,10 +41,21 @@ class SingleFlight:
     response cache.
 
     Counters: ``started`` leaders, ``coalesced`` followers.
+
+    ``wait_for`` injects the timeout strategy used by :meth:`run` —
+    production passes nothing (``asyncio.wait_for``); services on a
+    :class:`~repro.faults.clock.VirtualClock` pass ``clock.wait_for`` so
+    deadlines fire on virtual time.
     """
 
-    def __init__(self) -> None:
-        self._inflight: Dict[Hashable, "asyncio.Task[Any]"] = {}
+    def __init__(
+        self,
+        wait_for: Optional[
+            Callable[[Awaitable[Any], Optional[float]], Awaitable[Any]]
+        ] = None,
+    ) -> None:
+        self._inflight: Dict[Hashable, "asyncio.Future[Any]"] = {}
+        self._wait_for = wait_for if wait_for is not None else asyncio.wait_for
         self.started = 0
         self.coalesced = 0
 
@@ -57,17 +68,27 @@ class SingleFlight:
         factory: Callable[[], Awaitable[Any]],
     ) -> Tuple["Awaitable[Any]", bool]:
         """The shared (shielded) awaitable for ``key``, and leadership."""
-        task = self._inflight.get(key)
+        task: "Optional[asyncio.Future[Any]]" = self._inflight.get(key)
         if task is not None and not task.done():
             self.coalesced += 1
             return asyncio.shield(task), False
-        task = asyncio.ensure_future(factory())
+        try:
+            task = asyncio.ensure_future(factory())
+        except Exception as exc:  # repro-lint: disable=RR004 (re-raised via the stored future)
+            # The leader failed synchronously (before a coroutine even
+            # existed).  Surface the failure through the same resolved-
+            # future path as any other leader error so the caller sees
+            # the exception on await and the done-callback below still
+            # clears the entry — no leaked in-flight key, no hung
+            # waiters; later joiners simply elect a fresh leader.
+            task = asyncio.get_running_loop().create_future()
+            task.set_exception(exc)
         self._inflight[key] = task
         self.started += 1
         task.add_done_callback(lambda _t: self._forget(key, _t))
         return asyncio.shield(task), True
 
-    def _forget(self, key: Hashable, task: "asyncio.Task[Any]") -> None:
+    def _forget(self, key: Hashable, task: "asyncio.Future[Any]") -> None:
         if self._inflight.get(key) is task:
             del self._inflight[key]
 
@@ -85,7 +106,7 @@ class SingleFlight:
         shared, _leader = self.join(key, factory)
         if timeout is None:
             return await shared
-        return await asyncio.wait_for(shared, timeout)
+        return await self._wait_for(shared, timeout)
 
 
 class TTLCache:

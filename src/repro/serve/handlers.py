@@ -37,12 +37,13 @@ from __future__ import annotations
 import asyncio
 import json
 import logging
-import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
+from repro import faults
 from repro.exceptions import ReproError
+from repro.faults.clock import SystemClock
 from repro.serve.coalesce import SingleFlight, TTLCache
 from repro.serve.metrics import ServeMetrics
 from repro.serve.tables import EstimatorTable
@@ -50,6 +51,23 @@ from repro.serve.tables import EstimatorTable
 __all__ = ["ServeError", "Response", "ServiceConfig", "EstimationService"]
 
 logger = logging.getLogger("repro.serve")
+
+_FP_SIMULATE = faults.point(
+    "serve.backend.simulate",
+    "Before a coalesced Monte-Carlo run is handed to the thread pool; a "
+    "raise/timeout here fails the shared backend computation, which must "
+    "degrade every waiter, never 500 them.",
+)
+_FP_TABLE_BUILD = faults.point(
+    "serve.table.build",
+    "Before a lazy or refresh estimator-table build; failures must leave "
+    "previously installed tables untouched and degrade the caller.",
+)
+_FP_GRAPH_BUILD = faults.point(
+    "serve.graph.build",
+    "Before a topology build on the thread pool; a failure here must not "
+    "poison the graph cache — the next request retries the build.",
+)
 
 _JSON = "application/json"
 _TEXT = "text/plain; version=0.0.4; charset=utf-8"
@@ -103,6 +121,7 @@ class ServiceConfig:
     points_per_decade: int = 16
     cache_max_entries: int = 4096
     cache_ttl_seconds: float = 300.0
+    table_ttl_seconds: Optional[float] = None
     executor_threads: int = 2
 
     def validate(self) -> None:
@@ -111,6 +130,12 @@ class ServiceConfig:
         if self.deadline_seconds <= 0:
             raise ServeError(
                 500, f"deadline must be positive, got {self.deadline_seconds}"
+            )
+        if self.table_ttl_seconds is not None and self.table_ttl_seconds <= 0:
+            raise ServeError(
+                500,
+                f"table_ttl_seconds must be positive when set, got "
+                f"{self.table_ttl_seconds}",
             )
         if self.executor_threads < 1:
             raise ServeError(500, "executor_threads must be >= 1")
@@ -161,16 +186,23 @@ class EstimationService:
         self,
         config: Optional[ServiceConfig] = None,
         metrics: Optional[ServeMetrics] = None,
+        clock: Optional[Any] = None,
     ) -> None:
         self.config = config or ServiceConfig()
         self.config.validate()
         self.metrics = metrics or ServeMetrics()
+        # Every timing decision below — TTL expiry, deadline waits,
+        # table staleness, latency histograms — reads this one clock, so
+        # tests swap in a VirtualClock and control time explicitly.
+        self._clock = clock if clock is not None else SystemClock()
         self.tables: Dict[Tuple[str, str], EstimatorTable] = {}
+        self._table_built_at: Dict[Tuple[str, str], float] = {}
         self._graphs: Dict[str, Any] = {}
-        self._flight = SingleFlight()
+        self._flight = SingleFlight(wait_for=self._clock.wait_for)
         self._cache = TTLCache(
             max_entries=self.config.cache_max_entries,
             ttl_seconds=self.config.cache_ttl_seconds,
+            clock=self._clock,
         )
         self._executor: Optional[ThreadPoolExecutor] = None
         self._started = False
@@ -266,12 +298,44 @@ class EstimationService:
         if name not in self._graphs:
 
             async def build() -> None:
+                _FP_GRAPH_BUILD.fire(topology=name)
                 self._graphs[name] = await self._in_executor(
                     self._build_graph_sync, name
                 )
 
             await self._flight.run(("graph", name), build, timeout=deadline)
         return self._graphs[name]
+
+    async def _build_table(self, name: str, mode: str) -> None:
+        """One coalesced leader's table (re)build, install on success."""
+        _FP_TABLE_BUILD.fire(topology=name, mode=mode)
+        await self._graph(name, deadline=None)
+        self.tables[(name, mode)] = await self._in_executor(
+            self._build_table_sync, name, mode
+        )
+        self._table_built_at[(name, mode)] = self._clock()
+
+    def _refresh_table(self, name: str, mode: str) -> None:
+        """Kick a coalesced background rebuild of a stale table.
+
+        The stale table keeps serving; a rebuild failure is logged and
+        counted, never surfaced to the request that noticed staleness.
+        """
+
+        async def rebuild() -> None:
+            try:
+                await self._build_table(name, mode)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                logger.warning(
+                    "background table refresh failed for %s/%s "
+                    "(stale table keeps serving): %s",
+                    name, mode, exc,
+                )
+                self.metrics.count_backend_failure()
+
+        self._flight.join(("table-refresh", name, mode), rebuild)
 
     async def _table(
         self, name: str, mode: str, deadline: Optional[float]
@@ -280,19 +344,26 @@ class EstimationService:
 
         Raises :class:`asyncio.TimeoutError` when a lazy build misses
         the deadline — the caller degrades; the build itself continues
-        and installs the table for later requests.
+        and installs the table for later requests.  With
+        ``table_ttl_seconds`` configured, a table past its TTL is still
+        served while a coalesced background rebuild replaces it.
         """
         key = (name, mode)
-        if key not in self.tables:
+        table = self.tables.get(key)
+        if table is not None:
+            ttl = self.config.table_ttl_seconds
+            if ttl is not None and self._table_age(key) >= ttl:
+                self._refresh_table(name, mode)
+            return table
 
-            async def build() -> None:
-                await self._graph(name, deadline=None)
-                self.tables[key] = await self._in_executor(
-                    self._build_table_sync, name, mode
-                )
+        async def build() -> None:
+            await self._build_table(name, mode)
 
-            await self._flight.run(("table", name, mode), build, timeout=deadline)
+        await self._flight.run(("table", name, mode), build, timeout=deadline)
         return self.tables[key]
+
+    def _table_age(self, key: Tuple[str, str]) -> float:
+        return self._clock() - self._table_built_at.get(key, 0.0)
 
     # -- /v1/estimate ----------------------------------------------------
 
@@ -476,6 +547,17 @@ class EstimationService:
                 table = await self._table(req.topology, req.mode, req.deadline)
             except asyncio.TimeoutError:
                 return self._degraded_answer(req)
+            except asyncio.CancelledError:
+                raise
+            except ReproError:
+                raise  # caller mistakes keep their 4xx mapping
+            except Exception as exc:
+                logger.warning(
+                    "table build failed for %s/%s; degrading: %s",
+                    req.topology, req.mode, exc,
+                )
+                self.metrics.count_backend_failure()
+                return self._degraded_answer(req)
             if table.covers(req.m):
                 tree, path = table.lookup(req.m)
                 answer = self._answer(
@@ -491,6 +573,7 @@ class EstimationService:
             # Size outside the grid: fall through to a real run.
 
         async def simulate() -> Dict[str, float]:
+            _FP_SIMULATE.fire(topology=req.topology, m=req.m, mode=req.mode)
             await self._graph(req.topology, deadline=None)
             return await self._in_executor(
                 self._simulate_sync, req.topology, req.m, req.mode
@@ -500,6 +583,17 @@ class EstimationService:
         try:
             result = await self._flight.run(flight_key, simulate, req.deadline)
         except asyncio.TimeoutError:
+            return self._degraded_answer(req)
+        except asyncio.CancelledError:
+            raise
+        except ReproError:
+            raise  # caller mistakes keep their 4xx mapping
+        except Exception as exc:
+            logger.warning(
+                "backend simulation failed for %s m=%d; degrading: %s",
+                req.topology, req.m, exc,
+            )
+            self.metrics.count_backend_failure()
             return self._degraded_answer(req)
         answer = self._answer(
             req,
@@ -518,6 +612,7 @@ class EstimationService:
     # -- /healthz and /metrics -------------------------------------------
 
     def handle_healthz(self) -> Dict[str, Any]:
+        plan = faults.active_plan()
         return {
             "status": "ok" if self._started else "starting",
             "topologies": list(self.config.topologies),
@@ -525,8 +620,14 @@ class EstimationService:
                 table.to_dict()
                 for _key, table in sorted(self.tables.items())
             ],
+            "table_ages_seconds": {
+                f"{name}/{mode}": self._table_age((name, mode))
+                for name, mode in sorted(self.tables)
+            },
+            "table_ttl_seconds": self.config.table_ttl_seconds,
             "inflight": len(self._flight),
             "response_cache_entries": len(self._cache),
+            "fault_plan": None if plan is None else plan.name,
         }
 
     def handle_metrics(self) -> str:
@@ -544,7 +645,7 @@ class EstimationService:
             "/healthz": "healthz",
             "/metrics": "metrics",
         }.get(path, "unknown")
-        start = time.perf_counter()
+        start = self._clock()
         try:
             response = await self._route(method, path, endpoint, body)
         except ServeError as exc:
@@ -558,7 +659,7 @@ class EstimationService:
             logger.exception("unhandled error serving %s %s", method, path)
             response = Response.json(500, {"error": f"internal error: {exc}"})
         self.metrics.observe_request(
-            endpoint, response.status, time.perf_counter() - start
+            endpoint, response.status, self._clock() - start
         )
         return response
 

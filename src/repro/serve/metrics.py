@@ -13,6 +13,8 @@ Series
 * ``repro_serve_answers_total{source}`` — where simulate answers came
   from: ``cache`` / ``table`` / ``simulation`` / ``closed-form``.
 * ``repro_serve_degraded_total`` — deadline-degraded responses.
+* ``repro_serve_backend_failures_total`` — backend computations that
+  failed outright (fault-injected or real, non-timeout).
 * ``repro_serve_coalesced_total`` / ``repro_serve_backend_runs_total``
   — joins versus actual backend computations.
 * ``repro_serve_response_cache_hit_ratio`` and
@@ -69,6 +71,7 @@ class ServeMetrics:
         self._latency: Dict[str, List] = {}
         self._answers: Dict[str, int] = {}
         self.degraded_total = 0
+        self.backend_failures_total = 0
         self.coalesced_total = 0
         self.backend_runs_total = 0
         self.cache_hits = 0
@@ -96,6 +99,11 @@ class ServeMetrics:
 
     def count_degraded(self) -> None:
         self.degraded_total += 1
+
+    def count_backend_failure(self) -> None:
+        """A backend computation failed (not a timeout): the service
+        degraded or, for background refreshes, kept the stale table."""
+        self.backend_failures_total += 1
 
     def record_cache(self, hits: int, misses: int) -> None:
         """Absolute hit/miss counts copied from the response cache."""
@@ -172,6 +180,15 @@ class ServeMetrics:
 
         header("degraded_total", "counter", "Deadline-degraded responses.")
         lines.append(f"{_PREFIX}_degraded_total {self.degraded_total}")
+
+        header(
+            "backend_failures_total",
+            "counter",
+            "Backend computations that failed outright (non-timeout).",
+        )
+        lines.append(
+            f"{_PREFIX}_backend_failures_total {self.backend_failures_total}"
+        )
 
         header(
             "backend_runs_total", "counter", "Backend computations started."

@@ -6,7 +6,9 @@ import time
 
 async def patient_handler():
     await asyncio.sleep(0.01)
-    return time.perf_counter()
+    # Non-blocking time formatting is fine (clock *reads* belong to the
+    # injected clock — that is RR008's, not RR007's, concern).
+    return time.strftime("%H:%M:%S")
 
 
 async def offloaded_handler(loop, path):

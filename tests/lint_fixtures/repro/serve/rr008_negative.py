@@ -1,0 +1,22 @@
+"""RR008 negative fixture: injected-clock discipline in the serving layer."""
+
+import time
+from time import monotonic
+
+
+class Service:
+    def __init__(self, clock=time.monotonic):
+        # A bare reference as a default is fine; only calls are flagged.
+        self._clock = clock
+
+    def observe(self):
+        return self._clock()
+
+
+async def handler(service):
+    started = service._clock()
+    stamp = time.strftime("%H:%M:%S")
+    return started, stamp
+
+
+FALLBACK_CLOCK = monotonic

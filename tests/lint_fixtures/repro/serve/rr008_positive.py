@@ -1,0 +1,19 @@
+"""RR008 positive fixture: raw clock reads in the serving layer."""
+
+import time
+import time as walltime
+from time import monotonic, perf_counter as pc
+
+
+def observe_latency():
+    start = time.perf_counter()  # expect: RR008
+    begin = time.monotonic()  # expect: RR008
+    wall = time.time()  # expect: RR008
+    return start, begin, wall
+
+
+async def deadline_handler():
+    begin = monotonic()  # expect: RR008
+    tick = pc()  # expect: RR008
+    alias = walltime.monotonic_ns()  # expect: RR008
+    return begin, tick, alias

@@ -1,0 +1,266 @@
+"""Chaos tests for the ForestCache: leader death, evict races, torn reads.
+
+The cache's single-flight miss path makes three promises under failure:
+a computing leader that dies wakes its waiters and lets them retry
+(they never inherit its exception and never hang); a waiter that loses
+the evict race goes back around the lookup/compute loop; and whatever
+comes out of the cache is a complete, read-only forest identical to a
+fresh BFS — chaos must never surface a torn or mutated entry.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultInjected, FaultPlan, FaultSpec
+from repro.graph.forest_cache import ForestCache
+from repro.graph.paths import bfs
+from repro.topology.registry import build_topology
+
+JOIN_TIMEOUT = 30.0  # wall-clock backstop: a hung thread fails the test
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_topology("arpa", rng=0)
+
+
+def reference_forest(graph, source):
+    return bfs(graph, source, tie_break="first")
+
+
+def assert_intact(forest, graph, source):
+    """The handed-out forest is complete, correct, and read-only."""
+    expected = reference_forest(graph, source)
+    assert forest.source == source
+    assert np.array_equal(forest.dist, expected.dist)
+    assert np.array_equal(forest.parent, expected.parent)
+    assert not forest.dist.flags.writeable
+    assert not forest.parent.flags.writeable
+    with pytest.raises(ValueError):
+        forest.dist[0] = 99
+
+
+class TestLeaderFailure:
+    def test_dead_leader_wakes_waiters_who_retry(self, graph):
+        cache = ForestCache()
+        plan = FaultPlan(
+            [FaultSpec("forest_cache.compute", "raise", max_fires=1)], seed=0
+        )
+        barrier = threading.Barrier(4)
+        results, errors = [], []
+
+        def request():
+            barrier.wait()
+            try:
+                results.append(cache.forest(graph, 0))
+            except FaultInjected as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=request) for _ in range(4)]
+        with plan.activate():
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=JOIN_TIMEOUT)
+        assert not any(thread.is_alive() for thread in threads), (
+            "a cache waiter hung after its leader was killed"
+        )
+        # Exactly the leader saw the injection; every waiter retried to
+        # a real answer rather than inheriting the leader's exception.
+        assert plan.injected_count == 1
+        assert len(errors) == 1
+        assert len(results) == 3
+        for forest in results:
+            assert_intact(forest, graph, 0)
+        # The key is usable (and cached) afterwards.
+        assert_intact(cache.forest(graph, 0), graph, 0)
+        assert len(cache) == 1
+
+    def test_failed_leader_leaves_no_pending_entry(self, graph):
+        cache = ForestCache()
+        plan = FaultPlan(
+            [FaultSpec("forest_cache.compute", "raise", max_fires=1)], seed=0
+        )
+        with plan.activate():
+            with pytest.raises(FaultInjected):
+                cache.forest(graph, 0)
+            # A leaked pending event would make this second call wait on
+            # a leader that no longer exists.
+            assert cache._pending == {}
+            assert_intact(cache.forest(graph, 0), graph, 0)
+
+
+class TestEvictRace:
+    def test_waiter_losing_the_evict_race_recomputes(self, graph):
+        # Script the race window directly: a pending event that is
+        # already set stands in for a leader that finished; the waiter
+        # wakes, the evict_race callback yanks both the entry and the
+        # pending marker (an eviction landing exactly in the window),
+        # and the waiter must loop around and recompute rather than
+        # error or hang.
+        cache = ForestCache()
+        key = cache._key(graph, 0, "first", None)
+        finished_leader = threading.Event()
+        finished_leader.set()
+        cache._pending[key] = finished_leader
+        raced = []
+
+        def evict_in_the_window():
+            raced.append(cache._entries.pop(key, None))
+            cache._pending.pop(key, None)
+
+        plan = FaultPlan(
+            [
+                FaultSpec(
+                    "forest_cache.evict_race",
+                    "call",
+                    callback=evict_in_the_window,
+                    max_fires=1,
+                )
+            ],
+            seed=0,
+        )
+        with plan.activate():
+            forest = cache.forest(graph, 0)
+        assert plan.injected_count == 1  # the race window was exercised
+        assert raced == [None]  # the entry was already gone (worst case)
+        assert_intact(forest, graph, 0)
+        assert len(cache) == 1
+        assert cache.misses == 1  # the waiter became the new leader
+
+    def test_waiter_winning_the_race_takes_the_hit(self, graph):
+        # Same scripted wake-up, but the entry survives: the woken
+        # waiter must take the cache hit, not recompute.
+        cache = ForestCache()
+        expected = cache.forest(graph, 0)  # populate; misses == 1
+        key = cache._key(graph, 0, "first", None)
+        finished_leader = threading.Event()
+        finished_leader.set()
+        cache._pending[key] = finished_leader
+
+        def clear_pending():
+            cache._pending.pop(key, None)
+
+        plan = FaultPlan(
+            [
+                FaultSpec(
+                    "forest_cache.evict_race",
+                    "call",
+                    callback=clear_pending,
+                    max_fires=1,
+                )
+            ],
+            seed=0,
+        )
+        with plan.activate():
+            forest = cache.forest(graph, 0)
+        assert forest is expected  # shared entry, no recompute
+        assert cache.misses == 1
+        assert cache.hits == 1
+
+
+class TestSeededSchedules:
+    def test_threaded_chaos_never_tears_or_hangs(self, graph):
+        sources = [0, 1, 2, 5]
+        references = {s: reference_forest(graph, s) for s in sources}
+        for seed in range(10):
+            cache = ForestCache()
+            plan = FaultPlan(
+                [
+                    FaultSpec(
+                        "forest_cache.compute",
+                        "raise",
+                        probability=0.5,
+                        max_fires=3,
+                    )
+                ],
+                seed=seed,
+            )
+            barrier = threading.Barrier(8)
+            outcomes = []
+            lock = threading.Lock()
+
+            def request(source):
+                barrier.wait()
+                for _ in range(3):
+                    try:
+                        forest = cache.forest(graph, source)
+                    except FaultInjected:
+                        with lock:
+                            outcomes.append(("injected", source))
+                        continue
+                    ok = (
+                        np.array_equal(forest.dist, references[source].dist)
+                        and np.array_equal(
+                            forest.parent, references[source].parent
+                        )
+                        and not forest.dist.flags.writeable
+                    )
+                    with lock:
+                        outcomes.append(("ok" if ok else "TORN", source))
+
+            threads = [
+                threading.Thread(target=request, args=(sources[i % 4],))
+                for i in range(8)
+            ]
+            with plan.activate():
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join(timeout=JOIN_TIMEOUT)
+            assert not any(t.is_alive() for t in threads), (
+                f"seed {seed}: a thread hung; replay with seed={seed}"
+            )
+            torn = [o for o in outcomes if o[0] == "TORN"]
+            assert not torn, f"seed {seed}: torn forests served: {torn}"
+            assert len(outcomes) == 24  # 8 threads x 3 attempts accounted
+            assert plan.injected_count <= 3  # max_fires honored
+            # Post-plan: every key answers correctly from a clean cache.
+            for source in sources:
+                assert_intact(cache.forest(graph, source), graph, source)
+
+    def test_same_seed_injects_identically(self, graph):
+        # Single-threaded replay of a probabilistic schedule: the
+        # injected/pass pattern is a pure function of the seed.
+        def pattern(seed):
+            cache = ForestCache()
+            plan = FaultPlan(
+                [FaultSpec("forest_cache.compute", "raise", probability=0.5)],
+                seed=seed,
+            )
+            out = []
+            with plan.activate():
+                for attempt in range(12):
+                    cache.clear()
+                    try:
+                        cache.forest(graph, 0)
+                        out.append("ok")
+                    except FaultInjected:
+                        out.append("boom")
+            return out
+
+        assert pattern(3) == pattern(3)
+        assert pattern(3) != pattern(4)
+
+
+class TestSharedEntryProtection:
+    def test_chaos_survivors_cannot_corrupt_the_shared_entry(self, graph):
+        cache = ForestCache()
+        plan = FaultPlan(
+            [FaultSpec("forest_cache.compute", "raise", max_fires=1)], seed=0
+        )
+        with plan.activate():
+            with pytest.raises(FaultInjected):
+                cache.forest(graph, 0)
+            forest = cache.forest(graph, 0)
+        with pytest.raises(ValueError):
+            forest.parent[3] = 7
+        # A mutable borrow is an independent copy: writing it must not
+        # reach the shared entry the next caller gets.
+        borrowed = cache.borrow_mutable(graph, 0)
+        borrowed.dist[:] = -1
+        assert_intact(cache.forest(graph, 0), graph, 0)

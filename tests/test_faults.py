@@ -1,0 +1,384 @@
+"""Unit tests for the fault-injection framework itself (repro.faults).
+
+The chaos suites assume the framework's own guarantees: seeded plans
+replay identically, fault points are free when no plan is active, the
+virtual clock wakes sleepers/deadlines exactly when advanced, and the
+runner's worker-crash retry is bit-identical.  Those guarantees are
+pinned here.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.faults import (
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    SystemClock,
+    VirtualClock,
+    WorkerCrash,
+    active_plan,
+    catalog,
+    point,
+)
+
+#: A point reserved for these tests; registering here also proves the
+#: registry is usable outside the instrumented production modules.
+TEST_POINT = point("tests.faults.demo", "scratch seam for the framework tests")
+
+
+def fire_collect(plan: FaultPlan, n: int, **context) -> list:
+    """Fire the demo point ``n`` times under ``plan``; collect outcomes."""
+    outcomes = []
+    with plan.activate():
+        for _ in range(n):
+            try:
+                TEST_POINT.fire(**context)
+                outcomes.append(None)
+            except Exception as exc:  # noqa: BLE001 - the point of the test
+                outcomes.append(type(exc).__name__)
+    return outcomes
+
+
+class TestFaultPoints:
+    def test_fire_is_a_noop_without_a_plan(self):
+        assert active_plan() is None
+        TEST_POINT.fire(anything="goes")  # must simply return
+
+    def test_registration_is_idempotent_for_same_description(self):
+        again = point("tests.faults.demo", "scratch seam for the framework tests")
+        assert again is TEST_POINT
+
+    def test_redefinition_with_new_description_rejected(self):
+        with pytest.raises(ValueError, match="different"):
+            point("tests.faults.demo", "a drifted meaning")
+
+    def test_bad_names_rejected(self):
+        with pytest.raises(ValueError):
+            point("", "empty")
+        with pytest.raises(ValueError):
+            point("has space", "whitespace")
+
+    def test_catalog_contains_all_instrumented_seams(self):
+        # Points register at import time; pull in the instrumented modules.
+        import repro.experiments.runner  # noqa: F401
+        import repro.graph.forest_cache  # noqa: F401
+        import repro.serve.app  # noqa: F401
+        import repro.serve.handlers  # noqa: F401
+
+        names = {p.name for p in catalog()}
+        assert {
+            "serve.backend.simulate",
+            "serve.table.build",
+            "serve.graph.build",
+            "serve.app.read",
+            "serve.app.write",
+            "forest_cache.compute",
+            "forest_cache.evict_race",
+            "runner.worker.exit",
+        } <= names
+
+    def test_catalog_is_sorted_and_described(self):
+        points = catalog()
+        assert [p.name for p in points] == sorted(p.name for p in points)
+        assert all(p.description for p in points)
+
+    def test_plans_do_not_nest(self):
+        plan = FaultPlan([FaultSpec("tests.faults.demo", "raise")])
+        other = FaultPlan([FaultSpec("tests.faults.demo", "raise")])
+        with plan.activate():
+            assert active_plan() is plan
+            with pytest.raises(RuntimeError, match="already active"):
+                with other.activate():
+                    pass
+        assert active_plan() is None
+
+    def test_deactivation_survives_injected_exceptions(self):
+        plan = FaultPlan([FaultSpec("tests.faults.demo", "raise")])
+        with pytest.raises(FaultInjected):
+            with plan.activate():
+                TEST_POINT.fire()
+                raise AssertionError("unreachable")
+        assert active_plan() is None
+
+
+class TestFaultPlanSchedules:
+    def test_actions_map_to_exception_types(self):
+        for action, expected in (
+            ("raise", FaultInjected),
+            ("timeout", asyncio.TimeoutError),
+            ("reset", ConnectionResetError),
+            ("crash", WorkerCrash),
+        ):
+            plan = FaultPlan([FaultSpec("tests.faults.demo", action)])
+            with plan.activate():
+                with pytest.raises(expected):
+                    TEST_POINT.fire()
+
+    def test_max_fires_and_skip_first(self):
+        plan = FaultPlan(
+            [FaultSpec("tests.faults.demo", "raise", skip_first=2, max_fires=2)]
+        )
+        outcomes = fire_collect(plan, 6)
+        assert outcomes == [None, None, "FaultInjected", "FaultInjected", None, None]
+
+    def test_probability_draws_come_from_the_plan_seed(self):
+        plan = FaultPlan(
+            [FaultSpec("tests.faults.demo", "raise", probability=0.5)], seed=11
+        )
+        outcomes = fire_collect(plan, 20)
+        hits = outcomes.count("FaultInjected")
+        assert 0 < hits < 20  # probabilistic but seeded: some of each
+
+    def test_seeded_schedule_replays_identically(self):
+        # The determinism anchor: same specs + same seed + same firing
+        # sequence => identical injected-event log, down to sequence
+        # numbers and recorded context.
+        def one_run():
+            plan = FaultPlan(
+                [
+                    FaultSpec(
+                        "tests.faults.demo", "raise",
+                        probability=0.4, max_fires=5,
+                    ),
+                    FaultSpec("tests.faults.demo", "timeout", probability=0.3),
+                ],
+                seed=1234,
+            )
+            fire_collect(plan, 40, request=7)
+            return plan.fired_events(), plan.events
+
+        first_fired, first_all = one_run()
+        second_fired, second_all = one_run()
+        assert first_fired == second_fired
+        assert first_all == second_all
+        assert first_fired  # the schedule actually injected something
+        assert all(e.context == (("request", 7),) for e in first_all)
+
+    def test_different_seeds_give_different_schedules(self):
+        def fingerprint(seed):
+            plan = FaultPlan(
+                [FaultSpec("tests.faults.demo", "raise", probability=0.5)],
+                seed=seed,
+            )
+            return tuple(fire_collect(plan, 30))
+
+        assert fingerprint(1) != fingerprint(2)
+
+    def test_first_eligible_spec_wins(self):
+        plan = FaultPlan(
+            [
+                FaultSpec("tests.faults.demo", "raise", max_fires=1),
+                FaultSpec("tests.faults.demo", "timeout"),
+            ]
+        )
+        outcomes = fire_collect(plan, 3)
+        assert outcomes == ["FaultInjected", "TimeoutError", "TimeoutError"]
+
+    def test_call_action_runs_the_callback(self):
+        ran = []
+        plan = FaultPlan(
+            [
+                FaultSpec(
+                    "tests.faults.demo", "call",
+                    callback=lambda: ran.append(True),
+                )
+            ]
+        )
+        with plan.activate():
+            TEST_POINT.fire()
+        assert ran == [True]
+
+    def test_delay_requires_a_virtual_clock(self):
+        with pytest.raises(ValueError, match="VirtualClock"):
+            FaultPlan([FaultSpec("tests.faults.demo", "delay", delay_seconds=1)])
+
+    def test_delay_advances_the_clock(self):
+        clock = VirtualClock()
+        plan = FaultPlan(
+            [FaultSpec("tests.faults.demo", "delay", delay_seconds=2.5)],
+            clock=clock,
+        )
+        with plan.activate():
+            TEST_POINT.fire()
+        assert clock() == pytest.approx(2.5)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec("p", "detonate").validate()
+        with pytest.raises(ValueError):
+            FaultSpec("p", probability=1.5).validate()
+        with pytest.raises(ValueError):
+            FaultSpec("p", max_fires=-1).validate()
+        with pytest.raises(ValueError):
+            FaultSpec("p", skip_first=-1).validate()
+        with pytest.raises(ValueError):
+            FaultSpec("p", "call").validate()  # no callback
+
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            [
+                FaultSpec(
+                    "tests.faults.demo", "raise",
+                    probability=0.25, max_fires=3, skip_first=1,
+                    message="boom",
+                ),
+                FaultSpec("tests.faults.demo", "timeout"),
+            ],
+            seed=99,
+            name="round-trip",
+        )
+        payload = json.loads(json.dumps(plan.to_dict()))
+        restored = FaultPlan.from_dict(payload)
+        assert restored.to_dict() == plan.to_dict()
+        assert restored.seed == 99 and restored.name == "round-trip"
+
+    def test_from_dict_rejects_unknown_fields_and_callbacks(self):
+        with pytest.raises(ValueError, match="unknown"):
+            FaultPlan.from_dict(
+                {"faults": [{"point": "p", "detonator": True}]}
+            )
+        with pytest.raises(ValueError, match="non-empty"):
+            FaultPlan.from_dict({"faults": []})
+        with pytest.raises(ValueError, match="not serializable"):
+            FaultPlan(
+                [FaultSpec("p", "call", callback=lambda: None)]
+            ).to_dict()
+
+
+class TestVirtualClock:
+    def test_reads_and_advance(self):
+        clock = VirtualClock(start=10.0)
+        assert clock() == 10.0
+        assert clock.advance(2.5) == 12.5
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+
+    def test_sleep_wakes_only_when_advanced(self):
+        async def go():
+            clock = VirtualClock()
+            woke = []
+
+            async def sleeper():
+                await clock.sleep(5.0)
+                woke.append(clock())
+
+            task = asyncio.ensure_future(sleeper())
+            for _ in range(5):
+                await asyncio.sleep(0)
+            assert not woke  # no wall-clock passage wakes a virtual sleep
+            clock.advance(4.999)
+            for _ in range(5):
+                await asyncio.sleep(0)
+            assert not woke
+            clock.advance(0.001)
+            await task
+            return woke
+
+        assert run_async(go()) == [5.0]
+
+    def test_wait_for_timeout_and_success(self):
+        async def go():
+            clock = VirtualClock()
+            loop = asyncio.get_running_loop()
+
+            never = loop.create_future()
+            waiter = asyncio.ensure_future(clock.wait_for(never, 3.0))
+            while clock.pending_timers == 0:
+                await asyncio.sleep(0)
+            clock.advance(3.0)
+            with pytest.raises(asyncio.TimeoutError):
+                await waiter
+            assert never.cancelled()  # asyncio.wait_for semantics
+
+            prompt = loop.create_future()
+            waiter = asyncio.ensure_future(clock.wait_for(prompt, 3.0))
+            await asyncio.sleep(0)
+            prompt.set_result("done")
+            assert await waiter == "done"
+            return clock.pending_timers
+
+        assert run_async(go()) == 0  # timers cleaned up either way
+
+    def test_wait_for_respects_shield(self):
+        async def go():
+            clock = VirtualClock()
+            loop = asyncio.get_running_loop()
+            shared = loop.create_future()
+            waiter = asyncio.ensure_future(
+                clock.wait_for(asyncio.shield(shared), 1.0)
+            )
+            while clock.pending_timers == 0:
+                await asyncio.sleep(0)
+            clock.advance(1.0)
+            with pytest.raises(asyncio.TimeoutError):
+                await waiter
+            return shared.cancelled()
+
+        assert run_async(go()) is False  # the computation survives
+
+    def test_advance_from_another_thread_wakes_loop_side_sleepers(self):
+        import threading
+
+        async def go():
+            clock = VirtualClock()
+
+            async def sleeper():
+                await clock.sleep(2.0)
+                return clock()
+
+            task = asyncio.ensure_future(sleeper())
+            while clock.pending_timers == 0:
+                await asyncio.sleep(0)
+            thread = threading.Thread(target=clock.advance, args=(2.0,))
+            thread.start()
+            value = await task
+            thread.join()
+            return value
+
+        assert run_async(go()) == 2.0
+
+    def test_system_clock_is_monotonic_and_async(self):
+        clock = SystemClock()
+        first = clock()
+        second = clock()
+        assert second >= first
+
+        async def go():
+            await clock.sleep(0)
+            return await clock.wait_for(asyncio.sleep(0, result=7), None)
+
+        assert run_async(go()) == 7
+
+
+class TestWorkerCrashRetry:
+    def test_injected_worker_crash_is_bit_identical(self):
+        # The runner's retry path recomputes a crashed worker's chunk
+        # inline; because the chunk is a pure function of its seed
+        # sequences, the measurement must equal the no-fault run bit
+        # for bit.
+        from repro.experiments.config import MonteCarloConfig
+        from repro.experiments.runner import measure_sweep
+        from repro.topology.registry import build_topology
+
+        graph = build_topology("arpa", rng=0)
+        config = MonteCarloConfig(
+            num_sources=4, num_receiver_sets=4, seed=0, num_workers=2
+        )
+        baseline = measure_sweep(graph, [2, 5], config=config)
+
+        plan = FaultPlan(
+            [FaultSpec("runner.worker.exit", "crash", max_fires=1)], seed=5
+        )
+        with plan.activate():
+            crashed = measure_sweep(graph, [2, 5], config=config)
+        assert plan.injected_count == 1
+        assert crashed == baseline
+
+
+def run_async(coro):
+    return asyncio.run(coro)

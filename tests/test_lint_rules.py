@@ -1,6 +1,6 @@
 """Fixture-driven tests for the repro.lint engine and rule set.
 
-Each rule RR001-RR007 has a positive fixture (violation lines carry a
+Each rule RR001-RR008 has a positive fixture (violation lines carry a
 trailing ``# expect: RRnnn`` marker) and a negative fixture that must
 lint clean.  The expected (line -> rule ids) map is parsed out of the
 fixture itself, so fixtures stay self-documenting.
@@ -29,7 +29,9 @@ from repro.lint.__main__ import main as lint_main
 FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
 _EXPECT = re.compile(r"#\s*expect:\s*(?P<ids>[A-Z0-9, ]+)")
 
-RULE_IDS = ("RR001", "RR002", "RR003", "RR004", "RR005", "RR006", "RR007")
+RULE_IDS = (
+    "RR001", "RR002", "RR003", "RR004", "RR005", "RR006", "RR007", "RR008",
+)
 
 RULE_FIXTURES = [
     ("RR001", "rr001_positive.py", "rr001_negative.py"),
@@ -46,6 +48,11 @@ RULE_FIXTURES = [
         "RR007",
         "repro/serve/rr007_positive.py",
         "repro/serve/rr007_negative.py",
+    ),
+    (
+        "RR008",
+        "repro/serve/rr008_positive.py",
+        "repro/serve/rr008_negative.py",
     ),
 ]
 

@@ -1,4 +1,9 @@
-"""Unit tests for the serving primitives: SingleFlight, TTLCache, metrics."""
+"""Unit tests for the serving primitives: SingleFlight, TTLCache, metrics.
+
+Every timing-sensitive case runs on a :class:`VirtualClock` — time moves
+only when the test says so, so there are no real sleeps and no
+scheduler-dependent flakiness.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +11,7 @@ import asyncio
 
 import pytest
 
+from repro.faults import VirtualClock
 from repro.serve.coalesce import SingleFlight, TTLCache
 from repro.serve.metrics import ServeMetrics
 
@@ -60,7 +66,8 @@ class TestSingleFlight:
 
     def test_timeout_abandons_wait_but_not_computation(self):
         async def go():
-            flight = SingleFlight()
+            clock = VirtualClock()
+            flight = SingleFlight(wait_for=clock.wait_for)
             gate = asyncio.Event()
             finished = []
 
@@ -69,8 +76,14 @@ class TestSingleFlight:
                 finished.append(True)
                 return "late"
 
+            waiter = asyncio.ensure_future(
+                flight.run("key", compute, timeout=0.5)
+            )
+            while clock.pending_timers == 0:
+                await asyncio.sleep(0)
+            clock.advance(0.5)  # the deadline fires; no wall-clock waiting
             with pytest.raises(asyncio.TimeoutError):
-                await flight.run("key", compute, timeout=0.01)
+                await waiter
             # The shielded task is still in flight; a new joiner gets it.
             assert len(flight) == 1
             gate.set()
@@ -82,6 +95,55 @@ class TestSingleFlight:
         assert finished == [True]  # ran exactly once, to completion
         assert flight.started == 1
         assert flight.coalesced == 1
+
+    def test_leader_raising_synchronously_does_not_leak_the_entry(self):
+        # Regression: a factory that raises *before* a coroutine exists
+        # must surface the error to the caller and leave no in-flight
+        # entry behind (a leak here would hang every later joiner).
+        async def go():
+            flight = SingleFlight()
+
+            def broken_factory():
+                raise RuntimeError("exploded before the first await")
+
+            with pytest.raises(RuntimeError, match="before the first await"):
+                await flight.run("key", broken_factory)
+            # The failed entry is forgotten; the key is usable again.
+            for _ in range(3):
+                await asyncio.sleep(0)
+            assert len(flight) == 0
+
+            async def healthy():
+                return "recovered"
+
+            return await flight.run("key", healthy), flight
+
+        value, flight = run(go())
+        assert value == "recovered"
+        assert flight.started == 2
+
+    def test_leader_raising_before_first_await_wakes_joiners(self):
+        # A coroutine that raises before its first await fails on the
+        # task's first step; every joiner must see the exception rather
+        # than hang, and the entry must be cleared for retries.
+        async def go():
+            flight = SingleFlight()
+
+            async def compute():
+                raise ValueError("sync failure")
+
+            tasks = [
+                asyncio.ensure_future(flight.run("key", compute))
+                for _ in range(3)
+            ]
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+            for _ in range(3):
+                await asyncio.sleep(0)
+            return results, len(flight)
+
+        results, inflight = run(go())
+        assert all(isinstance(r, ValueError) for r in results)
+        assert inflight == 0
 
     def test_leader_exception_propagates_to_all_joiners(self):
         async def go():
@@ -114,22 +176,22 @@ class TestTTLCache:
         assert (cache.hits, cache.misses) == (1, 1)
 
     def test_expiry_via_injected_clock(self):
-        now = [0.0]
-        cache = TTLCache(max_entries=4, ttl_seconds=5.0, clock=lambda: now[0])
+        clock = VirtualClock()
+        cache = TTLCache(max_entries=4, ttl_seconds=5.0, clock=clock)
         cache.put("a", "fresh")
-        now[0] = 4.9
+        clock.advance(4.9)
         assert cache.get("a") == "fresh"
-        now[0] = 5.0
+        clock.advance(0.1)
         assert cache.get("a") is None
         assert len(cache) == 0  # expired entry dropped on observation
 
     def test_put_refreshes_ttl(self):
-        now = [0.0]
-        cache = TTLCache(max_entries=4, ttl_seconds=5.0, clock=lambda: now[0])
+        clock = VirtualClock()
+        cache = TTLCache(max_entries=4, ttl_seconds=5.0, clock=clock)
         cache.put("a", 1)
-        now[0] = 4.0
+        clock.advance(4.0)
         cache.put("a", 2)
-        now[0] = 8.0
+        clock.advance(4.0)
         assert cache.get("a") == 2
 
     def test_lru_eviction_prefers_stale_entries(self):

@@ -27,6 +27,7 @@ from repro.analysis.kary_exact import (
     num_leaf_sites,
 )
 from repro.analysis.scaling import draws_for_expected_distinct, expected_distinct
+from repro.faults import VirtualClock
 from repro.serve import EstimationService, ServiceConfig
 
 #: Relative tolerance the acceptance criteria demand between
@@ -297,11 +298,18 @@ class TestCoalescing:
 
 class TestDeadlineDegradation:
     def _slow_service_answer(self, payload):
-        """One simulate against a backend that outlives the deadline."""
+        """One simulate against a backend that outlives the deadline.
+
+        The service runs on a :class:`VirtualClock`: the backend stalls
+        on a real event, the deadline passes because the test *advances
+        time*, so nothing here waits out a wall-clock 50 ms.
+        """
         release = threading.Event()
 
         async def go():
-            service = await started_service()
+            clock = VirtualClock()
+            service = EstimationService(small_config(), clock=clock)
+            await service.startup()
             real = service._simulate_sync
 
             def stalled(name, m, mode):
@@ -309,7 +317,13 @@ class TestDeadlineDegradation:
                 return real(name, m, mode)
 
             service._simulate_sync = stalled
-            answer = await service.handle_simulate(payload)
+            request = asyncio.ensure_future(service.handle_simulate(payload))
+            # Once the deadline timer is registered the backend is in
+            # flight; advancing past the deadline degrades the caller.
+            while clock.pending_timers == 0:
+                await asyncio.sleep(0)
+            clock.advance(1.0)
+            answer = await request
             cache_len = len(service._cache)
             # Unblock the abandoned backend run and let it drain so the
             # event loop closes cleanly.

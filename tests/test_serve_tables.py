@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.analysis.kary_asymptotic import lm_exact_via_conversion
 from repro.analysis.kary_exact import num_leaf_sites
@@ -159,6 +161,77 @@ class TestInterpolationAccuracy:
     def test_too_shallow_tree_rejected(self):
         with pytest.raises(ExperimentError):
             EstimatorTable.from_closed_form(2.0, 1)
+
+
+#: (k, depth) cases for the property tests, spanning shallow-bushy to
+#: deep-binary.  Tables are cached per case — hypothesis draws hundreds
+#: of examples, and the table build is the only expensive step.
+KARY_CASES = [(2.0, 10), (2.0, 14), (3.0, 8), (4.0, 7), (8.0, 5)]
+
+_TABLE_CACHE: dict = {}
+
+
+def closed_form_table(k: float, depth: int) -> EstimatorTable:
+    key = (k, depth)
+    if key not in _TABLE_CACHE:
+        _TABLE_CACHE[key] = EstimatorTable.from_closed_form(k, depth)
+    return _TABLE_CACHE[key]
+
+
+kary_case = st.sampled_from(KARY_CASES)
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestLookupProperties:
+    """Hypothesis properties over the whole covered range, not a grid."""
+
+    @given(case=kary_case, frac=unit)
+    @settings(deadline=None)
+    def test_interpolated_answers_within_bound_of_exact_eq4(self, case, frac):
+        k, depth = case
+        table = closed_form_table(k, depth)
+        m = table.m_min + frac * (table.m_max - table.m_min)
+        tree, path = table.lookup(m)
+        exact = float(lm_exact_via_conversion(k, depth, m))
+        assert abs(tree - exact) <= table.rel_error_bound * exact
+        assert path == float(depth)  # leaf receivers sit at depth D
+
+    @given(case=kary_case, f1=unit, f2=unit)
+    @settings(deadline=None)
+    def test_lookup_is_monotone_in_m(self, case, f1, f2):
+        k, depth = case
+        table = closed_form_table(k, depth)
+        span = table.m_max - table.m_min
+        lo, hi = sorted((table.m_min + f1 * span, table.m_min + f2 * span))
+        tree_lo, _ = table.lookup(lo)
+        tree_hi, _ = table.lookup(hi)
+        # More receivers can never shrink the tree; equality is fine
+        # (and exact) when the two draws coincide.
+        assert tree_hi >= tree_lo * (1.0 - 1e-12)
+
+    @given(case=kary_case, frac=unit)
+    @settings(deadline=None)
+    def test_knot_queries_are_exact(self, case, frac):
+        k, depth = case
+        table = closed_form_table(k, depth)
+        index = min(int(frac * table.sizes.size), table.sizes.size - 1)
+        m = int(table.sizes[index])
+        tree, _path = table.lookup(m)
+        assert tree == pytest.approx(float(table.tree_size[index]), rel=1e-12)
+        # The stored knots themselves are exact Eq. 4 through the Eq. 1
+        # conversion, so a knot query is exact, not merely bounded.
+        exact = float(lm_exact_via_conversion(k, depth, float(m)))
+        assert tree == pytest.approx(exact, rel=1e-12)
+
+    @given(case=kary_case, delta=st.floats(min_value=1e-3, max_value=1e6))
+    @settings(deadline=None)
+    def test_lookup_refuses_extrapolation(self, case, delta):
+        k, depth = case
+        table = closed_form_table(k, depth)
+        with pytest.raises(ExperimentError):
+            table.lookup(table.m_max + delta)
+        with pytest.raises(ExperimentError):
+            table.lookup(max(table.m_min - delta, 0.0))
 
 
 class TestFromSweep:
