@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install lint test bench bench-smoke serve-smoke chaos-smoke repro examples clean
+.PHONY: install lint test test-fast bench bench-smoke serve-smoke chaos-smoke obs-smoke regen-golden repro examples clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -11,8 +11,12 @@ install:
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.lint src
 
-test: lint serve-smoke chaos-smoke
-	$(PYTHON) -m pytest tests/
+test: lint serve-smoke chaos-smoke obs-smoke
+	$(PYTHON) -m pytest tests/ --durations=10
+
+# Inner-loop run: skips golden/slow suites and the smoke gates.
+test-fast:
+	$(PYTHON) -m pytest tests/ -m "not golden and not slow"
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -28,6 +32,15 @@ serve-smoke:
 # Seeded fault schedules vs the serving invariants + no-op fire() budget.
 chaos-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/chaos_smoke.py --rounds 50
+
+# Disarmed span/counter overhead budgets + pinned /metrics series names.
+obs-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/obs_smoke.py
+
+# Rewrite tests/golden/*.json; refuses on a dirty tree so a golden
+# refresh is always its own reviewable commit.
+regen-golden:
+	PYTHONPATH=src $(PYTHON) tests/regen_golden.py
 
 # Full artifact regeneration into ./reproduction (quick settings).
 repro:

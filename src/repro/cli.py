@@ -9,6 +9,11 @@ Subcommands map one-to-one onto the experiment drivers:
 * ``repro-mcast ablation WHICH`` — run one of the DESIGN.md ablations.
 * ``repro-mcast serve`` — the asyncio estimation service (repro.serve).
 * ``repro-mcast lint [PATHS]`` — the repro.lint static invariant checks.
+* ``repro-mcast obs ARTIFACT`` — inspect a ``--obs`` run artifact
+  (Prometheus metrics document + trace span table).
+
+Every experiment subcommand accepts ``--obs PATH`` to record such an
+artifact (process-wide metrics plus a trace of the run's spans).
 
 All stochastic commands take ``--seed`` and are fully reproducible.
 ``--paper`` switches the Monte-Carlo sample counts to the paper's
@@ -63,6 +68,16 @@ def build_parser() -> argparse.ArgumentParser:
             help=(
                 "worker processes for the Monte-Carlo sweeps "
                 "(results are bit-identical for any N)"
+            ),
+        )
+        p.add_argument(
+            "--obs",
+            metavar="PATH",
+            default=None,
+            help=(
+                "record an observability artifact (metrics + trace "
+                "spans) for this run to PATH; inspect it with "
+                "'repro-mcast obs PATH'"
             ),
         )
 
@@ -176,6 +191,28 @@ def build_parser() -> argparse.ArgumentParser:
             "file; see docs/fault-injection.md for the schema "
             "(requires --selftest)"
         ),
+    )
+
+    p_obs = sub.add_parser(
+        "obs", help="inspect an observability artifact (--obs output)"
+    )
+    p_obs.add_argument(
+        "artifact", help="artifact path written by a run's --obs PATH"
+    )
+    p_obs.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print only the Prometheus metrics document",
+    )
+    p_obs.add_argument(
+        "--trace",
+        action="store_true",
+        help="print only the trace span table",
+    )
+    p_obs.add_argument(
+        "--json",
+        action="store_true",
+        help="dump the raw artifact JSON (pretty-printed)",
     )
 
     p_lint = sub.add_parser(
@@ -526,6 +563,60 @@ def _cmd_lint(args) -> int:
     return run_lint(args.paths, json_output=args.json)
 
 
+def _write_obs_artifact(path: str, command: str, collector) -> None:
+    import json
+
+    from repro import obs
+
+    payload = {
+        "version": 1,
+        "command": command,
+        "metrics": obs.default_registry().to_dict(),
+        "trace": collector.export(),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote observability artifact to {path}")
+
+
+def _cmd_obs(args) -> int:
+    import json
+
+    from repro.obs import MetricsRegistry
+
+    with open(args.artifact, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("version") != 1:
+        raise ReproError(
+            f"unsupported artifact version {payload.get('version')!r}"
+        )
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    show_metrics = args.metrics or not args.trace
+    show_trace = args.trace or not args.metrics
+    if show_metrics:
+        document = MetricsRegistry.from_dict(payload["metrics"]).render()
+        print(f"# metrics recorded by 'repro-mcast {payload['command']}'")
+        print(document, end="")
+    if show_trace:
+        spans = payload.get("trace", [])
+        if show_metrics:
+            print()
+        print(f"trace: {len(spans)} spans")
+        for span in spans:
+            duration = span.get("duration")
+            timing = f"{duration * 1e3:10.3f} ms" if duration is not None else "          --"
+            attrs = " ".join(
+                f"{key}={value}" for key, value in sorted(span["attrs"].items())
+            )
+            parent = span.get("parent_id")
+            nested = "  " if parent is not None else ""
+            print(f"  {timing}  {nested}{span['name']}  {attrs}".rstrip())
+    return 0
+
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "figure": _cmd_figure,
@@ -537,6 +628,7 @@ _COMMANDS = {
     "all": _cmd_all,
     "serve": _cmd_serve,
     "lint": _cmd_lint,
+    "obs": _cmd_obs,
 }
 
 
@@ -544,11 +636,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    record_to = getattr(args, "obs", None)
+    collector = None
+    if record_to:
+        from repro.obs import start_tracing
+
+        collector = start_tracing()
     try:
         return _COMMANDS[args.command](args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if collector is not None:
+            from repro.obs import stop_tracing
+
+            stop_tracing()
+            _write_obs_artifact(record_to, args.command, collector)
 
 
 if __name__ == "__main__":

@@ -15,8 +15,10 @@ Registered ids follow the paper's naming (``"figure1"`` … ``"figure9"``,
 
 from __future__ import annotations
 
+import functools
 from typing import Callable, Dict, List
 
+from repro import obs
 from repro.exceptions import ExperimentError
 
 __all__ = [
@@ -28,13 +30,25 @@ __all__ = [
 
 _REGISTRY: Dict[str, Callable] = {}
 
+_OBS_RUNS = obs.counter(
+    "repro_figure_runs_total",
+    "Figure/study driver invocations, by registered id.",
+    labelnames=("figure",),
+)
+
 
 def register_figure(figure_id: str) -> Callable[[Callable], Callable]:
     """Decorator registering a driver callable under ``figure_id``.
 
-    Re-decorating the *same* callable is idempotent (module reloads);
-    registering a different callable under a taken id raises
-    :class:`~repro.exceptions.ExperimentError`.
+    The registered (and returned) callable is a thin wrapper that
+    counts the run in :mod:`repro.obs` and brackets it in a
+    ``figure.run`` trace span — every driver is instrumented by virtue
+    of following the registration convention RR005 already enforces.
+
+    Re-decorating the *same* callable is idempotent (module reloads
+    hand back the registered wrapper, whether given the wrapper or the
+    original driver); registering a different callable under a taken id
+    raises :class:`~repro.exceptions.ExperimentError`.
     """
     if not isinstance(figure_id, str) or not figure_id:
         raise ExperimentError(
@@ -42,14 +56,24 @@ def register_figure(figure_id: str) -> Callable[[Callable], Callable]:
         )
 
     def decorate(driver: Callable) -> Callable:
+        inner = getattr(driver, "__wrapped__", driver)
         existing = _REGISTRY.get(figure_id)
-        if existing is not None and existing is not driver:
+        if existing is not None:
+            if getattr(existing, "__wrapped__", existing) is inner:
+                return existing
             raise ExperimentError(
                 f"figure id {figure_id!r} is already registered by "
                 f"{existing.__module__}.{existing.__qualname__}"
             )
-        _REGISTRY[figure_id] = driver
-        return driver
+
+        @functools.wraps(inner)
+        def wrapper(*args, **kwargs):
+            _OBS_RUNS.inc(figure=figure_id)
+            with obs.span("figure.run", figure=figure_id):
+                return inner(*args, **kwargs)
+
+        _REGISTRY[figure_id] = wrapper
+        return wrapper
 
     return decorate
 

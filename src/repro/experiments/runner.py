@@ -46,7 +46,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro import faults
+from repro import faults, obs
 from repro.exceptions import ExperimentError
 from repro.graph.core import Graph
 from repro.graph.forest_cache import default_forest_cache
@@ -75,6 +75,27 @@ _FP_WORKER_EXIT = faults.point(
     "Parent-side, as a worker chunk's result is collected; a 'crash' "
     "simulates the worker process dying — the chunk must be recomputed "
     "inline and the source-order reduction stay bit-identical.",
+)
+
+_OBS_SWEEPS = obs.counter(
+    "repro_runner_sweeps_total",
+    "Monte-Carlo sweeps completed.",
+    labelnames=("mode", "engine"),
+)
+_OBS_SAMPLES = obs.counter(
+    "repro_runner_samples_total",
+    "Receiver-set samples measured (sources x receiver sets x sizes).",
+)
+_OBS_CHUNKS = obs.counter(
+    "repro_runner_chunks_total",
+    "Source chunks by execution path: worker processes, the serial "
+    "fallback, or an inline recompute after a worker died.",
+    labelnames=("path",),
+)
+_OBS_RATE = obs.gauge(
+    "repro_runner_samples_per_second",
+    "Throughput of the most recently traced sweep; only updated while "
+    "a trace collector is armed (spans own the clock — see RR009).",
 )
 
 
@@ -305,38 +326,70 @@ def measure_sweep(
     )
 
     num_workers = min(config.num_workers, config.num_sources)
-    if num_workers > 1:
-        bounds = np.linspace(0, len(children), num_workers + 1, dtype=int)
-        chunks = [
-            children[lo:hi] for lo, hi in zip(bounds, bounds[1:]) if hi > lo
-        ]
-        with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
-            futures = [
-                pool.submit(_source_chunk_partials, graph, chunk, *task_args)
-                for chunk in chunks
+    sweep_span = obs.span(
+        "runner.sweep",
+        topology=topology,
+        mode=mode,
+        engine=engine,
+        workers=num_workers,
+        sources=config.num_sources,
+        sizes=len(size_list),
+    )
+    with sweep_span:
+        if num_workers > 1:
+            bounds = np.linspace(0, len(children), num_workers + 1, dtype=int)
+            chunks = [
+                children[lo:hi] for lo, hi in zip(bounds, bounds[1:]) if hi > lo
             ]
-            chunk_results = []
-            for index, (chunk, future) in enumerate(zip(chunks, futures)):
-                try:
-                    _FP_WORKER_EXIT.fire(chunk=index)
-                    chunk_results.append(future.result())
-                except (faults.WorkerCrash, BrokenExecutor) as exc:
-                    # A dead worker costs us its chunk, never the run:
-                    # _source_chunk_partials is a pure function of the
-                    # chunk's seed sequences, so the inline recompute is
-                    # bit-identical to what the worker would have sent.
-                    logger.warning(
-                        "worker for chunk %d/%d died (%s); recomputing inline",
-                        index + 1, len(chunks), exc,
-                    )
-                    chunk_results.append(
-                        _source_chunk_partials(graph, chunk, *task_args)
-                    )
-        partials = [p for chunk in chunk_results for p in chunk]
-    else:
-        partials = [
-            _source_partials(graph, child, *task_args) for child in children
-        ]
+            with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+                futures = [
+                    pool.submit(_source_chunk_partials, graph, chunk, *task_args)
+                    for chunk in chunks
+                ]
+                chunk_results = []
+                for index, (chunk, future) in enumerate(zip(chunks, futures)):
+                    with obs.span(
+                        "runner.chunk", chunk=index, sources=len(chunk)
+                    ) as chunk_span:
+                        try:
+                            _FP_WORKER_EXIT.fire(chunk=index)
+                            chunk_results.append(future.result())
+                            _OBS_CHUNKS.inc(path="worker")
+                        except (faults.WorkerCrash, BrokenExecutor) as exc:
+                            # A dead worker costs us its chunk, never the
+                            # run: _source_chunk_partials is a pure
+                            # function of the chunk's seed sequences, so
+                            # the inline recompute is bit-identical to
+                            # what the worker would have sent.
+                            logger.warning(
+                                "worker for chunk %d/%d died (%s); "
+                                "recomputing inline",
+                                index + 1, len(chunks), exc,
+                            )
+                            chunk_results.append(
+                                _source_chunk_partials(graph, chunk, *task_args)
+                            )
+                            _OBS_CHUNKS.inc(path="inline-recompute")
+                            chunk_span.set(recomputed=True)
+            partials = [p for chunk in chunk_results for p in chunk]
+        else:
+            with obs.span("runner.chunk", chunk=0, sources=len(children)):
+                partials = [
+                    _source_partials(graph, child, *task_args)
+                    for child in children
+                ]
+            _OBS_CHUNKS.inc(path="serial")
+        total_samples = (
+            config.num_sources * config.num_receiver_sets * len(size_list)
+        )
+        _OBS_SWEEPS.inc(mode=mode, engine=engine)
+        _OBS_SAMPLES.inc(total_samples)
+        sweep_span.set(samples=total_samples)
+    # Only spans may read the clock (RR009), so throughput exists only
+    # when a collector is armed: a disarmed span has no duration.
+    elapsed = sweep_span.duration
+    if elapsed:
+        _OBS_RATE.set(total_samples / elapsed)
 
     num_sizes = len(size_list)
     ratio_sum = np.zeros(num_sizes)
@@ -408,10 +461,18 @@ def measure_single_source_sweep(
     exclude = source if exclude_source_site else None
 
     ratios, trees, paths, stds = [], [], [], []
-    links_list, totals_list = _count_samples(
-        counter, generator, graph.num_nodes, size_list,
-        num_receiver_sets, mode, exclude, engine,
-    )
+    with obs.span(
+        "runner.single_source",
+        source=source,
+        mode=mode,
+        engine=engine,
+        sizes=len(size_list),
+    ):
+        links_list, totals_list = _count_samples(
+            counter, generator, graph.num_nodes, size_list,
+            num_receiver_sets, mode, exclude, engine,
+        )
+    _OBS_SAMPLES.inc(num_receiver_sets * len(size_list))
     for size_idx, size in enumerate(size_list):
         links = links_list[size_idx]
         mean_path = totals_list[size_idx] / size

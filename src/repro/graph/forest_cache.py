@@ -52,7 +52,7 @@ import threading
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
-from repro import faults
+from repro import faults, obs
 from repro.exceptions import GraphError
 from repro.graph.core import Graph
 from repro.graph.paths import ShortestPathForest, bfs
@@ -78,6 +78,23 @@ _FP_EVICT_RACE = faults.point(
     "In a waiter, right after the leader's completion event fires and "
     "before the cache is re-checked; a 'call' action here scripts an "
     "eviction into the race window the retry loop exists for.",
+)
+
+# Process-wide mirrors of every cache instance's counters, incremented
+# at the same sites (inside the instance lock) so the obs exposition
+# and the per-instance stats can never disagree about an event.
+_OBS_HITS = obs.counter(
+    "repro_forest_cache_hits_total", "Forest cache lookups served from memory."
+)
+_OBS_MISSES = obs.counter(
+    "repro_forest_cache_misses_total", "Forest cache lookups that ran a BFS."
+)
+_OBS_EVICTIONS = obs.counter(
+    "repro_forest_cache_evictions_total", "Cached forests dropped by LRU."
+)
+_OBS_COALESCED = obs.counter(
+    "repro_forest_cache_coalesced_total",
+    "Lookups that waited on another thread's in-flight BFS.",
 )
 
 # fingerprint memo: id(graph) -> (graph, hex digest).  Holding the graph
@@ -148,6 +165,8 @@ class ForestCache:
         ] = {}
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.coalesced = 0
 
     @property
     def max_entries(self) -> int:
@@ -158,11 +177,34 @@ class ForestCache:
         return len(self._entries)
 
     def clear(self) -> None:
-        """Drop every entry and reset the hit/miss counters."""
+        """Drop every entry and reset the instance counters.
+
+        The process-wide obs mirrors are cumulative and are *not* reset;
+        they describe the process, not one instance's lifetime.
+        """
         with self._lock:
             self._entries.clear()
             self.hits = 0
             self.misses = 0
+            self.evictions = 0
+            self.coalesced = 0
+
+    def stats(self) -> Dict[str, int]:
+        """A consistent snapshot of the counters, taken under the lock.
+
+        Reading ``cache.hits`` and ``cache.misses`` as two attribute
+        loads can interleave with a concurrent lookup and report a pair
+        that never existed; this is the torn-read-free way to observe
+        the cache (and what ``__repr__`` uses).
+        """
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "coalesced": self.coalesced,
+            }
 
     @staticmethod
     def _key(
@@ -222,13 +264,20 @@ class ForestCache:
                 if cached is not None:
                     self._entries.move_to_end(key)
                     self.hits += 1
+                    _OBS_HITS.inc()
                     return self._freeze(cached)
                 pending = self._pending.get(key)
                 if pending is None:
                     pending = threading.Event()
                     self._pending[key] = pending
                     self.misses += 1
+                    _OBS_MISSES.inc()
                     break
+                # Someone else is computing this key: we will block on
+                # their event.  Counted under the same lock as the
+                # hit/miss bookkeeping so snapshots stay consistent.
+                self.coalesced += 1
+                _OBS_COALESCED.inc()
             pending.wait()
             _FP_EVICT_RACE.fire(key=key)
         try:
@@ -239,6 +288,8 @@ class ForestCache:
                 self._entries.move_to_end(key)
                 while len(self._entries) > self._max_entries:
                     self._entries.popitem(last=False)
+                    self.evictions += 1
+                    _OBS_EVICTIONS.inc()
         finally:
             # Wake waiters even on failure; they re-check and recompute.
             with self._lock:
@@ -278,9 +329,11 @@ class ForestCache:
         return copy
 
     def __repr__(self) -> str:
+        stats = self.stats()
         return (
-            f"ForestCache(entries={len(self._entries)}/{self._max_entries}, "
-            f"hits={self.hits}, misses={self.misses})"
+            f"ForestCache(entries={stats['entries']}/{self._max_entries}, "
+            f"hits={stats['hits']}, misses={stats['misses']}, "
+            f"evictions={stats['evictions']}, coalesced={stats['coalesced']})"
         )
 
 

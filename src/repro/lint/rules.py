@@ -891,3 +891,78 @@ class RawClockReadRule(Rule):
                 "service clock (self._clock() / the clock= hook) so "
                 "virtual-time tests stay deterministic",
             )
+
+
+# ---------------------------------------------------------------------------
+# RR009 — instrumented modules time through repro.obs, not time.*
+# ---------------------------------------------------------------------------
+
+#: Path fragments of the modules instrumented by the observability
+#: layer.  ``repro/obs/`` itself is the sanctioned owner of the clock
+#: (its collector seam is how VirtualClock reaches every span) and
+#: ``repro/serve/`` stays under RR008's injected-clock contract.
+_OBS_INSTRUMENTED = ("repro/experiments/", "repro/multicast/", "repro/graph/")
+
+
+@register_rule
+class ObsClockReadRule(Rule):
+    """Instrumented modules read time through repro.obs spans only."""
+
+    rule_id = "RR009"
+    severity = "error"
+    summary = (
+        "raw time.*/perf_counter() call in an obs-instrumented module "
+        "(repro/experiments, repro/multicast, repro/graph) — wrap the "
+        "work in a repro.obs span instead"
+    )
+    rationale = (
+        "The observability layer gives the runner, samplers, caches, "
+        "and figure drivers exactly one timing seam: spans read the "
+        "collector's injectable clock, so chaos tests swap in a "
+        "VirtualClock and traces stay deterministic, and the "
+        "samples/sec gauges always agree with the spans they summarize. "
+        " A raw time.* read reintroduces an invisible second clock — "
+        "timings that drift from the trace and flake under virtual "
+        "time.  References (storing ``time.perf_counter`` as a default "
+        "clock callable) are fine; only calls are flagged."
+    )
+
+    def applies_to(self, path: str) -> bool:
+        if "repro/obs/" in path:
+            return False
+        return any(fragment in path for fragment in _OBS_INSTRUMENTED)
+
+    def begin_file(self, ctx: FileContext) -> None:
+        self._time_aliases: Set[str] = set()
+        self._clock_names: Dict[str, str] = {}
+
+    def visit_Import(self, node: ast.Import, ctx: FileContext) -> None:
+        for alias in node.names:
+            if alias.name == "time":
+                self._time_aliases.add(alias.asname or "time")
+
+    def visit_ImportFrom(self, node: ast.ImportFrom, ctx: FileContext) -> None:
+        if node.module != "time":
+            return
+        for alias in node.names:
+            if alias.name in _CLOCK_READS:
+                self._clock_names[alias.asname or alias.name] = alias.name
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        chain = _attr_chain(node.func)
+        if chain is None:
+            return
+        if len(chain) == 1:
+            read = self._clock_names.get(chain[0])
+        elif len(chain) == 2 and chain[0] in self._time_aliases:
+            read = chain[1] if chain[1] in _CLOCK_READS else None
+        else:
+            read = None
+        if read is not None:
+            ctx.report(
+                self,
+                node,
+                f"time.{read}() is a second, untraceable clock; bracket "
+                "the timed work in repro.obs.span(...) (its collector "
+                "clock is the injectable seam) and read span.duration",
+            )

@@ -29,6 +29,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.exceptions import SamplingError
 from repro.utils.rng import RandomState, ensure_rng
 
@@ -41,6 +42,16 @@ __all__ = [
     "sample_receivers_with_replacement_sweep",
     "eligible_sites",
 ]
+
+# One inc per batch/sweep call (not per set), so the counter costs
+# nothing against the O(num_sets x size) draw it describes.  The
+# distinct scalar draw routes through the batch path and is counted
+# there; the sweep fast paths count their whole sweep in one inc.
+_OBS_SETS = obs.counter(
+    "repro_sampling_receiver_sets_total",
+    "Receiver sets drawn, by sampling convention.",
+    labelnames=("mode",),
+)
 
 
 def eligible_sites(
@@ -122,6 +133,7 @@ def sample_distinct_receivers_batch(
         raise SamplingError(f"num_sets must be >= 1, got {num_sets}")
     pool = _distinct_pool(num_nodes, m, source)
     generator = ensure_rng(rng)
+    _OBS_SETS.inc(num_sets, mode="distinct")
     u = generator.random((num_sets, m))
     size = pool.size
     # All swap targets up front: floor(u * remaining) is uniform on the
@@ -185,6 +197,7 @@ def sample_distinct_receivers_sweep(
             raise SamplingError(f"m must be >= 1, got {m}")
     pool = _distinct_pool(num_nodes, max(size_list), source)
     generator = ensure_rng(rng)
+    _OBS_SETS.inc(num_sets * len(size_list), mode="distinct")
     size = pool.size
     pool32 = pool.astype(np.int32)
     perm = np.repeat(pool32[np.newaxis, :], num_sets, axis=0)
@@ -259,6 +272,7 @@ def sample_receivers_with_replacement(
     """Draw ``n`` receiver sites uniformly with replacement (``L̂(n)``)."""
     pool = _replacement_pool(num_nodes, n, source)
     generator = ensure_rng(rng)
+    _OBS_SETS.inc(mode="replacement")
     return pool[generator.integers(0, pool.size, size=n)]
 
 
@@ -285,6 +299,7 @@ def sample_receivers_with_replacement_sweep(
         if n < 1:
             raise SamplingError(f"n must be >= 1, got {n}")
     generator = ensure_rng(rng)
+    _OBS_SETS.inc(num_sets * len(size_list), mode="replacement")
     pool32 = pool.astype(np.int32)
     return [
         pool32[generator.integers(0, pool.size, size=(num_sets, n))]
@@ -310,5 +325,6 @@ def sample_receivers_with_replacement_batch(
         raise SamplingError(f"num_sets must be >= 1, got {num_sets}")
     pool = _replacement_pool(num_nodes, n, source)
     generator = ensure_rng(rng)
+    _OBS_SETS.inc(num_sets, mode="replacement")
     idx = generator.integers(0, pool.size, size=(num_sets, n))
     return pool.astype(np.int32)[idx]

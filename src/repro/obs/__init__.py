@@ -1,0 +1,97 @@
+"""Unified observability: metrics, trace spans, and profiling hooks.
+
+``repro.obs`` is the one place the tree reads clocks and counts events.
+Three layers, importable from the package root:
+
+* **Metrics** — :class:`Counter` / :class:`Gauge` / :class:`Histogram`
+  children of a :class:`MetricsRegistry` (the primitives the serving
+  layer's ``/metrics`` endpoint is built from).  The module-level
+  :func:`counter` / :func:`gauge` / :func:`histogram` helpers register
+  into the process-wide :func:`default_registry`, which
+  ``GET /metrics`` appends to its own document — instrument a module
+  and the series shows up on the wire with no serve-side change.
+* **Spans** — ``with obs.span("runner.chunk", topology=...) as sp:``
+  records structured timing when a :class:`TraceCollector` is armed
+  (:func:`start_tracing` / :func:`tracing`) and costs one global load
+  when not.  The collector clock is injectable, so
+  :class:`repro.faults.clock.VirtualClock` makes traces deterministic.
+* **Profiling** — ``REPRO_OBS_PROFILE=cprofile|1`` attaches per-span
+  cProfile / ``perf_counter_ns`` captures (see :mod:`repro.obs.profile`).
+
+Instrumented modules must not read ``time.*`` directly — lint rule
+RR009 enforces that the obs seam is the only clock, the same way RR008
+does for the serving layer's injected clock.
+
+See ``docs/observability.md`` for the full tour, including the golden
+regression suite that pins the paper's reproduced numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.obs.profile import PROFILE_ENV, resolve_profile_mode
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+from repro.obs.spans import (
+    Span,
+    TraceCollector,
+    active_collector,
+    span,
+    start_tracing,
+    stop_tracing,
+    tracing,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "default_registry",
+    "counter",
+    "gauge",
+    "histogram",
+    "render_default",
+    "Span",
+    "TraceCollector",
+    "span",
+    "start_tracing",
+    "stop_tracing",
+    "active_collector",
+    "tracing",
+    "PROFILE_ENV",
+    "resolve_profile_mode",
+]
+
+
+def counter(name: str, help_text: str, labelnames: Sequence[str] = ()) -> Counter:
+    """Get-or-create a counter in the process-wide default registry."""
+    return default_registry().counter(name, help_text, labelnames)
+
+
+def gauge(name: str, help_text: str, labelnames: Sequence[str] = ()) -> Gauge:
+    """Get-or-create a gauge in the process-wide default registry."""
+    return default_registry().gauge(name, help_text, labelnames)
+
+
+def histogram(
+    name: str,
+    help_text: str,
+    buckets: Sequence[float] = DEFAULT_BUCKETS,
+    labelnames: Sequence[str] = (),
+) -> Histogram:
+    """Get-or-create a histogram in the process-wide default registry."""
+    return default_registry().histogram(name, help_text, buckets, labelnames)
+
+
+def render_default() -> str:
+    """Prometheus text for the process-wide registry ("" when empty)."""
+    return default_registry().render()

@@ -1,0 +1,123 @@
+"""Opt-in per-span profiling, gated by ``REPRO_OBS_PROFILE``.
+
+Two capture modes, chosen when a collector is armed (the environment is
+read once, in :class:`~repro.obs.spans.TraceCollector`):
+
+* ``REPRO_OBS_PROFILE=cprofile`` — run a :mod:`cProfile` profiler for
+  the span's extent and attach the hottest functions (by cumulative
+  time) to the span's ``profile`` payload.  CPython allows one active
+  profiler per thread, so nested spans only profile the outermost one;
+  inner spans record ``{"mode": "cprofile", "nested": true}``.
+* any other truthy value (``1``, ``ns``, ...) — record the span's
+  extent in wall nanoseconds via ``time.perf_counter_ns``, a
+  cross-check for the collector clock (and the only way to see real
+  time when tracing under a ``VirtualClock``).
+
+With the variable unset/false nothing here runs at all: span entry
+calls :func:`start_capture` once, gets ``None`` back, and skips the
+teardown branch — the disarmed-overhead budget in
+``benchmarks/obs_smoke.py`` covers the whole path.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import threading
+import time
+from typing import Any, Dict, Optional
+
+__all__ = ["PROFILE_ENV", "resolve_profile_mode", "start_capture"]
+
+#: Environment variable read at collector-arm time.
+PROFILE_ENV = "REPRO_OBS_PROFILE"
+
+#: How many functions the cProfile payload keeps (by cumulative time).
+TOP_FUNCTIONS = 10
+
+_FALSE_VALUES = {"", "0", "false", "no", "off"}
+
+# One cProfile per thread: track whether an outer span already owns it.
+_tl = threading.local()
+
+
+def resolve_profile_mode(raw: Optional[str]) -> str:
+    """Normalize an env/override value to ``""``, ``"ns"`` or ``"cprofile"``."""
+    if raw is None:
+        return ""
+    value = raw.strip().lower()
+    if value in _FALSE_VALUES:
+        return ""
+    if value in ("cprofile", "profile"):
+        return "cprofile"
+    return "ns"
+
+
+class _NsCapture:
+    __slots__ = ("_start",)
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter_ns()
+
+    def stop(self) -> Dict[str, Any]:
+        return {"mode": "ns", "elapsed_ns": time.perf_counter_ns() - self._start}
+
+
+class _NestedCapture:
+    __slots__ = ()
+
+    def stop(self) -> Dict[str, Any]:
+        return {"mode": "cprofile", "nested": True}
+
+
+class _CProfileCapture:
+    __slots__ = ("_profiler",)
+
+    def __init__(self) -> None:
+        _tl.profiling = True
+        self._profiler = cProfile.Profile()
+        self._profiler.enable()
+
+    def stop(self) -> Dict[str, Any]:
+        self._profiler.disable()
+        _tl.profiling = False
+        stats = pstats.Stats(self._profiler)
+        rows = []
+        entries = sorted(
+            stats.stats.items(),  # type: ignore[attr-defined]
+            key=lambda item: item[1][3],  # cumulative time
+            reverse=True,
+        )
+        for (filename, line, func), (cc, nc, tt, ct, _callers) in entries[
+            :TOP_FUNCTIONS
+        ]:
+            rows.append(
+                {
+                    "function": f"{filename}:{line}({func})",
+                    "calls": nc,
+                    "tottime": tt,
+                    "cumtime": ct,
+                }
+            )
+        return {
+            "mode": "cprofile",
+            "total_calls": int(stats.total_calls),  # type: ignore[attr-defined]
+            "top": rows,
+        }
+
+
+def start_capture(mode: str):
+    """A capture object for one span, or ``None`` when profiling is off."""
+    if not mode:
+        return None
+    if mode == "ns":
+        return _NsCapture()
+    if getattr(_tl, "profiling", False):
+        return _NestedCapture()
+    try:
+        return _CProfileCapture()
+    except ValueError:
+        # Another profiler (pytest-cov, an outer tool) already owns the
+        # thread; degrade to the timestamp capture rather than erroring.
+        _tl.profiling = False
+        return _NsCapture()

@@ -1,0 +1,476 @@
+"""Process-wide metrics primitives: counters, gauges, histograms.
+
+These are the primitives that previously lived inside
+:mod:`repro.serve.metrics`, promoted so every subsystem — the
+Monte-Carlo runner, the forest cache, the figure drivers, the serving
+layer — records into the same kind of instrument and renders through
+the same Prometheus text exposition (format 0.0.4, the thing every
+scraper and ``curl`` understands).
+
+Model
+-----
+A :class:`MetricsRegistry` owns named metrics; each metric owns labeled
+*children* (one time series per label-value combination).  Metrics are
+get-or-create: re-registering an identical spec returns the existing
+object (so module-level ``obs.counter(...)`` declarations survive
+re-imports), while re-registering a conflicting spec raises
+``ValueError`` instead of silently forking the series.
+
+Worker processes each get their own registry copy; cross-process
+aggregation is explicit — :meth:`MetricsRegistry.to_dict` in the
+worker, :meth:`MetricsRegistry.merge` in the parent (counters and
+histograms add, gauges last-write-wins).
+
+The module-level :func:`default_registry` is the process-wide instance
+the convenience constructors in :mod:`repro.obs` register into; the
+serving layer appends its render to ``GET /metrics``.
+
+Thread safety: every mutation and render holds the owning metric's
+lock.  ``Counter.inc`` on the hot path costs one dict update under a
+lock — a few hundred nanoseconds, cheap enough for per-lookup cache
+counters (gated by ``benchmarks/obs_smoke.py``).
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "default_registry",
+]
+
+#: Histogram upper bounds (seconds) shared by every latency histogram
+#: in the tree.  Table lookups land in the first few buckets, fresh
+#: Monte-Carlo runs in the last few — the spread is the point.
+DEFAULT_BUCKETS = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _fmt(value: float) -> str:
+    """Prometheus-friendly number rendering (no exponent surprises)."""
+    if value == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_str(labelnames: Sequence[str], values: Sequence[str]) -> str:
+    if not labelnames:
+        return ""
+    pairs = ",".join(
+        f'{name}="{value}"' for name, value in zip(labelnames, values)
+    )
+    return "{" + pairs + "}"
+
+
+class _Metric:
+    """Shared plumbing for the three instrument kinds."""
+
+    kind = "untyped"
+
+    def __init__(
+        self, name: str, help_text: str, labelnames: Sequence[str] = ()
+    ) -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        self.name = name
+        self.help = help_text
+        self.labelnames: Tuple[str, ...] = tuple(labelnames)
+        self._lock = threading.Lock()
+
+    def _key(self, labels: Dict[str, object]) -> Tuple[str, ...]:
+        if not labels and not self.labelnames:
+            return ()
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name} expects labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def _header(self) -> List[str]:
+        return [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+
+    # Subclasses: render(), to_child_list(), merge_children().
+
+
+class Counter(_Metric):
+    """A monotonically increasing sum, optionally labeled.
+
+    ``set_total`` exists for one pattern only: mirroring an absolute
+    count owned elsewhere (a cache's internal hit tally) into the
+    exposition, where the source of truth already guarantees
+    monotonicity.  New code should ``inc``.
+    """
+
+    kind = "counter"
+
+    def __init__(
+        self, name: str, help_text: str, labelnames: Sequence[str] = ()
+    ) -> None:
+        super().__init__(name, help_text, labelnames)
+        self._values: Dict[Tuple[str, ...], float] = {}
+        if not self.labelnames:
+            self._values[()] = 0.0
+
+    def inc(self, amount: float = 1, **labels: object) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up; inc({amount})")
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def set_total(self, value: float, **labels: object) -> None:
+        """Overwrite with an absolute total copied from the owner."""
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def value(self, **labels: object) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def render(self) -> List[str]:
+        lines = self._header()
+        with self._lock:
+            children = sorted(self._values.items())
+        for key, value in children:
+            lines.append(
+                f"{self.name}{_label_str(self.labelnames, key)} {_fmt(value)}"
+            )
+        return lines
+
+    def to_child_list(self) -> List:
+        with self._lock:
+            return [[list(key), value] for key, value in sorted(self._values.items())]
+
+    def merge_children(self, children: Iterable) -> None:
+        with self._lock:
+            for key, value in children:
+                key = tuple(key)
+                self._values[key] = self._values.get(key, 0.0) + float(value)
+
+
+class Gauge(_Metric):
+    """A value that can go anywhere (rates, ratios, sizes)."""
+
+    kind = "gauge"
+
+    def __init__(
+        self, name: str, help_text: str, labelnames: Sequence[str] = ()
+    ) -> None:
+        super().__init__(name, help_text, labelnames)
+        self._values: Dict[Tuple[str, ...], float] = {}
+        if not self.labelnames:
+            self._values[()] = 0.0
+
+    def set(self, value: float, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def render(self) -> List[str]:
+        lines = self._header()
+        with self._lock:
+            children = sorted(self._values.items())
+        for key, value in children:
+            lines.append(
+                f"{self.name}{_label_str(self.labelnames, key)} "
+                f"{repr(float(value))}"
+            )
+        return lines
+
+    def to_child_list(self) -> List:
+        with self._lock:
+            return [[list(key), value] for key, value in sorted(self._values.items())]
+
+    def merge_children(self, children: Iterable) -> None:
+        # Gauges are instantaneous readings: the merged-in value wins.
+        with self._lock:
+            for key, value in children:
+                self._values[tuple(key)] = float(value)
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram (``_bucket{le=}``, ``_sum``, ``_count``)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        labelnames: Sequence[str] = (),
+    ) -> None:
+        if not buckets or list(buckets) != sorted(set(buckets)):
+            raise ValueError("buckets must be a sorted, deduplicated sequence")
+        super().__init__(name, help_text, labelnames)
+        self.buckets: Tuple[float, ...] = tuple(float(b) for b in buckets)
+        # child key -> [per-bucket counts + overflow slot, sum, count]
+        self._children: Dict[Tuple[str, ...], List] = {}
+        if not self.labelnames:
+            self._children[()] = self._new_child()
+
+    def _new_child(self) -> List:
+        return [[0] * (len(self.buckets) + 1), 0.0, 0]
+
+    def observe(self, value: float, **labels: object) -> None:
+        import bisect
+
+        key = self._key(labels)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._new_child()
+                self._children[key] = child
+            child[0][bisect.bisect_left(self.buckets, value)] += 1
+            child[1] += float(value)
+            child[2] += 1
+
+    def count(self, **labels: object) -> int:
+        key = self._key(labels)
+        with self._lock:
+            child = self._children.get(key)
+            return child[2] if child is not None else 0
+
+    def sum(self, **labels: object) -> float:
+        key = self._key(labels)
+        with self._lock:
+            child = self._children.get(key)
+            return child[1] if child is not None else 0.0
+
+    def render(self) -> List[str]:
+        lines = self._header()
+        with self._lock:
+            children = sorted(
+                (key, [list(child[0]), child[1], child[2]])
+                for key, child in self._children.items()
+            )
+        for key, (counts, total, n) in children:
+            # The child's labels come first so the unlabeled form reads
+            # `name_bucket{le="x"}` and the labeled one
+            # `name_bucket{endpoint="e",le="x"}`.
+            prefix_labels = ",".join(
+                f'{name}="{value}"'
+                for name, value in zip(self.labelnames, key)
+            )
+            sep = "," if prefix_labels else ""
+            running = 0
+            for bound, bucket in zip(self.buckets, counts):
+                running += bucket
+                lines.append(
+                    f"{self.name}_bucket{{{prefix_labels}{sep}"
+                    f'le="{_fmt(bound)}"}} {running}'
+                )
+            lines.append(
+                f'{self.name}_bucket{{{prefix_labels}{sep}le="+Inf"}} {n}'
+            )
+            label_str = _label_str(self.labelnames, key)
+            lines.append(f"{self.name}_sum{label_str} {repr(float(total))}")
+            lines.append(f"{self.name}_count{label_str} {n}")
+        return lines
+
+    def to_child_list(self) -> List:
+        with self._lock:
+            return [
+                [list(key), {"counts": list(child[0]), "sum": child[1], "count": child[2]}]
+                for key, child in sorted(self._children.items())
+            ]
+
+    def merge_children(self, children: Iterable) -> None:
+        with self._lock:
+            for key, payload in children:
+                key = tuple(key)
+                child = self._children.get(key)
+                if child is None:
+                    child = self._new_child()
+                    self._children[key] = child
+                counts = payload["counts"]
+                if len(counts) != len(child[0]):
+                    raise ValueError(
+                        f"{self.name}: merged histogram has "
+                        f"{len(counts)} buckets, expected {len(child[0])}"
+                    )
+                for i, c in enumerate(counts):
+                    child[0][i] += int(c)
+                child[1] += float(payload["sum"])
+                child[2] += int(payload["count"])
+
+
+class MetricsRegistry:
+    """A named, ordered collection of metrics with one text exposition.
+
+    Registration order is render order, so callers that care about the
+    document layout (the serving layer's pinned ``/metrics`` output)
+    simply register in the order they want to expose.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: "Dict[str, _Metric]" = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls, name: str, *args, **kwargs) -> _Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is None:
+                metric = cls(name, *args, **kwargs)
+                self._metrics[name] = metric
+                return metric
+        created = cls(name, *args, **kwargs)
+        if (
+            type(existing) is not type(created)
+            or existing.labelnames != created.labelnames
+            or getattr(existing, "buckets", None) != getattr(created, "buckets", None)
+        ):
+            raise ValueError(
+                f"metric {name!r} already registered with a different spec"
+            )
+        return existing
+
+    def counter(
+        self, name: str, help_text: str, labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help_text, labelnames)
+
+    def gauge(
+        self, name: str, help_text: str, labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help_text, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        labelnames: Sequence[str] = (),
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help_text, buckets, labelnames
+        )
+
+    def get(self, name: str) -> Optional[_Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return list(self._metrics)
+
+    def render(self) -> str:
+        """The Prometheus text-format document (trailing newline).
+
+        An empty registry renders the empty string so concatenating
+        documents stays valid.
+        """
+        with self._lock:
+            metrics = list(self._metrics.values())
+        lines: List[str] = []
+        for metric in metrics:
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def to_dict(self) -> Dict:
+        """JSON-safe snapshot for artifacts and worker hand-back."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        payload = []
+        for metric in metrics:
+            entry = {
+                "name": metric.name,
+                "kind": metric.kind,
+                "help": metric.help,
+                "labelnames": list(metric.labelnames),
+                "children": metric.to_child_list(),
+            }
+            if isinstance(metric, Histogram):
+                entry["buckets"] = list(metric.buckets)
+            payload.append(entry)
+        return {"version": 1, "metrics": payload}
+
+    def merge(self, payload: Dict) -> None:
+        """Fold a :meth:`to_dict` snapshot (e.g. from a worker) in.
+
+        Counters and histograms add; gauges take the merged-in reading.
+        Unknown metrics are created from the snapshot's spec.
+        """
+        if payload.get("version") != 1:
+            raise ValueError(
+                f"unsupported metrics payload version {payload.get('version')!r}"
+            )
+        kinds = {"counter": self.counter, "gauge": self.gauge}
+        for entry in payload["metrics"]:
+            kind = entry["kind"]
+            if kind == "histogram":
+                metric = self.histogram(
+                    entry["name"],
+                    entry["help"],
+                    buckets=entry["buckets"],
+                    labelnames=entry["labelnames"],
+                )
+            elif kind in kinds:
+                metric = kinds[kind](
+                    entry["name"], entry["help"], labelnames=entry["labelnames"]
+                )
+            else:
+                raise ValueError(f"unknown metric kind {kind!r}")
+            metric.merge_children(entry["children"])
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "MetricsRegistry":
+        registry = cls()
+        registry.merge(payload)
+        return registry
+
+    def reset(self) -> None:
+        """Drop every metric (tests and artifact isolation only)."""
+        with self._lock:
+            self._metrics.clear()
+
+
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry behind :mod:`repro.obs`'s constructors."""
+    return _DEFAULT_REGISTRY

@@ -41,7 +41,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
-from repro import faults
+from repro import faults, obs
 from repro.exceptions import ReproError
 from repro.faults.clock import SystemClock
 from repro.serve.coalesce import SingleFlight, TTLCache
@@ -633,7 +633,10 @@ class EstimationService:
     def handle_metrics(self) -> str:
         self.metrics.record_cache(self._cache.hits, self._cache.misses)
         self.metrics.record_flight(self._flight.started, self._flight.coalesced)
-        return self.metrics.render()
+        # The service's own document first (its series names are pinned),
+        # then the process-wide observability registry: forest-cache,
+        # runner, sampling, and figure series ride the same scrape.
+        return self.metrics.render() + obs.render_default()
 
     # -- routing ---------------------------------------------------------
 

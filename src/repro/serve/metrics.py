@@ -1,12 +1,19 @@
 """Service counters, latency histograms, and Prometheus text rendering.
 
-One :class:`ServeMetrics` instance per service.  The exposition format
-is the Prometheus text format, version 0.0.4 — the thing every scraper
-and ``curl`` understands — rendered on demand by :meth:`render`; there
-is no background collector thread.
+One :class:`ServeMetrics` instance per service.  Since the
+observability layer landed, this module owns no primitives: the
+counter/gauge/histogram instruments and the text exposition live in
+:mod:`repro.obs.registry` (they started here and were promoted), and
+:class:`ServeMetrics` is a thin composition over a private
+:class:`~repro.obs.registry.MetricsRegistry` — private so multiple
+service instances in one process never cross-count.  The classes are
+re-exported here for compatibility.  ``GET /metrics`` additionally
+appends the process-wide :func:`repro.obs.default_registry` document
+(forest-cache, runner, sampling, figure series); see
+:meth:`repro.serve.handlers.EstimationService.handle_metrics`.
 
-Series
-------
+Series (names are pinned — the obs smoke gate checks them name-for-name)
+-----------------------------------------------------------------------
 * ``repro_serve_requests_total{endpoint,status}`` — counter.
 * ``repro_serve_request_latency_seconds`` — histogram per endpoint
   (cumulative ``_bucket{le=...}``, ``_sum``, ``_count``).
@@ -24,86 +31,93 @@ Series
 
 from __future__ import annotations
 
-import bisect
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Sequence
 
-__all__ = ["ServeMetrics", "DEFAULT_BUCKETS"]
-
-#: Histogram upper bounds (seconds).  Table lookups land in the first
-#: few buckets, fresh Monte-Carlo runs in the last few — the spread is
-#: the point of serving from tables.
-DEFAULT_BUCKETS = (
-    0.0005,
-    0.001,
-    0.0025,
-    0.005,
-    0.01,
-    0.025,
-    0.05,
-    0.1,
-    0.25,
-    0.5,
-    1.0,
-    2.5,
-    5.0,
-    10.0,
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
 )
 
+__all__ = [
+    "ServeMetrics",
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
 _PREFIX = "repro_serve"
-
-
-def _fmt(value: float) -> str:
-    """Prometheus-friendly number rendering (no exponent surprises)."""
-    if value == int(value):
-        return str(int(value))
-    return repr(float(value))
 
 
 class ServeMetrics:
     """Mutable counter state behind ``GET /metrics``."""
 
     def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
-        if not buckets or list(buckets) != sorted(set(buckets)):
-            raise ValueError("buckets must be a sorted, deduplicated sequence")
-        self._buckets: Tuple[float, ...] = tuple(float(b) for b in buckets)
-        self._requests: Dict[Tuple[str, int], int] = {}
-        # endpoint -> (per-bucket counts + overflow slot, sum, count)
-        self._latency: Dict[str, List] = {}
-        self._answers: Dict[str, int] = {}
-        self.degraded_total = 0
-        self.backend_failures_total = 0
-        self.coalesced_total = 0
-        self.backend_runs_total = 0
+        registry = MetricsRegistry()
+        # Registration order is the pinned render order.
+        self._requests = registry.counter(
+            f"{_PREFIX}_requests_total",
+            "HTTP requests by endpoint and status.",
+            labelnames=("endpoint", "status"),
+        )
+        self._latency = registry.histogram(
+            f"{_PREFIX}_request_latency_seconds",
+            "Request handling latency by endpoint.",
+            buckets=buckets,
+            labelnames=("endpoint",),
+        )
+        self._answers = registry.counter(
+            f"{_PREFIX}_answers_total",
+            "Simulate answers by source.",
+            labelnames=("source",),
+        )
+        self._degraded = registry.counter(
+            f"{_PREFIX}_degraded_total", "Deadline-degraded responses."
+        )
+        self._backend_failures = registry.counter(
+            f"{_PREFIX}_backend_failures_total",
+            "Backend computations that failed outright (non-timeout).",
+        )
+        self._backend_runs = registry.counter(
+            f"{_PREFIX}_backend_runs_total", "Backend computations started."
+        )
+        self._coalesced = registry.counter(
+            f"{_PREFIX}_coalesced_total",
+            "Requests that joined an identical in-flight computation.",
+        )
+        self._cache_ratio = registry.gauge(
+            f"{_PREFIX}_response_cache_hit_ratio",
+            "TTL+LRU response cache hit fraction.",
+        )
+        self._coalesce_ratio = registry.gauge(
+            f"{_PREFIX}_coalesce_ratio",
+            "Fraction of backend demand absorbed by coalescing.",
+        )
+        self._registry = registry
         self.cache_hits = 0
         self.cache_misses = 0
 
     # -- recording -------------------------------------------------------
 
-    def observe_request(
-        self, endpoint: str, status: int, seconds: Optional[float] = None
-    ) -> None:
-        key = (endpoint, int(status))
-        self._requests[key] = self._requests.get(key, 0) + 1
-        if seconds is None:
-            return
-        hist = self._latency.get(endpoint)
-        if hist is None:
-            hist = [[0] * (len(self._buckets) + 1), 0.0, 0]
-            self._latency[endpoint] = hist
-        hist[0][bisect.bisect_left(self._buckets, seconds)] += 1
-        hist[1] += float(seconds)
-        hist[2] += 1
+    def observe_request(self, endpoint, status, seconds=None) -> None:
+        self._requests.inc(endpoint=endpoint, status=int(status))
+        if seconds is not None:
+            self._latency.observe(float(seconds), endpoint=endpoint)
 
     def count_answer(self, source: str) -> None:
-        self._answers[source] = self._answers.get(source, 0) + 1
+        self._answers.inc(source=source)
 
     def count_degraded(self) -> None:
-        self.degraded_total += 1
+        self._degraded.inc()
 
     def count_backend_failure(self) -> None:
         """A backend computation failed (not a timeout): the service
         degraded or, for background refreshes, kept the stale table."""
-        self.backend_failures_total += 1
+        self._backend_failures.inc()
 
     def record_cache(self, hits: int, misses: int) -> None:
         """Absolute hit/miss counts copied from the response cache."""
@@ -112,10 +126,26 @@ class ServeMetrics:
 
     def record_flight(self, started: int, coalesced: int) -> None:
         """Absolute leader/follower counts copied from the SingleFlight."""
-        self.backend_runs_total = int(started)
-        self.coalesced_total = int(coalesced)
+        self._backend_runs.set_total(int(started))
+        self._coalesced.set_total(int(coalesced))
 
-    # -- derived ratios --------------------------------------------------
+    # -- totals & derived ratios ----------------------------------------
+
+    @property
+    def degraded_total(self) -> int:
+        return int(self._degraded.value())
+
+    @property
+    def backend_failures_total(self) -> int:
+        return int(self._backend_failures.value())
+
+    @property
+    def backend_runs_total(self) -> int:
+        return int(self._backend_runs.value())
+
+    @property
+    def coalesced_total(self) -> int:
+        return int(self._coalesced.value())
 
     @property
     def cache_hit_ratio(self) -> float:
@@ -132,89 +162,6 @@ class ServeMetrics:
 
     def render(self) -> str:
         """The Prometheus text-format document (trailing newline)."""
-        lines: List[str] = []
-
-        def header(name: str, kind: str, help_text: str) -> None:
-            lines.append(f"# HELP {_PREFIX}_{name} {help_text}")
-            lines.append(f"# TYPE {_PREFIX}_{name} {kind}")
-
-        header("requests_total", "counter", "HTTP requests by endpoint and status.")
-        for (endpoint, status), count in sorted(self._requests.items()):
-            lines.append(
-                f'{_PREFIX}_requests_total{{endpoint="{endpoint}",'
-                f'status="{status}"}} {count}'
-            )
-
-        header(
-            "request_latency_seconds",
-            "histogram",
-            "Request handling latency by endpoint.",
-        )
-        for endpoint in sorted(self._latency):
-            counts, total, n = self._latency[endpoint]
-            running = 0
-            for bound, bucket in zip(self._buckets, counts):
-                running += bucket
-                lines.append(
-                    f'{_PREFIX}_request_latency_seconds_bucket{{'
-                    f'endpoint="{endpoint}",le="{_fmt(bound)}"}} {running}'
-                )
-            lines.append(
-                f'{_PREFIX}_request_latency_seconds_bucket{{'
-                f'endpoint="{endpoint}",le="+Inf"}} {n}'
-            )
-            lines.append(
-                f'{_PREFIX}_request_latency_seconds_sum{{'
-                f'endpoint="{endpoint}"}} {repr(total)}'
-            )
-            lines.append(
-                f'{_PREFIX}_request_latency_seconds_count{{'
-                f'endpoint="{endpoint}"}} {n}'
-            )
-
-        header("answers_total", "counter", "Simulate answers by source.")
-        for source, count in sorted(self._answers.items()):
-            lines.append(
-                f'{_PREFIX}_answers_total{{source="{source}"}} {count}'
-            )
-
-        header("degraded_total", "counter", "Deadline-degraded responses.")
-        lines.append(f"{_PREFIX}_degraded_total {self.degraded_total}")
-
-        header(
-            "backend_failures_total",
-            "counter",
-            "Backend computations that failed outright (non-timeout).",
-        )
-        lines.append(
-            f"{_PREFIX}_backend_failures_total {self.backend_failures_total}"
-        )
-
-        header(
-            "backend_runs_total", "counter", "Backend computations started."
-        )
-        lines.append(f"{_PREFIX}_backend_runs_total {self.backend_runs_total}")
-
-        header(
-            "coalesced_total",
-            "counter",
-            "Requests that joined an identical in-flight computation.",
-        )
-        lines.append(f"{_PREFIX}_coalesced_total {self.coalesced_total}")
-
-        header(
-            "response_cache_hit_ratio",
-            "gauge",
-            "TTL+LRU response cache hit fraction.",
-        )
-        lines.append(
-            f"{_PREFIX}_response_cache_hit_ratio {repr(self.cache_hit_ratio)}"
-        )
-
-        header(
-            "coalesce_ratio",
-            "gauge",
-            "Fraction of backend demand absorbed by coalescing.",
-        )
-        lines.append(f"{_PREFIX}_coalesce_ratio {repr(self.coalesce_ratio)}")
-        return "\n".join(lines) + "\n"
+        self._cache_ratio.set(self.cache_hit_ratio)
+        self._coalesce_ratio.set(self.coalesce_ratio)
+        return self._registry.render()

@@ -1,0 +1,27 @@
+"""RR009 negative fixture: timing through the repro.obs span seam."""
+
+import time
+
+from repro import obs
+
+
+def timed_sweep(run):
+    with obs.span("runner.sweep", topology="arpa") as sp:
+        result = run()
+        sp.set(samples=128)
+    # span.duration is the collector clock's reading; no second clock.
+    return result, sp.duration
+
+
+class Collector:
+    def __init__(self, clock=time.perf_counter):
+        # A bare reference as a default clock callable is fine; only
+        # calls are flagged.
+        self._clock = clock
+
+    def now(self):
+        return self._clock()
+
+
+def wall_label():
+    return time.strftime("%H:%M:%S")

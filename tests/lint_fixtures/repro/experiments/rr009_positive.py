@@ -1,0 +1,18 @@
+"""RR009 positive fixture: raw clock reads in an instrumented module."""
+
+import time
+import time as wall
+from time import perf_counter, monotonic as mono
+
+
+def time_a_sweep():
+    start = time.perf_counter()  # expect: RR009
+    stamp = time.time()  # expect: RR009
+    return start, stamp
+
+
+def chunk_timings():
+    begin = perf_counter()  # expect: RR009
+    tick = mono()  # expect: RR009
+    nanos = wall.perf_counter_ns()  # expect: RR009
+    return begin, tick, nanos

@@ -110,3 +110,37 @@ class TestServe:
         code = main(["serve", "--selftest", "--topologies", "atlantis"])
         assert code != 0
         assert "atlantis" in capsys.readouterr().err
+
+
+class TestObs:
+    def test_obs_flag_writes_an_artifact_and_disarms(self, capsys, tmp_path):
+        import json
+
+        from repro import obs
+
+        path = tmp_path / "run.obs.json"
+        assert main([
+            "sweep", "arpa", "--points", "4", "--obs", str(path),
+        ]) == 0
+        assert obs.active_collector() is None  # CLI must disarm on exit
+        payload = json.loads(path.read_text())
+        assert payload["version"] == 1
+        assert payload["command"] == "sweep"
+        assert {s["name"] for s in payload["trace"]} >= {"runner.sweep"}
+        metric_names = {m["name"] for m in payload["metrics"]["metrics"]}
+        assert "repro_runner_sweeps_total" in metric_names
+
+    def test_obs_subcommand_renders_metrics_and_trace(self, capsys, tmp_path):
+        path = tmp_path / "run.obs.json"
+        main(["sweep", "arpa", "--points", "4", "--obs", str(path)])
+        capsys.readouterr()
+        assert main(["obs", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "repro_runner_sweeps_total" in out
+        assert "runner.sweep" in out
+
+    def test_obs_subcommand_rejects_garbage(self, capsys, tmp_path):
+        path = tmp_path / "not_an_artifact.json"
+        path.write_text('{"version": 99}')
+        assert main(["obs", str(path)]) == 1
+        assert capsys.readouterr().err

@@ -310,6 +310,84 @@ class TestConcurrency:
         assert len(forests) == 3
         assert all(np.array_equal(f.dist, forests[0].dist) for f in forests)
 
+    def test_stats_counters_hold_under_concurrent_hammering(self):
+        # Regression for the torn counter updates: hits/misses used to
+        # be bumped outside the cache lock, so two racing lookups could
+        # both read-modify-write the same value and lose an increment —
+        # hits + misses would drift below the true call count.  Every
+        # counter now mutates under self._lock; the exact accounting
+        # invariant (one hit-or-miss per forest() call) must survive
+        # real contention, eviction pressure included.
+        import threading
+
+        cache = ForestCache(max_entries=2)  # constant eviction churn
+        graph = ring(12)
+        calls_per_thread, num_threads, num_keys = 80, 8, 6
+        start = threading.Barrier(num_threads)
+        errors = []
+
+        def worker(seed):
+            rng = np.random.default_rng(seed)
+            start.wait()
+            try:
+                for _ in range(calls_per_thread):
+                    cache.forest(graph, int(rng.integers(0, num_keys)))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(repr(exc))
+
+        threads = [
+            threading.Thread(target=worker, args=(seed,))
+            for seed in range(num_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert errors == []
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == num_threads * calls_per_thread
+        # Coalesced waiters also scored a hit or a miss — never neither.
+        assert stats["coalesced"] <= stats["hits"] + stats["misses"]
+        # More distinct keys than slots: evictions must have been counted.
+        assert stats["evictions"] >= num_keys - cache.max_entries
+        assert stats["entries"] <= cache.max_entries
+
+    def test_stats_snapshot_is_internally_consistent_while_racing(self):
+        # stats() must be taken under the lock: a reader polling during
+        # traffic should never observe hits + misses exceeding the number
+        # of completed calls (the signature of a torn multi-field read).
+        import threading
+
+        cache = ForestCache(max_entries=2)
+        graph = ring(12)
+        done = threading.Event()
+        completed = [0]
+        errors = []
+
+        def traffic():
+            rng = np.random.default_rng(3)
+            try:
+                for _ in range(400):
+                    cache.forest(graph, int(rng.integers(0, 6)))
+                    completed[0] += 1
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(repr(exc))
+            finally:
+                done.set()
+
+        thread = threading.Thread(target=traffic)
+        thread.start()
+        try:
+            while not done.is_set():
+                stats = cache.stats()
+                # completed is read after the snapshot, so it can only
+                # have grown past what the snapshot saw — never shrunk.
+                assert stats["hits"] + stats["misses"] <= completed[0] + 1
+        finally:
+            thread.join(timeout=30)
+        assert errors == []
+        assert cache.stats()["hits"] + cache.stats()["misses"] == 400
+
 
 def test_default_cache_is_shared_singleton():
     assert default_forest_cache() is default_forest_cache()

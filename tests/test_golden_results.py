@@ -1,0 +1,160 @@
+"""Golden-result regression suite guarding the paper's numbers.
+
+Each test recomputes a pinned quantity via the shared ``compute_*``
+functions in :mod:`tests.regen_golden` and compares against the JSON
+stored in ``tests/golden/`` at the tolerance recorded *inside* the
+golden file.  A drift anywhere in the pipeline — sampling streams, the
+batched tree walk, the closed forms, topology generators — fails here
+with a number, not a vague "tests got slower".
+
+Refreshing the files is deliberate friction: ``make regen-golden``
+refuses on a dirty tree (see :mod:`tests.regen_golden`).
+
+``TestPerturbationIsDetected`` is the suite's own smoke test: it
+injects a +1% bias into ``tree_sizes_batch`` and asserts the golden
+comparison *fails*, proving the guard actually bites at its advertised
+tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from tests import regen_golden
+
+pytestmark = pytest.mark.golden
+
+
+def _assert_close(actual, expected, tolerance, label):
+    np.testing.assert_allclose(
+        np.asarray(actual, dtype=float),
+        np.asarray(expected, dtype=float),
+        rtol=tolerance["rtol"],
+        atol=tolerance["atol"],
+        err_msg=f"golden drift in {label}",
+    )
+
+
+def test_every_golden_file_exists_and_is_versionable():
+    for filename in regen_golden.GOLDEN_FILES:
+        payload = regen_golden.load_golden(filename)
+        assert payload["tolerance"]["rtol"] > 0, filename
+
+
+class TestKaryClosedForms:
+    """Eq. 4 (leaf placement) and Eq. 21 (all nodes) on k-ary trees."""
+
+    def test_lhat_grids_match_golden(self):
+        golden = regen_golden.load_golden("kary_lhat.json")
+        recomputed = regen_golden.compute_kary_lhat()
+        tol = golden["tolerance"]
+        assert len(recomputed["cases"]) == len(golden["cases"])
+        for got, want in zip(recomputed["cases"], golden["cases"]):
+            assert (got["k"], got["depth"]) == (want["k"], want["depth"])
+            label = f"lhat k={want['k']} depth={want['depth']}"
+            _assert_close(got["lhat_leaf"], want["lhat_leaf"], tol, label)
+            _assert_close(
+                got["lhat_throughout"],
+                want["lhat_throughout"],
+                tol,
+                label + " (throughout)",
+            )
+
+    def test_single_receiver_equals_depth(self):
+        # L̂(1) is one unicast path from the root: exactly `depth` links.
+        golden = regen_golden.load_golden("kary_lhat.json")
+        for case in golden["cases"]:
+            assert case["n"][0] == 1
+            assert case["lhat_leaf"][0] == pytest.approx(case["depth"])
+
+
+class TestTable1Slopes:
+    """Seeded Monte-Carlo L(m) ∝ m^k fits per Table-1 topology."""
+
+    def test_slopes_and_curves_match_golden(self):
+        golden = regen_golden.load_golden("table1_slopes.json")
+        recomputed = regen_golden.compute_table1_slopes()
+        tol = golden["tolerance"]
+        for got, want in zip(recomputed["topologies"], golden["topologies"]):
+            assert got["topology"] == want["topology"]
+            assert got["num_nodes"] == want["num_nodes"]
+            _assert_close(
+                got["slope"], want["slope"], tol, f"{want['topology']} slope"
+            )
+            _assert_close(
+                got["mean_tree_size"],
+                want["mean_tree_size"],
+                tol,
+                f"{want['topology']} L(m) curve",
+            )
+
+    def test_recorded_slopes_sit_in_the_scaling_band(self):
+        # Even at golden-suite sample counts the fitted exponents stay
+        # in the economy-of-scale band 0 < k < 1 with a tight fit.
+        golden = regen_golden.load_golden("table1_slopes.json")
+        for entry in golden["topologies"]:
+            assert 0.4 < entry["slope"] < 1.0, entry["topology"]
+            assert entry["r_squared"] > 0.95, entry["topology"]
+
+
+class TestReachabilityRegimes:
+    """Section 4 ``S(r)`` growth classes per topology family."""
+
+    def test_profiles_match_golden(self):
+        golden = regen_golden.load_golden("reachability_regimes.json")
+        recomputed = regen_golden.compute_reachability_regimes()
+        tol = golden["tolerance"]
+        for got, want in zip(recomputed["profiles"], golden["profiles"]):
+            assert got["topology"] == want["topology"]
+            assert got["classified"] == want["regime"]
+            _assert_close(
+                got["mean_ring_sizes"],
+                want["mean_ring_sizes"],
+                tol,
+                f"{want['topology']} S(r)",
+            )
+
+    def test_recorded_classification_matches_expected_regime(self):
+        golden = regen_golden.load_golden("reachability_regimes.json")
+        for entry in golden["profiles"]:
+            assert entry["classified"] == entry["regime"]
+
+
+class TestMonteCarloTreeSizes:
+    """Seeded means straight through ``tree_sizes_batch``."""
+
+    def test_means_match_golden(self):
+        golden = regen_golden.load_golden("mc_tree_sizes.json")
+        recomputed = regen_golden.compute_mc_tree_sizes()
+        _assert_close(
+            recomputed["mean_tree_size"],
+            golden["mean_tree_size"],
+            golden["tolerance"],
+            "k-ary Monte-Carlo tree sizes",
+        )
+
+
+class TestPerturbationIsDetected:
+    """A deliberate +1% bias in the hot kernel must trip the suite."""
+
+    def test_one_percent_tree_size_inflation_fails_the_golden(self, monkeypatch):
+        from repro.multicast.tree import MulticastTreeCounter
+
+        golden = regen_golden.load_golden("mc_tree_sizes.json")
+        original = MulticastTreeCounter.tree_sizes_batch
+
+        def inflated(self, receiver_matrix, *args, **kwargs):
+            return original(self, receiver_matrix, *args, **kwargs) * 1.01
+
+        monkeypatch.setattr(
+            MulticastTreeCounter, "tree_sizes_batch", inflated
+        )
+        perturbed = regen_golden.compute_mc_tree_sizes()
+        with pytest.raises(AssertionError, match="golden drift"):
+            _assert_close(
+                perturbed["mean_tree_size"],
+                golden["mean_tree_size"],
+                golden["tolerance"],
+                "golden drift (expected): perturbed tree_sizes_batch",
+            )

@@ -31,6 +31,7 @@ _EXPECT = re.compile(r"#\s*expect:\s*(?P<ids>[A-Z0-9, ]+)")
 
 RULE_IDS = (
     "RR001", "RR002", "RR003", "RR004", "RR005", "RR006", "RR007", "RR008",
+    "RR009",
 )
 
 RULE_FIXTURES = [
@@ -53,6 +54,11 @@ RULE_FIXTURES = [
         "RR008",
         "repro/serve/rr008_positive.py",
         "repro/serve/rr008_negative.py",
+    ),
+    (
+        "RR009",
+        "repro/experiments/rr009_positive.py",
+        "repro/experiments/rr009_negative.py",
     ),
 ]
 
