@@ -22,8 +22,11 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # Seconds-long engine-throughput sanity run (no trajectory record).
+# The parallel floor is hardware-aware — speedup over the 1-worker
+# batched baseline must reach 0.6 x min(workers, cpus) — so multi-worker
+# sweeps that regress below one core fail even on a 1-CPU box.
 bench-smoke:
-	PYTHONPATH=src $(PYTHON) benchmarks/bench_runner_scaling.py --smoke --no-record
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_runner_scaling.py --smoke --no-record --check-parallel-floor 0.6
 
 # End-to-end estimation-service probe: real sockets, all four endpoints.
 serve-smoke:

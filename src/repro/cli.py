@@ -66,8 +66,9 @@ def build_parser() -> argparse.ArgumentParser:
             default=1,
             metavar="N",
             help=(
-                "worker processes for the Monte-Carlo sweeps "
-                "(results are bit-identical for any N)"
+                "worker processes for the Monte-Carlo sweeps; 0 = auto "
+                "(one per CPU).  Workers persist across sweeps and "
+                "results are bit-identical for any N"
             ),
         )
         p.add_argument(

@@ -42,10 +42,13 @@ class MonteCarloConfig:
         Base seed; every (source, receiver-set) cell derives its own
         stream, so results are order-independent and reproducible.
     num_workers:
-        Processes the runner fans sources out over (1 = in-process).
-        Because each source's samples come from its own spawned RNG
-        stream and partial sums are reduced in source order, results are
-        bit-identical for every worker count.
+        Processes the runner fans the sample grid out over (1 =
+        in-process, 0 = auto: one worker per CPU, resolved at sweep
+        time).  Workers come from the persistent shared-memory pool in
+        :mod:`repro.experiments.pool`; because each source's samples
+        come from its own spawned RNG stream and partial sums are
+        reduced in source order, results are bit-identical for every
+        worker count.
     """
 
     num_sources: int = 100
@@ -67,9 +70,9 @@ class MonteCarloConfig:
             raise ExperimentError(
                 f'tie_break must be "first" or "random", got {self.tie_break!r}'
             )
-        if self.num_workers < 1:
+        if self.num_workers < 0:
             raise ExperimentError(
-                f"num_workers must be >= 1, got {self.num_workers}"
+                f"num_workers must be >= 0 (0 = auto), got {self.num_workers}"
             )
 
     def scaled(self, factor: float) -> "MonteCarloConfig":

@@ -26,10 +26,14 @@ reference; both engines consume identical random streams and produce
 **bit-identical** measurements (enforced by the tier-1 suite), so the
 scalar path exists purely for cross-checking and benchmarking.
 
-Setting ``MonteCarloConfig.num_workers > 1`` fans sources out over a
-``ProcessPoolExecutor``.  Per-source partial sums are computed by the
-same code in every layout and reduced in source order, so the result is
-bit-identical for any worker count.
+Setting ``MonteCarloConfig.num_workers > 1`` fans the
+(source × receiver-set) grid out over the process-wide persistent pool
+(:mod:`repro.experiments.pool`): workers attach once to the topology
+via shared memory, tasks return raw integer counts, and the parent
+stitches them into the per-source arrays the serial path computes
+before running the identical float reduction in source order — so the
+result is bit-identical for any worker count (``num_workers=0`` means
+one worker per CPU).
 
 BFS forests for ``tie_break="first"`` are served from the process-wide
 :class:`repro.graph.forest_cache.ForestCache`, keyed by graph content —
@@ -41,12 +45,11 @@ never cached.
 from __future__ import annotations
 
 import logging
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro import faults, obs
+from repro import obs
 from repro.exceptions import ExperimentError
 from repro.graph.core import Graph
 from repro.graph.forest_cache import default_forest_cache
@@ -60,6 +63,7 @@ from repro.multicast.sampling import (
 )
 from repro.multicast.tree import MulticastTreeCounter
 from repro.experiments.config import MonteCarloConfig
+from repro.experiments.pool import resolve_workers, run_sweep_chunks
 from repro.experiments.results import SweepMeasurement
 from repro.utils.rng import RandomState, ensure_rng
 
@@ -69,13 +73,6 @@ logger = logging.getLogger("repro.experiments")
 
 _MODES = ("distinct", "replacement")
 _ENGINES = ("batched", "scalar")
-
-_FP_WORKER_EXIT = faults.point(
-    "runner.worker.exit",
-    "Parent-side, as a worker chunk's result is collected; a 'crash' "
-    "simulates the worker process dying — the chunk must be recomputed "
-    "inline and the source-order reduction stay bit-identical.",
-)
 
 _OBS_SWEEPS = obs.counter(
     "repro_runner_sweeps_total",
@@ -134,6 +131,7 @@ def _count_samples(
     mode: str,
     exclude: Optional[int],
     engine: str,
+    row_slice: Optional[Tuple[int, int]] = None,
 ) -> Tuple[List[np.ndarray], List[np.ndarray]]:
     """Per-size links and unicast totals for one source's whole sweep.
 
@@ -143,7 +141,14 @@ def _count_samples(
     The batched engine counts every size of the sweep in one flat
     vectorized walk; the scalar engine is the seed's sample-at-a-time
     reference loop.
+
+    ``row_slice=(lo, hi)`` restricts the *counted* receiver-set rows
+    while the full grid is still drawn — the stream a source consumes
+    never depends on the slice, so any row partition of a source
+    re-assembles into exactly the full-row arrays (how the worker pool
+    splits one source across workers).
     """
+    lo, hi = (0, num_receiver_sets) if row_slice is None else row_slice
     if engine == "batched":
         if mode == "distinct":
             matrices = sample_distinct_receivers_sweep(
@@ -155,12 +160,14 @@ def _count_samples(
                 num_nodes, size_list, num_receiver_sets,
                 source=exclude, rng=source_rng,
             )
-        return counter.count_trees_and_unicast(matrices)
+        return counter.count_trees_and_unicast(
+            [matrix[lo:hi] for matrix in matrices]
+        )
     links_list = []
     totals_list = []
     for size in size_list:
-        links = np.empty(num_receiver_sets, dtype=np.int64)
-        totals = np.empty(num_receiver_sets, dtype=np.int64)
+        links = np.empty(hi - lo, dtype=np.int64)
+        totals = np.empty(hi - lo, dtype=np.int64)
         for i in range(num_receiver_sets):
             if mode == "distinct":
                 receivers = sample_distinct_receivers(
@@ -170,8 +177,9 @@ def _count_samples(
                 receivers = sample_receivers_with_replacement(
                     num_nodes, size, source=exclude, rng=source_rng
                 )
-            links[i] = counter.tree_size(receivers)
-            totals[i] = counter.unicast_total(receivers)
+            if lo <= i < hi:
+                links[i - lo] = counter.tree_size(receivers)
+                totals[i - lo] = counter.unicast_total(receivers)
         links_list.append(links)
         totals_list.append(totals)
     return links_list, totals_list
@@ -193,7 +201,7 @@ def _source_forest(
     return bfs(graph, source, tie_break="first")
 
 
-def _source_partials(
+def _source_counts(
     graph: Graph,
     child_seed: np.random.SeedSequence,
     size_list: Sequence[int],
@@ -203,29 +211,44 @@ def _source_partials(
     exclude_source_site: bool,
     engine: str,
     use_cache: bool,
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """Per-size partial sums contributed by one source.
+    row_slice: Optional[Tuple[int, int]] = None,
+) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+    """Raw per-size (links, unicast-total) counts for one source.
 
-    Returns ``(ratio_sum, tree_sum, tree_sq_sum, path_sum, count)``
-    arrays over the swept sizes; ``count`` holds the number of samples
-    whose ratio was well-defined (``ū > 0``).
+    This is the integer half of a source's contribution — what worker
+    processes ship back.  Keeping the hand-off integral is what makes
+    grid chunking bit-identical: float summation is non-associative, so
+    the parent must see the same arrays the serial path feeds to
+    :func:`_partials_from_counts`, however the rows were split.
     """
     source_rng = ensure_rng(child_seed)
     source = int(source_rng.integers(0, graph.num_nodes))
     forest = _source_forest(graph, source, tie_break, source_rng, use_cache)
     counter = MulticastTreeCounter(forest)
     exclude = source if exclude_source_site else None
+    return _count_samples(
+        counter, source_rng, graph.num_nodes, size_list,
+        num_receiver_sets, mode, exclude, engine, row_slice,
+    )
 
+
+def _partials_from_counts(
+    size_list: Sequence[int],
+    links_list: Sequence[np.ndarray],
+    totals_list: Sequence[np.ndarray],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """The float half: per-size partial sums from one source's counts.
+
+    Returns ``(ratio_sum, tree_sum, tree_sq_sum, path_sum, count)``
+    arrays over the swept sizes; ``count`` holds the number of samples
+    whose ratio was well-defined (``ū > 0``).
+    """
     num_sizes = len(size_list)
     ratio_sum = np.zeros(num_sizes)
     tree_sum = np.zeros(num_sizes)
     tree_sq_sum = np.zeros(num_sizes)
     path_sum = np.zeros(num_sizes)
     count = np.zeros(num_sizes, dtype=np.int64)
-    links_list, totals_list = _count_samples(
-        counter, source_rng, graph.num_nodes, size_list,
-        num_receiver_sets, mode, exclude, engine,
-    )
     for size_idx, size in enumerate(size_list):
         links = links_list[size_idx]
         mean_path = totals_list[size_idx] / size
@@ -239,9 +262,9 @@ def _source_partials(
     return ratio_sum, tree_sum, tree_sq_sum, path_sum, count
 
 
-def _source_chunk_partials(
+def _source_partials(
     graph: Graph,
-    child_seeds: Sequence[np.random.SeedSequence],
+    child_seed: np.random.SeedSequence,
     size_list: Sequence[int],
     mode: str,
     num_receiver_sets: int,
@@ -249,15 +272,13 @@ def _source_chunk_partials(
     exclude_source_site: bool,
     engine: str,
     use_cache: bool,
-) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
-    """Worker task: partials for a contiguous run of sources."""
-    return [
-        _source_partials(
-            graph, child, size_list, mode, num_receiver_sets,
-            tie_break, exclude_source_site, engine, use_cache,
-        )
-        for child in child_seeds
-    ]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-size partial sums contributed by one source (serial path)."""
+    links_list, totals_list = _source_counts(
+        graph, child_seed, size_list, mode, num_receiver_sets,
+        tie_break, exclude_source_site, engine, use_cache,
+    )
+    return _partials_from_counts(size_list, links_list, totals_list)
 
 
 def measure_sweep(
@@ -286,7 +307,8 @@ def measure_sweep(
     config:
         Monte-Carlo settings; defaults to :class:`MonteCarloConfig`'s
         paper values.  ``config.num_workers`` selects process
-        parallelism (bit-identical for every worker count).
+        parallelism over the persistent pool (0 = one worker per CPU;
+        bit-identical for every worker count).
     topology:
         Name recorded in the result.
     exclude_source_site:
@@ -325,53 +347,31 @@ def measure_sweep(
         exclude_source_site, engine, use_cache,
     )
 
-    num_workers = min(config.num_workers, config.num_sources)
+    # 0 = auto (one worker per CPU); the grid bounds useful parallelism.
+    num_workers = min(
+        resolve_workers(config.num_workers),
+        config.num_sources * config.num_receiver_sets,
+    )
     sweep_span = obs.span(
         "runner.sweep",
         topology=topology,
         mode=mode,
         engine=engine,
         workers=num_workers,
+        workers_requested=config.num_workers,
         sources=config.num_sources,
         sizes=len(size_list),
     )
     with sweep_span:
         if num_workers > 1:
-            bounds = np.linspace(0, len(children), num_workers + 1, dtype=int)
-            chunks = [
-                children[lo:hi] for lo, hi in zip(bounds, bounds[1:]) if hi > lo
+            source_counts = run_sweep_chunks(
+                graph, children, config.num_receiver_sets, num_workers,
+                _source_counts, task_args,
+            )
+            partials = [
+                _partials_from_counts(size_list, links_list, totals_list)
+                for links_list, totals_list in source_counts
             ]
-            with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
-                futures = [
-                    pool.submit(_source_chunk_partials, graph, chunk, *task_args)
-                    for chunk in chunks
-                ]
-                chunk_results = []
-                for index, (chunk, future) in enumerate(zip(chunks, futures)):
-                    with obs.span(
-                        "runner.chunk", chunk=index, sources=len(chunk)
-                    ) as chunk_span:
-                        try:
-                            _FP_WORKER_EXIT.fire(chunk=index)
-                            chunk_results.append(future.result())
-                            _OBS_CHUNKS.inc(path="worker")
-                        except (faults.WorkerCrash, BrokenExecutor) as exc:
-                            # A dead worker costs us its chunk, never the
-                            # run: _source_chunk_partials is a pure
-                            # function of the chunk's seed sequences, so
-                            # the inline recompute is bit-identical to
-                            # what the worker would have sent.
-                            logger.warning(
-                                "worker for chunk %d/%d died (%s); "
-                                "recomputing inline",
-                                index + 1, len(chunks), exc,
-                            )
-                            chunk_results.append(
-                                _source_chunk_partials(graph, chunk, *task_args)
-                            )
-                            _OBS_CHUNKS.inc(path="inline-recompute")
-                            chunk_span.set(recomputed=True)
-            partials = [p for chunk in chunk_results for p in chunk]
         else:
             with obs.span("runner.chunk", chunk=0, sources=len(children)):
                 partials = [

@@ -14,13 +14,119 @@ profiles computed from it can be cached safely by callers.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+import atexit
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.exceptions import GraphError, NodeError
 
-__all__ = ["Graph"]
+__all__ = ["Graph", "SharedGraphDescriptor", "SharedGraphHandle"]
+
+
+@dataclass(frozen=True)
+class SharedGraphDescriptor:
+    """A picklable token naming a graph published via :meth:`Graph.to_shared`.
+
+    Carries everything a worker process needs to reconstruct zero-copy
+    views over the creator's CSR arrays: the shared-memory segment name,
+    the array lengths, and the content fingerprint — so attachments can
+    prime the :mod:`repro.graph.forest_cache` key without re-paying the
+    O(E) hash.  A descriptor is a few dozen bytes however large the
+    graph is; *this* is what crosses a ``submit()`` boundary, never the
+    graph itself (lint rule RR010).
+    """
+
+    name: str
+    num_nodes: int
+    num_indices: int
+    fingerprint: str
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the segment payload (int64 indptr + int32 indices)."""
+        return 8 * (self.num_nodes + 1) + 4 * self.num_indices
+
+
+class SharedGraphHandle:
+    """Creator-side ownership of one shared CSR segment.
+
+    Lifetime is explicit: the creating process must eventually call
+    :meth:`unlink` (or :meth:`release`) exactly once or the segment
+    outlives every process that mapped it.  Attached processes never
+    unlink; their mapping dies with their last view (see
+    :meth:`Graph.from_shared`).
+    """
+
+    __slots__ = ("_shm", "descriptor", "_unlinked")
+
+    def __init__(self, shm, descriptor: SharedGraphDescriptor) -> None:
+        self._shm = shm
+        self.descriptor = descriptor
+        self._unlinked = False
+
+    def unlink(self) -> None:
+        """Free the segment system-wide (idempotent)."""
+        if not self._unlinked:
+            self._unlinked = True
+            self._shm.unlink()
+
+    def release(self) -> None:
+        """Unlink and drop this process's mapping, tolerating repeats."""
+        try:
+            self.unlink()
+        except FileNotFoundError:  # pragma: no cover - external unlink
+            pass
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - a live view pins the map
+            pass
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedGraphHandle(name={self.descriptor.name!r}, "
+            f"nbytes={self.descriptor.nbytes}, unlinked={self._unlinked})"
+        )
+
+
+#: Segment names published by *this* process via :meth:`Graph.to_shared`.
+#: A same-process attachment must keep the tracker registration the
+#: creation made (the tracker's cache is a set, so the attach register
+#: deduplicated into it) — unregistering would orphan the segment on
+#: abnormal exit and make the eventual unlink() a double-unregister.
+_CREATED_SEGMENTS: Set[str] = set()
+
+
+def _untrack_attachment(shm) -> None:
+    # Python < 3.13 registers shared-memory *attachments* with the
+    # resource tracker as if they were ownership, so a process exiting
+    # with its own tracker would unlink the creator's live segment.
+    # Undo the registration — but only when this process both owns its
+    # tracker and is not the creator: pool workers inherit the parent's
+    # tracker fd (spawn passes it down, leaving the tracker pid unset),
+    # where the attach registration deduplicated against the creator's
+    # and unregistering would erase the creator's crash cleanup.
+    if shm._name in _CREATED_SEGMENTS:
+        return
+    try:
+        from multiprocessing import resource_tracker
+
+        if resource_tracker._resource_tracker._pid is None:
+            return  # inherited tracker: the registration is the parent's
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except (ImportError, AttributeError):  # pragma: no cover - non-POSIX
+        pass
+
+
+def _disarm_shm_close(shm) -> None:
+    # At interpreter shutdown the attached numpy views can outlive the
+    # SharedMemory object, whose __del__ would then raise BufferError
+    # trying to unmap under them.  The process is exiting — the OS
+    # reclaims the mapping — so drop the handles and let close() degrade
+    # to closing the descriptor.
+    shm._buf = None
+    shm._mmap = None
 
 
 class Graph:
@@ -49,7 +155,7 @@ class Graph:
     run in ``O(log degree)``.
     """
 
-    __slots__ = ("_num_nodes", "_indptr", "_indices")
+    __slots__ = ("_num_nodes", "_indptr", "_indices", "_shm")
 
     def __init__(
         self,
@@ -63,6 +169,9 @@ class Graph:
         self._indices = np.ascontiguousarray(indices, dtype=np.int32)
         self._indptr.setflags(write=False)
         self._indices.setflags(write=False)
+        # Set only by from_shared(): keeps an attached segment mapped for
+        # exactly as long as the views over it are reachable.
+        self._shm = None
         if check:
             self._validate()
 
@@ -149,6 +258,80 @@ class Graph:
         bwd = self._indices.astype(np.int64) * n + heads
         if not np.array_equal(np.sort(fwd), np.sort(bwd)):
             raise GraphError("adjacency is not symmetric (graph must be undirected)")
+
+    # ------------------------------------------------------------------
+    # Shared-memory publication (zero-copy cross-process views)
+    # ------------------------------------------------------------------
+
+    def to_shared(self) -> SharedGraphHandle:
+        """Publish the CSR arrays into a shared-memory segment (one copy).
+
+        Layout: ``indptr`` (int64) at offset 0, ``indices`` (int32)
+        immediately after — the same flat arrays this object holds, so
+        :meth:`from_shared` reconstructs byte-identical adjacency.  The
+        returned handle owns the segment: ship ``handle.descriptor`` to
+        workers and call ``handle.unlink()`` when the topology retires
+        (segments outlive processes otherwise).  Sweeps should go
+        through :class:`repro.experiments.pool.SharedGraphRegistry`,
+        which deduplicates publication by content fingerprint.
+        """
+        from multiprocessing import shared_memory
+
+        from repro.graph.forest_cache import graph_fingerprint
+
+        split = self._indptr.nbytes
+        total = split + self._indices.nbytes
+        shm = shared_memory.SharedMemory(create=True, size=max(1, total))
+        _CREATED_SEGMENTS.add(shm.name)
+        np.frombuffer(shm.buf, dtype=np.int64, count=self._num_nodes + 1)[
+            :
+        ] = self._indptr
+        np.frombuffer(
+            shm.buf,
+            dtype=np.int32,
+            count=self._indices.shape[0],
+            offset=split,
+        )[:] = self._indices
+        descriptor = SharedGraphDescriptor(
+            name=shm.name,
+            num_nodes=self._num_nodes,
+            num_indices=int(self._indices.shape[0]),
+            fingerprint=graph_fingerprint(self),
+        )
+        return SharedGraphHandle(shm, descriptor)
+
+    @classmethod
+    def from_shared(cls, descriptor: SharedGraphDescriptor) -> "Graph":
+        """Attach zero-copy, read-only views over a published segment.
+
+        The attached graph keeps the mapping alive for its own lifetime
+        (the ``SharedMemory`` object rides on the instance), skips CSR
+        validation (the creator's graph already passed it), and primes
+        the fingerprint memo from the descriptor so forest-cache keys
+        match the creator's without re-hashing.  Views are write-
+        protected like every graph's; the segment itself stays writable
+        only through the creator's handle.
+        """
+        from multiprocessing import shared_memory
+
+        from repro.graph.forest_cache import prime_fingerprint
+
+        shm = shared_memory.SharedMemory(name=descriptor.name)
+        _untrack_attachment(shm)
+        atexit.register(_disarm_shm_close, shm)
+        indptr = np.frombuffer(
+            shm.buf, dtype=np.int64, count=descriptor.num_nodes + 1
+        )
+        indices = np.frombuffer(
+            shm.buf,
+            dtype=np.int32,
+            count=descriptor.num_indices,
+            offset=indptr.nbytes,
+        )
+        graph = cls(descriptor.num_nodes, indptr, indices, check=False)
+        graph._shm = shm
+        prime_fingerprint(graph, descriptor.fingerprint)
+        return graph
 
     # ------------------------------------------------------------------
     # Basic accessors

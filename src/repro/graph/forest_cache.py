@@ -60,6 +60,7 @@ from repro.graph.paths import ShortestPathForest, bfs
 __all__ = [
     "ForestCache",
     "graph_fingerprint",
+    "prime_fingerprint",
     "default_forest_cache",
     "DEFAULT_MAX_ENTRIES",
 ]
@@ -127,6 +128,23 @@ def graph_fingerprint(graph: Graph) -> str:
         while len(_FINGERPRINT_MEMO) > _FINGERPRINT_MEMO_MAX:
             _FINGERPRINT_MEMO.popitem(last=False)
     return fingerprint
+
+
+def prime_fingerprint(graph: Graph, fingerprint: str) -> None:
+    """Seed the memo with a fingerprint computed elsewhere.
+
+    Shared-memory attachments (:meth:`repro.graph.core.Graph.from_shared`)
+    learn their content fingerprint from the descriptor, so the O(E)
+    hash need not be re-paid per worker attachment; priming the memo
+    makes the attached graph hit the same :class:`ForestCache` keys as
+    the graph it mirrors.  The caller vouches that ``fingerprint`` is
+    the digest :func:`graph_fingerprint` would compute.
+    """
+    with _FINGERPRINT_LOCK:
+        _FINGERPRINT_MEMO[id(graph)] = (graph, str(fingerprint))
+        _FINGERPRINT_MEMO.move_to_end(id(graph))
+        while len(_FINGERPRINT_MEMO) > _FINGERPRINT_MEMO_MAX:
+            _FINGERPRINT_MEMO.popitem(last=False)
 
 
 class ForestCache:

@@ -1,4 +1,4 @@
-"""The built-in ``repro.lint`` rules (RR001–RR008).
+"""The built-in ``repro.lint`` rules (RR001–RR010).
 
 Each rule encodes one invariant the Monte-Carlo engine's correctness
 arguments rest on; `docs/static-analysis.md` is the narrative version.
@@ -23,6 +23,8 @@ __all__ = [
     "MutableDefaultRule",
     "BlockingAsyncCallRule",
     "RawClockReadRule",
+    "ObsClockReadRule",
+    "AdHocProcessPoolRule",
 ]
 
 _INT32_MAX = 2**31 - 1
@@ -966,3 +968,88 @@ class ObsClockReadRule(Rule):
                 "the timed work in repro.obs.span(...) (its collector "
                 "clock is the injectable seam) and read span.duration",
             )
+
+
+# ---------------------------------------------------------------------------
+# RR010 — process fan-out goes through the persistent pool
+# ---------------------------------------------------------------------------
+
+
+@register_rule
+class AdHocProcessPoolRule(Rule):
+    """Hot paths use repro.experiments.pool, not ad-hoc executors."""
+
+    rule_id = "RR010"
+    severity = "error"
+    summary = (
+        "per-call ProcessPoolExecutor construction or a Graph pickled "
+        "across a submit() boundary — route fan-out through "
+        "repro.experiments.pool"
+    )
+    rationale = (
+        "Process fan-out pays its fixed costs once per *pool* and once "
+        "per *topology*: the persistent WorkerPool amortizes worker "
+        "spawn across sweeps, and shared-memory descriptors replace "
+        "per-task CSR pickling.  An executor constructed inside a "
+        "function resurrects the per-sweep spin-up that once made four "
+        "workers slower than one, and a graph argument to submit() "
+        "re-ships the whole topology on every task.  Both belong behind "
+        "repro.experiments.pool (get_pool / SharedGraphRegistry).  The "
+        "graph check is a name heuristic: only submit() arguments whose "
+        "terminal identifier contains 'graph' are flagged."
+    )
+
+    #: The one module allowed to own executors: the pool itself.
+    _POOL_OWNERS = ("repro/experiments/pool.py",)
+
+    def applies_to(self, path: str) -> bool:
+        return "repro/" in path and not path.endswith(self._POOL_OWNERS)
+
+    def begin_file(self, ctx: FileContext) -> None:
+        self._executor_names: Set[str] = set()
+
+    def visit_ImportFrom(self, node: ast.ImportFrom, ctx: FileContext) -> None:
+        if node.module == "concurrent.futures":
+            for alias in node.names:
+                if alias.name == "ProcessPoolExecutor":
+                    self._executor_names.add(alias.asname or alias.name)
+
+    @staticmethod
+    def _terminal_name(node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        return None
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        chain = _attr_chain(node.func)
+        if chain is None:
+            return
+        constructs_executor = chain[-1] == "ProcessPoolExecutor" and (
+            len(chain) > 1 or chain[0] in self._executor_names
+        )
+        if constructs_executor and not ctx.at_module_level():
+            ctx.report(
+                self,
+                node,
+                "ProcessPoolExecutor constructed per call — workers "
+                "re-spawn on every invocation; use the persistent "
+                "repro.experiments.pool.get_pool() instead",
+            )
+            return
+        if chain[-1] != "submit" or len(chain) < 2:
+            return
+        # args[0] is the callable; only payload arguments are checked.
+        payload = list(node.args[1:]) + [kw.value for kw in node.keywords]
+        for arg in payload:
+            name = self._terminal_name(arg)
+            if name is not None and "graph" in name.lower():
+                ctx.report(
+                    self,
+                    arg,
+                    f"{name!r} crosses the submit() boundary by pickle — "
+                    "the whole CSR re-ships on every task; publish it "
+                    "once (Graph.to_shared / SharedGraphRegistry) and "
+                    "submit the descriptor",
+                )

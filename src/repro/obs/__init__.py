@@ -38,6 +38,7 @@ from repro.obs.registry import (
     Histogram,
     MetricsRegistry,
     default_registry,
+    metrics_delta,
 )
 from repro.obs.spans import (
     Span,
@@ -56,6 +57,7 @@ __all__ = [
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
     "default_registry",
+    "metrics_delta",
     "counter",
     "gauge",
     "histogram",

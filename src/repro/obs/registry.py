@@ -44,6 +44,7 @@ __all__ = [
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
     "default_registry",
+    "metrics_delta",
 ]
 
 #: Histogram upper bounds (seconds) shared by every latency histogram
@@ -466,6 +467,67 @@ class MetricsRegistry:
         """Drop every metric (tests and artifact isolation only)."""
         with self._lock:
             self._metrics.clear()
+
+
+def metrics_delta(before: Dict, after: Dict) -> Dict:
+    """The change between two :meth:`MetricsRegistry.to_dict` snapshots.
+
+    Returns a payload in the same ``version: 1`` format, suitable for
+    :meth:`MetricsRegistry.merge` — this is how persistent worker
+    processes hand metrics back per task: a long-lived worker serves
+    many tasks, so re-sending its cumulative totals each time would
+    double-count in the parent.  Counters and histograms report the
+    increase since ``before`` (children that went backwards — a registry
+    reset between snapshots — are dropped rather than guessed at);
+    gauges report their new reading when it changed.  Metrics with no
+    changed children are omitted entirely.
+    """
+    if before.get("version") != 1 or after.get("version") != 1:
+        raise ValueError("metrics_delta expects version-1 snapshots")
+    prior_metrics = {entry["name"]: entry for entry in before["metrics"]}
+    out: List[Dict] = []
+    for entry in after["metrics"]:
+        prior = prior_metrics.get(entry["name"])
+        prior_children: Dict[Tuple[str, ...], object] = {}
+        if prior is not None and prior["kind"] == entry["kind"]:
+            prior_children = {
+                tuple(key): value for key, value in prior["children"]
+            }
+        children: List = []
+        for key, value in entry["children"]:
+            seen = prior_children.get(tuple(key))
+            if entry["kind"] == "counter":
+                delta = float(value) - float(seen or 0.0)
+                if delta > 0:
+                    children.append([list(key), delta])
+            elif entry["kind"] == "gauge":
+                if seen is None or float(seen) != float(value):
+                    children.append([list(key), value])
+            else:  # histogram
+                if seen is None:
+                    if value["count"] > 0:
+                        children.append([list(key), value])
+                    continue
+                count = int(value["count"]) - int(seen["count"])
+                counts = [
+                    int(c) - int(p)
+                    for c, p in zip(value["counts"], seen["counts"])
+                ]
+                if count <= 0 or any(c < 0 for c in counts):
+                    continue
+                children.append(
+                    [
+                        list(key),
+                        {
+                            "counts": counts,
+                            "sum": float(value["sum"]) - float(seen["sum"]),
+                            "count": count,
+                        },
+                    ]
+                )
+        if children:
+            out.append({**entry, "children": children})
+    return {"version": 1, "metrics": out}
 
 
 _DEFAULT_REGISTRY = MetricsRegistry()

@@ -1,0 +1,17 @@
+"""RR010 negative fixture: fan-out through the persistent pool."""
+
+from repro.experiments.pool import get_pool, shared_graphs
+
+
+def fan_out(graph, chunks, task_args):
+    descriptor = shared_graphs().descriptor(graph)
+    executor = get_pool().ensure(len(chunks))
+    futures = [
+        executor.submit(_task, descriptor, chunk, task_args)
+        for chunk in chunks
+    ]
+    return [future.result() for future in futures]
+
+
+def _task(descriptor, chunk, task_args):
+    return len(chunk)

@@ -1,0 +1,16 @@
+"""RR010 positive fixture: ad-hoc process fan-out on the hot path."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def fan_out(graph, chunks, task_args):
+    with ProcessPoolExecutor(max_workers=2) as pool:  # expect: RR010
+        futures = [
+            pool.submit(_task, graph, chunk, task_args)  # expect: RR010
+            for chunk in chunks
+        ]
+        return [future.result() for future in futures]
+
+
+def _task(graph, chunk, task_args):
+    return len(chunk)

@@ -1,6 +1,6 @@
 """Fixture-driven tests for the repro.lint engine and rule set.
 
-Each rule RR001-RR008 has a positive fixture (violation lines carry a
+Each rule RR001-RR010 has a positive fixture (violation lines carry a
 trailing ``# expect: RRnnn`` marker) and a negative fixture that must
 lint clean.  The expected (line -> rule ids) map is parsed out of the
 fixture itself, so fixtures stay self-documenting.
@@ -31,7 +31,7 @@ _EXPECT = re.compile(r"#\s*expect:\s*(?P<ids>[A-Z0-9, ]+)")
 
 RULE_IDS = (
     "RR001", "RR002", "RR003", "RR004", "RR005", "RR006", "RR007", "RR008",
-    "RR009",
+    "RR009", "RR010",
 )
 
 RULE_FIXTURES = [
@@ -59,6 +59,11 @@ RULE_FIXTURES = [
         "RR009",
         "repro/experiments/rr009_positive.py",
         "repro/experiments/rr009_negative.py",
+    ),
+    (
+        "RR010",
+        "repro/experiments/rr010_positive.py",
+        "repro/experiments/rr010_negative.py",
     ),
 ]
 

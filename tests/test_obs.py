@@ -205,6 +205,92 @@ class TestWorkerMerge:
             parent.merge(payload)
 
 
+class TestMetricsDelta:
+    """Per-task hand-back from persistent workers: the delta between two
+    snapshots must merge into the parent without double-counting."""
+
+    @staticmethod
+    def _registry() -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("work_total", "tasks", labelnames=("kind",))
+        registry.gauge("depth", "queue depth")
+        registry.histogram("lat", "latency", buckets=(0.1, 1.0))
+        return registry
+
+    def test_counters_report_only_the_increase(self):
+        registry = self._registry()
+        registry.get("work_total").inc(3, kind="bfs")
+        before = registry.to_dict()
+        registry.get("work_total").inc(2, kind="bfs")
+        registry.get("work_total").inc(1, kind="count")
+        delta = obs.metrics_delta(before, registry.to_dict())
+        (entry,) = delta["metrics"]
+        assert sorted(entry["children"]) == [[["bfs"], 2.0], [["count"], 1.0]]
+
+    def test_unchanged_metrics_are_omitted(self):
+        registry = self._registry()
+        registry.get("work_total").inc(kind="bfs")
+        registry.get("depth").set(4)
+        snapshot = registry.to_dict()
+        assert obs.metrics_delta(snapshot, snapshot) == {
+            "version": 1,
+            "metrics": [],
+        }
+
+    def test_gauges_report_the_new_reading(self):
+        registry = self._registry()
+        registry.get("depth").set(4)
+        before = registry.to_dict()
+        registry.get("depth").set(7)
+        delta = obs.metrics_delta(before, registry.to_dict())
+        (entry,) = delta["metrics"]
+        assert entry["children"] == [[[], 7.0]]
+
+    def test_histograms_subtract_counts_sum_and_count(self):
+        registry = self._registry()
+        registry.get("lat").observe(0.05)
+        before = registry.to_dict()
+        registry.get("lat").observe(0.5)
+        registry.get("lat").observe(5.0)
+        delta = obs.metrics_delta(before, registry.to_dict())
+        (entry,) = delta["metrics"]
+        ((_, bucket),) = entry["children"]
+        assert bucket["count"] == 2
+        assert bucket["counts"] == [0, 1, 1]
+        assert bucket["sum"] == pytest.approx(5.5)
+
+    def test_reset_counters_are_dropped_not_guessed(self):
+        registry = self._registry()
+        registry.get("work_total").inc(5, kind="bfs")
+        before = registry.to_dict()
+        after = self._registry()  # a reset: totals went backwards
+        after.get("work_total").inc(2, kind="bfs")
+        delta = obs.metrics_delta(before, after.to_dict())
+        assert delta["metrics"] == []
+
+    def test_successive_deltas_merge_to_the_worker_totals(self):
+        worker = self._registry()
+        parent = self._registry()
+        snapshot = worker.to_dict()
+        for task in range(3):
+            worker.get("work_total").inc(kind="bfs")
+            worker.get("lat").observe(0.2)
+            worker.get("depth").set(task)
+            current = worker.to_dict()
+            parent.merge(obs.metrics_delta(snapshot, current))
+            snapshot = current
+        assert parent.get("work_total").value(kind="bfs") == 3
+        assert parent.get("lat").count() == 3
+        assert parent.get("depth").value() == 2.0
+
+    def test_version_mismatch_is_rejected(self):
+        snapshot = self._registry().to_dict()
+        with pytest.raises(ValueError, match="version"):
+            obs.metrics_delta({"version": 2, "metrics": []}, snapshot)
+        with pytest.raises(ValueError, match="version"):
+            obs.metrics_delta(snapshot, {"version": 2, "metrics": []})
+
+
 # ---------------------------------------------------------------------------
 # Span lifecycle
 # ---------------------------------------------------------------------------
