@@ -2,16 +2,32 @@
 
 PYTHON ?= python
 
-.PHONY: install lint test test-fast bench bench-smoke serve-smoke chaos-smoke obs-smoke regen-golden repro examples clean
+.PHONY: install lint lint-changed lint-smoke test test-fast bench bench-smoke serve-smoke chaos-smoke obs-smoke regen-golden repro examples clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
 
-# Static invariant checks (determinism, cache aliasing, dtype safety).
+# Static invariant checks, per-file (RR001-RR010) and cross-file
+# (RR011-RR014), over the whole program.  The content-hash cache makes
+# warm runs near-instant; delete .lint-cache.json to force a cold run.
 lint:
-	PYTHONPATH=src $(PYTHON) -m repro.lint src
+	PYTHONPATH=src $(PYTHON) -m repro.lint --cache .lint-cache.json src benchmarks examples
 
-test: lint serve-smoke chaos-smoke obs-smoke
+# Fast inner loop: lint only git-dirty python files.  Cross-file rules
+# are skipped (--no-project) because a partial file set has no call
+# graph to speak of; run `make lint` before pushing.
+lint-changed:
+	@files=$$( (git diff --name-only HEAD -- '*.py'; git ls-files --others --exclude-standard -- '*.py') | sort -u ); \
+	existing=""; \
+	for f in $$files; do [ -f "$$f" ] && existing="$$existing $$f"; done; \
+	if [ -z "$$existing" ]; then echo "lint-changed: no modified python files"; \
+	else PYTHONPATH=src $(PYTHON) -m repro.lint --no-project $$existing; fi
+
+# Cold-vs-warm cache speedup gate + warm-run wall-clock budget.
+lint-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/lint_smoke.py
+
+test: lint lint-smoke serve-smoke chaos-smoke obs-smoke
 	$(PYTHON) -m pytest tests/ --durations=10
 
 # Inner-loop run: skips golden/slow suites and the smoke gates.

@@ -17,6 +17,7 @@ from repro.graph.paths import bfs
 from repro.multicast.affinity import extreme_placement
 from repro.multicast.tree import MulticastTreeCounter
 from repro.topology.kary import kary_tree
+from repro.utils.rng import ensure_rng
 from repro.utils.tables import format_table
 
 DEPTH = 10
@@ -65,7 +66,7 @@ def test_extremes_bracket_uniform_samples(benchmark):
     forest = bfs(tree.graph, 0)
     counter = MulticastTreeCounter(forest)
     leaves = tree.leaves()
-    rng = np.random.default_rng(0)
+    rng = ensure_rng(0)
     m = 32
     lo = int(affinity_tree_size(2, 8, m))
     hi = int(disaffinity_tree_size(2, 8, m))

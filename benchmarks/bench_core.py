@@ -16,6 +16,7 @@ from repro.graph.paths import bfs, distances_from
 from repro.multicast.tree import MulticastTreeCounter
 from repro.topology.powerlaw import internet_like_graph
 from repro.topology.registry import build_topology
+from repro.utils.rng import ensure_rng
 
 
 @pytest.fixture(scope="module")
@@ -36,7 +37,7 @@ def test_bfs_with_parents_internet_scale(benchmark, internet_graph):
 def test_tree_counting_throughput(benchmark, internet_graph):
     forest = bfs(internet_graph, 0)
     counter = MulticastTreeCounter(forest)
-    rng = np.random.default_rng(0)
+    rng = ensure_rng(0)
     receiver_sets = [
         rng.integers(1, internet_graph.num_nodes, size=256)
         for _ in range(32)

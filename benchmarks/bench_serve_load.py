@@ -45,6 +45,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.serve import EstimationService, ServiceConfig
+from repro.utils.rng import ensure_rng
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
 
@@ -96,7 +97,7 @@ async def _bench(topology: str, requests: int, sim_requests: int,
     ))
     await service.startup()
     table = service.tables[(topology, "distinct")]
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     sizes = rng.integers(table.m_min, table.m_max + 1, size=requests)
 
     workload = {

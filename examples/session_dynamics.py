@@ -27,11 +27,12 @@ from repro.graph.paths import bfs
 from repro.graph.reachability import reachability_profile
 from repro.multicast.dynamics import DynamicGroup
 from repro.topology.registry import build_topology
+from repro.utils.rng import ensure_rng
 from repro.utils.tables import format_table
 
 
 def main() -> int:
-    rng = np.random.default_rng(7)
+    rng = ensure_rng(7)
     graph = build_topology("ts1000", scale=0.5, rng=0)
     source = int(rng.integers(0, graph.num_nodes))
     forest = bfs(graph, source)

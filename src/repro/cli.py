@@ -229,6 +229,30 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the JSON report (findings + rule docs + counts)",
     )
+    p_lint.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default=None,
+        help="report format (default text; sarif targets SARIF 2.1.0)",
+    )
+    p_lint.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan file analysis across N pool workers",
+    )
+    p_lint.add_argument(
+        "--cache",
+        metavar="PATH",
+        default=None,
+        help="incremental cache file keyed by content hash",
+    )
+    p_lint.add_argument(
+        "--no-project",
+        action="store_true",
+        help="per-file rules only (skip cross-file RR011-RR014)",
+    )
 
     return parser
 
@@ -561,7 +585,14 @@ def _cmd_serve(args) -> int:
 def _cmd_lint(args) -> int:
     from repro.lint import run_lint
 
-    return run_lint(args.paths, json_output=args.json)
+    return run_lint(
+        args.paths,
+        json_output=args.json,
+        output_format=args.format,
+        jobs=args.jobs,
+        cache=args.cache,
+        project=not args.no_project,
+    )
 
 
 def _write_obs_artifact(path: str, command: str, collector) -> None:

@@ -2,10 +2,16 @@
 
 Usage::
 
-    python -m repro.lint                # lint ./src (or . if no src/)
-    python -m repro.lint src tests      # lint specific paths
-    python -m repro.lint --json src     # machine-readable report
-    python -m repro.lint --list-rules   # print the rule catalogue
+    python -m repro.lint                     # lint ./src (or . if no src/)
+    python -m repro.lint src tests           # lint specific paths
+    python -m repro.lint --format json src   # machine-readable report
+    python -m repro.lint --format sarif src  # SARIF 2.1.0 for CI ingestion
+    python -m repro.lint --jobs 4 src        # parallel (same report bytes)
+    python -m repro.lint --cache .lint-cache.json src   # incremental
+    python -m repro.lint --no-project file.py           # per-file rules only
+    python -m repro.lint --write-baseline lint-baseline.json src
+    python -m repro.lint --baseline lint-baseline.json src
+    python -m repro.lint --list-rules        # print the rule catalogue
 
 Exit status: 0 clean, 1 findings, 2 usage/IO error.
 """
@@ -24,10 +30,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
         description=(
-            "AST-based invariant checker: seeded randomness (RR001), "
-            "cached-forest immutability (RR002), int32 dtype discipline "
-            "(RR003), exception hygiene (RR004), figure registration "
-            "(RR005), mutable defaults (RR006)."
+            "AST-based invariant checker: per-file rules RR001-RR010 "
+            "(seeded randomness, cached-forest immutability, int32 "
+            "dtype discipline, exception hygiene, figure registration, "
+            "mutable defaults, blocking awaits, golden determinism, "
+            "fault hygiene, pool discipline) plus cross-file rules "
+            "RR011-RR014 (transitive blocking, shared-memory handle "
+            "lifetimes, obs-series drift, fault-seam consistency)."
         ),
     )
     parser.add_argument(
@@ -36,9 +45,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: src/, else .)",
     )
     parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default=None,
+        help="report format (default text; sarif targets SARIF 2.1.0)",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
-        help="emit the JSON report (findings + rule docs + counts)",
+        help="alias for --format json (kept for older callers)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan file analysis across N pool workers; the report is "
+        "byte-identical to a serial run",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="PATH",
+        default=None,
+        help="incremental cache file: unchanged files (by content hash) "
+        "skip re-analysis entirely",
+    )
+    parser.add_argument(
+        "--no-project",
+        action="store_true",
+        help="per-file rules only; use when linting a partial file set "
+        "where cross-file rules (RR011-RR014) would lack context",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="drop findings recorded in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        default=None,
+        help="record the current findings as the accepted baseline and "
+        "exit 0",
     )
     parser.add_argument(
         "--list-rules",
@@ -54,7 +103,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         for rule_id, doc in sorted(rule_docs().items()):
             print(f"{rule_id} [{doc['severity']}] {doc['summary']}")
         return 0
-    return run_lint(args.paths, json_output=args.json)
+    if args.jobs < 1:
+        print("repro.lint: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    return run_lint(
+        args.paths,
+        json_output=args.json,
+        output_format=args.format,
+        jobs=args.jobs,
+        cache=args.cache,
+        project=not args.no_project,
+        baseline=args.baseline,
+        baseline_out=args.write_baseline,
+    )
 
 
 if __name__ == "__main__":

@@ -1,33 +1,45 @@
-"""The ``repro.lint`` AST-walking engine.
+"""The ``repro.lint`` engine: per-file AST rules plus whole-program analysis.
 
 The linter exists because the Monte-Carlo engine's guarantees — seeded,
 stream-identical randomness; shared immutable BFS forests; an int32 hot
 path — are *conventions*, and conventions rot.  Each convention is
-encoded as a :class:`Rule` that inspects one file's AST and reports
-:class:`Finding` objects; this module provides the shared machinery:
+encoded as a rule that reports :class:`Finding` objects.  Two rule
+layers share this module's machinery:
 
-* a rule registry (:func:`register_rule` / :func:`registered_rules`);
-* per-file visitor dispatch — the engine walks each module's AST once
-  and hands every node to the rules that declared a ``visit_<NodeType>``
-  method, maintaining a lexical scope stack the rules can consult;
-* suppression comments — a finding on a line carrying
-  ``# repro-lint: disable=RR001`` (comma-separated ids, or a bare
-  ``disable`` for all rules) is dropped before it is reported.
+* **Per-file rules** (:class:`Rule`) inspect one module's AST: the
+  engine walks each file once and hands every node to the rules that
+  declared a ``visit_<NodeType>`` method, maintaining a lexical scope
+  stack the rules can consult.
+* **Project rules** (:class:`~repro.lint.project.ProjectRule`,
+  ``is_project = True``) run after every file has been summarized into
+  a picklable :class:`~repro.lint.project.ModuleSummary`; they see the
+  cross-file call graph, metric/seam declarations, and shared-memory
+  handle flows that no single file can prove anything about.
 
-Rules are *stateful per file*: the engine instantiates a fresh rule
-object for every file, calls ``begin_file``/``end_file`` hooks around
-the walk, and deduplicates identical findings (nested scopes may cause
-a rule to observe the same statement twice).
+Suppression comments are tokenize-parsed (inert inside string
+literals): ``# repro-lint: disable=RR001,RR006`` anywhere on a logical
+line suppresses those rules for every physical line the statement
+spans, and a module-level ``# repro-lint: disable-file[=RRnnn,...]``
+pragma silences the whole file.  The engine has no configuration file
+on purpose: the rule set is the project's invariants, not a style
+preference, and the only sanctioned opt-out is a pragma reviewers can
+see.
 
-The engine has no configuration file on purpose: the rule set is the
-project's invariants, not a style preference, and the only sanctioned
-opt-out is an in-line suppression comment that reviewers can see.
+:func:`lint_paths` is the production entry point: it runs the per-file
+layer (optionally fanned out over the persistent
+:mod:`repro.experiments.pool` worker pool with ``jobs > 1``), feeds the
+summaries to the project layer, and — given a cache path — skips every
+file whose content hash is unchanged since the last run.  Findings are
+fully sorted, so serial, parallel, cold, and warm runs are
+byte-identical.
 """
 
 from __future__ import annotations
 
 import ast
+import hashlib
 import io
+import json
 import os
 import re
 import tokenize
@@ -37,11 +49,14 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Type
 __all__ = [
     "Finding",
     "Rule",
+    "SuppressionIndex",
     "register_rule",
     "registered_rules",
     "lint_source",
     "lint_file",
     "lint_paths",
+    "source_digest",
+    "ruleset_signature",
     "PARSE_ERROR_RULE_ID",
 ]
 
@@ -51,7 +66,7 @@ PARSE_ERROR_RULE_ID = "RR000"
 _SEVERITIES = ("error", "warning")
 _RULE_ID_PATTERN = re.compile(r"^RR\d{3}$")
 _SUPPRESS_PATTERN = re.compile(
-    r"#\s*repro-lint:\s*disable(?:=(?P<ids>[A-Z0-9,\s]+))?"
+    r"#\s*repro-lint:\s*disable(?P<scope>-file)?(?:=(?P<ids>[A-Z0-9,\s]+))?"
 )
 
 #: Scope-introducing AST nodes tracked on ``FileContext.scope_stack``.
@@ -86,6 +101,17 @@ class Finding:
             "message": self.message,
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Finding":
+        return cls(
+            path=str(data["path"]),
+            line=int(data["line"]),
+            col=int(data["col"]),
+            rule_id=str(data["rule_id"]),
+            severity=str(data["severity"]),
+            message=str(data["message"]),
+        )
+
 
 class Rule:
     """Base class for lint rules.
@@ -97,6 +123,11 @@ class Rule:
     runs before the walk, ``end_file`` after — rules that need
     whole-module context accumulate candidates during the walk and emit
     them from ``end_file``.
+
+    Rules with ``is_project = True`` (see
+    :class:`repro.lint.project.ProjectRule`) skip the per-file walk
+    entirely and instead implement ``check(index, report)`` over the
+    whole-program index.
     """
 
     #: Stable identifier, ``RRnnn``.
@@ -107,6 +138,8 @@ class Rule:
     summary: str = ""
     #: Why the invariant matters (shown in ``--json`` rule docs).
     rationale: str = ""
+    #: Project rules run over the cross-file index, not per-file ASTs.
+    is_project: bool = False
 
     def applies_to(self, path: str) -> bool:
         """Whether this rule runs on ``path`` (posix-normalized)."""
@@ -142,14 +175,173 @@ def register_rule(cls: Type[Rule]) -> Type[Rule]:
 
 
 def registered_rules() -> List[Type[Rule]]:
-    """All registered rule classes, sorted by rule id."""
+    """All registered rule classes (per-file and project), by rule id."""
     _load_builtin_rules()
     return [_RULES[rule_id] for rule_id in sorted(_RULES)]
 
 
 def _load_builtin_rules() -> None:
     # Imported lazily so engine <-> rules is not a hard import cycle.
-    from repro.lint import rules  # noqa: F401
+    from repro.lint import project, rules  # noqa: F401
+
+
+def ruleset_signature() -> str:
+    """Digest identifying the active rule set (cache invalidation key)."""
+    from repro.lint import project
+
+    parts = [
+        f"{cls.rule_id}:{cls.__name__}:{cls.severity}:{int(cls.is_project)}"
+        for cls in registered_rules()
+    ]
+    parts.append(f"summary-v{project.SUMMARY_VERSION}")
+    return hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()[:16]
+
+
+def source_digest(source: str) -> str:
+    """Content hash keying the incremental cache."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Suppression pragmas
+# ---------------------------------------------------------------------------
+
+
+class SuppressionIndex:
+    """Parsed ``# repro-lint:`` pragmas for one file.
+
+    ``lines`` maps a physical line number to ``"all"`` or a set of rule
+    ids; a pragma anywhere on a logical line covers every physical line
+    the statement spans (so a pragma after the closing paren of a
+    multi-line call suppresses a finding reported at the call's first
+    line).  ``file_scope`` holds a module-wide ``disable-file`` pragma:
+    ``None`` (no pragma), ``"all"``, or a set of rule ids.
+    """
+
+    __slots__ = ("lines", "file_scope")
+
+    def __init__(
+        self,
+        lines: Optional[Dict[int, object]] = None,
+        file_scope: Optional[object] = None,
+    ) -> None:
+        self.lines: Dict[int, object] = lines if lines is not None else {}
+        self.file_scope = file_scope
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        scope = self.file_scope
+        if scope is not None and (scope == "all" or rule_id in scope):
+            return True
+        entry = self.lines.get(line)
+        return entry is not None and (entry == "all" or rule_id in entry)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "lines": {
+                str(line): sorted(entry) if isinstance(entry, set) else entry
+                for line, entry in self.lines.items()
+            },
+            "file_scope": (
+                sorted(self.file_scope)
+                if isinstance(self.file_scope, set)
+                else self.file_scope
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SuppressionIndex":
+        lines: Dict[int, object] = {}
+        for line, entry in dict(data.get("lines", {})).items():
+            lines[int(line)] = entry if entry == "all" else set(entry)
+        scope = data.get("file_scope")
+        if isinstance(scope, list):
+            scope = set(scope)
+        return cls(lines, scope)
+
+
+def _logical_spans(tokens: Sequence) -> List[Tuple[int, int]]:
+    """(first, last) physical-line pairs of each logical source line."""
+    spans: List[Tuple[int, int]] = []
+    start: Optional[int] = None
+    skip = (
+        tokenize.NL,
+        tokenize.COMMENT,
+        tokenize.INDENT,
+        tokenize.DEDENT,
+        tokenize.ENCODING,
+        tokenize.ENDMARKER,
+    )
+    for token in tokens:
+        if token.type == tokenize.NEWLINE:
+            if start is not None:
+                spans.append((start, token.end[0]))
+            start = None
+        elif token.type in skip:
+            continue
+        elif start is None:
+            start = token.start[0]
+    return spans
+
+
+def parse_suppressions(source: str) -> SuppressionIndex:
+    """Extract the pragma index from ``source``.
+
+    Comments are found with :mod:`tokenize` rather than string scanning,
+    so ``# repro-lint: disable`` inside a string literal is inert.
+    """
+    index = SuppressionIndex()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # The AST parse will report the real problem.
+        return index
+    spans = _logical_spans(tokens)
+
+    def add_line(line: int, wanted: object) -> None:
+        existing = index.lines.get(line)
+        if existing == "all":
+            return
+        if wanted == "all":
+            index.lines[line] = "all"
+        elif isinstance(existing, set):
+            existing.update(wanted)
+        else:
+            index.lines[line] = set(wanted)
+
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_PATTERN.search(token.string)
+        if not match:
+            continue
+        ids = match.group("ids")
+        wanted: object = (
+            "all"
+            if ids is None
+            else {part.strip() for part in ids.split(",") if part.strip()}
+        )
+        if match.group("scope"):
+            if wanted == "all" or index.file_scope == "all":
+                index.file_scope = "all"
+            else:
+                scope = index.file_scope if isinstance(index.file_scope, set) else set()
+                scope.update(wanted)
+                index.file_scope = scope
+            continue
+        line = token.start[0]
+        lo, hi = line, line
+        for span_lo, span_hi in spans:
+            if span_lo <= line <= span_hi:
+                lo, hi = span_lo, span_hi
+                break
+        for covered in range(lo, hi + 1):
+            add_line(covered, wanted)
+    return index
+
+
+# ---------------------------------------------------------------------------
+# Per-file analysis
+# ---------------------------------------------------------------------------
 
 
 class FileContext:
@@ -163,7 +355,7 @@ class FileContext:
         #: on a node, the stack holds the scopes around it (not the node
         #: itself), so ``not ctx.scope_stack`` means "module top level".
         self.scope_stack: List[ast.AST] = []
-        self._suppressions = _parse_suppressions(source)
+        self.suppressions = parse_suppressions(source)
         self._findings: Set[Finding] = set()
 
     @property
@@ -188,10 +380,7 @@ class FileContext:
         """Record a finding at ``node`` unless suppressed on that line."""
         lineno = int(line if line is not None else getattr(node, "lineno", 1))
         col = int(getattr(node, "col_offset", 0))
-        suppressed = self._suppressions.get(lineno)
-        if suppressed is not None and (
-            suppressed == "all" or rule.rule_id in suppressed
-        ):
+        if self.suppressions.is_suppressed(rule.rule_id, lineno):
             return
         self._findings.add(
             Finding(
@@ -208,66 +397,43 @@ class FileContext:
         return sorted(self._findings)
 
 
-def _parse_suppressions(source: str):
-    """Map line number -> suppressed rule-id set (or ``"all"``).
-
-    Comments are found with :mod:`tokenize` rather than string scanning,
-    so ``# repro-lint: disable`` inside a string literal is inert.
-    """
-    suppressions: Dict[int, object] = {}
-    try:
-        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
-        for token in tokens:
-            if token.type != tokenize.COMMENT:
-                continue
-            match = _SUPPRESS_PATTERN.search(token.string)
-            if not match:
-                continue
-            ids = match.group("ids")
-            line = token.start[0]
-            if ids is None:
-                suppressions[line] = "all"
-                continue
-            wanted = {part.strip() for part in ids.split(",") if part.strip()}
-            existing = suppressions.get(line)
-            if existing == "all":
-                continue
-            if isinstance(existing, set):
-                existing.update(wanted)
-            else:
-                suppressions[line] = wanted
-    except tokenize.TokenError:
-        # The AST parse will report the real problem.
-        pass
-    return suppressions
-
-
 def _active_rules(path: str) -> List[Rule]:
     normalized = path.replace(os.sep, "/")
     active = []
     for cls in registered_rules():
+        if cls.is_project:
+            continue
         rule = cls()
         if rule.applies_to(normalized):
             active.append(rule)
     return active
 
 
-def lint_source(source: str, path: str = "<string>") -> List[Finding]:
-    """Lint python ``source``; ``path`` labels the findings."""
+def _analyze_source(source: str, path: str):
+    """Per-file findings plus the module summary for the project layer.
+
+    Returns ``(findings, summary)``; ``summary`` is None for files that
+    do not parse (the findings then carry the RR000 parse error).
+    """
+    from repro.lint import project
+
     ctx = FileContext(path, source)
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
-        return [
-            Finding(
-                path=ctx.path,
-                line=int(exc.lineno or 1),
-                col=int(exc.offset or 0),
-                rule_id=PARSE_ERROR_RULE_ID,
-                severity="error",
-                message=f"file does not parse: {exc.msg}",
-            )
-        ]
+        return (
+            [
+                Finding(
+                    path=ctx.path,
+                    line=int(exc.lineno or 1),
+                    col=int(exc.offset or 0),
+                    rule_id=PARSE_ERROR_RULE_ID,
+                    severity="error",
+                    message=f"file does not parse: {exc.msg}",
+                )
+            ],
+            None,
+        )
     rules = _active_rules(path)
     dispatch: Dict[type, List] = {}
     for rule in rules:
@@ -284,7 +450,27 @@ def lint_source(source: str, path: str = "<string>") -> List[Finding]:
     _walk(tree, ctx, dispatch)
     for rule in rules:
         rule.end_file(ctx)
-    return ctx.findings()
+    summary = project.build_summary(ctx.path, tree, ctx.suppressions)
+    return ctx.findings(), summary
+
+
+def lint_source(
+    source: str, path: str = "<string>", *, project: bool = True
+) -> List[Finding]:
+    """Lint python ``source``; ``path`` labels the findings.
+
+    With ``project=True`` (the default) the cross-file rules also run,
+    seeing this single file as the whole program — self-contained
+    violations (an obs-series conflict within the file, a leaked
+    shared-memory handle) are caught even without a full tree.
+    """
+    from repro.lint import project as project_mod
+
+    findings, summary = _analyze_source(source, path)
+    if project and summary is not None:
+        index = project_mod.ProjectIndex([summary])
+        findings = sorted(set(findings) | set(project_mod.run_project_rules(index)))
+    return findings
 
 
 def _walk(node: ast.AST, ctx: FileContext, dispatch: Dict[type, List]) -> None:
@@ -299,12 +485,12 @@ def _walk(node: ast.AST, ctx: FileContext, dispatch: Dict[type, List]) -> None:
         ctx.scope_stack.pop()
 
 
-def lint_file(path) -> List[Finding]:
+def lint_file(path, *, project: bool = True) -> List[Finding]:
     """Lint one file on disk."""
     path = os.fspath(path)
     with open(path, "r", encoding="utf-8") as handle:
         source = handle.read()
-    return lint_source(source, path)
+    return lint_source(source, path, project=project)
 
 
 def _iter_python_files(paths: Sequence) -> Iterable[str]:
@@ -323,13 +509,141 @@ def _iter_python_files(paths: Sequence) -> Iterable[str]:
             yield path
 
 
-def lint_paths(paths: Sequence) -> List[Finding]:
+def _analyze_file_payload(path: str, source: str):
+    """Worker-side task: one file's findings and summary, as plain dicts.
+
+    Top-level (picklable by reference) so ``lint_paths`` can fan files
+    through the persistent :mod:`repro.experiments.pool` executor; the
+    parent rebuilds :class:`Finding`/``ModuleSummary`` objects from the
+    returned payload.
+    """
+    findings, summary = _analyze_source(source, path)
+    return (
+        [finding.to_dict() for finding in findings],
+        summary.to_dict() if summary is not None else None,
+    )
+
+
+def _analyze_parallel(
+    work: List[Tuple[str, str]], jobs: int
+) -> List[Tuple[List[Finding], object]]:
+    """Analyze ``(path, source)`` pairs on the persistent worker pool.
+
+    Results come back in input order regardless of completion order, so
+    parallel runs are byte-identical to serial ones.  A broken executor
+    degrades to inline analysis for the unfinished files — the pool is
+    an optimization, never a correctness dependency.
+    """
+    from concurrent.futures import BrokenExecutor
+
+    from repro.experiments.pool import get_pool
+    from repro.lint import project
+
+    executor = get_pool().ensure(min(jobs, len(work)))
+    futures = []
+    for path, source in work:
+        try:
+            futures.append(executor.submit(_analyze_file_payload, path, source))
+        except (BrokenExecutor, RuntimeError):
+            futures.append(None)
+    results: List[Tuple[List[Finding], object]] = []
+    for (path, source), future in zip(work, futures):
+        payload = None
+        if future is not None:
+            try:
+                payload = future.result()
+            except BrokenExecutor:
+                payload = None
+        if payload is None:
+            results.append(_analyze_source(source, path))
+            continue
+        finding_dicts, summary_dict = payload
+        results.append(
+            (
+                [Finding.from_dict(d) for d in finding_dicts],
+                project.ModuleSummary.from_dict(summary_dict)
+                if summary_dict is not None
+                else None,
+            )
+        )
+    return results
+
+
+def lint_paths(
+    paths: Sequence,
+    *,
+    jobs: int = 1,
+    cache: Optional[str] = None,
+    project: bool = True,
+) -> List[Finding]:
     """Lint every ``*.py`` under ``paths`` (files or directories).
 
     Findings are sorted by (path, line, col, rule id); an empty list
     means the tree is clean.
+
+    ``jobs > 1`` fans per-file analysis through the persistent
+    :mod:`repro.experiments.pool` worker pool; ``cache`` names a JSON
+    file keyed by content hash so warm runs skip unchanged files
+    entirely (including the parse).  ``project=False`` disables the
+    cross-file rules — the right trade for partial-tree runs like
+    ``make lint-changed``, where the index would be missing most of the
+    program.
     """
-    findings: List[Finding] = []
+    from repro.lint import project as project_mod
+    from repro.lint.cache import LintCache
+
+    files: List[Tuple[str, str, str]] = []  # (normalized, source, digest)
     for file_path in _iter_python_files(paths):
-        findings.extend(lint_file(file_path))
+        with open(file_path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        normalized = os.fspath(file_path).replace(os.sep, "/")
+        files.append((normalized, source, source_digest(source)))
+
+    store = LintCache.load(cache) if cache else None
+    findings: Set[Finding] = set()
+    summaries: List = []
+    pending: List[Tuple[str, str]] = []
+    for normalized, source, digest in files:
+        hit = store.lookup(normalized, digest) if store is not None else None
+        if hit is not None:
+            cached_findings, summary = hit
+            findings.update(cached_findings)
+            if summary is not None:
+                summaries.append(summary)
+        else:
+            pending.append((normalized, source))
+
+    if pending:
+        if jobs > 1 and len(pending) > 1:
+            results = _analyze_parallel(pending, jobs)
+        else:
+            results = [_analyze_source(source, path) for path, source in pending]
+        digest_by_path = {normalized: digest for normalized, _, digest in files}
+        for (path, _source), (file_findings, summary) in zip(pending, results):
+            findings.update(file_findings)
+            if summary is not None:
+                summaries.append(summary)
+            if store is not None:
+                store.store(path, digest_by_path[path], file_findings, summary)
+
+    if project and summaries:
+        project_key = hashlib.sha256(
+            json.dumps(
+                sorted((normalized, digest) for normalized, _, digest in files)
+            ).encode("utf-8")
+        ).hexdigest()
+        cached_project = (
+            store.project_findings(project_key) if store is not None else None
+        )
+        if cached_project is not None:
+            findings.update(cached_project)
+        else:
+            index = project_mod.ProjectIndex(summaries)
+            project_findings = project_mod.run_project_rules(index)
+            findings.update(project_findings)
+            if store is not None:
+                store.store_project(project_key, project_findings)
+
+    if store is not None:
+        store.save()
     return sorted(findings)

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.lint.engine import FileContext, Rule, register_rule
 
 __all__ = [
+    "BlockingCallDetector",
     "UnseededRandomRule",
     "CachedForestMutationRule",
     "DtypeDisciplineRule",
@@ -732,38 +733,27 @@ _TIME_NONBLOCKING = {
 }
 
 
-@register_rule
-class BlockingAsyncCallRule(Rule):
-    """No synchronous sleeps, sockets, files, or subprocesses in handlers."""
+class BlockingCallDetector:
+    """Import-aware recognition of event-loop-blocking calls.
 
-    rule_id = "RR007"
-    severity = "error"
-    summary = (
-        "blocking call (time.sleep, sync socket/file I/O, subprocess) "
-        "inside an async def in repro/serve/"
-    )
-    rationale = (
-        "The serving layer is one event loop; a single blocking call in "
-        "a coroutine stalls every in-flight request at once — the "
-        "tail-latency failure the EstimatorTable/coalescing design "
-        "exists to prevent.  Blocking work belongs on the executor "
-        "(loop.run_in_executor) or behind an awaitable."
-    )
+    Shared by RR007 (direct blocking calls in serve coroutines) and the
+    project indexer behind RR011 (the same primitives reached
+    transitively through sync helpers) so both layers agree on what
+    "blocking" means.  Feed it every Import/ImportFrom in the file, then
+    ask :meth:`describe` about each call.
+    """
 
-    def applies_to(self, path: str) -> bool:
-        return "repro/serve/" in path
-
-    def begin_file(self, ctx: FileContext) -> None:
+    def __init__(self) -> None:
         # module alias -> canonical module ("import time as t")
         self._modules: Dict[str, str] = {}
         # bare name -> dotted description ("from time import sleep")
         self._names: Dict[str, str] = {}
 
-    def visit_Import(self, node: ast.Import, ctx: FileContext) -> None:
+    def see_import(self, node: ast.Import) -> None:
         for alias in node.names:
             if alias.name == "urllib.request":
                 # Unaliased dotted imports are matched on the full
-                # ``urllib.request.urlopen`` chain in _blocking().
+                # ``urllib.request.urlopen`` chain in describe().
                 if alias.asname is not None:
                     self._modules[alias.asname] = "urllib.request"
                 continue
@@ -771,32 +761,14 @@ class BlockingAsyncCallRule(Rule):
             if root in _BLOCKING_MODULES:
                 self._modules[alias.asname or root] = root
 
-    def visit_ImportFrom(self, node: ast.ImportFrom, ctx: FileContext) -> None:
+    def see_import_from(self, node: ast.ImportFrom) -> None:
         for alias in node.names:
             described = _BLOCKING_FROM_IMPORTS.get((node.module, alias.name))
             if described is not None:
                 self._names[alias.asname or alias.name] = described
 
-    def visit_AsyncFunctionDef(
-        self, node: ast.AsyncFunctionDef, ctx: FileContext
-    ) -> None:
-        # Nested sync defs are skipped: defining one does not block, and
-        # whether it is ever called from the coroutine is beyond an
-        # under-approximating rule.  Nested async defs get their own
-        # visit.
-        for sub in _pre_order(node.body, skip_scopes=True):
-            if isinstance(sub, ast.Call):
-                described = self._blocking(sub)
-                if described is not None:
-                    ctx.report(
-                        self,
-                        sub,
-                        f"{described} blocks the event loop inside "
-                        f"coroutine {node.name}(); await an async "
-                        "equivalent or use loop.run_in_executor",
-                    )
-
-    def _blocking(self, node: ast.Call) -> Optional[str]:
+    def describe(self, node: ast.Call) -> Optional[str]:
+        """Human-readable name of the blocking primitive, or None."""
         chain = _attr_chain(node.func)
         if chain is None:
             return None
@@ -816,6 +788,58 @@ class BlockingAsyncCallRule(Rule):
                 return None
             return f"time.{chain[-1]}()"
         return f"{module}.{chain[-1]}()"
+
+
+@register_rule
+class BlockingAsyncCallRule(Rule):
+    """No synchronous sleeps, sockets, files, or subprocesses in handlers."""
+
+    rule_id = "RR007"
+    severity = "error"
+    summary = (
+        "blocking call (time.sleep, sync socket/file I/O, subprocess) "
+        "inside an async def in repro/serve/"
+    )
+    rationale = (
+        "The serving layer is one event loop; a single blocking call in "
+        "a coroutine stalls every in-flight request at once — the "
+        "tail-latency failure the EstimatorTable/coalescing design "
+        "exists to prevent.  Blocking work belongs on the executor "
+        "(loop.run_in_executor) or behind an awaitable.  Helpers that "
+        "block only transitively are RR011's whole-program territory; "
+        "this rule flags the direct calls."
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return "repro/serve/" in path
+
+    def begin_file(self, ctx: FileContext) -> None:
+        self._detector = BlockingCallDetector()
+
+    def visit_Import(self, node: ast.Import, ctx: FileContext) -> None:
+        self._detector.see_import(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom, ctx: FileContext) -> None:
+        self._detector.see_import_from(node)
+
+    def visit_AsyncFunctionDef(
+        self, node: ast.AsyncFunctionDef, ctx: FileContext
+    ) -> None:
+        # Nested sync defs are skipped: defining one does not block, and
+        # whether it is ever called from the coroutine is beyond an
+        # under-approximating rule.  Nested async defs get their own
+        # visit.
+        for sub in _pre_order(node.body, skip_scopes=True):
+            if isinstance(sub, ast.Call):
+                described = self._detector.describe(sub)
+                if described is not None:
+                    ctx.report(
+                        self,
+                        sub,
+                        f"{described} blocks the event loop inside "
+                        f"coroutine {node.name}(); await an async "
+                        "equivalent or use loop.run_in_executor",
+                    )
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,38 @@
+"""RR012 negative fixture: disciplined shared-memory handle lifetimes."""
+
+
+def exception_safe_scope(graph, receivers):
+    handle = graph.to_shared()
+    try:
+        return measure(handle, receivers)
+    finally:
+        handle.unlink()
+
+
+def hands_ownership_to_registry(graph, registry):
+    handle = graph.to_shared()
+    registry.append(handle)
+    return handle.descriptor
+
+
+def ships_descriptor_not_handle(graph, executor, work):
+    handle = graph.to_shared()
+    try:
+        descriptor = handle.descriptor
+        return executor.submit(work, descriptor)
+    finally:
+        handle.unlink()
+
+
+def returns_handle_to_caller(graph):
+    return graph.to_shared()
+
+
+def immediate_release(graph):
+    handle = graph.to_shared()
+    handle.unlink()
+    return None
+
+
+def measure(handle, receivers):
+    return [len(receivers)]

@@ -1,0 +1,30 @@
+"""RR012 positive fixture: shared-memory handle lifetime violations."""
+
+
+def use_after_unlink(graph):
+    handle = graph.to_shared()
+    handle.unlink()
+    return handle.descriptor  # expect: RR012
+
+
+def leaks_segment(graph, receivers):
+    handle = graph.to_shared()  # expect: RR012
+    return len(receivers)
+
+
+def ships_handle_to_worker(graph, executor, work):
+    handle = graph.to_shared()
+    future = executor.submit(work, handle)  # expect: RR012
+    handle.unlink()
+    return future
+
+
+def unlink_not_exception_safe(graph, receivers):
+    handle = graph.to_shared()
+    sizes = count_trees(handle, receivers)
+    handle.unlink()  # expect: RR012
+    return sizes
+
+
+def count_trees(handle, receivers):
+    return [len(receivers)]

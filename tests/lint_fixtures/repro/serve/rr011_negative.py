@@ -1,0 +1,32 @@
+"""RR011 negative fixture: sync helpers under coroutines that never block.
+
+Pure computation below an await site is fine; so is blocking work that
+only runs behind ``run_in_executor`` (the helper is passed by
+reference, so no call edge exists from the coroutine).
+"""
+
+import asyncio
+import time
+
+
+def _score(samples):
+    return sum(samples) / max(len(samples), 1)
+
+
+def _summarize(samples):
+    return {"mean": _score(samples), "count": len(samples)}
+
+
+def _cold_read(path):
+    # Blocking, but only ever offloaded — never called from a coroutine.
+    with open(path) as handle:
+        return handle.read()
+
+
+async def summary_handler(samples):
+    await asyncio.sleep(0)
+    return _summarize(samples)
+
+
+async def offload_handler(loop, path):
+    return await loop.run_in_executor(None, _cold_read, path)

@@ -1,0 +1,30 @@
+"""RR011 positive fixture: blocking primitives reached through sync helpers.
+
+RR007 stays silent here on purpose — no coroutine body touches a
+blocking call directly.  The stalls are two and three resolved hops
+down the call graph, which only the project indexer can see.
+"""
+
+import subprocess
+import time
+
+
+def _settle(seconds):
+    time.sleep(seconds)
+
+
+def _rebuild_route_table(seconds):
+    return _settle(seconds)
+
+
+def _run_probe(cmd):
+    return subprocess.run(cmd, check=True)
+
+
+async def refresh_handler(seconds):
+    _rebuild_route_table(seconds)  # expect: RR011
+    return "refreshed"
+
+
+async def probe_handler(cmd):
+    return _run_probe(cmd)  # expect: RR011

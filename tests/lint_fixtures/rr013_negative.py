@@ -1,0 +1,22 @@
+"""RR013 negative fixture: consistent re-declarations and distinct names.
+
+Re-declaring a metric with the *same* spec is the supported
+get-or-create pattern (the runner and the worker pool share
+``repro_runner_chunks_total`` exactly this way).
+"""
+
+from repro import obs
+
+CHUNKS = obs.counter("rr013_fixture_chunks_total", "chunks", ("path",))
+CHUNKS_AGAIN = obs.counter("rr013_fixture_chunks_total", "chunks", ("path",))
+
+ROUNDS = obs.counter("rr013_fixture_rounds_total", "rounds")
+ROUND_DEPTH = obs.gauge("rr013_fixture_round_depth", "depth", ("stage",))
+
+WAIT = obs.histogram("rr013_fixture_wait", "seconds", (), (0.1, 1.0))
+WAIT_AGAIN = obs.histogram("rr013_fixture_wait", "seconds", (), (0.1, 1.0))
+
+
+def dynamic_name(registry, suffix):
+    # Non-literal names are invisible to the rule by design.
+    return registry.counter("rr013_fixture_" + suffix, "dynamic")

@@ -1,0 +1,12 @@
+"""RR013 positive fixture: one metric name, conflicting declarations."""
+
+from repro import obs
+
+HITS = obs.counter("rr013_fixture_hits_total", "cache hits", ("path",))
+HITS_DRIFTED = obs.counter("rr013_fixture_hits_total", "cache hits", ("path", "kind"))  # expect: RR013
+
+DEPTH = obs.gauge("rr013_fixture_depth", "queue depth")
+DEPTH_RETYPED = obs.counter("rr013_fixture_depth", "queue depth")  # expect: RR013
+
+LATENCY = obs.histogram("rr013_fixture_latency", "seconds", (), (0.1, 1.0))
+LATENCY_REBUCKETED = obs.histogram("rr013_fixture_latency", "seconds", (), (0.5, 5.0))  # expect: RR013

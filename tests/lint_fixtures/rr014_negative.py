@@ -1,0 +1,27 @@
+"""RR014 negative fixture: every seam fires, every spec names a seam."""
+
+from repro import faults
+from repro.faults import FaultSpec
+
+_FP_COMPUTE = faults.point("rr014.fixture.compute", "compute seam")
+_FP_FLUSH = faults.point("rr014.fixture.flush", "flush seam")
+
+
+def compute(batch):
+    _FP_COMPUTE.fire(batch=len(batch))
+    return sorted(batch)
+
+
+def flush(sink):
+    # Bound-method aliases count as firing the seam.
+    fire = _FP_FLUSH.fire
+    fire(sink=sink)
+
+
+COMPUTE_SPEC = FaultSpec("rr014.fixture.compute")
+FLUSH_SPEC = FaultSpec(point="rr014.fixture.flush")
+
+
+def dynamic_spec(name):
+    # Non-literal seam names are invisible to the rule by design.
+    return FaultSpec(name)

@@ -1,0 +1,16 @@
+"""RR014 positive fixture: an orphaned seam and an unknown FaultSpec ref."""
+
+from repro import faults
+from repro.faults import FaultSpec
+
+_FP_ACTIVE = faults.point("rr014.fixture.active", "fired below")
+_FP_ORPHAN = faults.point("rr014.fixture.orphan", "declared, never fired")  # expect: RR014
+
+
+def poke(payload):
+    _FP_ACTIVE.fire(payload=payload)
+    return payload
+
+
+GOOD_SPEC = FaultSpec("rr014.fixture.active")
+BAD_SPEC = FaultSpec("rr014.fixture.mistyped")  # expect: RR014

@@ -1,0 +1,275 @@
+"""Contract tests for repro.lint reporting, baselines, and the CLI.
+
+The JSON document shape, the SARIF 2.1.0 output, the baseline
+round-trip, and the exit-code contract (0 clean / 1 findings / 2
+usage error) are all consumed by tooling outside this repository's
+test suite, so each is pinned explicitly here.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import run_lint
+from repro.lint.__main__ import main as lint_main
+from repro.lint.reporting import (
+    apply_baseline,
+    finding_fingerprint,
+    load_baseline,
+    render_json,
+    render_sarif,
+    write_baseline,
+)
+from repro.lint.engine import Finding, lint_file
+
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+
+# Structural subset of the SARIF 2.1.0 schema: the properties every
+# SARIF consumer relies on, with the version string pinned.  The full
+# schema is ~4k lines; this keeps the load-bearing constraints.
+SARIF_21_SCHEMA = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "version": {"const": "2.1.0"},
+        "$schema": {"type": "string"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "properties": {
+                                                "id": {"type": "string"},
+                                                "shortDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                },
+                                                "defaultConfiguration": {
+                                                    "type": "object",
+                                                    "properties": {
+                                                        "level": {
+                                                            "enum": [
+                                                                "none",
+                                                                "note",
+                                                                "warning",
+                                                                "error",
+                                                            ]
+                                                        }
+                                                    },
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["message"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "ruleIndex": {"type": "integer"},
+                                "level": {
+                                    "enum": ["none", "note", "warning", "error"]
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                    "properties": {
+                                        "text": {"type": "string"}
+                                    },
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "uri": {
+                                                                "type": "string"
+                                                            }
+                                                        },
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                            "startColumn": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                        },
+                                                    },
+                                                },
+                                            }
+                                        },
+                                    },
+                                },
+                                "partialFingerprints": {
+                                    "type": "object",
+                                    "additionalProperties": {"type": "string"},
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+def _sample_findings():
+    return lint_file(FIXTURES / "rr001_positive.py")
+
+
+class TestJsonSnapshot:
+    def test_document_shape_is_stable(self):
+        report = json.loads(render_json(_sample_findings()))
+        assert sorted(report) == [
+            "clean", "counts", "findings", "rules", "version",
+        ]
+        assert report["version"] == 1
+        assert sorted(report["counts"]) == ["by_rule", "by_severity", "total"]
+        for finding in report["findings"]:
+            assert sorted(finding) == [
+                "col", "line", "message", "path", "rule_id", "severity",
+            ]
+        for doc in report["rules"].values():
+            assert sorted(doc) == ["rationale", "severity", "summary"]
+
+
+class TestSarif:
+    def test_sarif_validates_against_the_2_1_0_schema(self):
+        jsonschema = pytest.importorskip("jsonschema")
+        document = json.loads(render_sarif(_sample_findings()))
+        jsonschema.validate(document, SARIF_21_SCHEMA)
+
+    def test_sarif_clean_run_validates_too(self):
+        jsonschema = pytest.importorskip("jsonschema")
+        document = json.loads(render_sarif([]))
+        jsonschema.validate(document, SARIF_21_SCHEMA)
+        assert document["runs"][0]["results"] == []
+
+    def test_rule_metadata_and_result_linkage(self):
+        document = json.loads(render_sarif(_sample_findings()))
+        run = document["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        rule_ids = [rule["id"] for rule in rules]
+        assert rule_ids == sorted(rule_ids)
+        assert {"RR001", "RR011", "RR012", "RR013", "RR014"} <= set(rule_ids)
+        for result in run["results"]:
+            assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+            region = result["locations"][0]["physicalLocation"]["region"]
+            assert region["startLine"] >= 1 and region["startColumn"] >= 1
+
+    def test_severity_maps_to_sarif_levels(self):
+        document = json.loads(render_sarif(_sample_findings()))
+        levels = {r["level"] for r in document["runs"][0]["results"]}
+        assert levels <= {"none", "note", "warning", "error"}
+
+
+class TestBaseline:
+    def test_roundtrip_and_multiplicity(self, tmp_path):
+        findings = _sample_findings()
+        assert len(findings) >= 2
+        baseline_path = tmp_path / "baseline.json"
+        assert write_baseline(findings, baseline_path) == len(findings)
+        accepted = load_baseline(baseline_path)
+        assert apply_baseline(findings, accepted) == []
+        # A *new* instance of an already-baselined message is absorbed
+        # only up to the recorded multiplicity.
+        extra = findings + [findings[0]]
+        leftover = apply_baseline(extra, accepted)
+        assert leftover == [findings[0]]
+
+    def test_fingerprint_is_line_independent(self):
+        a = Finding(path="p.py", line=3, col=0, rule_id="RR001",
+                    severity="error", message="m")
+        b = Finding(path="p.py", line=90, col=4, rule_id="RR001",
+                    severity="error", message="m")
+        assert finding_fingerprint(a) == finding_fingerprint(b)
+
+    def test_bad_baseline_file_raises_value_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"version": 99}))
+        with pytest.raises(ValueError):
+            load_baseline(bad)
+
+
+class TestExitCodes:
+    def test_zero_on_clean(self, capsys):
+        assert lint_main([str(FIXTURES / "rr001_negative.py")]) == 0
+
+    def test_one_on_findings(self, capsys):
+        assert lint_main([str(FIXTURES / "rr001_positive.py")]) == 1
+
+    def test_two_on_missing_path(self, capsys):
+        assert lint_main([str(FIXTURES / "no_such_file.py")]) == 2
+
+    def test_two_on_unknown_format_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            lint_main(["--format", "xml", str(FIXTURES)])
+        assert excinfo.value.code == 2
+
+    def test_two_on_nonpositive_jobs(self, capsys):
+        assert lint_main(["--jobs", "0", str(FIXTURES)]) == 2
+
+    def test_two_on_corrupt_baseline(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("[]")
+        code = lint_main(
+            ["--baseline", str(bad), str(FIXTURES / "rr001_positive.py")]
+        )
+        assert code == 2
+
+    def test_baseline_workflow_end_to_end(self, capsys, tmp_path):
+        target = str(FIXTURES / "rr001_positive.py")
+        baseline = tmp_path / "accepted.json"
+        assert lint_main(["--write-baseline", str(baseline), target]) == 0
+        assert lint_main(["--baseline", str(baseline), target]) == 0
+        # Without the baseline the findings are back.
+        assert lint_main([target]) == 1
+
+    def test_sarif_format_flag(self, capsys):
+        code = lint_main(["--format", "sarif", str(FIXTURES / "rr001_positive.py")])
+        assert code == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == "2.1.0"
+
+    def test_run_lint_quiet_still_reports_findings(self, capsys):
+        code = run_lint([str(FIXTURES / "rr001_positive.py")], quiet=True)
+        assert code == 1
+        assert "RR001" in capsys.readouterr().out
+        assert run_lint([str(FIXTURES / "rr001_negative.py")], quiet=True) == 0
+        assert capsys.readouterr().out == ""

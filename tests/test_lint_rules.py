@@ -31,7 +31,7 @@ _EXPECT = re.compile(r"#\s*expect:\s*(?P<ids>[A-Z0-9, ]+)")
 
 RULE_IDS = (
     "RR001", "RR002", "RR003", "RR004", "RR005", "RR006", "RR007", "RR008",
-    "RR009", "RR010",
+    "RR009", "RR010", "RR011", "RR012", "RR013", "RR014",
 )
 
 RULE_FIXTURES = [
@@ -65,6 +65,18 @@ RULE_FIXTURES = [
         "repro/experiments/rr010_positive.py",
         "repro/experiments/rr010_negative.py",
     ),
+    (
+        "RR011",
+        "repro/serve/rr011_positive.py",
+        "repro/serve/rr011_negative.py",
+    ),
+    (
+        "RR012",
+        "repro/experiments/rr012_positive.py",
+        "repro/experiments/rr012_negative.py",
+    ),
+    ("RR013", "rr013_positive.py", "rr013_negative.py"),
+    ("RR014", "rr014_positive.py", "rr014_negative.py"),
 ]
 
 
@@ -132,6 +144,82 @@ class TestSuppression:
         source = "import numpy as np\nx = np.random.random()  # repro-lint: disable=RR006\n"
         findings = lint_source(source, "wrong_id.py")
         assert [f.rule_id for f in findings] == ["RR001"]
+
+    def test_multiple_rule_ids_in_one_pragma(self):
+        source = (
+            "import numpy as np\n"
+            "def f(bucket=[], x=None):  # repro-lint: disable=RR001,RR006\n"
+            "    return np.random.random()\n"
+        )
+        # RR006 fires on the def line; RR001 fires inside the body, on a
+        # different logical line, so only RR006 is silenced here.
+        findings = lint_source(source, "multi.py")
+        assert [f.rule_id for f in findings] == ["RR001"]
+        both = source.replace(
+            "return np.random.random()",
+            "return np.random.random()  # repro-lint: disable=RR001,RR006",
+        )
+        assert lint_source(both, "multi.py") == []
+
+    def test_disable_file_pragma_silences_listed_rules_everywhere(self):
+        source = (
+            "# repro-lint: disable-file=RR001\n"
+            "import numpy as np\n"
+            "def f(bucket=[]):\n"
+            "    return np.random.random()\n"
+        )
+        findings = lint_source(source, "filewide.py")
+        assert [f.rule_id for f in findings] == ["RR006"]
+
+    def test_bare_disable_file_pragma_silences_everything(self):
+        source = (
+            "# repro-lint: disable-file\n"
+            "import numpy as np\n"
+            "def f(bucket=[]):\n"
+            "    return np.random.random()\n"
+        )
+        assert lint_source(source, "filewide.py") == []
+
+    def test_pragma_on_continuation_line_covers_the_statement(self):
+        source = (
+            "import numpy as np\n"
+            "x = np.random.random(\n"
+            "    7,  # repro-lint: disable=RR001\n"
+            ")\n"
+        )
+        assert lint_source(source, "continuation.py") == []
+
+    def test_pragma_on_call_line_covers_multiline_call(self):
+        source = (
+            "import numpy as np\n"
+            "x = np.random.random(  # repro-lint: disable=RR001\n"
+            "    7,\n"
+            ")\n"
+        )
+        assert lint_source(source, "multiline.py") == []
+
+    def test_pragma_on_decorated_def_signature(self):
+        source = (
+            "import functools\n"
+            "@functools.lru_cache\n"
+            "def f(\n"
+            "    bucket=[],  # repro-lint: disable=RR006\n"
+            "):\n"
+            "    return bucket\n"
+        )
+        assert lint_source(source, "decorated.py") == []
+
+    def test_decorator_pragma_does_not_leak_to_the_def(self):
+        source = (
+            "import functools\n"
+            "@functools.lru_cache  # repro-lint: disable=RR006\n"
+            "def f(bucket=[]):\n"
+            "    return bucket\n"
+        )
+        # The decorator is its own logical line; the violation sits on
+        # the def's logical line and must survive.
+        findings = lint_source(source, "decorated.py")
+        assert [f.rule_id for f in findings] == ["RR006"]
 
 
 class TestEngine:
