@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install lint lint-changed lint-smoke test test-fast bench bench-smoke serve-smoke chaos-smoke obs-smoke regen-golden repro examples clean
+.PHONY: install lint lint-changed lint-smoke test test-fast bench bench-smoke serve-smoke chaos-smoke obs-smoke fleet-smoke regen-golden repro examples clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -27,7 +27,7 @@ lint-changed:
 lint-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/lint_smoke.py
 
-test: lint lint-smoke serve-smoke chaos-smoke obs-smoke
+test: lint lint-smoke serve-smoke chaos-smoke obs-smoke fleet-smoke
 	$(PYTHON) -m pytest tests/ --durations=10
 
 # Inner-loop run: skips golden/slow suites and the smoke gates.
@@ -47,6 +47,15 @@ bench-smoke:
 # End-to-end estimation-service probe: real sockets, all four endpoints.
 serve-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.cli serve --selftest --topologies arpa --sources 4 --receiver-sets 4
+
+# Multi-process fleet over real sockets: 1-worker vs N-worker aggregate
+# req/s plus a SIGKILL-under-load phase (zero lost requests).  The floor
+# is hardware-aware like bench-smoke's: fleet speedup over one worker
+# must reach 0.5 x min(workers, cpus), so a 1-CPU box only demands the
+# fleet not fall below half of one core while real multi-core demands
+# scaling.
+fleet-smoke: lint
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_fleet.py --smoke --no-record --check-fleet-floor 0.5
 
 # Seeded fault schedules vs the serving invariants + no-op fire() budget.
 chaos-smoke:

@@ -193,6 +193,39 @@ def build_parser() -> argparse.ArgumentParser:
             "(requires --selftest)"
         ),
     )
+    p_serve.add_argument(
+        "--fleet-workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "run a supervised fleet of N worker processes on one port "
+            "(SO_REUSEPORT, shared table store, per-worker load "
+            "shedding) instead of a single in-process server; see "
+            "docs/fleet.md"
+        ),
+    )
+    p_serve.add_argument(
+        "--fleet-admin-port",
+        type=int,
+        default=0,
+        metavar="PORT",
+        help=(
+            "admin port for the fleet's aggregated /metrics, /healthz, "
+            "and POST /v1/fleet/reload (0 = ephemeral; fleet mode only)"
+        ),
+    )
+    p_serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "per-worker load-shedding threshold: above N concurrent "
+            "requests, simulate answers degrade immediately "
+            "('shed': true) instead of queueing past their deadline"
+        ),
+    )
 
     p_obs = sub.add_parser(
         "obs", help="inspect an observability artifact (--obs output)"
@@ -560,6 +593,7 @@ def _cmd_serve(args) -> int:
         num_sources=args.sources,
         num_receiver_sets=args.receiver_sets,
         deadline_seconds=args.deadline_ms / 1000.0,
+        max_inflight=args.max_inflight,
     )
     plan = None
     if args.fault_plan is not None:
@@ -572,6 +606,22 @@ def _cmd_serve(args) -> int:
         plan = _load_fault_plan(args.fault_plan)
     if args.selftest:
         return asyncio.run(run_selftest(config, plan=plan))
+    if args.fleet_workers > 0:
+        from repro.serve.fleet import FleetConfig, FleetSupervisor
+
+        fleet_config = FleetConfig(
+            workers=args.fleet_workers,
+            host=args.host,
+            port=args.port,
+            admin_port=args.fleet_admin_port,
+            service=config,
+            seed=args.seed,
+        )
+        try:
+            asyncio.run(FleetSupervisor(fleet_config).serve_forever())
+        except KeyboardInterrupt:
+            pass
+        return 0
     app = ServerApp(EstimationService(config))
     try:
         asyncio.run(app.serve_forever(args.host, args.port))

@@ -14,9 +14,8 @@ profiles computed from it can be cached safely by callers.
 
 from __future__ import annotations
 
-import atexit
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -90,43 +89,6 @@ class SharedGraphHandle:
         )
 
 
-#: Segment names published by *this* process via :meth:`Graph.to_shared`.
-#: A same-process attachment must keep the tracker registration the
-#: creation made (the tracker's cache is a set, so the attach register
-#: deduplicated into it) — unregistering would orphan the segment on
-#: abnormal exit and make the eventual unlink() a double-unregister.
-_CREATED_SEGMENTS: Set[str] = set()
-
-
-def _untrack_attachment(shm) -> None:
-    # Python < 3.13 registers shared-memory *attachments* with the
-    # resource tracker as if they were ownership, so a process exiting
-    # with its own tracker would unlink the creator's live segment.
-    # Undo the registration — but only when this process both owns its
-    # tracker and is not the creator: pool workers inherit the parent's
-    # tracker fd (spawn passes it down, leaving the tracker pid unset),
-    # where the attach registration deduplicated against the creator's
-    # and unregistering would erase the creator's crash cleanup.
-    if shm._name in _CREATED_SEGMENTS:
-        return
-    try:
-        from multiprocessing import resource_tracker
-
-        if resource_tracker._resource_tracker._pid is None:
-            return  # inherited tracker: the registration is the parent's
-        resource_tracker.unregister(shm._name, "shared_memory")
-    except (ImportError, AttributeError):  # pragma: no cover - non-POSIX
-        pass
-
-
-def _disarm_shm_close(shm) -> None:
-    # At interpreter shutdown the attached numpy views can outlive the
-    # SharedMemory object, whose __del__ would then raise BufferError
-    # trying to unmap under them.  The process is exiting — the OS
-    # reclaims the mapping — so drop the handles and let close() degrade
-    # to closing the descriptor.
-    shm._buf = None
-    shm._mmap = None
 
 
 class Graph:
@@ -275,14 +237,12 @@ class Graph:
         through :class:`repro.experiments.pool.SharedGraphRegistry`,
         which deduplicates publication by content fingerprint.
         """
-        from multiprocessing import shared_memory
-
         from repro.graph.forest_cache import graph_fingerprint
+        from repro.utils.shm import create_segment
 
         split = self._indptr.nbytes
         total = split + self._indices.nbytes
-        shm = shared_memory.SharedMemory(create=True, size=max(1, total))
-        _CREATED_SEGMENTS.add(shm.name)
+        shm = create_segment(total)
         np.frombuffer(shm.buf, dtype=np.int64, count=self._num_nodes + 1)[
             :
         ] = self._indptr
@@ -312,13 +272,10 @@ class Graph:
         protected like every graph's; the segment itself stays writable
         only through the creator's handle.
         """
-        from multiprocessing import shared_memory
-
         from repro.graph.forest_cache import prime_fingerprint
+        from repro.utils.shm import attach_segment
 
-        shm = shared_memory.SharedMemory(name=descriptor.name)
-        _untrack_attachment(shm)
-        atexit.register(_disarm_shm_close, shm)
+        shm = attach_segment(descriptor.name)
         indptr = np.frombuffer(
             shm.buf, dtype=np.int64, count=descriptor.num_nodes + 1
         )

@@ -1,4 +1,4 @@
-"""The built-in ``repro.lint`` rules (RR001–RR010).
+"""The built-in ``repro.lint`` per-file rules (RR001–RR010, RR015).
 
 Each rule encodes one invariant the Monte-Carlo engine's correctness
 arguments rest on; `docs/static-analysis.md` is the narrative version.
@@ -1077,3 +1077,132 @@ class AdHocProcessPoolRule(Rule):
                     "once (Graph.to_shared / SharedGraphRegistry) and "
                     "submit the descriptor",
                 )
+
+
+# --------------------------------------------------------------------------
+# RR015 — serving state must not cross a process spawn boundary
+
+
+@register_rule
+class ServiceAcrossSpawnRule(Rule):
+    """ServerApp/EstimationService objects must not be spawned across."""
+
+    rule_id = "RR015"
+    severity = "error"
+    summary = (
+        "a ServerApp or EstimationService crosses a process spawn "
+        "boundary (Process(...) / submit()) — ship a FleetWorkerSpec or "
+        "TableStoreDescriptor and rebuild the service in-worker"
+    )
+    rationale = (
+        "A live service object is a bundle of process-local state: an "
+        "asyncio server and its connection tasks, a response cache with "
+        "coalescing futures, shared-memory table views, metric "
+        "registries.  None of that survives a pickle round-trip — it "
+        "either fails outright or, worse, silently re-imports into a "
+        "fresh object whose caches, tables, and counters no longer have "
+        "anything to do with the parent's.  The fleet's contract is "
+        "that only picklable *recipes* cross the boundary "
+        "(FleetWorkerSpec, ServiceConfig, TableStoreDescriptor) and "
+        "each worker constructs its own service from them.  Detection "
+        "is deliberately narrow: names bound to EstimationService(...) "
+        "or ServerApp(...) calls, direct constructor expressions, and "
+        "a terminal-name heuristic ('service'/'server_app') for "
+        "instances the tracker cannot see being built."
+    )
+
+    _SERVICE_CLASSES = ("EstimationService", "ServerApp")
+    _NAME_HINTS = ("service", "server_app")
+
+    def applies_to(self, path: str) -> bool:
+        return "repro/" in path
+
+    def begin_file(self, ctx: FileContext) -> None:
+        #: imported-as aliases of the service classes, local name → class
+        self._class_aliases: Dict[str, str] = {}
+        #: variables assigned from a tracked constructor, name → class
+        self._instances: Dict[str, str] = {}
+
+    def visit_ImportFrom(self, node: ast.ImportFrom, ctx: FileContext) -> None:
+        for alias in node.names:
+            if alias.name in self._SERVICE_CLASSES:
+                self._class_aliases[alias.asname or alias.name] = alias.name
+
+    def _constructed_class(self, node: ast.AST) -> Optional[str]:
+        """The service class ``node`` constructs, if it is such a call."""
+        if not isinstance(node, ast.Call):
+            return None
+        chain = _attr_chain(node.func)
+        if chain is None:
+            return None
+        if chain[-1] in self._SERVICE_CLASSES:
+            return chain[-1]
+        return self._class_aliases.get(chain[-1]) if len(chain) == 1 else None
+
+    def visit_Assign(self, node: ast.Assign, ctx: FileContext) -> None:
+        constructed = self._constructed_class(node.value)
+        for target in node.targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if constructed is not None:
+                self._instances[target.id] = constructed
+            else:
+                # Rebinding to anything else drops the taint.
+                self._instances.pop(target.id, None)
+
+    def _classify(self, node: ast.AST) -> Optional[str]:
+        """Why ``node`` looks like a service crossing, or None."""
+        constructed = self._constructed_class(node)
+        if constructed is not None:
+            return f"a fresh {constructed}"
+        name = AdHocProcessPoolRule._terminal_name(node)
+        if name is None:
+            return None
+        if name in self._instances:
+            return f"{name!r} (an {self._instances[name]})"
+        lowered = name.lower()
+        if any(hint in lowered for hint in self._NAME_HINTS):
+            return f"{name!r} (service-named)"
+        return None
+
+    def _report_crossing(
+        self, ctx: FileContext, node: ast.AST, what: str, boundary: str
+    ) -> None:
+        ctx.report(
+            self,
+            node,
+            f"{what} crosses the {boundary} spawn boundary by pickle — "
+            "live serving state (event loop, caches, shm views) does "
+            "not survive it; pass a FleetWorkerSpec/ServiceConfig and "
+            "rebuild the service inside the worker",
+        )
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        chain = _attr_chain(node.func)
+        if chain is None:
+            return
+        if chain[-1] == "submit" and len(chain) >= 2:
+            # args[0] is the callable; only payload arguments cross.
+            payload = list(node.args[1:]) + [kw.value for kw in node.keywords]
+            for arg in payload:
+                what = self._classify(arg)
+                if what is not None:
+                    self._report_crossing(ctx, arg, what, "submit()")
+            return
+        if chain[-1] != "Process":
+            return
+        for kw in node.keywords:
+            if kw.arg == "target" and isinstance(kw.value, ast.Attribute):
+                # A bound method drags its whole instance across.
+                what = self._classify(kw.value.value)
+                if what is not None:
+                    self._report_crossing(
+                        ctx, kw.value, f"a bound method of {what}", "Process()"
+                    )
+            elif kw.arg in ("args", "kwargs") and isinstance(
+                kw.value, (ast.Tuple, ast.List)
+            ):
+                for element in kw.value.elts:
+                    what = self._classify(element)
+                    if what is not None:
+                        self._report_crossing(ctx, element, what, "Process()")

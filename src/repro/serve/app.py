@@ -22,6 +22,7 @@ import asyncio
 import contextlib
 import json
 import signal
+import socket
 from typing import Dict, Optional, Set, Tuple
 
 from repro import faults
@@ -114,11 +115,38 @@ class ServerApp:
             return None
         return self._server.sockets[0].getsockname()[1]
 
-    async def start(self, host: str = "127.0.0.1", port: int = 8321) -> None:
+    async def start(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8321,
+        *,
+        sock: Optional[socket.socket] = None,
+        reuse_port: bool = False,
+    ) -> None:
+        """Start listening.
+
+        ``sock`` hands over an already-bound (listening or not) socket —
+        the fleet's fallback path where one listener is shared across
+        worker processes.  ``reuse_port`` sets ``SO_REUSEPORT`` on a
+        fresh bind so sibling processes can bind the same ``(host,
+        port)`` and let the kernel spread accepted connections across
+        them (the fleet's primary path).  The two are mutually
+        exclusive; with neither, behavior is the classic single-process
+        bind.
+        """
         await self.service.startup()
-        self._server = await asyncio.start_server(
-            self._serve_connection, host=host, port=port
-        )
+        if sock is not None:
+            self._server = await asyncio.start_server(
+                self._serve_connection, sock=sock
+            )
+        elif reuse_port:
+            self._server = await asyncio.start_server(
+                self._serve_connection, host=host, port=port, reuse_port=True
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._serve_connection, host=host, port=port
+            )
 
     async def _serve_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -127,11 +155,27 @@ class ServerApp:
         if task is not None:
             self._connections.add(task)
             task.add_done_callback(self._connections.discard)
+        # Race each read against the stop event: a keep-alive connection
+        # sitting idle between requests must not hold the drain hostage
+        # (it exits the moment stop() fires), while a request already on
+        # the wire when stop() lands is still read and answered — that
+        # is the drain's whole contract.
+        stop_wait = asyncio.ensure_future(self._stopping.wait())
         try:
             while not self._stopping.is_set():
                 _FP_APP_READ.fire()
+                read = asyncio.ensure_future(_read_request(reader))
+                await asyncio.wait(
+                    {read, stop_wait}, return_when=asyncio.FIRST_COMPLETED
+                )
+                if not read.done():
+                    # Stopping while idle: abandon the read, close now.
+                    read.cancel()
+                    with contextlib.suppress(asyncio.CancelledError):
+                        await read
+                    break
                 try:
-                    request = await _read_request(reader)
+                    request = read.result()
                 except (ValueError, asyncio.IncompleteReadError) as exc:
                     writer.write(
                         _render_response(
@@ -156,10 +200,18 @@ class ServerApp:
         except (ConnectionResetError, BrokenPipeError):
             pass  # client went away; nothing to clean up but the socket
         finally:
+            stop_wait.cancel()
             writer.close()
 
     async def stop(self, drain_seconds: float = 10.0) -> None:
-        """Stop listening, then wait for in-flight connections to drain."""
+        """Stop listening, then wait for in-flight connections to drain.
+
+        Idle keep-alive connections close immediately (their read loop
+        races the stop event); only connections with a request actually
+        in flight consume the drain budget.  Stragglers past the budget
+        are cancelled and awaited so their cleanup finishes before the
+        service shuts down.
+        """
         self._stopping.set()
         if self._server is not None:
             self._server.close()
@@ -167,10 +219,11 @@ class ServerApp:
             self._server = None
         pending = {t for t in self._connections if not t.done()}
         if pending:
-            await asyncio.wait(pending, timeout=drain_seconds)
-            for task in pending:
-                if not task.done():
-                    task.cancel()
+            _done, stragglers = await asyncio.wait(pending, timeout=drain_seconds)
+            for task in stragglers:
+                task.cancel()
+            if stragglers:
+                await asyncio.wait(stragglers, timeout=1.0)
         await self.service.shutdown()
 
     async def serve_forever(self, host: str, port: int) -> None:

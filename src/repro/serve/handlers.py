@@ -123,6 +123,12 @@ class ServiceConfig:
     cache_ttl_seconds: float = 300.0
     table_ttl_seconds: Optional[float] = None
     executor_threads: int = 2
+    #: Load-shedding threshold: with more than this many requests being
+    #: dispatched concurrently, further simulate requests are answered
+    #: degraded immediately (``"shed": true``) instead of queueing past
+    #: their deadline.  ``None`` (the default) disables shedding — the
+    #: single-process behavior is unchanged.
+    max_inflight: Optional[int] = None
 
     def validate(self) -> None:
         from repro.topology.registry import topology_spec
@@ -130,6 +136,10 @@ class ServiceConfig:
         if self.deadline_seconds <= 0:
             raise ServeError(
                 500, f"deadline must be positive, got {self.deadline_seconds}"
+            )
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ServeError(
+                500, f"max_inflight must be >= 1 when set, got {self.max_inflight}"
             )
         if self.table_ttl_seconds is not None and self.table_ttl_seconds <= 0:
             raise ServeError(
@@ -206,6 +216,11 @@ class EstimationService:
         )
         self._executor: Optional[ThreadPoolExecutor] = None
         self._started = False
+        # Requests currently inside dispatch() — the load-shedding
+        # signal — and the generation of the installed table set (0 =
+        # built locally, >0 = installed from a fleet shared store).
+        self._inflight_requests = 0
+        self.table_generation = 0
 
     # -- lifecycle -------------------------------------------------------
 
@@ -236,6 +251,28 @@ class EstimationService:
         if self._executor is not None:
             self._executor.shutdown(wait=False)
             self._executor = None
+
+    def install_tables(
+        self,
+        tables: Dict[Tuple[str, str], EstimatorTable],
+        generation: Optional[int] = None,
+    ) -> None:
+        """Replace the whole table set atomically (the fleet's path).
+
+        Workers attach zero-copy tables from the supervisor's shared
+        store and install them here *before* :meth:`startup`, which then
+        finds every configured topology pre-populated and skips the
+        in-process sweeps entirely.  On a hot reload the same call swaps
+        the set under live traffic: the dict rebind is atomic from any
+        handler's perspective, and the response cache is cleared so
+        answers interpolated from the old generation cannot outlive it.
+        """
+        now = self._clock()
+        self.tables = dict(tables)
+        self._table_built_at = {key: now for key in self.tables}
+        if generation is not None:
+            self.table_generation = int(generation)
+        self._cache.clear()
 
     # -- blocking backend (runs on the thread pool only) -----------------
 
@@ -542,6 +579,18 @@ class EstimationService:
             self.metrics.count_answer("cache")
             return answer
 
+        # Load shedding: past the configured inflight capacity, answer
+        # degraded *now* rather than queueing behind the backlog past
+        # the deadline.  Cache hits above stay served (they cost
+        # nothing), estimate/healthz/metrics are never shed, and shed
+        # answers are never cached.
+        limit = self.config.max_inflight
+        if limit is not None and self._inflight_requests > limit:
+            self.metrics.count_shed()
+            answer = self._degraded_answer(req)
+            answer["shed"] = True
+            return answer
+
         if not req.exact:
             try:
                 table = await self._table(req.topology, req.mode, req.deadline)
@@ -625,7 +674,10 @@ class EstimationService:
                 for name, mode in sorted(self.tables)
             },
             "table_ttl_seconds": self.config.table_ttl_seconds,
+            "table_generation": self.table_generation,
             "inflight": len(self._flight),
+            "inflight_requests": self._inflight_requests,
+            "max_inflight": self.config.max_inflight,
             "response_cache_entries": len(self._cache),
             "fault_plan": None if plan is None else plan.name,
         }
@@ -649,6 +701,7 @@ class EstimationService:
             "/metrics": "metrics",
         }.get(path, "unknown")
         start = self._clock()
+        self._inflight_requests += 1
         try:
             response = await self._route(method, path, endpoint, body)
         except ServeError as exc:
@@ -661,6 +714,8 @@ class EstimationService:
         except Exception as exc:
             logger.exception("unhandled error serving %s %s", method, path)
             response = Response.json(500, {"error": f"internal error: {exc}"})
+        finally:
+            self._inflight_requests -= 1
         self.metrics.observe_request(
             endpoint, response.status, self._clock() - start
         )

@@ -20,6 +20,8 @@ Series (names are pinned — the obs smoke gate checks them name-for-name)
 * ``repro_serve_answers_total{source}`` — where simulate answers came
   from: ``cache`` / ``table`` / ``simulation`` / ``closed-form``.
 * ``repro_serve_degraded_total`` — deadline-degraded responses.
+* ``repro_serve_shed_total`` — responses answered degraded-immediately
+  because the worker was over its inflight capacity (load shedding).
 * ``repro_serve_backend_failures_total`` — backend computations that
   failed outright (fault-injected or real, non-timeout).
 * ``repro_serve_coalesced_total`` / ``repro_serve_backend_runs_total``
@@ -78,6 +80,11 @@ class ServeMetrics:
         self._degraded = registry.counter(
             f"{_PREFIX}_degraded_total", "Deadline-degraded responses."
         )
+        self._shed = registry.counter(
+            f"{_PREFIX}_shed_total",
+            "Requests answered degraded-immediately because the worker "
+            "was over its inflight capacity (load shedding).",
+        )
         self._backend_failures = registry.counter(
             f"{_PREFIX}_backend_failures_total",
             "Backend computations that failed outright (non-timeout).",
@@ -114,6 +121,11 @@ class ServeMetrics:
     def count_degraded(self) -> None:
         self._degraded.inc()
 
+    def count_shed(self) -> None:
+        """A request was answered degraded without queueing: the worker
+        was already at its configured inflight capacity."""
+        self._shed.inc()
+
     def count_backend_failure(self) -> None:
         """A backend computation failed (not a timeout): the service
         degraded or, for background refreshes, kept the stale table."""
@@ -134,6 +146,10 @@ class ServeMetrics:
     @property
     def degraded_total(self) -> int:
         return int(self._degraded.value())
+
+    @property
+    def shed_total(self) -> int:
+        return int(self._shed.value())
 
     @property
     def backend_failures_total(self) -> int:
@@ -165,3 +181,15 @@ class ServeMetrics:
         self._cache_ratio.set(self.cache_hit_ratio)
         self._coalesce_ratio.set(self.coalesce_ratio)
         return self._registry.render()
+
+    def to_dict(self) -> dict:
+        """Version-1 registry snapshot (counters add, gauges last-write).
+
+        This is the fleet's cross-process hand-back: each worker ships
+        its snapshot over the control pipe and the supervisor folds them
+        with :meth:`~repro.obs.registry.MetricsRegistry.merge` into one
+        fleet-wide ``/metrics`` document.
+        """
+        self._cache_ratio.set(self.cache_hit_ratio)
+        self._coalesce_ratio.set(self.coalesce_ratio)
+        return self._registry.to_dict()

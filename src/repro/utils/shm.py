@@ -1,0 +1,111 @@
+"""Shared-memory segment lifecycle helpers.
+
+Every zero-copy publication in this package — CSR graphs
+(:meth:`repro.graph.core.Graph.to_shared`) and estimator-table stores
+(:mod:`repro.serve.fleet.store`) — follows the same POSIX shm protocol:
+the creator owns the segment and must eventually ``unlink()`` it;
+attachers map it read-only and their mapping dies with their last numpy
+view.  Two CPython sharp edges make that protocol fiddly enough to
+centralize here:
+
+* **Resource-tracker over-registration** (Python < 3.13): attaching to
+  a segment registers it with the :mod:`multiprocessing` resource
+  tracker *as if the attacher owned it*, so an attacher exiting with
+  its own tracker unlinks the creator's live segment.
+  :func:`untrack_attachment` undoes that registration — but only when
+  this process owns its tracker and is not the creator (spawn children
+  inherit the parent's tracker fd, where the attach registration
+  deduplicated against the creator's own).
+* **BufferError at interpreter shutdown**: attached numpy views can
+  outlive the ``SharedMemory`` object, whose ``__del__`` then raises
+  trying to unmap under them.  :func:`disarm_shm_close` drops the
+  mmap handles — the OS reclaims the mapping at exit anyway.
+
+Use :func:`create_segment` / :func:`attach_segment` and both edges are
+handled; the raw helpers stay exported for callers (like
+``Graph.from_shared``) that need the steps separately.
+"""
+
+from __future__ import annotations
+
+import atexit
+from multiprocessing import shared_memory
+from typing import Set
+
+__all__ = [
+    "attach_segment",
+    "create_segment",
+    "created_segments",
+    "disarm_shm_close",
+    "untrack_attachment",
+]
+
+#: Segment names created by *this* process.  A same-process attachment
+#: must keep the tracker registration the creation made (the tracker's
+#: cache is a set, so the attach register deduplicated into it) —
+#: unregistering would orphan the segment on abnormal exit and make the
+#: eventual unlink() a double-unregister.
+_CREATED_SEGMENTS: Set[str] = set()
+
+
+def created_segments() -> Set[str]:
+    """Names of segments this process created (live view, do not mutate)."""
+    return _CREATED_SEGMENTS
+
+
+def untrack_attachment(shm: shared_memory.SharedMemory) -> None:
+    """Undo the resource tracker's attachment-as-ownership registration.
+
+    No-op when this process created the segment (the registration is the
+    legitimate crash-cleanup one) or when the tracker was inherited from
+    a parent process (the registration belongs to the parent).
+    """
+    # Compare via the public ``.name`` (no leading slash) — ``_name``
+    # keeps the slash on POSIX and would never match the created set,
+    # turning a same-process attach into a spurious unregister (and the
+    # eventual unlink into a tracker double-unregister).
+    if shm.name in _CREATED_SEGMENTS:
+        return
+    try:
+        from multiprocessing import resource_tracker
+
+        if resource_tracker._resource_tracker._pid is None:
+            return  # inherited tracker: the registration is the parent's
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except (ImportError, AttributeError):  # pragma: no cover - non-POSIX
+        pass
+
+
+def disarm_shm_close(shm: shared_memory.SharedMemory) -> None:
+    """Drop the mmap handles so shutdown-time ``__del__`` cannot raise.
+
+    Registered via :mod:`atexit` for attachments whose numpy views may
+    still be reachable when the interpreter tears down; the OS reclaims
+    the mapping when the process exits.
+    """
+    shm._buf = None
+    shm._mmap = None
+
+
+def create_segment(size: int) -> shared_memory.SharedMemory:
+    """Create an owned segment of at least ``size`` bytes and note it.
+
+    The caller owns the result: ship its ``.name`` to attachers and
+    ``unlink()`` it exactly once when the payload retires.
+    """
+    shm = shared_memory.SharedMemory(create=True, size=max(1, int(size)))
+    _CREATED_SEGMENTS.add(shm.name)
+    return shm
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment with both CPython edges disarmed.
+
+    The returned object must stay referenced for as long as any view
+    over its buffer is in use (ride it on the attaching object, the way
+    ``Graph.from_shared`` keeps it on ``graph._shm``).
+    """
+    shm = shared_memory.SharedMemory(name=name)
+    untrack_attachment(shm)
+    atexit.register(disarm_shm_close, shm)
+    return shm

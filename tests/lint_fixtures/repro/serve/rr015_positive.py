@@ -1,0 +1,37 @@
+"""RR015 positive fixture: serving state shipped across spawn boundaries."""
+
+from multiprocessing import Process
+
+from repro.serve.app import ServerApp
+from repro.serve.handlers import EstimationService
+
+
+def _probe(payload):
+    return payload
+
+
+def ship_tracked_service_via_submit(pool, config):
+    service = EstimationService(config)
+    return pool.submit(_probe, service)  # expect: RR015
+
+
+def ship_fresh_service_via_submit(pool, config):
+    return pool.submit(_probe, EstimationService(config))  # expect: RR015
+
+
+def ship_app_in_process_args(config):
+    app = ServerApp(EstimationService(config))
+    worker = Process(target=_probe, args=(app,))  # expect: RR015
+    worker.start()
+    return worker
+
+
+def ship_bound_method_target(config):
+    service = EstimationService(config)
+    worker = Process(target=service.handle_metrics)  # expect: RR015
+    worker.start()
+    return worker
+
+
+def ship_service_named_argument(pool, estimation_service):
+    return pool.submit(_probe, estimation_service)  # expect: RR015

@@ -31,7 +31,7 @@ _EXPECT = re.compile(r"#\s*expect:\s*(?P<ids>[A-Z0-9, ]+)")
 
 RULE_IDS = (
     "RR001", "RR002", "RR003", "RR004", "RR005", "RR006", "RR007", "RR008",
-    "RR009", "RR010", "RR011", "RR012", "RR013", "RR014",
+    "RR009", "RR010", "RR011", "RR012", "RR013", "RR014", "RR015",
 )
 
 RULE_FIXTURES = [
@@ -77,6 +77,11 @@ RULE_FIXTURES = [
     ),
     ("RR013", "rr013_positive.py", "rr013_negative.py"),
     ("RR014", "rr014_positive.py", "rr014_negative.py"),
+    (
+        "RR015",
+        "repro/serve/rr015_positive.py",
+        "repro/serve/rr015_negative.py",
+    ),
 ]
 
 

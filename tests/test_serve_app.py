@@ -1,0 +1,271 @@
+"""Framing and lifecycle tests for the serve socket front end.
+
+Two regression families live here:
+
+* **Drain vs. idle keep-alive** — ``ServerApp.stop()`` must close idle
+  keep-alive connections immediately (they race the stop event) while a
+  request already in flight is still read, dispatched, and answered.
+  The first test in :class:`TestStopDrain` fails against the old
+  ``stop()`` which burned the whole drain budget on an idle connection.
+* **``_read_request`` edge cases** — oversized heads, bodies truncated
+  short of ``Content-Length``, pipelined requests sharing one buffer,
+  and malformed request lines must surface as clean ``ValueError``/
+  ``IncompleteReadError`` (the server turns both into an HTTP 400),
+  never a traceback.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro.serve.app import (
+    _MAX_BODY_BYTES,
+    ServerApp,
+    _read_request,
+)
+from repro.serve.handlers import EstimationService, ServiceConfig
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def small_config(**overrides) -> ServiceConfig:
+    defaults = dict(
+        topologies=("arpa",),
+        num_sources=2,
+        num_receiver_sets=2,
+        deadline_seconds=5.0,
+        executor_threads=2,
+    )
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+def feed_reader(data: bytes, *, eof: bool = True, limit: int = 2**20):
+    reader = asyncio.StreamReader(limit=limit)
+    reader.feed_data(data)
+    if eof:
+        reader.feed_eof()
+    return reader
+
+
+async def read_response(reader):
+    """One framed HTTP response off a keep-alive stream."""
+    head = await reader.readuntil(b"\r\n\r\n")
+    lines = head.split(b"\r\n")
+    status = int(lines[0].split(b" ")[1])
+    headers = {}
+    for line in lines[1:]:
+        if b":" in line:
+            name, _sep, value = line.partition(b":")
+            headers[name.strip().lower()] = value.strip()
+    body = await reader.readexactly(int(headers.get(b"content-length", b"0")))
+    return status, headers, body
+
+
+GET_HEALTHZ = b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n"
+
+
+class TestReadRequestFraming:
+    def test_clean_eof_returns_none(self):
+        async def go():
+            return await _read_request(feed_reader(b""))
+
+        assert run(go()) is None
+
+    def test_single_request_parsed(self):
+        async def go():
+            return await _read_request(feed_reader(GET_HEALTHZ))
+
+        method, path, headers, body = run(go())
+        assert (method, path, body) == ("GET", "/healthz", b"")
+        assert headers["host"] == "t"
+
+    def test_pipelined_second_request_survives_in_buffer(self):
+        pipelined = (
+            GET_HEALTHZ
+            + b"POST /v1/estimate HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}"
+        )
+
+        async def go():
+            reader = feed_reader(pipelined)
+            return (
+                await _read_request(reader),
+                await _read_request(reader),
+                await _read_request(reader),
+            )
+
+        first, second, third = run(go())
+        assert first[:2] == ("GET", "/healthz")
+        assert second[:2] == ("POST", "/v1/estimate")
+        assert second[3] == b"{}"
+        assert third is None  # buffer exactly drained
+
+    def test_head_past_policy_cap_raises_value_error(self):
+        # Fits the stream limit, exceeds the 64 KiB header policy.
+        big = b"GET / HTTP/1.1\r\nX-Pad: " + b"a" * (64 * 1024) + b"\r\n\r\n"
+        async def go():
+            with pytest.raises(ValueError, match="head too large"):
+                await _read_request(feed_reader(big))
+
+        run(go())
+
+    def test_head_past_stream_limit_raises_value_error(self):
+        # The asyncio LimitOverrunError path maps to the same ValueError.
+        big = b"GET / HTTP/1.1\r\nX-Pad: " + b"a" * (64 * 1024) + b"\r\n\r\n"
+        async def go():
+            with pytest.raises(ValueError, match="head too large"):
+                await _read_request(feed_reader(big, limit=2**16))
+
+        run(go())
+
+    def test_body_truncated_short_of_content_length(self):
+        data = b"POST /v1/simulate HTTP/1.1\r\nContent-Length: 10\r\n\r\n{}"
+
+        async def go():
+            with pytest.raises(asyncio.IncompleteReadError):
+                await _read_request(feed_reader(data))
+
+        run(go())
+
+    def test_connection_closed_mid_head(self):
+        async def go():
+            with pytest.raises(ValueError, match="mid-request"):
+                await _read_request(feed_reader(b"GET / HT"))
+
+        run(go())
+
+    def test_malformed_request_line(self):
+        async def go():
+            with pytest.raises(ValueError, match="malformed request line"):
+                await _read_request(feed_reader(b"NONSENSE\r\n\r\n"))
+
+        run(go())
+
+    @pytest.mark.parametrize(
+        "raw", [b"-5", str(_MAX_BODY_BYTES + 1).encode("ascii"), b"banana"]
+    )
+    def test_unacceptable_content_length(self, raw):
+        data = b"POST /x HTTP/1.1\r\nContent-Length: " + raw + b"\r\n\r\n"
+
+        async def go():
+            with pytest.raises(ValueError):
+                await _read_request(feed_reader(data))
+
+        run(go())
+
+
+class TestServerEdgeCases:
+    def test_malformed_request_line_gets_400_json_not_traceback(self):
+        async def go():
+            app = ServerApp(EstimationService(small_config()))
+            await app.start(host="127.0.0.1", port=0)
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", app.port
+                )
+                writer.write(b"THIS IS NOT HTTP\r\n\r\n")
+                await writer.drain()
+                status, headers, body = await read_response(reader)
+                leftover = await reader.read()
+                writer.close()
+                return status, headers, body, leftover
+            finally:
+                await app.stop(drain_seconds=2.0)
+
+        status, headers, body, leftover = run(go())
+        assert status == 400
+        assert "malformed request line" in json.loads(body)["error"]
+        assert headers[b"connection"] == b"close"
+        assert leftover == b""  # server closed after the 400
+
+    def test_pipelined_requests_both_answered(self):
+        async def go():
+            app = ServerApp(EstimationService(small_config()))
+            await app.start(host="127.0.0.1", port=0)
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", app.port
+                )
+                writer.write(GET_HEALTHZ + GET_HEALTHZ)
+                await writer.drain()
+                first = await read_response(reader)
+                second = await read_response(reader)
+                writer.close()
+                return first, second
+            finally:
+                await app.stop(drain_seconds=2.0)
+
+        (s1, _h1, b1), (s2, _h2, b2) = run(go())
+        assert (s1, s2) == (200, 200)
+        # Bodies differ only in rolling counters (requests served), so
+        # compare the health verdicts, not raw bytes.
+        assert json.loads(b1)["status"] == "ok"
+        assert json.loads(b2)["status"] == "ok"
+
+
+class TestStopDrain:
+    def test_stop_with_idle_keepalive_returns_fast(self):
+        # Regression: stop() used to wait out the whole drain budget on a
+        # keep-alive connection idle between requests.
+        async def go():
+            app = ServerApp(EstimationService(small_config()))
+            await app.start(host="127.0.0.1", port=0)
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", app.port
+            )
+            writer.write(GET_HEALTHZ)
+            await writer.drain()
+            status, _headers, _body = await read_response(reader)
+            start = time.monotonic()
+            await app.stop(drain_seconds=30.0)
+            elapsed = time.monotonic() - start
+            leftover = await reader.read()
+            writer.close()
+            return status, elapsed, leftover
+
+        status, elapsed, leftover = run(go())
+        assert status == 200
+        assert elapsed < 5.0, f"idle keep-alive held the drain for {elapsed:.1f}s"
+        assert leftover == b""  # the idle connection was actually closed
+
+    def test_request_in_flight_when_stop_lands_is_still_answered(self):
+        async def go():
+            service = EstimationService(small_config())
+            app = ServerApp(service)
+            await app.start(host="127.0.0.1", port=0)
+            gate = asyncio.Event()
+            entered = asyncio.Event()
+            inner_dispatch = service.dispatch
+
+            async def held_dispatch(method, path, body):
+                entered.set()
+                await gate.wait()
+                return await inner_dispatch(method, path, body)
+
+            service.dispatch = held_dispatch
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", app.port
+            )
+            writer.write(GET_HEALTHZ)
+            await writer.drain()
+            await entered.wait()
+            stopper = asyncio.ensure_future(app.stop(drain_seconds=10.0))
+            await asyncio.sleep(0.05)
+            held = not stopper.done()  # the drain waits for the request
+            gate.set()
+            status, headers, body = await read_response(reader)
+            await stopper
+            writer.close()
+            return held, status, headers, body
+
+        held, status, headers, body = run(go())
+        assert held
+        assert status == 200
+        assert json.loads(body)["status"] == "ok"
+        assert headers[b"connection"] == b"close"  # no keep-alive past stop
