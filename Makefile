@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install lint lint-changed lint-smoke test test-fast bench bench-smoke serve-smoke chaos-smoke obs-smoke fleet-smoke regen-golden repro examples clean
+.PHONY: install lint lint-changed lint-smoke test test-fast bench bench-smoke serve-smoke chaos-smoke obs-smoke fleet-smoke scale-smoke regen-golden repro examples clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -30,9 +30,9 @@ lint-smoke:
 test: lint lint-smoke serve-smoke chaos-smoke obs-smoke fleet-smoke
 	$(PYTHON) -m pytest tests/ --durations=10
 
-# Inner-loop run: skips golden/slow suites and the smoke gates.
+# Inner-loop run: skips golden/slow/scale suites and the smoke gates.
 test-fast:
-	$(PYTHON) -m pytest tests/ -m "not golden and not slow"
+	$(PYTHON) -m pytest tests/ -m "not golden and not slow and not scale"
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -56,6 +56,16 @@ serve-smoke:
 # scaling.
 fleet-smoke: lint
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_fleet.py --smoke --no-record --check-fleet-floor 0.5
+
+# Million-node tier: builds internet_like_graph at n=1M, runs a seeded
+# sweep off the mmap'd DistanceStore, and asserts the documented memory
+# ceilings (peak RSS <= 3 GB via getrusage, <= 512 MB tracemalloc for the
+# vectorized build) plus a same-box generator speedup floor — relative to
+# this machine's own legacy-loop timing, so the gate is hardware-aware.
+# Excluded from `make test-fast`; the bench smoke rides along untimed.
+scale-smoke: lint
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_topology_scale.py -m scale -q
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_topology_scale.py --smoke --no-record --check-speedup 10
 
 # Seeded fault schedules vs the serving invariants + no-op fire() budget.
 chaos-smoke:

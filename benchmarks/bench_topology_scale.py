@@ -1,0 +1,277 @@
+"""Million-node topology tier: generator streams, DistanceStore, sampling.
+
+Builds the internet-like preferential-attachment map at n ∈ {56k, 250k,
+1M} through each generator stream, records build seconds and peak memory,
+then times the mmap'd :class:`DistanceStore` path end to end (store build
+via multi-source BFS, seeded sweep sampling from the store) and appends
+one record to the ``BENCH_topology.json`` trajectory.
+
+Usage::
+
+    python benchmarks/bench_topology_scale.py             # 56k/250k/1M
+    python benchmarks/bench_topology_scale.py --smoke     # 14k/56k, for CI
+    python benchmarks/bench_topology_scale.py --check-speedup 10
+
+Three generators are timed per tier:
+
+* ``legacy``      — the retired per-node Python ``attach`` loop, kept as
+  ``_legacy_loop_reference`` precisely so this benchmark has an honest
+  baseline (skipped above ``--legacy-ceiling`` nodes; it is O(minutes)
+  at 1M).
+* ``loop``        — ``stream="loop"``: the vector-era code replaying the
+  legacy RNG stream bit-identically.
+* ``vectorized``  — ``stream="vectorized"``: chunked draws, direct CSR.
+
+``legacy`` and ``loop`` must produce identical graphs (asserted on every
+tier where both run), so the benchmark doubles as a replay-contract check
+at scale.  ``--check-speedup X`` gates ``vectorized >= X times faster
+than the legacy loop`` at the largest tier where the legacy ran — the
+ISSUE's acceptance bar is 10x at n=250k.
+
+Record format (one JSON object per run, newest last)::
+
+    {
+      "workload": {"topology": "internet", "tiers": [...], "sizes": [...],
+                   "num_sources": ..., "num_receiver_sets": ...},
+      "cpus": ...,
+      "tiers": [{"num_nodes": ..., "num_edges": ...,
+                 "build": {"legacy": ..., "loop": ..., "vectorized": ...},
+                 "vectorized_tracemalloc_peak_mb": ...,
+                 "store_build_seconds": ..., "store_mb": ...,
+                 "sweep_seconds": ..., "samples_per_sec": ...,
+                 "peak_rss_mb": ...}, ...],
+      "speedup_vectorized_vs_legacy_at": {"250000": ..., ...}
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import resource
+import sys
+import tempfile
+import time
+import tracemalloc
+from pathlib import Path
+from typing import List, Optional
+
+from repro.experiments.config import MonteCarloConfig
+from repro.experiments.runner import measure_sweep
+from repro.graph.distance_store import build_distance_store
+from repro.topology import powerlaw
+from repro.topology.powerlaw import internet_like_graph
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_topology.json"
+
+#: The ISSUE's tiers: the paper's 56k internet map, then 250k and 1M.
+FULL_TIERS = [56_000, 250_000, 1_000_000]
+SMOKE_TIERS = [14_000, 56_000]
+
+#: Largest tier where the retired per-node loop is still worth timing.
+LEGACY_CEILING = 250_000
+
+#: Seeded sweep workload sampled from the store at every tier.
+SWEEP_SIZES = [1, 10, 100, 1000]
+NUM_SOURCES = 4
+NUM_RECEIVER_SETS = 8
+STORE_SOURCE_STRIDE = 8  # store rows: range(0, 64, stride)
+
+
+def _peak_rss_mb() -> float:
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def _graphs_equal(a, b) -> bool:
+    import numpy as np
+
+    return (
+        a.num_nodes == b.num_nodes
+        and np.array_equal(a.indptr, b.indptr)
+        and np.array_equal(a.indices, b.indices)
+    )
+
+
+def _bench_tier(num_nodes: int, seed: int, legacy_ceiling: int) -> dict:
+    build = {}
+    start = time.perf_counter()
+    legacy = None
+    if num_nodes <= legacy_ceiling:
+        legacy = powerlaw._legacy_loop_reference(
+            num_nodes, edges_per_node=2, fringe_fraction=0.35, rng=seed
+        )
+        build["legacy"] = round(time.perf_counter() - start, 4)
+
+    start = time.perf_counter()
+    loop = internet_like_graph(num_nodes, rng=seed, stream="loop")
+    build["loop"] = round(time.perf_counter() - start, 4)
+    if legacy is not None:
+        assert _graphs_equal(legacy, loop), (
+            f"stream='loop' broke the legacy replay contract at n={num_nodes}"
+        )
+        del legacy
+    del loop
+
+    tracemalloc.start()
+    start = time.perf_counter()
+    graph = internet_like_graph(num_nodes, rng=seed, stream="vectorized")
+    build["vectorized"] = round(time.perf_counter() - start, 4)
+    _, traced_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    sources = list(range(0, 8 * STORE_SOURCE_STRIDE, STORE_SOURCE_STRIDE))
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, f"tier-{num_nodes}.dist")
+        start = time.perf_counter()
+        store = build_distance_store(graph, path, sources=sources)
+        store_seconds = time.perf_counter() - start
+        store_mb = store.descriptor.nbytes / 2**20
+
+        config = MonteCarloConfig(
+            num_sources=NUM_SOURCES,
+            num_receiver_sets=NUM_RECEIVER_SETS,
+            seed=seed,
+        )
+        start = time.perf_counter()
+        measurement = measure_sweep(
+            graph,
+            SWEEP_SIZES,
+            mode="distinct",
+            config=config,
+            topology="internet",
+            distance_store=store,
+            use_cache=False,
+        )
+        sweep_seconds = time.perf_counter() - start
+        assert all(v > 0 for v in measurement.mean_tree_size)
+        store.close()
+    total_samples = NUM_SOURCES * NUM_RECEIVER_SETS * len(SWEEP_SIZES)
+
+    row = {
+        "num_nodes": num_nodes,
+        "num_edges": int(graph.indices.shape[0] // 2),
+        "build": build,
+        "vectorized_tracemalloc_peak_mb": round(traced_peak / 2**20, 1),
+        "store_build_seconds": round(store_seconds, 4),
+        "store_mb": round(store_mb, 1),
+        "sweep_seconds": round(sweep_seconds, 4),
+        "samples_per_sec": round(total_samples / sweep_seconds, 1),
+        "peak_rss_mb": round(_peak_rss_mb(), 1),
+    }
+    print(
+        f"  n={num_nodes:>9,d}: "
+        + "  ".join(f"{k}={v:.3f}s" for k, v in build.items())
+        + f"  store={store_seconds:.2f}s ({store_mb:.0f}MB)"
+        f"  sweep={total_samples / sweep_seconds:.0f} samples/s"
+        f"  rss={row['peak_rss_mb']:.0f}MB"
+    )
+    return row
+
+
+def run(tiers: List[int], seed: int, legacy_ceiling: int) -> dict:
+    cpus = os.cpu_count() or 1
+    print(
+        f"topology scale tiers: {', '.join(f'{n:,d}' for n in tiers)} "
+        f"({cpus} cpu(s))"
+    )
+    rows = [_bench_tier(n, seed, legacy_ceiling) for n in tiers]
+    speedups = {}
+    for row in rows:
+        legacy = row["build"].get("legacy")
+        if legacy is not None and row["build"]["vectorized"] > 0:
+            speedups[str(row["num_nodes"])] = round(
+                legacy / row["build"]["vectorized"], 1
+            )
+    record = {
+        "workload": {
+            "topology": "internet",
+            "tiers": tiers,
+            "sizes": SWEEP_SIZES,
+            "num_sources": NUM_SOURCES,
+            "num_receiver_sets": NUM_RECEIVER_SETS,
+            "store_sources": 8,
+        },
+        "cpus": cpus,
+        "tiers": rows,
+        "speedup_vectorized_vs_legacy_at": speedups,
+    }
+    for n, x in speedups.items():
+        print(f"vectorized speedup over legacy loop at n={int(n):,d}: {x}x")
+    return record
+
+
+def append_trajectory(record: dict, output: Path) -> None:
+    trajectory = []
+    if output.exists():
+        trajectory = json.loads(output.read_text(encoding="utf-8"))
+        if not isinstance(trajectory, list):
+            raise SystemExit(f"{output} is not a JSON trajectory list")
+    trajectory.append(record)
+    output.write_text(
+        json.dumps(trajectory, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"appended record #{len(trajectory)} to {output}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small tiers (CI-friendly, seconds)")
+    parser.add_argument("--tiers", type=int, nargs="*", default=None,
+                        help="node counts to bench (default 56k/250k/1M)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--legacy-ceiling", type=int, default=LEGACY_CEILING,
+                        help="skip the retired Python loop above this n")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help="trajectory file (JSON list, appended)")
+    parser.add_argument("--no-record", action="store_true",
+                        help="print timings without touching the trajectory")
+    parser.add_argument("--check-speedup", type=float, default=None,
+                        metavar="X",
+                        help="exit nonzero unless vectorized >= X times "
+                             "faster than the legacy loop at the largest "
+                             "tier where the legacy ran")
+    args = parser.parse_args(argv)
+    tiers = args.tiers or (SMOKE_TIERS if args.smoke else FULL_TIERS)
+
+    if not args.no_record:
+        # A trajectory point is a durable claim about the tree; refuse to
+        # record one from a tree that violates the repo's lint invariants.
+        from repro.lint import lint_paths, render_text
+
+        findings = lint_paths([Path(__file__).resolve().parent.parent / "src"])
+        if findings:
+            print(render_text(findings), file=sys.stderr)
+            print(
+                "FAIL: refusing to record a trajectory point while the tree "
+                "has lint findings (use --no-record to time anyway)",
+                file=sys.stderr,
+            )
+            return 1
+
+    record = run(tiers, args.seed, args.legacy_ceiling)
+    if not args.no_record:
+        append_trajectory(record, args.output)
+    if args.check_speedup is not None:
+        speedups = record["speedup_vectorized_vs_legacy_at"]
+        if not speedups:
+            print("FAIL: no tier ran the legacy loop", file=sys.stderr)
+            return 1
+        largest = max(speedups, key=int)
+        if speedups[largest] < args.check_speedup:
+            print(
+                f"FAIL: vectorized speedup {speedups[largest]}x at "
+                f"n={largest} below required {args.check_speedup}x",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"speedup gate ok: {speedups[largest]}x >= "
+            f"{args.check_speedup}x at n={largest}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

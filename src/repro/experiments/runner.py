@@ -45,13 +45,18 @@ never cached.
 from __future__ import annotations
 
 import logging
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro import obs
 from repro.exceptions import ExperimentError
 from repro.graph.core import Graph
+from repro.graph.distance_store import (
+    DistanceStore,
+    DistanceStoreDescriptor,
+    attach_distance_store,
+)
 from repro.graph.forest_cache import default_forest_cache
 from repro.graph.ops import require_connected
 from repro.graph.paths import bfs
@@ -185,6 +190,25 @@ def _count_samples(
     return links_list, totals_list
 
 
+#: Process-local distance-store attachments, keyed by (path, generation).
+#: Workers receive a :class:`DistanceStoreDescriptor` per task (the mmap
+#: itself never crosses the process boundary) and re-attach once here.
+_STORE_CACHE: Dict[Tuple[str, int], DistanceStore] = {}
+
+
+def _resolve_store(
+    store: Optional[Union[DistanceStore, DistanceStoreDescriptor]],
+) -> Optional[DistanceStore]:
+    if store is None or isinstance(store, DistanceStore):
+        return store
+    key = (store.path, store.generation)
+    attached = _STORE_CACHE.get(key)
+    if attached is None:
+        attached = attach_distance_store(store)
+        _STORE_CACHE[key] = attached
+    return attached
+
+
 def _source_forest(
     graph: Graph,
     source: int,
@@ -211,6 +235,9 @@ def _source_counts(
     exclude_source_site: bool,
     engine: str,
     use_cache: bool,
+    distance_store: Optional[
+        Union[DistanceStore, DistanceStoreDescriptor]
+    ] = None,
     row_slice: Optional[Tuple[int, int]] = None,
 ) -> Tuple[List[np.ndarray], List[np.ndarray]]:
     """Raw per-size (links, unicast-total) counts for one source.
@@ -220,10 +247,20 @@ def _source_counts(
     grid chunking bit-identical: float summation is non-associative, so
     the parent must see the same arrays the serial path feeds to
     :func:`_partials_from_counts`, however the rows were split.
+
+    With a ``distance_store`` the source's forest comes from the mmap'd
+    rows instead of a fresh BFS; on a *complete* store the source draw
+    consumes the stream identically to the storeless path, so the whole
+    sweep stays bit-identical (see :meth:`DistanceStore.pick_source`).
     """
     source_rng = ensure_rng(child_seed)
-    source = int(source_rng.integers(0, graph.num_nodes))
-    forest = _source_forest(graph, source, tie_break, source_rng, use_cache)
+    store = _resolve_store(distance_store)
+    if store is not None:
+        source = store.pick_source(source_rng)
+        forest = store.forest(source)
+    else:
+        source = int(source_rng.integers(0, graph.num_nodes))
+        forest = _source_forest(graph, source, tie_break, source_rng, use_cache)
     counter = MulticastTreeCounter(forest)
     exclude = source if exclude_source_site else None
     return _count_samples(
@@ -272,11 +309,14 @@ def _source_partials(
     exclude_source_site: bool,
     engine: str,
     use_cache: bool,
+    distance_store: Optional[
+        Union[DistanceStore, DistanceStoreDescriptor]
+    ] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Per-size partial sums contributed by one source (serial path)."""
     links_list, totals_list = _source_counts(
         graph, child_seed, size_list, mode, num_receiver_sets,
-        tie_break, exclude_source_site, engine, use_cache,
+        tie_break, exclude_source_site, engine, use_cache, distance_store,
     )
     return _partials_from_counts(size_list, links_list, totals_list)
 
@@ -291,6 +331,9 @@ def measure_sweep(
     rng: RandomState = None,
     engine: str = "batched",
     use_cache: bool = True,
+    distance_store: Optional[
+        Union[DistanceStore, DistanceStoreDescriptor]
+    ] = None,
 ) -> SweepMeasurement:
     """Measure averaged tree sizes over a sweep of group sizes.
 
@@ -323,12 +366,34 @@ def measure_sweep(
     use_cache:
         Serve ``tie_break="first"`` forests from the process-wide
         :class:`~repro.graph.forest_cache.ForestCache`.
+    distance_store:
+        A :class:`~repro.graph.distance_store.DistanceStore` (or its
+        descriptor) holding precomputed BFS rows for this graph.
+        Sources are drawn from the store's rows instead of running BFS
+        per source — on a *complete* store (one row per node) the draws
+        and results are bit-identical to the storeless path; a partial
+        store samples uniformly over its rows (a different, documented
+        stream).  Requires ``tie_break="first"`` (the stored parents
+        are first-parent forests).
     """
     _check_mode(mode)
     _check_engine(engine)
     config = config or MonteCarloConfig()
     config.validate()
     require_connected(graph, "measure_sweep")
+    store = _resolve_store(distance_store)
+    if store is not None:
+        if config.tie_break != "first":
+            raise ExperimentError(
+                "distance_store rows are first-parent forests; "
+                f"tie_break={config.tie_break!r} cannot be served from them"
+            )
+        if not store.has_parents:
+            raise ExperimentError(
+                "distance_store was built without parent rows; tree "
+                "counting needs include_parents=True"
+            )
+        store.check_graph(graph)
 
     size_list = [int(s) for s in sizes]
     if not size_list or min(size_list) < 1:
@@ -342,15 +407,20 @@ def measure_sweep(
 
     master = ensure_rng(rng if rng is not None else config.seed)
     children = _spawn_seed_sequences(master, config.num_sources)
-    task_args = (
-        size_list, mode, config.num_receiver_sets, config.tie_break,
-        exclude_source_site, engine, use_cache,
-    )
 
     # 0 = auto (one worker per CPU); the grid bounds useful parallelism.
     num_workers = min(
         resolve_workers(config.num_workers),
         config.num_sources * config.num_receiver_sets,
+    )
+    # Workers get the picklable descriptor (they re-attach the mmap
+    # once, in _resolve_store); the serial path keeps the live store.
+    store_token = (
+        store.descriptor if store is not None and num_workers > 1 else store
+    )
+    task_args = (
+        size_list, mode, config.num_receiver_sets, config.tie_break,
+        exclude_source_site, engine, use_cache, store_token,
     )
     sweep_span = obs.span(
         "runner.sweep",

@@ -2,6 +2,12 @@
 
 from repro.graph.builders import GraphBuilder, from_networkx, to_networkx
 from repro.graph.core import Graph
+from repro.graph.distance_store import (
+    DistanceStore,
+    DistanceStoreDescriptor,
+    attach_distance_store,
+    build_distance_store,
+)
 from repro.graph.forest_cache import (
     ForestCache,
     default_forest_cache,
@@ -35,9 +41,11 @@ from repro.graph.paths import (
     ShortestPathForest,
     WeightedForest,
     bfs,
+    bfs_from_many,
     dijkstra,
     distance_matrix,
     distances_from,
+    distances_from_many,
     uniform_arc_weights,
 )
 from repro.graph.reachability import (
@@ -52,6 +60,10 @@ from repro.graph.reachability import (
 __all__ = [
     "Graph",
     "GraphBuilder",
+    "DistanceStore",
+    "DistanceStoreDescriptor",
+    "attach_distance_store",
+    "build_distance_store",
     "ForestCache",
     "default_forest_cache",
     "graph_fingerprint",
@@ -78,9 +90,11 @@ __all__ = [
     "ShortestPathForest",
     "WeightedForest",
     "bfs",
+    "bfs_from_many",
     "dijkstra",
     "distance_matrix",
     "distances_from",
+    "distances_from_many",
     "uniform_arc_weights",
     "AveragedReachability",
     "ReachabilityProfile",

@@ -1,0 +1,602 @@
+"""Memory-mapped per-source distance (and parent) rows.
+
+Million-node sweeps spend almost all their time re-running BFS: every
+(source, receiver-set) cell of a Monte-Carlo grid needs the source's
+full shortest-path forest, and at ``n = 10^6`` a single forest is ~8 MB
+of int32 — too big to keep hundreds of in the
+:class:`~repro.graph.forest_cache.ForestCache`, too slow to recompute
+per sweep.  A :class:`DistanceStore` precomputes the rows **once** into
+a flat file and lets every consumer — samplers, estimator-table builds,
+fleet workers — map them zero-copy:
+
+* **Build once.**  :func:`build_distance_store` runs the batched
+  multi-source BFS (:func:`repro.graph.paths.bfs_from_many`) over
+  chunks of sources and writes each ``(dist, parent)`` row pair
+  straight into the mapped file.  With ``num_workers > 1`` the chunks
+  fan out over the persistent worker pool from
+  :mod:`repro.experiments.pool`; the graph crosses the process boundary
+  as a :class:`~repro.graph.core.SharedGraphDescriptor` (never pickled
+  — lint rule RR010) and each worker writes its own disjoint row slice.
+* **Attach zero-copy.**  :func:`attach_distance_store` maps the file
+  read-only; ``store.distances`` / ``store.parents`` are views over the
+  page cache, so forty attached processes cost one copy of the rows.
+* **Same lifecycle as the fleet table store.**  The file header carries
+  a ``generation``; attaching through a stale descriptor raises, and
+  reload rides on POSIX unlink semantics — attached stores keep a valid
+  mapping after the creator unlinks, new attachments can only land on
+  the new generation's file.
+
+File layout (all offsets 8-byte aligned)::
+
+    [u64 header_len][header JSON, utf-8][pad]
+    sources  int32[num_sources]
+    dist     int32[num_sources, num_nodes]
+    parent   int32[num_sources, num_nodes]     (when has_parents)
+
+Because rows store *parents* too, a consumer gets the full
+:class:`~repro.graph.paths.ShortestPathForest` back (tie-break
+``"first"``, bit-identical to :func:`repro.graph.paths.bfs`) — enough
+to run the whole multicast-tree counting pipeline without ever touching
+the graph again.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import struct
+import warnings
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graph.core import Graph
+from repro.graph.forest_cache import graph_fingerprint
+from repro.graph.paths import ShortestPathForest, bfs_from_many
+from repro.utils.rng import RandomState, ensure_rng
+
+__all__ = [
+    "DistanceStore",
+    "DistanceStoreDescriptor",
+    "attach_distance_store",
+    "build_distance_store",
+]
+
+_MAGIC = "repro-distance-store"
+_VERSION = 1
+_HEADER_LEN = struct.Struct("<Q")
+
+#: Sources per BFS batch during a build — bounds the writer's transient
+#: working set at ``2 * chunk * num_nodes`` int32 regardless of how
+#: many rows the store holds.
+_BUILD_CHUNK_SOURCES = 8
+
+
+def _align8(n: int) -> int:
+    return (n + 7) & ~7
+
+
+@dataclass(frozen=True)
+class DistanceStoreDescriptor:
+    """A picklable token naming one distance-store generation.
+
+    This is what crosses process boundaries (a hundred bytes, never the
+    rows): workers re-attach from it, and attaching through a stale
+    generation raises — the same protocol as
+    :class:`repro.serve.fleet.store.TableStoreDescriptor`.
+    """
+
+    path: str
+    generation: int
+    num_nodes: int
+    num_sources: int
+    has_parents: bool
+    fingerprint: str
+    nbytes: int
+
+
+class DistanceStore:
+    """An attached, read-only view over a distance-store file.
+
+    Keep the instance referenced while any row view escapes; `close()`
+    drops the mapping (best-effort while views are live).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        header: dict,
+        mapping: mmap.mmap,
+        sources: np.ndarray,
+        dist: np.ndarray,
+        parent: Optional[np.ndarray],
+    ) -> None:
+        self._path = path
+        self._header = header
+        self._mm: Optional[mmap.mmap] = mapping
+        self._sources = sources
+        self._dist = dist
+        self._parent = parent
+        self._row_of = {int(s): i for i, s in enumerate(sources)}
+        self._complete = int(header["num_sources"]) == int(
+            header["num_nodes"]
+        ) and bool(
+            np.array_equal(
+                sources,
+                np.arange(int(header["num_nodes"]), dtype=np.int32),
+            )
+        )
+
+    # -- identity -----------------------------------------------------
+    @property
+    def path(self) -> str:
+        """The backing file's path."""
+        return self._path
+
+    @property
+    def generation(self) -> int:
+        """Store generation, as written by the builder."""
+        return int(self._header["generation"])
+
+    @property
+    def num_nodes(self) -> int:
+        """Columns per row (the graph's node count)."""
+        return int(self._header["num_nodes"])
+
+    @property
+    def num_sources(self) -> int:
+        """Rows in the store."""
+        return int(self._header["num_sources"])
+
+    @property
+    def fingerprint(self) -> str:
+        """Content fingerprint of the graph the rows were built from."""
+        return str(self._header["fingerprint"])
+
+    @property
+    def has_parents(self) -> bool:
+        """Whether parent rows were built alongside distances."""
+        return bool(self._header["has_parents"])
+
+    @property
+    def descriptor(self) -> DistanceStoreDescriptor:
+        """The picklable token a worker re-attaches from."""
+        return DistanceStoreDescriptor(
+            path=self._path,
+            generation=self.generation,
+            num_nodes=self.num_nodes,
+            num_sources=self.num_sources,
+            has_parents=self.has_parents,
+            fingerprint=self.fingerprint,
+            nbytes=int(self._header["nbytes"]),
+        )
+
+    # -- rows ---------------------------------------------------------
+    @property
+    def sources(self) -> np.ndarray:
+        """The source node of each row, in row order."""
+        return self._sources
+
+    @property
+    def distances(self) -> np.ndarray:
+        """The ``(num_sources, num_nodes)`` int32 distance rows."""
+        return self._dist
+
+    @property
+    def parents(self) -> Optional[np.ndarray]:
+        """Parent rows, or ``None`` for a distance-only store."""
+        return self._parent
+
+    @property
+    def is_complete(self) -> bool:
+        """True when the store holds row ``s`` for *every* node ``s``.
+
+        A complete store lets samplers draw sources from the exact same
+        stream as the storeless path — see :meth:`pick_source`.
+        """
+        return self._complete
+
+    def row_index(self, source: int) -> int:
+        """The row holding ``source``, or raise :class:`GraphError`."""
+        try:
+            return self._row_of[int(source)]
+        except KeyError:
+            raise GraphError(
+                f"source {source} has no row in distance store "
+                f"{self._path!r} ({self.num_sources} rows)"
+            ) from None
+
+    def distance_row(self, source: int) -> np.ndarray:
+        """The distance row for ``source`` (zero-copy, read-only)."""
+        return self._dist[self.row_index(source)]
+
+    def forest(self, source: int) -> ShortestPathForest:
+        """The stored BFS forest for ``source``.
+
+        Bit-identical to ``bfs(graph, source, tie_break="first")`` on
+        the graph the store was built from; the arrays are zero-copy
+        views pinned to this store's mapping.
+        """
+        if self._parent is None:
+            raise GraphError(
+                f"distance store {self._path!r} was built without parent "
+                "rows; rebuild with include_parents=True"
+            )
+        i = self.row_index(source)
+        return ShortestPathForest(
+            source=int(source), dist=self._dist[i], parent=self._parent[i]
+        )
+
+    def pick_source(self, rng: RandomState) -> int:
+        """Draw a stored source uniformly.
+
+        On a complete store this is ``rng.integers(0, num_nodes)`` —
+        the *same* stream consumption as the storeless sampling path,
+        so sweeps against a complete store are bit-identical to sweeps
+        without one.  On a partial store it draws a row index instead
+        (a different, documented stream).
+        """
+        generator = ensure_rng(rng)
+        if self._complete:
+            return int(generator.integers(0, self.num_nodes))
+        return int(self._sources[int(generator.integers(0, self.num_sources))])
+
+    # -- lifecycle ----------------------------------------------------
+    def check_graph(self, graph: Graph) -> None:
+        """Raise unless ``graph`` is the graph the rows were built from."""
+        if graph.num_nodes != self.num_nodes:
+            raise GraphError(
+                f"distance store {self._path!r} was built for "
+                f"{self.num_nodes} nodes, graph has {graph.num_nodes}"
+            )
+        actual = graph_fingerprint(graph)
+        if actual != self.fingerprint:
+            raise GraphError(
+                f"distance store {self._path!r} was built for graph "
+                f"{self.fingerprint[:12]}…, got {actual[:12]}…"
+            )
+
+    def close(self) -> None:
+        """Drop this process's mapping (idempotent, best-effort).
+
+        Row views handed out earlier keep the underlying buffer alive —
+        the mapping itself then survives until their last reference
+        dies, exactly like a detached shared-memory view.
+        """
+        self._dist = None
+        self._parent = None
+        self._sources = np.array(self._sources, dtype=np.int32)
+        self._row_of = {}
+        if self._mm is not None:
+            mapping, self._mm = self._mm, None
+            try:
+                mapping.close()
+            except BufferError:  # pragma: no cover - escaped views pin it
+                pass
+
+    def unlink(self) -> None:
+        """Delete the backing file (idempotent).
+
+        Attached stores — this one included — keep reading through
+        their existing mappings; only *new* attachments fail.
+        """
+        try:
+            os.unlink(self._path)
+        except FileNotFoundError:
+            pass
+
+    def __repr__(self) -> str:
+        return (
+            f"DistanceStore(path={self._path!r}, "
+            f"generation={self.generation}, rows={self.num_sources}, "
+            f"num_nodes={self.num_nodes}, parents={self.has_parents})"
+        )
+
+
+def _layout(header_len: int, num_sources: int, num_nodes: int, has_parents: bool):
+    """Byte offsets of (sources, dist, parent) and the total file size."""
+    off_sources = _align8(_HEADER_LEN.size + header_len)
+    off_dist = _align8(off_sources + 4 * num_sources)
+    row_bytes = 4 * num_sources * num_nodes
+    off_parent = _align8(off_dist + row_bytes)
+    total = off_parent + (row_bytes if has_parents else 0)
+    return off_sources, off_dist, off_parent, total
+
+
+# Worker-side attachment cache: shared-segment name -> Graph view.  One
+# entry per distinct published topology this worker has built rows for.
+_WORKER_GRAPHS: dict = {}
+
+
+def _attached_build_graph(descriptor) -> Graph:
+    graph = _WORKER_GRAPHS.get(descriptor.name)
+    if graph is None:
+        graph = Graph.from_shared(descriptor)
+        _WORKER_GRAPHS[descriptor.name] = graph
+    return graph
+
+
+def _build_rows_task(
+    graph_descriptor,
+    path: str,
+    num_nodes: int,
+    off_dist: int,
+    off_parent: int,
+    include_parents: bool,
+    row_lo: int,
+    sources_chunk: Sequence[int],
+) -> int:
+    """Worker entry: BFS a chunk of sources and write its row slice."""
+    graph = _attached_build_graph(graph_descriptor)
+    return _write_rows(
+        graph,
+        path,
+        num_nodes,
+        off_dist,
+        off_parent,
+        include_parents,
+        row_lo,
+        sources_chunk,
+    )
+
+
+def _write_rows(
+    graph: Graph,
+    path: str,
+    num_nodes: int,
+    off_dist: int,
+    off_parent: int,
+    include_parents: bool,
+    row_lo: int,
+    sources_chunk: Sequence[int],
+) -> int:
+    rows = len(sources_chunk)
+    dist, parent = bfs_from_many(
+        graph, sources_chunk, packed=num_nodes >= 1 << 16
+    )
+    out = np.memmap(
+        path,
+        dtype=np.int32,
+        mode="r+",
+        offset=off_dist + 4 * row_lo * num_nodes,
+        shape=(rows, num_nodes),
+    )
+    out[:] = dist
+    out.flush()
+    del out
+    if include_parents:
+        out = np.memmap(
+            path,
+            dtype=np.int32,
+            mode="r+",
+            offset=off_parent + 4 * row_lo * num_nodes,
+            shape=(rows, num_nodes),
+        )
+        out[:] = parent
+        out.flush()
+        del out
+    return rows
+
+
+def build_distance_store(
+    graph: Graph,
+    path: str,
+    sources: Optional[Sequence[int]] = None,
+    *,
+    generation: int = 1,
+    include_parents: bool = True,
+    num_workers: int = 1,
+    chunk_sources: int = _BUILD_CHUNK_SOURCES,
+) -> DistanceStore:
+    """Precompute per-source BFS rows into a memory-mapped file.
+
+    Parameters
+    ----------
+    graph:
+        The graph to BFS.
+    path:
+        File to create (overwritten if present).
+    sources:
+        Row sources, unique, in row order.  Defaults to *all* nodes —
+        only sensible for small graphs; million-node stores should pass
+        the subset a sweep will actually draw from.
+    generation:
+        Version stamp checked at attach time; bump it when republishing
+        rows for a changed graph.
+    include_parents:
+        Also store parent rows, making :meth:`DistanceStore.forest`
+        (and hence full tree counting) available from the store.
+    num_workers:
+        ``> 1`` fans source chunks out over the persistent worker pool
+        (the graph ships as a shared-memory descriptor); 1 builds
+        inline.
+    chunk_sources:
+        Sources per BFS batch — bounds the builder's working set.
+
+    Returns
+    -------
+    DistanceStore
+        Already attached read-only; the caller owns the file and should
+        eventually :meth:`~DistanceStore.unlink` it.
+    """
+    if sources is None:
+        src = np.arange(graph.num_nodes, dtype=np.int32)
+    else:
+        src = np.asarray(
+            [graph.check_node(s) for s in sources], dtype=np.int32
+        )
+    if src.size == 0:
+        raise GraphError("a distance store needs at least one source row")
+    if np.unique(src).size != src.size:
+        raise GraphError("distance-store sources must be unique")
+    if chunk_sources < 1:
+        raise GraphError(f"chunk_sources must be >= 1, got {chunk_sources}")
+
+    header = {
+        "magic": _MAGIC,
+        "version": _VERSION,
+        "generation": int(generation),
+        "num_nodes": int(graph.num_nodes),
+        "num_sources": int(src.size),
+        "has_parents": bool(include_parents),
+        "fingerprint": graph_fingerprint(graph),
+    }
+    header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+    off_sources, off_dist, off_parent, total = _layout(
+        len(header_bytes), src.size, graph.num_nodes, include_parents
+    )
+    header["nbytes"] = total
+
+    with open(path, "wb") as fh:
+        fh.write(_HEADER_LEN.pack(len(header_bytes)))
+        fh.write(header_bytes)
+        fh.seek(off_sources)
+        fh.write(src.tobytes())
+        fh.truncate(total)
+
+    chunks = [
+        (lo, src[lo : lo + chunk_sources].tolist())
+        for lo in range(0, src.size, chunk_sources)
+    ]
+    write_args = (
+        path,
+        graph.num_nodes,
+        off_dist,
+        off_parent,
+        include_parents,
+    )
+    if num_workers > 1 and len(chunks) > 1:
+        # Imported here: pool lives above the graph layer (it already
+        # imports repro.graph.core), so the build-time fan-out reaches
+        # up lazily instead of creating an import cycle.
+        from repro.experiments.pool import get_pool, shared_graphs
+
+        executor = get_pool().ensure(num_workers)
+        shared_csr = shared_graphs().descriptor(graph)
+        futures = [
+            (
+                lo,
+                chunk,
+                executor.submit(
+                    _build_rows_task, shared_csr, *write_args, lo, chunk
+                ),
+            )
+            for lo, chunk in chunks
+        ]
+        for lo, chunk, future in futures:
+            try:
+                future.result()
+            except Exception as exc:
+                # A crashed worker costs its chunk, never the build —
+                # rows are a pure function of (graph, sources), so the
+                # inline recompute is bit-identical.
+                warnings.warn(
+                    f"distance-store worker failed on rows "
+                    f"[{lo}, {lo + len(chunk)}) ({exc!r}); recomputing "
+                    "inline",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                _write_rows(graph, *write_args, lo, chunk)
+    else:
+        for lo, chunk in chunks:
+            _write_rows(graph, *write_args, lo, chunk)
+
+    return attach_distance_store(path, expected_generation=int(generation))
+
+
+def attach_distance_store(
+    target: Union[str, DistanceStoreDescriptor],
+    *,
+    expected_generation: Optional[int] = None,
+    graph: Optional[Graph] = None,
+) -> DistanceStore:
+    """Map an existing store file read-only.
+
+    Parameters
+    ----------
+    target:
+        The file path, or a :class:`DistanceStoreDescriptor` (in which
+        case the descriptor's generation is enforced).
+    expected_generation:
+        When given, raise :class:`ValueError` unless the file header
+        matches — the stale-generation guard for path-based attaches.
+    graph:
+        When given, verify node count and content fingerprint against
+        the graph the rows were built from.
+    """
+    if isinstance(target, DistanceStoreDescriptor):
+        path = target.path
+        if expected_generation is None:
+            expected_generation = target.generation
+    else:
+        path = str(target)
+
+    with open(path, "rb") as fh:
+        mapping = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+    try:
+        try:
+            (header_len,) = _HEADER_LEN.unpack_from(mapping, 0)
+            header = json.loads(
+                mapping[
+                    _HEADER_LEN.size : _HEADER_LEN.size + header_len
+                ].decode("utf-8")
+            )
+        except (struct.error, UnicodeDecodeError, json.JSONDecodeError):
+            header = None
+        if (
+            not isinstance(header, dict)
+            or header.get("magic") != _MAGIC
+            or int(header.get("version", -1)) != _VERSION
+        ):
+            raise ValueError(
+                f"{path!r} is not a version-{_VERSION} distance store"
+            )
+        if (
+            expected_generation is not None
+            and int(header["generation"]) != int(expected_generation)
+        ):
+            raise ValueError(
+                f"distance store {path!r} holds generation "
+                f"{header['generation']}, expected {expected_generation}"
+            )
+        num_sources = int(header["num_sources"])
+        num_nodes = int(header["num_nodes"])
+        has_parents = bool(header["has_parents"])
+        off_sources, off_dist, off_parent, total = _layout(
+            header_len, num_sources, num_nodes, has_parents
+        )
+        header["nbytes"] = total
+        if mapping.size() != total:
+            raise ValueError(
+                f"distance store {path!r} is {mapping.size()} bytes, "
+                f"layout says {total}"
+            )
+        src = np.frombuffer(
+            mapping, dtype=np.int32, count=num_sources, offset=off_sources
+        )
+        dist = np.frombuffer(
+            mapping,
+            dtype=np.int32,
+            count=num_sources * num_nodes,
+            offset=off_dist,
+        ).reshape(num_sources, num_nodes)
+        parent = None
+        if has_parents:
+            parent = np.frombuffer(
+                mapping,
+                dtype=np.int32,
+                count=num_sources * num_nodes,
+                offset=off_parent,
+            ).reshape(num_sources, num_nodes)
+    except Exception:
+        mapping.close()
+        raise
+
+    store = DistanceStore(path, header, mapping, src, dist, parent)
+    if graph is not None:
+        store.check_graph(graph)
+    return store

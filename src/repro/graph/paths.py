@@ -34,7 +34,9 @@ from repro.utils.rng import RandomState, ensure_rng
 __all__ = [
     "ShortestPathForest",
     "bfs",
+    "bfs_from_many",
     "distances_from",
+    "distances_from_many",
     "distance_matrix",
     "dijkstra",
     "uniform_arc_weights",
@@ -188,6 +190,157 @@ def bfs(
         parent[uniq] = parents[first_index]
         frontier = uniq.astype(np.int32)
     return ShortestPathForest(source=source, dist=dist, parent=parent)
+
+
+#: Per-bit masks for the packed visited representation.
+_BIT_MASKS = np.left_shift(
+    np.ones(8, dtype=np.uint8), np.arange(8, dtype=np.uint8)
+)
+
+
+def _gather_many_arcs(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    fsrc: np.ndarray,
+    fnode: np.ndarray,
+):
+    """All (neighbour, frontier-parent, source-row) arc triples leaving a
+    concatenated multi-source frontier."""
+    starts = indptr[fnode]
+    counts = indptr[fnode + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return (
+            np.empty(0, dtype=indices.dtype),
+            np.empty(0, dtype=fnode.dtype),
+            np.empty(0, dtype=np.int64),
+        )
+    cum = np.cumsum(counts)
+    flat = np.arange(total, dtype=np.int64) - np.repeat(cum - counts, counts)
+    flat += np.repeat(starts, counts)
+    return indices[flat], np.repeat(fnode, counts), np.repeat(fsrc, counts)
+
+
+def _many_bfs(
+    graph: Graph,
+    sources: Sequence[int],
+    want_parents: bool,
+    packed: bool,
+):
+    """Level-synchronous BFS from many sources at once.
+
+    The frontier is the concatenation of every source's frontier in
+    source-major order, deduplicated on the flattened key
+    ``source_row * num_nodes + node`` — so within each row the visit
+    order (frontier-order, adjacency-order) and therefore the distances
+    *and* the ``tie_break="first"`` parent choices are bit-identical to
+    running :func:`bfs` on that source alone.
+
+    With ``packed=True`` the visited test reads a bit-packed
+    ``uint8 (S, ceil(n/8))`` mask instead of the int32 distance matrix —
+    an 8th of the memory traffic per test on million-node rows — without
+    changing any output byte.
+    """
+    n = graph.num_nodes
+    src_arr = np.asarray(
+        [graph.check_node(s) for s in sources], dtype=np.int32
+    )
+    num_rows = src_arr.shape[0]
+    dist = np.full((num_rows, n), -1, dtype=np.int32)
+    parent = (
+        np.full((num_rows, n), -1, dtype=np.int32) if want_parents else None
+    )
+    if num_rows == 0:
+        return dist, parent
+    rows = np.arange(num_rows, dtype=np.int64)
+    dist[rows, src_arr] = 0
+    dist_flat = dist.reshape(-1)
+    parent_flat = parent.reshape(-1) if want_parents else None
+
+    row_bytes = (n + 7) >> 3
+    bits_flat = None
+    if packed:
+        bits_flat = np.zeros(num_rows * row_bytes, dtype=np.uint8)
+        np.bitwise_or.at(
+            bits_flat,
+            rows * row_bytes + (src_arr >> 3),
+            _BIT_MASKS[src_arr & 7],
+        )
+
+    fsrc = rows
+    fnode = src_arr
+    indptr, indices = graph.indptr, graph.indices
+    level = 0
+    while fnode.size:
+        level += 1
+        neighbours, parents, nsrc = _gather_many_arcs(
+            indptr, indices, fsrc, fnode
+        )
+        if neighbours.size == 0:
+            break
+        if packed:
+            fresh = (
+                bits_flat[nsrc * row_bytes + (neighbours >> 3)]
+                & _BIT_MASKS[neighbours & 7]
+            ) == 0
+        else:
+            fresh = dist_flat[nsrc * n + neighbours] < 0
+        neighbours = neighbours[fresh]
+        nsrc = nsrc[fresh]
+        if want_parents:
+            parents = parents[fresh]
+        if neighbours.size == 0:
+            break
+        uniq, first_index = np.unique(
+            nsrc * n + neighbours, return_index=True
+        )
+        dist_flat[uniq] = level
+        if want_parents:
+            parent_flat[uniq] = parents[first_index]
+        fsrc = uniq // n
+        fnode = (uniq % n).astype(np.int32)
+        if packed:
+            np.bitwise_or.at(
+                bits_flat,
+                fsrc * row_bytes + (fnode >> 3),
+                _BIT_MASKS[fnode & 7],
+            )
+    return dist, parent
+
+
+def distances_from_many(
+    graph: Graph,
+    sources: Sequence[int],
+    *,
+    packed: bool = False,
+) -> np.ndarray:
+    """Hop distances from many sources in one batched frontier sweep.
+
+    Returns shape ``(len(sources), num_nodes)`` int32; row ``i`` is
+    bit-identical to ``distances_from(graph, sources[i])`` (``-1`` rows
+    for unreachable nodes, including on disconnected graphs).  With
+    ``packed=True`` the visited test runs over bit-packed masks — same
+    output, lower memory traffic on million-node graphs.
+    """
+    dist, _ = _many_bfs(graph, sources, want_parents=False, packed=packed)
+    return dist
+
+
+def bfs_from_many(
+    graph: Graph,
+    sources: Sequence[int],
+    *,
+    packed: bool = False,
+):
+    """Batched BFS forests: ``(dist, parent)`` matrices, one row per source.
+
+    Each row is bit-identical to ``bfs(graph, s, tie_break="first")`` —
+    among equal-distance parents, the earliest in (frontier-order,
+    adjacency-order) wins, exactly as in the single-source code.  This
+    is what :class:`repro.graph.distance_store.DistanceStore` builds
+    its mmap rows from.
+    """
+    return _many_bfs(graph, sources, want_parents=True, packed=packed)
 
 
 def distances_from(graph: Graph, source: int) -> np.ndarray:

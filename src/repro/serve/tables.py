@@ -230,6 +230,7 @@ class EstimatorTable:
         config=None,
         rng=None,
         points_per_decade: int = DEFAULT_POINTS_PER_DECADE,
+        distance_store=None,
     ) -> "EstimatorTable":
         """Monte-Carlo table over a whole topology's admissible range.
 
@@ -238,6 +239,12 @@ class EstimatorTable:
         one vectorized walk), so building a table costs roughly the same
         as simulating a single dense sweep — the startup price that buys
         interpolation-speed queries forever after.
+
+        Pass a :class:`~repro.graph.distance_store.DistanceStore` (or
+        its descriptor) to serve source forests from precomputed mmap
+        rows instead of per-source BFS — how million-node grids become
+        buildable; a *complete* store leaves the table bit-identical to
+        the storeless build.
         """
         from repro.experiments.runner import measure_sweep
 
@@ -254,6 +261,7 @@ class EstimatorTable:
             config=config,
             topology=name,
             rng=rng,
+            distance_store=distance_store,
         )
         return EstimatorTable(
             name=name,

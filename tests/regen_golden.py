@@ -166,12 +166,63 @@ def compute_mc_tree_sizes() -> Dict:
     }
 
 
+def compute_scale_regimes() -> Dict:
+    """Section 4 regimes beyond the 56k map: ``S(r)`` classification and
+    the Eq. 18 log-correction fit at n ∈ {56k, 250k}.
+
+    Built on the vectorized generator stream (the loop replay would
+    dominate regeneration time) — the stream is part of the golden
+    identity, so these values pin the vectorized seed-stream contract
+    at scale as well as the physics: exponential ``T(r)`` growth, and a
+    linear ``L̂(n)/(n·ū)`` versus ``ln n`` series (Figure 6 / Eq. 18)
+    whose slope and intercept must not drift.
+    """
+    from repro.analysis.general import normalized_series
+    from repro.graph.reachability import average_profile, classify_growth
+    from repro.topology.powerlaw import internet_like_graph
+    from repro.utils.stats import linear_fit
+
+    entries = []
+    for num_nodes in (56_000, 250_000):
+        graph = internet_like_graph(
+            num_nodes, rng=GOLDEN_SEED, stream="vectorized"
+        )
+        profile = average_profile(graph, num_sources=6, rng=GOLDEN_SEED)
+        n_values = np.logspace(1, np.log10(num_nodes), 12)
+        series = normalized_series(
+            profile.mean_ring_sizes, n_values, receivers="throughout"
+        )
+        fit = linear_fit(np.log(n_values), series)
+        entries.append(
+            {
+                "num_nodes": num_nodes,
+                "regime": classify_growth(profile),
+                "mean_ring_sizes": [
+                    float(v) for v in profile.mean_ring_sizes
+                ],
+                "log_fit": {
+                    "slope": float(fit.slope),
+                    "intercept": float(fit.intercept),
+                    "r_squared": float(fit.r_squared),
+                },
+            }
+        )
+    return {
+        "seed": GOLDEN_SEED,
+        "stream": "vectorized",
+        "num_sources": 6,
+        "tolerance": {"rtol": 1e-9, "atol": 0.0},
+        "profiles": entries,
+    }
+
+
 #: filename -> compute function; the test suite iterates this too.
 GOLDEN_FILES = {
     "kary_lhat.json": compute_kary_lhat,
     "table1_slopes.json": compute_table1_slopes,
     "reachability_regimes.json": compute_reachability_regimes,
     "mc_tree_sizes.json": compute_mc_tree_sizes,
+    "scale_regimes.json": compute_scale_regimes,
 }
 
 

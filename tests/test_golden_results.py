@@ -135,8 +135,87 @@ class TestMonteCarloTreeSizes:
         )
 
 
+class TestScaleRegimes:
+    """Section 4 regimes at n ∈ {56k, 250k} (the million-node tier's
+    physics guard): ``S(r)`` classification plus the Eq. 18
+    log-correction fit on the vectorized generator stream."""
+
+    def test_profiles_and_fits_match_golden(self):
+        golden = regen_golden.load_golden("scale_regimes.json")
+        recomputed = regen_golden.compute_scale_regimes()
+        tol = golden["tolerance"]
+        assert golden["stream"] == "vectorized"
+        for got, want in zip(recomputed["profiles"], golden["profiles"]):
+            assert got["num_nodes"] == want["num_nodes"]
+            assert got["regime"] == want["regime"]
+            label = f"scale n={want['num_nodes']}"
+            _assert_close(
+                got["mean_ring_sizes"],
+                want["mean_ring_sizes"],
+                tol,
+                label + " S(r)",
+            )
+            for field in ("slope", "intercept", "r_squared"):
+                _assert_close(
+                    got["log_fit"][field],
+                    want["log_fit"][field],
+                    tol,
+                    label + f" Eq.18 {field}",
+                )
+
+    def test_recorded_regimes_pin_the_crossover(self):
+        # The classification itself is part of the golden: the 56k map
+        # sits below the exponential-growth threshold while the 250k
+        # map crosses it — losing either side of that split is drift.
+        golden = regen_golden.load_golden("scale_regimes.json")
+        regimes = {
+            entry["num_nodes"]: entry["regime"]
+            for entry in golden["profiles"]
+        }
+        assert regimes == {
+            56_000: "sub-exponential",
+            250_000: "exponential",
+        }
+
+    def test_log_correction_fit_is_linear_in_ln_n(self):
+        # Eq. 18: the normalized series is linear in ln n with a
+        # negative slope (efficiency grows with receiver count).
+        golden = regen_golden.load_golden("scale_regimes.json")
+        for entry in golden["profiles"]:
+            fit = entry["log_fit"]
+            assert fit["r_squared"] > 0.9, entry["num_nodes"]
+            assert fit["slope"] < 0, entry["num_nodes"]
+
+
 class TestPerturbationIsDetected:
     """A deliberate +1% bias in the hot kernel must trip the suite."""
+
+    def test_one_percent_ring_inflation_fails_the_scale_golden(
+        self, monkeypatch
+    ):
+        from repro.graph import reachability
+
+        golden = regen_golden.load_golden("scale_regimes.json")
+        original = reachability.average_profile
+
+        def inflated(*args, **kwargs):
+            profile = original(*args, **kwargs)
+            biased = np.asarray(profile.mean_ring_sizes, dtype=float) * 1.01
+            object.__setattr__(profile, "mean_ring_sizes", biased)
+            return profile
+
+        monkeypatch.setattr(reachability, "average_profile", inflated)
+        perturbed = regen_golden.compute_scale_regimes()
+        with pytest.raises(AssertionError, match="golden drift"):
+            for got, want in zip(
+                perturbed["profiles"], golden["profiles"]
+            ):
+                _assert_close(
+                    got["mean_ring_sizes"],
+                    want["mean_ring_sizes"],
+                    golden["tolerance"],
+                    "golden drift (expected): perturbed ring sizes",
+                )
 
     def test_one_percent_tree_size_inflation_fails_the_golden(self, monkeypatch):
         from repro.multicast.tree import MulticastTreeCounter

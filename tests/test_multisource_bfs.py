@@ -1,0 +1,102 @@
+"""Multi-source BFS equivalence: batched rows vs the single-source code.
+
+``distances_from_many`` / ``bfs_from_many`` (plain and bit-packed) must
+be *bit-identical* per row to ``distances_from`` / ``bfs`` — distances
+and ``tie_break="first"`` parents both — across every topology builder
+in the registry, plus the degenerate shapes the batching could plausibly
+get wrong: disconnected graphs (``-1`` rows), isolated sources, the
+single-node graph, duplicate sources, and the empty source list.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.core import Graph
+from repro.graph.paths import (
+    bfs,
+    bfs_from_many,
+    distances_from,
+    distances_from_many,
+)
+from repro.topology.registry import (
+    EXTRA_TOPOLOGIES,
+    TOPOLOGY_NAMES,
+    build_topology,
+)
+
+ALL_BUILDERS = tuple(TOPOLOGY_NAMES) + tuple(EXTRA_TOPOLOGIES)
+
+
+def _assert_rows_match(graph: Graph, sources) -> None:
+    plain = distances_from_many(graph, sources)
+    packed = distances_from_many(graph, sources, packed=True)
+    dist_m, parent_m = bfs_from_many(graph, sources)
+    dist_p, parent_p = bfs_from_many(graph, sources, packed=True)
+    assert plain.dtype == np.int32 and plain.shape == (
+        len(sources),
+        graph.num_nodes,
+    )
+    for i, source in enumerate(sources):
+        expected_dist = distances_from(graph, source)
+        forest = bfs(graph, source, tie_break="first")
+        assert np.array_equal(plain[i], expected_dist)
+        assert np.array_equal(packed[i], expected_dist)
+        assert np.array_equal(dist_m[i], forest.dist)
+        assert np.array_equal(dist_p[i], forest.dist)
+        assert np.array_equal(parent_m[i], forest.parent)
+        assert np.array_equal(parent_p[i], forest.parent)
+
+
+@pytest.mark.parametrize("name", ALL_BUILDERS)
+def test_equivalence_across_topology_builders(name):
+    graph = build_topology(name, scale=0.25, rng=11)
+    sources = [0, graph.num_nodes // 2, graph.num_nodes - 1]
+    _assert_rows_match(graph, sources)
+
+
+def test_disconnected_graph_has_minus_one_rows(disconnected_graph):
+    sources = list(range(disconnected_graph.num_nodes))
+    _assert_rows_match(disconnected_graph, sources)
+    dist = distances_from_many(disconnected_graph, sources, packed=True)
+    # Component structure: {0,1,2} triangle, {3,4} edge, {5} isolated.
+    assert (dist[0, 3:] == -1).all()
+    assert (dist[3, :3] == -1).all() and (dist[3, 5] == -1)
+    assert (dist[5, :5] == -1).all() and dist[5, 5] == 0
+
+
+def test_single_node_graph():
+    graph = Graph.from_edges(1, [])
+    _assert_rows_match(graph, [0])
+    assert distances_from_many(graph, [0])[0, 0] == 0
+
+
+def test_duplicate_sources_give_identical_rows():
+    graph = build_topology("as", scale=0.2, rng=3)
+    dist = distances_from_many(graph, [7, 7, 7], packed=True)
+    assert np.array_equal(dist[0], dist[1])
+    assert np.array_equal(dist[1], dist[2])
+
+
+def test_empty_source_list():
+    graph = Graph.from_edges(3, [(0, 1), (1, 2)])
+    dist = distances_from_many(graph, [])
+    assert dist.shape == (0, 3)
+    dist_m, parent_m = bfs_from_many(graph, [])
+    assert dist_m.shape == (0, 3) and parent_m.shape == (0, 3)
+
+
+def test_bad_source_rejected():
+    graph = Graph.from_edges(3, [(0, 1), (1, 2)])
+    with pytest.raises(Exception):
+        distances_from_many(graph, [0, 3])
+
+
+def test_many_sources_batched_vs_serial_on_powerlaw():
+    from repro.topology.powerlaw import internet_like_graph
+
+    graph = internet_like_graph(5_000, rng=2, stream="vectorized")
+    rng = np.random.default_rng(0)
+    sources = rng.integers(0, graph.num_nodes, size=24).tolist()
+    _assert_rows_match(graph, sources)
