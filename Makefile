@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install lint lint-changed lint-smoke test test-fast bench bench-smoke serve-smoke chaos-smoke obs-smoke fleet-smoke scale-smoke regen-golden repro examples clean
+.PHONY: install lint lint-changed lint-smoke test test-fast bench bench-smoke builders-smoke serve-smoke chaos-smoke obs-smoke fleet-smoke scale-smoke regen-golden repro examples clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -27,7 +27,7 @@ lint-changed:
 lint-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/lint_smoke.py
 
-test: lint lint-smoke serve-smoke chaos-smoke obs-smoke fleet-smoke
+test: lint lint-smoke serve-smoke chaos-smoke obs-smoke fleet-smoke builders-smoke
 	$(PYTHON) -m pytest tests/ --durations=10
 
 # Inner-loop run: skips golden/slow/scale suites and the smoke gates.
@@ -43,6 +43,13 @@ bench:
 # sweeps that regress below one core fail even on a 1-CPU box.
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_runner_scaling.py --smoke --no-record --check-parallel-floor 0.6
+
+# Per-algorithm tree-construction throughput across the builder
+# registry, plus the exact cross-builder orderings (Steiner <= SPT <=
+# k-disjoint union on identical draws).  Lint-gated like the other
+# trajectory benches.
+builders-smoke: lint
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_builders.py --smoke --no-record
 
 # End-to-end estimation-service probe: real sockets, all four endpoints.
 serve-smoke:

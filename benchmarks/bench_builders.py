@@ -1,0 +1,205 @@
+"""Per-algorithm tree-construction throughput across the builder registry.
+
+Runs the same seeded receiver draws through every registered tree
+builder (:mod:`repro.multicast.builders`) on the internet-like topology,
+reports trees/second per algorithm, and appends one record to the
+``BENCH_runner.json`` trajectory so builder regressions show up as a
+drop between consecutive records.
+
+Usage::
+
+    python benchmarks/bench_builders.py             # full workload
+    python benchmarks/bench_builders.py --smoke     # seconds, for CI
+
+Because every sweep re-derives identical draws from the integer seed,
+the run doubles as a cross-builder correctness check: the Steiner
+heuristics must never use more links than SPT (best-of guard) and the
+k-disjoint union never fewer; both orderings are asserted before a
+record is written.
+
+Record format (one JSON object per run, newest last)::
+
+    {
+      "benchmark": "builders",
+      "workload": {"topology": "internet", "num_nodes": ..., "sizes": [...],
+                   "num_sources": ..., "num_receiver_sets": ...},
+      "results": [{"algorithm": "spt", "seconds": ...,
+                   "trees_per_sec": ..., "mean_links_at_largest": ...}, ...],
+      "slowdown_vs_spt": {"steiner-tm": ..., ...}
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.experiments.config import MonteCarloConfig
+from repro.experiments.runner import measure_sweep
+from repro.multicast.builders import BUILDER_NAMES
+from repro.topology.registry import build_topology
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_runner.json"
+
+#: Builder timing is graft-dominated, so the knobs cap the receiver
+#: count rather than the sample count: Takahashi-Matsuyama pays one
+#: multi-source relaxation per receiver per tree.
+FULL = dict(scale=0.15, sources=3, receiver_sets=8, sizes=[2, 8, 32, 64])
+SMOKE = dict(scale=0.05, sources=2, receiver_sets=4, sizes=[2, 8, 32])
+
+
+def run(
+    scale: float,
+    sources: int,
+    receiver_sets: int,
+    sizes: List[int],
+    seed: int = 0,
+    repeats: int = 3,
+) -> dict:
+    """Time every registered builder on one workload; returns the record."""
+    graph = build_topology("internet", scale=scale, rng=seed)
+    config = MonteCarloConfig(
+        num_sources=sources, num_receiver_sets=receiver_sets, seed=seed
+    )
+    total_trees = sources * receiver_sets * len(sizes)
+    workload = {
+        "topology": "internet",
+        "num_nodes": graph.num_nodes,
+        "sizes": list(sizes),
+        "num_sources": sources,
+        "num_receiver_sets": receiver_sets,
+        "total_trees": total_trees,
+    }
+    print(
+        f"workload: internet ({graph.num_nodes} nodes), "
+        f"{sources}x{receiver_sets} trees over sizes {sizes}"
+    )
+    results = []
+    curves = {}
+    spt_seconds = None
+    for algorithm in BUILDER_NAMES:
+        seconds = None
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            measurement = measure_sweep(
+                graph,
+                sizes,
+                mode="distinct",
+                config=config,
+                topology="internet",
+                algorithm=algorithm,
+                use_cache=False,  # time the real work, not the forest cache
+            )
+            elapsed = time.perf_counter() - start
+            seconds = elapsed if seconds is None else min(seconds, elapsed)
+        curves[algorithm] = list(measurement.mean_tree_size)
+        rate = total_trees / seconds
+        if algorithm == "spt":
+            spt_seconds = seconds
+        results.append(
+            {
+                "algorithm": algorithm,
+                "seconds": round(seconds, 4),
+                "trees_per_sec": round(rate, 1),
+                "mean_links_at_largest": round(curves[algorithm][-1], 3),
+            }
+        )
+        print(
+            f"  {algorithm:>10s}: {seconds:8.3f}s  {rate:10.0f} trees/s  "
+            f"L({sizes[-1]})={curves[algorithm][-1]:.1f}"
+        )
+
+    # Same draws, different construction rules: the orderings are exact.
+    for name in ("steiner-tm", "dst-approx"):
+        for alg, spt in zip(curves[name], curves["spt"]):
+            if alg > spt:
+                raise AssertionError(
+                    f"{name} mean tree size {alg} exceeds SPT's {spt} — "
+                    "the best-of-SPT guard is broken"
+                )
+    for kd, spt in zip(curves["kdisjoint"], curves["spt"]):
+        if kd < spt:
+            raise AssertionError(
+                f"kdisjoint union {kd} below the SPT primary {spt}"
+            )
+
+    record = {"benchmark": "builders", "workload": workload, "results": results}
+    if spt_seconds:
+        record["slowdown_vs_spt"] = {
+            row["algorithm"]: round(row["seconds"] / spt_seconds, 2)
+            for row in results
+            if row["algorithm"] != "spt"
+        }
+    return record
+
+
+def append_trajectory(record: dict, output: Path) -> None:
+    trajectory = []
+    if output.exists():
+        trajectory = json.loads(output.read_text(encoding="utf-8"))
+        if not isinstance(trajectory, list):
+            raise SystemExit(f"{output} is not a JSON trajectory list")
+    trajectory.append(record)
+    output.write_text(
+        json.dumps(trajectory, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"appended record #{len(trajectory)} to {output}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workload (CI-friendly, seconds)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="internet topology scale (default 0.15)")
+    parser.add_argument("--sources", type=int, default=None)
+    parser.add_argument("--receiver-sets", type=int, default=None)
+    parser.add_argument("--sizes", type=int, nargs="*", default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed runs per builder; the best is recorded")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help="trajectory file (JSON list, appended)")
+    parser.add_argument("--no-record", action="store_true",
+                        help="print timings without touching the trajectory")
+    args = parser.parse_args(argv)
+
+    if not args.no_record:
+        # A trajectory point is a durable claim about the tree; refuse to
+        # record one from a tree that violates the repo's lint invariants.
+        from repro.lint import lint_paths, render_text
+
+        findings = lint_paths([Path(__file__).resolve().parent.parent / "src"])
+        if findings:
+            print(render_text(findings), file=sys.stderr)
+            print(
+                "FAIL: refusing to record a trajectory point while the tree "
+                "has lint findings (use --no-record to time anyway)",
+                file=sys.stderr,
+            )
+            return 1
+
+    base = SMOKE if args.smoke else FULL
+    record = run(
+        scale=args.scale if args.scale is not None else base["scale"],
+        sources=args.sources if args.sources is not None else base["sources"],
+        receiver_sets=(
+            args.receiver_sets
+            if args.receiver_sets is not None
+            else base["receiver_sets"]
+        ),
+        sizes=args.sizes if args.sizes else base["sizes"],
+        seed=args.seed,
+        repeats=args.repeats,
+    )
+    if not args.no_record:
+        append_trajectory(record, args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

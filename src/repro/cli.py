@@ -107,6 +107,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--points", type=int, default=10, help="number of swept group sizes"
     )
     p_sweep.add_argument(
+        "--algorithm",
+        default="spt",
+        help=(
+            "tree-construction discipline (repro.multicast.builders "
+            "registry key: spt, steiner-tm, dst-approx, kdisjoint)"
+        ),
+    )
+    p_sweep.add_argument(
         "--save", metavar="PATH", help="write the measurement as JSON"
     )
     add_common(p_sweep)
@@ -124,7 +132,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_study.add_argument(
         "which",
-        choices=("shared-tree", "popularity", "churn", "steiner"),
+        choices=(
+            "shared-tree",
+            "popularity",
+            "churn",
+            "steiner",
+            "algorithm-ratio",
+            "kdisjoint-overhead",
+        ),
         help="which study to run",
     )
     add_common(p_study)
@@ -154,6 +169,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--topologies",
         default="arpa,r100",
         help="comma-separated registry names to pre-warm tables for",
+    )
+    p_serve.add_argument(
+        "--algorithms",
+        default="spt",
+        help=(
+            "comma-separated tree-builder names to pre-warm tables for "
+            "(spt, steiner-tm, dst-approx, kdisjoint); other registered "
+            "builders stay servable via lazy table builds"
+        ),
     )
     p_serve.add_argument(
         "--deadline-ms",
@@ -402,6 +426,7 @@ def _cmd_sweep(args) -> int:
         config=_mc_config(args),
         topology=args.name,
         rng=args.seed,
+        algorithm=args.algorithm,
     )
     rows = list(
         zip(
@@ -416,7 +441,14 @@ def _cmd_sweep(args) -> int:
         format_table(
             ["size", "L", "u", "L/u", "L/(size*u)"],
             rows,
-            title=f"{args.name} ({args.mode}, {graph.num_nodes} nodes)",
+            title=(
+                f"{args.name} ({args.mode}, {graph.num_nodes} nodes"
+                + (
+                    f", {args.algorithm} trees)"
+                    if args.algorithm != "spt"
+                    else ")"
+                )
+            ),
         )
     )
     fit = measurement.fit_exponent()
@@ -458,6 +490,14 @@ def _cmd_study(args) -> int:
         result = figures.run_popularity_study(scale=args.scale, rng=args.seed)
     elif args.which == "steiner":
         result = figures.run_steiner_study(scale=args.scale, rng=args.seed)
+    elif args.which == "algorithm-ratio":
+        result = figures.run_algorithm_ratio_study(
+            scale=args.scale, config=_mc_config(args), rng=args.seed
+        )
+    elif args.which == "kdisjoint-overhead":
+        result = figures.run_kdisjoint_overhead_study(
+            scale=args.scale, rng=args.seed
+        )
     else:
         depth = 10 if args.paper else 8
         result = figures.run_churn_study(depth=depth, rng=args.seed)
@@ -586,8 +626,14 @@ def _cmd_serve(args) -> int:
         for name in args.topologies.split(",")
         if name.strip()
     )
+    algorithms = tuple(
+        name.strip().lower()
+        for name in args.algorithms.split(",")
+        if name.strip()
+    ) or ("spt",)
     config = ServiceConfig(
         topologies=names,
+        algorithms=algorithms,
         scale=args.scale,
         seed=args.seed,
         num_sources=args.sources,

@@ -6,6 +6,10 @@ from repro.experiments.figures.ablations import (
     run_tiebreak_ablation,
     run_weighted_links_ablation,
 )
+from repro.experiments.figures.algorithms import (
+    run_algorithm_ratio_study,
+    run_kdisjoint_overhead_study,
+)
 from repro.experiments.figures.base import FigureResult
 from repro.experiments.figures.extensions import (
     run_churn_study,
@@ -70,4 +74,6 @@ __all__ = [
     "run_popularity_study",
     "run_churn_study",
     "run_steiner_study",
+    "run_algorithm_ratio_study",
+    "run_kdisjoint_overhead_study",
 ]

@@ -1,0 +1,168 @@
+"""Tree-algorithm figure families (ROADMAP item 3).
+
+Two studies that put the :mod:`repro.multicast.builders` registry to
+work on the paper's central question — how much of the ``m^0.8`` law is
+a property of shortest-path routing versus the network itself:
+
+* :func:`run_algorithm_ratio_study` — the efficiency ratio
+  ``L_alg(m)/L_SPT(m)`` for every non-SPT builder, measured through the
+  same :func:`~repro.experiments.runner.measure_sweep` engine the
+  paper's figures use (so the receiver draws are identical across
+  algorithms).  The fitted exponent of each algorithm's own ``L(m)``
+  rides along in the notes: the law's exponent should survive the
+  change of construction discipline even where the constant does not.
+* :func:`run_kdisjoint_overhead_study` — the redundancy price of
+  ``k`` maximally-edge-disjoint trees: total installed links relative
+  to the single SPT, plus how much of the primary tree the backups
+  actually protect.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.config import SweepConfig
+from repro.experiments.figures.base import FigureResult
+from repro.experiments.figures.registry import register_figure
+from repro.topology.registry import build_topology
+from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
+from repro.utils.stats import power_law_fit
+
+__all__ = ["run_algorithm_ratio_study", "run_kdisjoint_overhead_study"]
+
+
+@register_figure("study:algorithm-ratio")
+def run_algorithm_ratio_study(
+    topology: str = "ts1000",
+    scale: float = 0.3,
+    algorithms: Sequence[str] = ("steiner-tm", "dst-approx", "kdisjoint"),
+    config=None,
+    sweep: Optional[SweepConfig] = None,
+    rng: RandomState = None,
+) -> FigureResult:
+    """``L_alg(m)/L_SPT(m)`` per registered builder, same draws each.
+
+    Every algorithm is swept through :func:`measure_sweep` with the same
+    seed, and the batched samplers draw receiver sets independently of
+    the counting discipline — so each ratio compares the algorithms on
+    *identical* (source, receiver-set) samples, not merely identically
+    distributed ones.
+    """
+    from repro.experiments.runner import measure_sweep
+
+    streams = spawn_rngs(ensure_rng(rng), 2)
+    graph = build_topology(topology, scale=scale, rng=streams[0])
+    sweep = sweep or SweepConfig(points=7)
+    sizes = sweep.sizes(max(2, (graph.num_nodes - 1) // 4))
+    # One *integer* seed shared by every sweep: a Generator would
+    # advance between calls and the algorithms would see different
+    # draws, which is exactly what a ratio plot must not do.
+    seed = int(streams[1].integers(0, 2**31 - 1))
+
+    result = FigureResult(
+        figure_id="extension-algorithm-ratio",
+        title=f"L_alg(m)/L_SPT(m) across tree builders on {topology}",
+        x_label="m",
+        y_label="L_alg / L_SPT",
+        log_x=True,
+        log_y=False,
+    )
+    measurements = {}
+    for algorithm in ("spt",) + tuple(algorithms):
+        measurements[algorithm] = measure_sweep(
+            graph,
+            list(sizes),
+            mode="distinct",
+            config=config,
+            topology=topology,
+            rng=seed,
+            algorithm=algorithm,
+        )
+    spt_tree = np.asarray(measurements["spt"].mean_tree_size, dtype=float)
+    spt_fit = power_law_fit(sizes, spt_tree)
+    result.notes["exponent[spt]"] = f"{spt_fit.slope:.3f}"
+    for algorithm in algorithms:
+        tree = np.asarray(
+            measurements[algorithm].mean_tree_size, dtype=float
+        )
+        ratio = tree / spt_tree
+        result.add_series(algorithm, sizes, ratio)
+        fit = power_law_fit(sizes, tree)
+        result.notes[f"exponent[{algorithm}]"] = f"{fit.slope:.3f}"
+        result.notes[f"ratio[{algorithm}]"] = (
+            f"{float(ratio[0]):.3f} at m={sizes[0]} to "
+            f"{float(ratio[-1]):.3f} at m={sizes[-1]}"
+        )
+    return result
+
+
+@register_figure("study:kdisjoint-overhead")
+def run_kdisjoint_overhead_study(
+    topology: str = "ts1008",
+    scale: float = 0.3,
+    k_values: Sequence[int] = (2, 3),
+    num_sources: int = 4,
+    num_receiver_sets: int = 8,
+    sweep: Optional[SweepConfig] = None,
+    rng: RandomState = None,
+) -> FigureResult:
+    """Redundancy overhead of ``k`` edge-disjoint delivery trees.
+
+    For each group size and each ``k``, averages the installed-link
+    overhead ``total_links(k trees) / num_links(primary SPT)`` and the
+    fraction of primary links the backups protect (carry on an
+    edge-disjoint detour).  Where the graph cannot supply disjoint
+    paths the builder falls back to primary links, which shows up here
+    as protection below 1 — not as unreachable receivers.  The default
+    topology is the dense multipath ts1008: on sparse transit-stub
+    maps (ts1000) almost no disjoint alternatives exist, so protection
+    sits near zero and the overhead is trivially ``k``.
+    """
+    from repro.graph.paths import bfs
+    from repro.multicast.builders import build_redundant_set
+    from repro.multicast.sampling import sample_distinct_receivers
+
+    streams = spawn_rngs(ensure_rng(rng), 2)
+    graph = build_topology(topology, scale=scale, rng=streams[0])
+    sweep = sweep or SweepConfig(points=6)
+    sizes = sweep.sizes(max(2, (graph.num_nodes - 1) // 4))
+    sample_rng = streams[1]
+
+    result = FigureResult(
+        figure_id="extension-kdisjoint-overhead",
+        title=f"k-disjoint tree redundancy overhead on {topology}",
+        x_label="m",
+        y_label="total links / primary links",
+        log_x=True,
+        log_y=False,
+    )
+    draws = num_sources * num_receiver_sets
+    for k in k_values:
+        overheads = []
+        protections = []
+        for size in sizes:
+            overhead_total = 0.0
+            protected_total = 0.0
+            for _ in range(num_sources):
+                source = int(sample_rng.integers(0, graph.num_nodes))
+                forest = bfs(graph, source, tie_break="first")
+                for _ in range(num_receiver_sets):
+                    receivers = sample_distinct_receivers(
+                        graph.num_nodes, size, source=source, rng=sample_rng
+                    )
+                    tree_set = build_redundant_set(
+                        graph, source, receivers, k=k, forest=forest
+                    )
+                    primary = max(1, tree_set.trees[0].num_links)
+                    overhead_total += tree_set.total_links / primary
+                    protected_total += tree_set.protected_fraction
+            overheads.append(overhead_total / draws)
+            protections.append(protected_total / draws)
+        result.add_series(f"k={k}", sizes, overheads)
+        result.notes[f"protected[k={k}]"] = (
+            f"{100 * protections[0]:.1f}% at m={sizes[0]}, "
+            f"{100 * protections[-1]:.1f}% at m={sizes[-1]}"
+        )
+    return result

@@ -166,8 +166,8 @@ def run_steiner_study(
     ~20% on dense multipath ones (ts1008), where equal-cost branches
     that a Steiner tree merges are paid separately by the SPT.
     """
+    from repro.multicast.builders import build_tree
     from repro.multicast.sampling import sample_distinct_receivers
-    from repro.multicast.steiner import takahashi_matsuyama_tree
     from repro.multicast.tree import MulticastTreeCounter
     from repro.graph.paths import bfs as run_bfs
     from repro.utils.stats import power_law_fit
@@ -192,8 +192,9 @@ def run_steiner_study(
                     graph.num_nodes, size, source=source, rng=sample_rng
                 )
                 spt_total += counter.tree_size(receivers)
-                steiner_total += takahashi_matsuyama_tree(
-                    graph, source, receivers
+                steiner_total += build_tree(
+                    "steiner-tm", graph, source, receivers,
+                    forest=counter.forest,
                 ).num_links
         spt_means.append(spt_total / draws)
         steiner_means.append(steiner_total / draws)

@@ -59,6 +59,11 @@ class SweepMeasurement:
         Samples per size (``Nsource × Nrcvr``).
     num_nodes:
         Node count of the measured graph.
+    algorithm:
+        The tree-construction discipline measured (a
+        :mod:`repro.multicast.builders` registry key; ``"spt"`` is the
+        paper's shortest-path routing and the default for every
+        pre-existing payload).
     """
 
     topology: str
@@ -70,6 +75,7 @@ class SweepMeasurement:
     std_tree_size: Tuple[float, ...]
     num_samples: int
     num_nodes: int
+    algorithm: str = "spt"
 
     def __post_init__(self) -> None:
         lengths = {
@@ -134,6 +140,7 @@ class SweepMeasurement:
                 ),
                 num_samples=int(payload["num_samples"]),
                 num_nodes=int(payload["num_nodes"]),
+                algorithm=str(payload.get("algorithm", "spt")),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ExperimentError(
@@ -165,9 +172,10 @@ def save_measurements_csv(
     """Write measurements as one flat CSV (a row per topology × size).
 
     Columns: topology, mode, num_nodes, num_samples, size, mean_ratio,
-    mean_tree_size, mean_unicast_path, std_tree_size.  The JSON format
-    (:func:`save_measurements`) is lossless and round-trips; the CSV is
-    for spreadsheets and external plotting tools.
+    mean_tree_size, mean_unicast_path, std_tree_size, algorithm.  The
+    JSON format (:func:`save_measurements`) is lossless and
+    round-trips; the CSV is for spreadsheets and external plotting
+    tools.
     """
     import csv
 
@@ -184,6 +192,7 @@ def save_measurements_csv(
                 "mean_tree_size",
                 "mean_unicast_path",
                 "std_tree_size",
+                "algorithm",
             ]
         )
         for m in measurements:
@@ -199,5 +208,6 @@ def save_measurements_csv(
                         m.mean_tree_size[i],
                         m.mean_unicast_path[i],
                         m.std_tree_size[i],
+                        m.algorithm,
                     ]
                 )

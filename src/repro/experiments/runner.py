@@ -66,6 +66,7 @@ from repro.multicast.sampling import (
     sample_receivers_with_replacement,
     sample_receivers_with_replacement_sweep,
 )
+from repro.multicast import builders
 from repro.multicast.tree import MulticastTreeCounter
 from repro.experiments.config import MonteCarloConfig
 from repro.experiments.pool import resolve_workers, run_sweep_chunks
@@ -137,6 +138,8 @@ def _count_samples(
     exclude: Optional[int],
     engine: str,
     row_slice: Optional[Tuple[int, int]] = None,
+    algorithm: str = "spt",
+    graph: Optional[Graph] = None,
 ) -> Tuple[List[np.ndarray], List[np.ndarray]]:
     """Per-size links and unicast totals for one source's whole sweep.
 
@@ -152,6 +155,14 @@ def _count_samples(
     never depends on the slice, so any row partition of a source
     re-assembles into exactly the full-row arrays (how the worker pool
     splits one source across workers).
+
+    A non-``"spt"`` ``algorithm`` (a :mod:`repro.multicast.builders`
+    registry key; requires ``graph`` and the batched engine) draws the
+    *identical* receiver stream and swaps only the counting step: links
+    come from the named builder, while the unicast baseline ``ū`` stays
+    the SPT distances — the paper's denominator is the unicast path,
+    whatever tree carries the multicast copies.  Builders consume no
+    randomness, so worker-count determinism is preserved as-is.
     """
     lo, hi = (0, num_receiver_sets) if row_slice is None else row_slice
     if engine == "batched":
@@ -165,6 +176,19 @@ def _count_samples(
                 num_nodes, size_list, num_receiver_sets,
                 source=exclude, rng=source_rng,
             )
+        if algorithm != "spt":
+            sliced = [matrix[lo:hi] for matrix in matrices]
+            links_list = [
+                builders.count_tree_links(
+                    algorithm, graph, counter.source, matrix,
+                    forest=counter.forest,
+                )
+                for matrix in sliced
+            ]
+            totals_list = [
+                counter.unicast_totals_batch(matrix) for matrix in sliced
+            ]
+            return links_list, totals_list
         return counter.count_trees_and_unicast(
             [matrix[lo:hi] for matrix in matrices]
         )
@@ -235,6 +259,7 @@ def _source_counts(
     exclude_source_site: bool,
     engine: str,
     use_cache: bool,
+    algorithm: str = "spt",
     distance_store: Optional[
         Union[DistanceStore, DistanceStoreDescriptor]
     ] = None,
@@ -266,6 +291,7 @@ def _source_counts(
     return _count_samples(
         counter, source_rng, graph.num_nodes, size_list,
         num_receiver_sets, mode, exclude, engine, row_slice,
+        algorithm, graph,
     )
 
 
@@ -309,6 +335,7 @@ def _source_partials(
     exclude_source_site: bool,
     engine: str,
     use_cache: bool,
+    algorithm: str = "spt",
     distance_store: Optional[
         Union[DistanceStore, DistanceStoreDescriptor]
     ] = None,
@@ -316,7 +343,8 @@ def _source_partials(
     """Per-size partial sums contributed by one source (serial path)."""
     links_list, totals_list = _source_counts(
         graph, child_seed, size_list, mode, num_receiver_sets,
-        tie_break, exclude_source_site, engine, use_cache, distance_store,
+        tie_break, exclude_source_site, engine, use_cache, algorithm,
+        distance_store,
     )
     return _partials_from_counts(size_list, links_list, totals_list)
 
@@ -334,6 +362,7 @@ def measure_sweep(
     distance_store: Optional[
         Union[DistanceStore, DistanceStoreDescriptor]
     ] = None,
+    algorithm: str = "spt",
 ) -> SweepMeasurement:
     """Measure averaged tree sizes over a sweep of group sizes.
 
@@ -375,9 +404,23 @@ def measure_sweep(
         store samples uniformly over its rows (a different, documented
         stream).  Requires ``tie_break="first"`` (the stored parents
         are first-parent forests).
+    algorithm:
+        Tree-construction discipline, a
+        :mod:`repro.multicast.builders` registry key (default
+        ``"spt"``, the paper's shortest-path trees — bit-identical to
+        every pre-existing result).  Other algorithms draw the same
+        receiver stream and count links through the registered builder
+        instead; they require the batched engine, and the unicast
+        baseline stays the SPT distances (see :func:`_count_samples`).
     """
     _check_mode(mode)
     _check_engine(engine)
+    builders.builder_spec(algorithm)  # unknown names fail fast
+    if algorithm != "spt" and engine != "batched":
+        raise ExperimentError(
+            "non-SPT algorithms are measured through the batched "
+            f"engine only, got engine={engine!r}"
+        )
     config = config or MonteCarloConfig()
     config.validate()
     require_connected(graph, "measure_sweep")
@@ -420,10 +463,9 @@ def measure_sweep(
     )
     task_args = (
         size_list, mode, config.num_receiver_sets, config.tie_break,
-        exclude_source_site, engine, use_cache, store_token,
+        exclude_source_site, engine, use_cache, algorithm, store_token,
     )
-    sweep_span = obs.span(
-        "runner.sweep",
+    span_attrs = dict(
         topology=topology,
         mode=mode,
         engine=engine,
@@ -432,6 +474,11 @@ def measure_sweep(
         sources=config.num_sources,
         sizes=len(size_list),
     )
+    # Only tagged when non-default, keeping pre-existing traces
+    # byte-identical for every "spt" sweep.
+    if algorithm != "spt":
+        span_attrs["algorithm"] = algorithm
+    sweep_span = obs.span("runner.sweep", **span_attrs)
     with sweep_span:
         if num_workers > 1:
             source_counts = run_sweep_chunks(
@@ -488,6 +535,7 @@ def measure_sweep(
         std_tree_size=tuple(float(v) for v in np.sqrt(variance)),
         num_samples=config.num_sources * config.num_receiver_sets,
         num_nodes=graph.num_nodes,
+        algorithm=algorithm,
     )
 
 

@@ -35,6 +35,7 @@ __all__ = [
     "ShortestPathForest",
     "bfs",
     "bfs_from_many",
+    "multi_source_bfs",
     "distances_from",
     "distances_from_many",
     "distance_matrix",
@@ -226,6 +227,7 @@ def _many_bfs(
     sources: Sequence[int],
     want_parents: bool,
     packed: bool,
+    source_groups: Optional[Sequence[np.ndarray]] = None,
 ):
     """Level-synchronous BFS from many sources at once.
 
@@ -236,24 +238,50 @@ def _many_bfs(
     *and* the ``tie_break="first"`` parent choices are bit-identical to
     running :func:`bfs` on that source alone.
 
+    When ``source_groups`` is given, each entry seeds one row with a
+    whole *set* of level-0 nodes (``sources`` is then ignored): the row
+    behaves like a BFS from a virtual super-source attached to every
+    seed.  A singleton group is bit-identical to the plain per-source
+    row — the seeding arrays are the same — which is how
+    :func:`multi_source_bfs` rides on this machinery.  Groups must be
+    validated (sorted unique in-range node ids) by the caller.
+
     With ``packed=True`` the visited test reads a bit-packed
     ``uint8 (S, ceil(n/8))`` mask instead of the int32 distance matrix —
     an 8th of the memory traffic per test on million-node rows — without
     changing any output byte.
     """
     n = graph.num_nodes
-    src_arr = np.asarray(
-        [graph.check_node(s) for s in sources], dtype=np.int32
-    )
-    num_rows = src_arr.shape[0]
+    if source_groups is None:
+        seed_nodes = np.asarray(
+            [graph.check_node(s) for s in sources], dtype=np.int32
+        )
+        num_rows = seed_nodes.shape[0]
+        seed_rows = np.arange(num_rows, dtype=np.int64)
+    else:
+        num_rows = len(source_groups)
+        seed_nodes = (
+            np.concatenate([
+                np.asarray(group, dtype=np.int32) for group in source_groups
+            ])
+            if num_rows
+            else np.empty(0, dtype=np.int32)
+        )
+        seed_rows = (
+            np.repeat(
+                np.arange(num_rows, dtype=np.int64),
+                [len(group) for group in source_groups],
+            )
+            if num_rows
+            else np.empty(0, dtype=np.int64)
+        )
     dist = np.full((num_rows, n), -1, dtype=np.int32)
     parent = (
         np.full((num_rows, n), -1, dtype=np.int32) if want_parents else None
     )
     if num_rows == 0:
         return dist, parent
-    rows = np.arange(num_rows, dtype=np.int64)
-    dist[rows, src_arr] = 0
+    dist[seed_rows, seed_nodes] = 0
     dist_flat = dist.reshape(-1)
     parent_flat = parent.reshape(-1) if want_parents else None
 
@@ -263,12 +291,12 @@ def _many_bfs(
         bits_flat = np.zeros(num_rows * row_bytes, dtype=np.uint8)
         np.bitwise_or.at(
             bits_flat,
-            rows * row_bytes + (src_arr >> 3),
-            _BIT_MASKS[src_arr & 7],
+            seed_rows * row_bytes + (seed_nodes >> 3),
+            _BIT_MASKS[seed_nodes & 7],
         )
 
-    fsrc = rows
-    fnode = src_arr
+    fsrc = seed_rows
+    fnode = seed_nodes
     indptr, indices = graph.indptr, graph.indices
     level = 0
     while fnode.size:
@@ -341,6 +369,28 @@ def bfs_from_many(
     its mmap rows from.
     """
     return _many_bfs(graph, sources, want_parents=True, packed=packed)
+
+
+def multi_source_bfs(graph: Graph, seeds: Sequence[int]):
+    """BFS from a *set* of seed nodes simultaneously.
+
+    Returns 1-D ``(dist, parent)`` arrays: ``dist[v]`` is the hop
+    distance from ``v`` to the nearest seed, and following ``parent``
+    pointers from any reachable node terminates at some seed (whose
+    parent is ``-1``).  This is :func:`bfs_from_many`'s frontier
+    machinery seeded with one multi-node row, so the visit order —
+    and hence every parent choice — matches a level-synchronous BFS
+    whose level 0 is the sorted unique seed set.
+    """
+    seed = np.unique(np.asarray(list(seeds), dtype=np.int64))
+    if seed.size == 0:
+        raise GraphError("multi-source BFS needs at least one seed")
+    for node in seed:
+        graph.check_node(int(node))
+    dist, parent = _many_bfs(
+        graph, (), want_parents=True, packed=False, source_groups=[seed]
+    )
+    return dist[0], parent[0]
 
 
 def distances_from(graph: Graph, source: int) -> np.ndarray:

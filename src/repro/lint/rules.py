@@ -1,4 +1,4 @@
-"""The built-in ``repro.lint`` per-file rules (RR001–RR010, RR015).
+"""The built-in ``repro.lint`` per-file rules (RR001–RR010, RR015, RR016).
 
 Each rule encodes one invariant the Monte-Carlo engine's correctness
 arguments rest on; `docs/static-analysis.md` is the narrative version.
@@ -26,6 +26,7 @@ __all__ = [
     "RawClockReadRule",
     "ObsClockReadRule",
     "AdHocProcessPoolRule",
+    "UnregisteredTreeBuilderRule",
 ]
 
 _INT32_MAX = 2**31 - 1
@@ -1206,3 +1207,51 @@ class ServiceAcrossSpawnRule(Rule):
                     what = self._classify(element)
                     if what is not None:
                         self._report_crossing(ctx, element, what, "Process()")
+
+
+# ---------------------------------------------------------------------------
+# RR016 — tree construction must flow through the builder registry
+# ---------------------------------------------------------------------------
+
+
+@register_rule
+class UnregisteredTreeBuilderRule(Rule):
+    """Tree construction outside repro.multicast must use the registry."""
+
+    rule_id = "RR016"
+    severity = "error"
+    summary = (
+        "direct tree construction (takahashi_matsuyama_tree / "
+        "build_delivery_tree) outside repro.multicast — go through "
+        "repro.multicast.builders.build_tree(algorithm, ...) so the "
+        "algorithm axis stays sweepable"
+    )
+    rationale = (
+        "The algorithm axis works because every consumer — sweeps, "
+        "estimator tables, the serving tier, figures — selects its tree "
+        "discipline by registry name.  A direct call to a concrete "
+        "builder hard-wires one algorithm into that consumer: it cannot "
+        "be swept, its results carry no 'algorithm' provenance, and the "
+        "steiner-tm best-of-SPT guard (the documented comparison "
+        "semantics) is silently skipped.  Inside repro.multicast the "
+        "concrete constructors ARE the implementation, so the package "
+        "itself is exempt."
+    )
+
+    _DIRECT_BUILDERS = ("takahashi_matsuyama_tree", "build_delivery_tree")
+
+    def applies_to(self, path: str) -> bool:
+        return "repro/" in path and "repro/multicast/" not in path
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        chain = _attr_chain(node.func)
+        if chain is None or chain[-1] not in self._DIRECT_BUILDERS:
+            return
+        ctx.report(
+            self,
+            node,
+            f"{chain[-1]}() called directly — route through "
+            "repro.multicast.builders.build_tree() (registry key "
+            f"{'steiner-tm' if chain[-1] == 'takahashi_matsuyama_tree' else 'spt'!r}) "
+            "so the call site honors the algorithm axis",
+        )

@@ -24,6 +24,16 @@ from repro.multicast.sampling import (
     sample_receivers_with_replacement_batch,
     sample_receivers_with_replacement_sweep,
 )
+from repro.multicast.builders import (
+    BUILDER_NAMES,
+    BuilderSpec,
+    RedundantTreeSet,
+    build_redundant_set,
+    build_tree,
+    builder_spec,
+    count_tree_links,
+    register_builder,
+)
 from repro.multicast.steiner import (
     SteinerTree,
     multi_source_distances,
@@ -71,4 +81,12 @@ __all__ = [
     "SteinerTree",
     "multi_source_distances",
     "takahashi_matsuyama_tree",
+    "BUILDER_NAMES",
+    "BuilderSpec",
+    "RedundantTreeSet",
+    "build_redundant_set",
+    "build_tree",
+    "builder_spec",
+    "count_tree_links",
+    "register_builder",
 ]

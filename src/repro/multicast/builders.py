@@ -1,0 +1,598 @@
+"""Pluggable multicast tree builders: the ``algorithm`` axis.
+
+The paper measures shortest-path trees only.  Whether the Chuang-Sirbu
+``L(m) ∝ m^0.8`` exponent is a property of *network structure* or of
+*SPT routing* is ROADMAP item 3, and answering it needs every other
+tree-construction discipline to flow through the same measurement
+pipeline.  This module is that seam: a registry of named tree builders
+(mirroring :mod:`repro.topology.registry`), each producing the uniform
+:class:`~repro.multicast.tree.DeliveryTree` — link count, depth
+profile, per-receiver path cost — so sweeps, estimator tables, the
+serving tier, and the figure drivers can switch algorithm by name.
+
+Registered builders
+-------------------
+``spt``
+    The paper's shortest-path tree: union of BFS-first paths from the
+    source.  Wraps :class:`~repro.multicast.tree.MulticastTreeCounter`,
+    so its link counts are bit-identical to the Monte-Carlo engine's.
+``steiner-tm``
+    Takahashi–Matsuyama nearest-receiver grafting (2-approximation of
+    the Steiner optimum), refactored from :mod:`repro.multicast.steiner`
+    onto this interface.  Guarded to never exceed the SPT tree: the
+    raw heuristic has no such guarantee on tie-heavy unit-cost graphs,
+    and a *routing* comparison should charge the heuristic only when it
+    actually wins, so the builder returns whichever of {TM, SPT} is
+    smaller.
+``dst-approx``
+    Dynamic Steiner join semantics (the greedy online heuristic used by
+    resilient-multicast designs): each receiver, **in arrival order**,
+    attaches via its shortest path to the *current* tree.  Identical to
+    ``steiner-tm`` except for the attachment order — arrival order
+    instead of nearest-first — which makes it order-sensitive, exactly
+    like real join protocols.
+``kdisjoint``
+    ``k`` maximally-edge-disjoint redundant trees (k = 2..3): the
+    primary is the SPT tree; each backup re-runs BFS on the graph with
+    all previously used links pruned, falling back to the primary path
+    for receivers the pruned graph can no longer reach (those links
+    stay *unprotected* and are reported as such).  ``build_tree``
+    returns the primary; the full set with per-link protection
+    accounting comes from :func:`build_redundant_set`, and sweep counts
+    measure the set's distinct-link total (installed forwarding state).
+
+Hot loops should pass the source's ``forest=`` (one BFS per source);
+the sweep engine does, via :func:`count_tree_links`, which counts a
+whole receiver matrix per call — batched for ``spt``, per-set builder
+fallback otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.exceptions import ExperimentError, GraphError
+from repro.graph.core import Graph
+from repro.graph.paths import ShortestPathForest, bfs, multi_source_bfs
+from repro.multicast.steiner import takahashi_matsuyama_tree
+from repro.multicast.tree import DeliveryTree, MulticastTreeCounter
+
+__all__ = [
+    "BuilderSpec",
+    "BUILDER_NAMES",
+    "DEFAULT_REDUNDANCY",
+    "MAX_REDUNDANCY",
+    "RedundantTreeSet",
+    "build_redundant_set",
+    "build_tree",
+    "builder_spec",
+    "count_tree_links",
+    "register_builder",
+]
+
+#: Redundant-set sizes the ``kdisjoint`` builder supports.
+DEFAULT_REDUNDANCY = 2
+MAX_REDUNDANCY = 3
+
+
+@dataclass(frozen=True)
+class BuilderSpec:
+    """A named tree-construction discipline.
+
+    Attributes
+    ----------
+    name:
+        Registry key (the ``algorithm`` value everywhere downstream).
+    description:
+        One-line human summary.
+    redundancy:
+        Trees per build: 1 for single-tree builders, the default ``k``
+        for ``kdisjoint``.
+    build:
+        ``build(graph, source, receivers, forest=None) -> DeliveryTree``.
+    count:
+        ``count(graph, source, receiver_matrix, forest=None)`` returning
+        per-row int64 link counts for a ``(num_sets, size)`` matrix —
+        what the sweep engine calls.
+    """
+
+    name: str
+    description: str
+    redundancy: int
+    build: Callable[..., DeliveryTree]
+    count: Callable[..., np.ndarray]
+
+
+_SPECS: Dict[str, BuilderSpec] = {}
+
+
+def register_builder(spec: BuilderSpec) -> BuilderSpec:
+    """Add a builder to the registry (name must be unused)."""
+    if spec.name in _SPECS:
+        raise ExperimentError(
+            f"tree builder {spec.name!r} is already registered"
+        )
+    if spec.redundancy < 1:
+        raise ExperimentError(
+            f"builder redundancy must be >= 1, got {spec.redundancy}"
+        )
+    _SPECS[spec.name] = spec
+    return spec
+
+
+def builder_spec(name: str) -> BuilderSpec:
+    """Look up a registered builder; raises on unknown names."""
+    spec = _SPECS.get(name)
+    if spec is None:
+        raise ExperimentError(
+            f"unknown tree algorithm {name!r}; available: "
+            f"{', '.join(sorted(_SPECS))}"
+        )
+    return spec
+
+
+def build_tree(
+    algorithm: str,
+    graph: Graph,
+    source: int,
+    receivers: Sequence[int],
+    forest: Optional[ShortestPathForest] = None,
+) -> DeliveryTree:
+    """Build one delivery tree with the named algorithm.
+
+    For ``kdisjoint`` this returns the redundant set's *primary* tree
+    (tagged with the algorithm); use :func:`build_redundant_set` for
+    the full set and its protection accounting.
+    """
+    return builder_spec(algorithm).build(graph, source, receivers, forest=forest)
+
+
+def count_tree_links(
+    algorithm: str,
+    graph: Graph,
+    source: int,
+    receiver_matrix: Sequence[Sequence[int]],
+    forest: Optional[ShortestPathForest] = None,
+) -> np.ndarray:
+    """Per-row delivery-tree link counts for a receiver matrix.
+
+    The sweep engine's entry point: ``spt`` runs the batched counter
+    walk (bit-identical to :class:`MulticastTreeCounter`), the other
+    algorithms build one tree per row.  ``kdisjoint`` rows count the
+    default-``k`` set's distinct links (redundancy overhead).
+    """
+    return builder_spec(algorithm).count(
+        graph, source, receiver_matrix, forest=forest
+    )
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+
+
+def _resolve_forest(
+    graph: Graph, source: int, forest: Optional[ShortestPathForest]
+) -> ShortestPathForest:
+    if forest is None:
+        return bfs(graph, source, tie_break="first")
+    if forest.source != source:
+        raise GraphError(
+            f"forest is rooted at {forest.source}, not at source {source}"
+        )
+    if forest.num_nodes != graph.num_nodes:
+        raise GraphError(
+            f"forest covers {forest.num_nodes} nodes but the graph has "
+            f"{graph.num_nodes}"
+        )
+    return forest
+
+
+def _as_matrix(receiver_matrix) -> np.ndarray:
+    matrix = np.asarray(receiver_matrix, dtype=np.int64)
+    if matrix.ndim != 2:
+        raise GraphError(
+            f"receiver_matrix must be 2-D (num_sets, size), "
+            f"got shape {matrix.shape}"
+        )
+    return matrix
+
+
+def _count_by_rows(
+    build: Callable[..., DeliveryTree],
+    graph: Graph,
+    source: int,
+    receiver_matrix,
+    forest: Optional[ShortestPathForest],
+) -> np.ndarray:
+    """Per-set fallback: one tree build per matrix row."""
+    matrix = _as_matrix(receiver_matrix)
+    forest = _resolve_forest(graph, graph.check_node(source), forest)
+    out = np.empty(matrix.shape[0], dtype=np.int64)
+    for i, row in enumerate(matrix):
+        out[i] = build(graph, source, row, forest=forest).num_links
+    return out
+
+
+def _graft_chain(
+    in_tree: Set[int],
+    edges: List[Tuple[int, int]],
+    parent: np.ndarray,
+    target: int,
+) -> None:
+    """Attach ``target``'s parent-chain path to the growing tree."""
+    node = target
+    while node not in in_tree:
+        up = int(parent[node])
+        edges.append((up, node))
+        in_tree.add(node)
+        node = up
+
+
+# ----------------------------------------------------------------------
+# spt — the paper's shortest-path tree
+# ----------------------------------------------------------------------
+
+
+def _build_spt(
+    graph: Graph,
+    source: int,
+    receivers: Sequence[int],
+    forest: Optional[ShortestPathForest] = None,
+) -> DeliveryTree:
+    source = graph.check_node(source)
+    forest = _resolve_forest(graph, source, forest)
+    counter = MulticastTreeCounter(forest)
+    nodes = counter.tree_nodes(receivers)
+    non_source = nodes[nodes != source]
+    edges = np.column_stack(
+        [forest.parent[non_source], non_source]
+    ).astype(np.int64)
+    return DeliveryTree(
+        source=source,
+        receivers=tuple(int(r) for r in receivers),
+        nodes=nodes,
+        edges=edges,
+        algorithm="spt",
+    )
+
+
+def _count_spt(
+    graph: Graph,
+    source: int,
+    receiver_matrix,
+    forest: Optional[ShortestPathForest] = None,
+) -> np.ndarray:
+    forest = _resolve_forest(graph, graph.check_node(source), forest)
+    return MulticastTreeCounter(forest).tree_sizes_batch(
+        _as_matrix(receiver_matrix)
+    )
+
+
+# ----------------------------------------------------------------------
+# steiner-tm — Takahashi–Matsuyama nearest-receiver grafting
+# ----------------------------------------------------------------------
+
+
+def _build_steiner_tm(
+    graph: Graph,
+    source: int,
+    receivers: Sequence[int],
+    forest: Optional[ShortestPathForest] = None,
+) -> DeliveryTree:
+    source = graph.check_node(source)
+    spt = _build_spt(graph, source, receivers, forest=forest)
+    heuristic = takahashi_matsuyama_tree(graph, source, receivers)
+    # Best-of guard (see module docs): the 2-approximation may lose to
+    # the SPT tree outright on tie-heavy graphs; charge it the smaller.
+    if heuristic.num_links < spt.num_links:
+        nodes = heuristic.nodes
+        edges = np.asarray(heuristic.edges, dtype=np.int64)
+    else:
+        nodes, edges = spt.nodes, spt.edges
+    return DeliveryTree(
+        source=source,
+        receivers=spt.receivers,
+        nodes=nodes,
+        edges=edges,
+        algorithm="steiner-tm",
+    )
+
+
+def _count_steiner_tm(
+    graph: Graph,
+    source: int,
+    receiver_matrix,
+    forest: Optional[ShortestPathForest] = None,
+) -> np.ndarray:
+    source = graph.check_node(source)
+    forest = _resolve_forest(graph, source, forest)
+    matrix = _as_matrix(receiver_matrix)
+    # One batched walk covers the SPT side of the guard for every row.
+    spt_links = MulticastTreeCounter(forest).tree_sizes_batch(matrix)
+    out = np.empty(matrix.shape[0], dtype=np.int64)
+    for i, row in enumerate(matrix):
+        heuristic = takahashi_matsuyama_tree(graph, source, row)
+        out[i] = min(int(heuristic.num_links), int(spt_links[i]))
+    return out
+
+
+# ----------------------------------------------------------------------
+# dst-approx — dynamic (online) Steiner joins in arrival order
+# ----------------------------------------------------------------------
+
+
+def _build_dst_approx(
+    graph: Graph,
+    source: int,
+    receivers: Sequence[int],
+    forest: Optional[ShortestPathForest] = None,
+) -> DeliveryTree:
+    source = graph.check_node(source)
+    in_tree: Set[int] = {source}
+    edges: List[Tuple[int, int]] = []
+    for raw in receivers:
+        target = graph.check_node(int(raw))
+        if target in in_tree:
+            continue
+        dist, parent = multi_source_bfs(graph, sorted(in_tree))
+        if dist[target] < 0:
+            raise GraphError(
+                f"receiver {target} is unreachable from the tree"
+            )
+        _graft_chain(in_tree, edges, parent, target)
+    return DeliveryTree(
+        source=source,
+        receivers=tuple(int(r) for r in receivers),
+        nodes=np.asarray(sorted(in_tree), dtype=np.int64),
+        edges=np.asarray(edges, dtype=np.int64).reshape(-1, 2),
+        algorithm="dst-approx",
+    )
+
+
+# ----------------------------------------------------------------------
+# kdisjoint — redundant edge-disjoint trees with protection accounting
+# ----------------------------------------------------------------------
+
+
+def _undirected_links(edges: np.ndarray) -> Set[Tuple[int, int]]:
+    return {
+        (int(min(u, v)), int(max(u, v)))
+        for u, v in np.asarray(edges).reshape(-1, 2)
+    }
+
+
+@dataclass(frozen=True)
+class RedundantTreeSet:
+    """``k`` redundant delivery trees plus their protection ledger.
+
+    ``trees[0]`` is the primary (the SPT tree); each later tree avoids
+    every link used by the trees before it wherever the pruned graph
+    still reaches the receiver, falling back to the primary path
+    otherwise.  Links appearing in more than one tree are *shared* —
+    their failure takes out every tree that uses them — and the primary
+    links absent from every backup are *protected*.
+    """
+
+    source: int
+    receivers: Tuple[int, ...]
+    trees: Tuple[DeliveryTree, ...]
+
+    @property
+    def k(self) -> int:
+        return len(self.trees)
+
+    @property
+    def num_links(self) -> int:
+        """Distinct links across all trees — installed forwarding state
+        (what the redundancy-overhead sweeps count)."""
+        links: Set[Tuple[int, int]] = set()
+        for tree in self.trees:
+            links |= _undirected_links(tree.edges)
+        return len(links)
+
+    @property
+    def total_links(self) -> int:
+        """Sum of per-tree link counts (bandwidth-reservation cost)."""
+        return sum(tree.num_links for tree in self.trees)
+
+    @property
+    def shared_links(self) -> int:
+        """Links used by two or more trees (unprotected overlap)."""
+        uses: Dict[Tuple[int, int], int] = {}
+        for tree in self.trees:
+            for link in _undirected_links(tree.edges):
+                uses[link] = uses.get(link, 0) + 1
+        return sum(1 for count in uses.values() if count > 1)
+
+    @property
+    def fully_disjoint(self) -> bool:
+        """Whether no link is used by more than one tree."""
+        return self.total_links == self.num_links
+
+    @property
+    def protected_fraction(self) -> float:
+        """Fraction of primary links no backup depends on — the share
+        of the primary tree that can fail with every backup intact."""
+        primary = _undirected_links(self.trees[0].edges)
+        if not primary:
+            return 1.0
+        backups: Set[Tuple[int, int]] = set()
+        for tree in self.trees[1:]:
+            backups |= _undirected_links(tree.edges)
+        return 1.0 - len(primary & backups) / len(primary)
+
+
+def _pruned_graph(graph: Graph, banned: Set[Tuple[int, int]]) -> Graph:
+    """The graph with ``banned`` undirected links removed."""
+    indptr, indices = graph.indptr, graph.indices
+    heads = np.repeat(
+        np.arange(graph.num_nodes, dtype=np.int64), np.diff(indptr)
+    )
+    tails = indices.astype(np.int64)
+    forward = heads < tails
+    heads, tails = heads[forward], tails[forward]
+    if banned:
+        banned_keys = np.asarray(
+            [u * graph.num_nodes + v for u, v in banned], dtype=np.int64
+        )
+        keep = np.isin(
+            heads * graph.num_nodes + tails, banned_keys, invert=True
+        )
+        heads, tails = heads[keep], tails[keep]
+    return Graph.from_edges(
+        graph.num_nodes, np.column_stack([heads, tails])
+    )
+
+
+def _backup_tree(
+    source: int,
+    receivers: Tuple[int, ...],
+    sub_forest: ShortestPathForest,
+    primary_forest: ShortestPathForest,
+) -> DeliveryTree:
+    """One backup tree: pruned-graph paths, primary-path fallback.
+
+    Each receiver walks the pruned-subgraph parent chain when the
+    subgraph still reaches it, else its primary chain; the shared
+    visited set admits one parent edge per node, so the union is a tree
+    whatever mix of chains built it.
+    """
+    in_tree: Set[int] = {source}
+    edges: List[Tuple[int, int]] = []
+    for receiver in receivers:
+        protected = sub_forest.dist[receiver] >= 0
+        parent = sub_forest.parent if protected else primary_forest.parent
+        _graft_chain(in_tree, edges, parent, receiver)
+    return DeliveryTree(
+        source=source,
+        receivers=receivers,
+        nodes=np.asarray(sorted(in_tree), dtype=np.int64),
+        edges=np.asarray(edges, dtype=np.int64).reshape(-1, 2),
+        algorithm="kdisjoint",
+    )
+
+
+def build_redundant_set(
+    graph: Graph,
+    source: int,
+    receivers: Sequence[int],
+    k: int = DEFAULT_REDUNDANCY,
+    forest: Optional[ShortestPathForest] = None,
+) -> RedundantTreeSet:
+    """Build ``k`` maximally-edge-disjoint delivery trees.
+
+    The primary is the SPT tree; backup ``t`` runs BFS on the graph
+    minus every link used by trees ``0..t-1`` (so on 2-edge-connected
+    graphs ``k=2`` yields fully disjoint trees), with unreachable
+    receivers falling back to their primary path — counted as
+    unprotected in the set's ledger rather than failing the build.
+    """
+    k = int(k)
+    if not 2 <= k <= MAX_REDUNDANCY:
+        raise ExperimentError(
+            f"kdisjoint supports k in [2, {MAX_REDUNDANCY}], got {k}"
+        )
+    source = graph.check_node(source)
+    primary = replace(
+        _build_spt(graph, source, receivers, forest=forest),
+        algorithm="kdisjoint",
+    )
+    trees: List[DeliveryTree] = [primary]
+    banned: Set[Tuple[int, int]] = _undirected_links(primary.edges)
+    reachable = tuple(
+        r for r in primary.receivers if r != source
+    )
+    for _ in range(k - 1):
+        sub = _pruned_graph(graph, banned)
+        sub_forest = bfs(sub, source, tie_break="first")
+        backup = _backup_tree(
+            source,
+            reachable,
+            sub_forest,
+            _resolve_forest(graph, source, forest),
+        )
+        trees.append(backup)
+        banned |= _undirected_links(backup.edges)
+    return RedundantTreeSet(
+        source=source,
+        receivers=primary.receivers,
+        trees=tuple(trees),
+    )
+
+
+def _build_kdisjoint(
+    graph: Graph,
+    source: int,
+    receivers: Sequence[int],
+    forest: Optional[ShortestPathForest] = None,
+) -> DeliveryTree:
+    return build_redundant_set(
+        graph, source, receivers, k=DEFAULT_REDUNDANCY, forest=forest
+    ).trees[0]
+
+
+def _count_kdisjoint(
+    graph: Graph,
+    source: int,
+    receiver_matrix,
+    forest: Optional[ShortestPathForest] = None,
+) -> np.ndarray:
+    matrix = _as_matrix(receiver_matrix)
+    forest = _resolve_forest(graph, graph.check_node(source), forest)
+    out = np.empty(matrix.shape[0], dtype=np.int64)
+    for i, row in enumerate(matrix):
+        out[i] = build_redundant_set(
+            graph, source, row, k=DEFAULT_REDUNDANCY, forest=forest
+        ).num_links
+    return out
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+register_builder(
+    BuilderSpec(
+        name="spt",
+        description="shortest-path tree (the paper's routing; batched)",
+        redundancy=1,
+        build=_build_spt,
+        count=_count_spt,
+    )
+)
+register_builder(
+    BuilderSpec(
+        name="steiner-tm",
+        description="Takahashi-Matsuyama Steiner 2-approximation",
+        redundancy=1,
+        build=_build_steiner_tm,
+        count=_count_steiner_tm,
+    )
+)
+register_builder(
+    BuilderSpec(
+        name="dst-approx",
+        description="dynamic Steiner joins in arrival order",
+        redundancy=1,
+        build=_build_dst_approx,
+        count=lambda graph, source, matrix, forest=None: _count_by_rows(
+            _build_dst_approx, graph, source, matrix, forest
+        ),
+    )
+)
+register_builder(
+    BuilderSpec(
+        name="kdisjoint",
+        description="k edge-disjoint redundant trees (k=2 default)",
+        redundancy=DEFAULT_REDUNDANCY,
+        build=_build_kdisjoint,
+        count=_count_kdisjoint,
+    )
+)
+
+#: Registration-order builder names (the CLI's --algorithm choices).
+BUILDER_NAMES: Tuple[str, ...] = tuple(_SPECS)

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.exceptions import GraphError, SamplingError
 from repro.graph.core import Graph
+from repro.graph.paths import multi_source_bfs
 
 __all__ = ["SteinerTree", "takahashi_matsuyama_tree", "multi_source_distances"]
 
@@ -40,41 +41,16 @@ def multi_source_distances(
     from ``v`` to the nearest source and following ``parent`` pointers
     from any reachable node terminates at some source (whose parent is
     −1).
+
+    Thin wrapper over :func:`repro.graph.paths.multi_source_bfs` — the
+    batched frontier machinery the distance store builds from — kept
+    for the sampling-layer error contract (an empty source set is a
+    :class:`SamplingError` here) and for backward compatibility.
     """
     seed = np.unique(np.asarray(list(sources), dtype=np.int64))
     if seed.size == 0:
         raise SamplingError("multi-source BFS needs at least one source")
-    for node in seed:
-        graph.check_node(int(node))
-    n = graph.num_nodes
-    dist = np.full(n, -1, dtype=np.int32)
-    parent = np.full(n, -1, dtype=np.int32)
-    dist[seed] = 0
-    frontier = seed.astype(np.int32)
-    indptr, indices = graph.indptr, graph.indices
-    level = 0
-    while frontier.size:
-        level += 1
-        starts = indptr[frontier]
-        counts = indptr[frontier + 1] - starts
-        total = int(counts.sum())
-        if total == 0:
-            break
-        cum = np.cumsum(counts)
-        flat = np.arange(total, dtype=np.int64) - np.repeat(cum - counts, counts)
-        flat += np.repeat(starts, counts)
-        neighbours = indices[flat]
-        hops = np.repeat(frontier, counts)
-        fresh = dist[neighbours] < 0
-        neighbours = neighbours[fresh]
-        hops = hops[fresh]
-        if neighbours.size == 0:
-            break
-        uniq, first = np.unique(neighbours, return_index=True)
-        dist[uniq] = level
-        parent[uniq] = hops[first]
-        frontier = uniq.astype(np.int32)
-    return dist, parent
+    return multi_source_bfs(graph, seed)
 
 
 @dataclass(frozen=True)

@@ -20,7 +20,7 @@ size of the tree they count.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -370,12 +370,17 @@ class DeliveryTree:
     edges:
         The tree's links as ``(parent, child)`` pairs, one per non-source
         node.
+    algorithm:
+        Name of the builder that produced the tree (a
+        :mod:`repro.multicast.builders` registry key; ``"spt"`` for the
+        paper's shortest-path trees).
     """
 
     source: int
     receivers: Tuple[int, ...]
     nodes: np.ndarray
     edges: np.ndarray
+    algorithm: str = "spt"
 
     @property
     def num_links(self) -> int:
@@ -386,6 +391,58 @@ class DeliveryTree:
         """Whether ``node`` is part of the tree."""
         pos = int(np.searchsorted(self.nodes, node))
         return pos < self.nodes.shape[0] and int(self.nodes[pos]) == node
+
+    def _node_depths(self) -> Dict[int, int]:
+        """Depth of every tree node, walking each parent chain once."""
+        parent_of = {int(c): int(p) for p, c in self.edges}
+        depth = {int(self.source): 0}
+        for start in parent_of:
+            chain: List[int] = []
+            node = start
+            while node not in depth:
+                chain.append(node)
+                if node not in parent_of:
+                    raise GraphError(
+                        f"tree node {node} has no parent chain to the "
+                        f"source {self.source}"
+                    )
+                node = parent_of[node]
+            base = depth[node]
+            for offset, member in enumerate(reversed(chain), start=1):
+                depth[member] = base + offset
+        return depth
+
+    def depth_profile(self) -> np.ndarray:
+        """Node counts per tree depth (entry 0 is the source itself).
+
+        The depth of a node is its hop count from the source *along tree
+        edges* — for shortest-path trees this equals the BFS distance,
+        while Steiner-style trees may route receivers through longer
+        detours (the latency price of link efficiency).
+        """
+        depths = self._node_depths()
+        profile = np.zeros(max(depths.values()) + 1, dtype=np.int64)
+        for level in depths.values():
+            profile[level] += 1
+        return profile
+
+    def receiver_path_costs(self) -> np.ndarray:
+        """Hops from the source to each receiver within the tree.
+
+        Aligned with :attr:`receivers`; a receiver placed at the source
+        costs 0.  Together with :meth:`depth_profile` this is the
+        per-algorithm latency ledger the efficiency figures report
+        alongside link counts.
+        """
+        depths = self._node_depths()
+        try:
+            return np.asarray(
+                [depths[int(r)] for r in self.receivers], dtype=np.int64
+            )
+        except KeyError as exc:
+            raise GraphError(
+                f"receiver {exc.args[0]} is not covered by the tree"
+            ) from None
 
 
 def build_delivery_tree(

@@ -111,19 +111,25 @@ class TableStoreHandle:
 
 
 def publish_tables(
-    tables: Dict[Tuple[str, str], EstimatorTable], generation: int
+    tables: Dict[Tuple[str, ...], EstimatorTable], generation: int
 ) -> TableStoreHandle:
-    """Serialize a table set into one shared segment (one copy total)."""
+    """Serialize a table set into one shared segment (one copy total).
+
+    Keys are the service's table keys verbatim — ``(name, mode)`` for
+    SPT tables, ``(name, mode, algorithm)`` for non-SPT ones — so the
+    worker's attached dict mirrors the supervisor's exactly.
+    """
     entries = []
     arrays = []
-    for (name, mode), table in sorted(tables.items()):
+    for key, table in sorted(tables.items()):
         entries.append(
             {
-                "key": [name, mode],
+                "key": list(key),
                 "name": table.name,
                 "mode": table.mode,
                 "source": table.source,
                 "rel_error_bound": table.rel_error_bound,
+                "algorithm": table.algorithm,
                 "knots": int(table.sizes.size),
             }
         )
@@ -151,7 +157,7 @@ def publish_tables(
 
 def attach_tables(
     descriptor: TableStoreDescriptor,
-) -> Dict[Tuple[str, str], EstimatorTable]:
+) -> Dict[Tuple[str, ...], EstimatorTable]:
     """Reconstruct the table dict as zero-copy, read-only views.
 
     Each returned table pins the segment mapping for its own lifetime
@@ -173,7 +179,7 @@ def attach_tables(
             f"{header['generation']}, descriptor says {descriptor.generation}"
         )
     offset = _align8(_HEADER_LEN.size + header_len)
-    tables: Dict[Tuple[str, str], EstimatorTable] = {}
+    tables: Dict[Tuple[str, ...], EstimatorTable] = {}
     for entry in header["tables"]:
         knots = int(entry["knots"])
         views = []
@@ -191,6 +197,7 @@ def attach_tables(
             mean_path=path,
             source=entry["source"],
             rel_error_bound=float(entry["rel_error_bound"]),
+            algorithm=str(entry.get("algorithm", "spt")),
         )
         # Pin the mapping to the table (frozen dataclass: go around).
         object.__setattr__(table, "_store_shm", shm)

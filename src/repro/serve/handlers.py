@@ -113,6 +113,12 @@ class ServiceConfig:
     """
 
     topologies: Tuple[str, ...] = ("arpa", "r100")
+    #: Tree-construction disciplines whose estimator tables are
+    #: pre-warmed at startup.  Any other registered builder is still
+    #: servable with a lazily built table; ``"spt"`` tables keep their
+    #: historical ``(name, mode)`` keys so the single-algorithm layout
+    #: is unchanged.
+    algorithms: Tuple[str, ...] = ("spt",)
     scale: float = 1.0
     seed: int = 0
     num_sources: int = 20
@@ -151,6 +157,10 @@ class ServiceConfig:
             raise ServeError(500, "executor_threads must be >= 1")
         for name in self.topologies:
             topology_spec(name)  # raises TopologyError for unknown names
+        from repro.multicast.builders import builder_spec
+
+        for algorithm in self.algorithms:
+            builder_spec(algorithm)  # raises ExperimentError for unknowns
 
 
 def _number(payload: Dict, key: str, *, required: bool = False) -> Optional[float]:
@@ -180,6 +190,23 @@ def _flag(payload: Dict, key: str, default: bool = False) -> bool:
     return value
 
 
+def _table_key(name: str, mode: str, algorithm: str = "spt") -> Tuple[str, ...]:
+    """Key for one estimator table in :attr:`EstimationService.tables`.
+
+    SPT tables keep their historical ``(name, mode)`` 2-tuple so every
+    pre-existing consumer (tests, the fleet store, healthz labels) sees
+    an unchanged layout; non-SPT tables append the algorithm name.
+    """
+    if algorithm == "spt":
+        return (name, mode)
+    return (name, mode, algorithm)
+
+
+def _key_label(key: Tuple[str, ...]) -> str:
+    """``"name/mode"`` or ``"name/mode/algorithm"`` for healthz maps."""
+    return "/".join(key)
+
+
 @dataclass(frozen=True)
 class _SimulateRequest:
     topology: str
@@ -187,6 +214,7 @@ class _SimulateRequest:
     mode: str
     exact: bool
     deadline: Optional[float]
+    algorithm: str = "spt"
 
 
 class EstimationService:
@@ -205,8 +233,8 @@ class EstimationService:
         # table staleness, latency histograms — reads this one clock, so
         # tests swap in a VirtualClock and control time explicitly.
         self._clock = clock if clock is not None else SystemClock()
-        self.tables: Dict[Tuple[str, str], EstimatorTable] = {}
-        self._table_built_at: Dict[Tuple[str, str], float] = {}
+        self.tables: Dict[Tuple[str, ...], EstimatorTable] = {}
+        self._table_built_at: Dict[Tuple[str, ...], float] = {}
         self._graphs: Dict[str, Any] = {}
         self._flight = SingleFlight(wait_for=self._clock.wait_for)
         self._cache = TTLCache(
@@ -239,8 +267,9 @@ class EstimationService:
         )
         await asyncio.gather(
             *(
-                self._table(name, "distinct", deadline=None)
+                self._table(name, "distinct", deadline=None, algorithm=algorithm)
                 for name in self.config.topologies
+                for algorithm in self.config.algorithms
             )
         )
         self._started = True
@@ -254,7 +283,7 @@ class EstimationService:
 
     def install_tables(
         self,
-        tables: Dict[Tuple[str, str], EstimatorTable],
+        tables: Dict[Tuple[str, ...], EstimatorTable],
         generation: Optional[int] = None,
     ) -> None:
         """Replace the whole table set atomically (the fleet's path).
@@ -281,7 +310,9 @@ class EstimationService:
 
         return build_topology(name, scale=self.config.scale, rng=self.config.seed)
 
-    def _build_table_sync(self, name: str, mode: str) -> EstimatorTable:
+    def _build_table_sync(
+        self, name: str, mode: str, algorithm: str = "spt"
+    ) -> EstimatorTable:
         from repro.experiments.config import MonteCarloConfig
 
         graph = self._graphs[name]
@@ -296,9 +327,12 @@ class EstimationService:
             ),
             rng=self.config.seed,
             points_per_decade=self.config.points_per_decade,
+            algorithm=algorithm,
         )
 
-    def _simulate_sync(self, name: str, m: int, mode: str) -> Dict[str, float]:
+    def _simulate_sync(
+        self, name: str, m: int, mode: str, algorithm: str = "spt"
+    ) -> Dict[str, float]:
         from repro.experiments.config import MonteCarloConfig
         from repro.experiments.runner import measure_sweep
 
@@ -314,6 +348,7 @@ class EstimationService:
             ),
             topology=name,
             rng=self.config.seed,
+            algorithm=algorithm,
         )
         return {
             "tree_size": float(measurement.mean_tree_size[0]),
@@ -343,16 +378,19 @@ class EstimationService:
             await self._flight.run(("graph", name), build, timeout=deadline)
         return self._graphs[name]
 
-    async def _build_table(self, name: str, mode: str) -> None:
+    async def _build_table(
+        self, name: str, mode: str, algorithm: str = "spt"
+    ) -> None:
         """One coalesced leader's table (re)build, install on success."""
-        _FP_TABLE_BUILD.fire(topology=name, mode=mode)
+        _FP_TABLE_BUILD.fire(topology=name, mode=mode, algorithm=algorithm)
         await self._graph(name, deadline=None)
-        self.tables[(name, mode)] = await self._in_executor(
-            self._build_table_sync, name, mode
+        key = _table_key(name, mode, algorithm)
+        self.tables[key] = await self._in_executor(
+            self._build_table_sync, name, mode, algorithm
         )
-        self._table_built_at[(name, mode)] = self._clock()
+        self._table_built_at[key] = self._clock()
 
-    def _refresh_table(self, name: str, mode: str) -> None:
+    def _refresh_table(self, name: str, mode: str, algorithm: str = "spt") -> None:
         """Kick a coalesced background rebuild of a stale table.
 
         The stale table keeps serving; a rebuild failure is logged and
@@ -361,23 +399,29 @@ class EstimationService:
 
         async def rebuild() -> None:
             try:
-                await self._build_table(name, mode)
+                await self._build_table(name, mode, algorithm)
             except asyncio.CancelledError:
                 raise
             except Exception as exc:
                 logger.warning(
-                    "background table refresh failed for %s/%s "
+                    "background table refresh failed for %s "
                     "(stale table keeps serving): %s",
-                    name, mode, exc,
+                    _key_label(_table_key(name, mode, algorithm)), exc,
                 )
                 self.metrics.count_backend_failure()
 
-        self._flight.join(("table-refresh", name, mode), rebuild)
+        self._flight.join(
+            ("table-refresh",) + _table_key(name, mode, algorithm), rebuild
+        )
 
     async def _table(
-        self, name: str, mode: str, deadline: Optional[float]
+        self,
+        name: str,
+        mode: str,
+        deadline: Optional[float],
+        algorithm: str = "spt",
     ) -> EstimatorTable:
-        """The (possibly lazily built) table for ``(name, mode)``.
+        """The (possibly lazily built) table for ``(name, mode, algorithm)``.
 
         Raises :class:`asyncio.TimeoutError` when a lazy build misses
         the deadline — the caller degrades; the build itself continues
@@ -385,21 +429,21 @@ class EstimationService:
         ``table_ttl_seconds`` configured, a table past its TTL is still
         served while a coalesced background rebuild replaces it.
         """
-        key = (name, mode)
+        key = _table_key(name, mode, algorithm)
         table = self.tables.get(key)
         if table is not None:
             ttl = self.config.table_ttl_seconds
             if ttl is not None and self._table_age(key) >= ttl:
-                self._refresh_table(name, mode)
+                self._refresh_table(name, mode, algorithm)
             return table
 
         async def build() -> None:
-            await self._build_table(name, mode)
+            await self._build_table(name, mode, algorithm)
 
-        await self._flight.run(("table", name, mode), build, timeout=deadline)
+        await self._flight.run(("table",) + key, build, timeout=deadline)
         return self.tables[key]
 
-    def _table_age(self, key: Tuple[str, str]) -> float:
+    def _table_age(self, key: Tuple[str, ...]) -> float:
         return self._clock() - self._table_built_at.get(key, 0.0)
 
     # -- /v1/estimate ----------------------------------------------------
@@ -411,6 +455,12 @@ class EstimationService:
         (distinct sites) must be given; the other is reported through
         the paper's conversion.  Pure arithmetic — this endpoint never
         touches the simulator, whatever the load.
+
+        With a non-SPT ``"algorithm"`` the closed form (an SPT
+        quantity) is rescaled by the measured ``L_alg(m)/L_SPT(m)``
+        ratio of the named ``"topology"``'s estimator tables; when the
+        tables cannot supply the ratio in time the SPT answer is
+        returned with ``algorithm_ratio: null`` and ``degraded: true``.
         """
         from repro.analysis.kary_asymptotic import (
             lhat_asymptotic,
@@ -428,6 +478,7 @@ class EstimationService:
             expected_distinct,
         )
 
+        algorithm = self._parse_algorithm(payload)
         k = _number(payload, "k", required=True)
         depth_f = _number(payload, "depth", required=True)
         if depth_f != int(depth_f):
@@ -472,7 +523,7 @@ class EstimationService:
             else:
                 tree = float(lhat_asymptotic(k, depth, n_value))
 
-        return {
+        answer = {
             "k": k,
             "depth": depth,
             "receivers": receivers,
@@ -483,6 +534,84 @@ class EstimationService:
             "tree_size": tree,
             "per_receiver": tree / n_value if n_value > 0 else None,
         }
+        if algorithm == "spt":
+            return answer
+
+        from repro.topology.registry import topology_spec
+
+        name = payload.get("topology")
+        if not isinstance(name, str):
+            raise ServeError(
+                400,
+                "non-SPT estimates need a 'topology' whose estimator "
+                "tables supply the L_alg/L_SPT ratio",
+            )
+        try:
+            topology_spec(name)
+        except ReproError as exc:
+            raise ServeError(400, str(exc))
+        name = name.lower()
+        ratio = await self._algorithm_ratio(name, "distinct", algorithm, m_value)
+        answer["algorithm"] = algorithm
+        answer["topology"] = name
+        answer["tree_size_spt"] = tree
+        answer["algorithm_ratio"] = ratio
+        if ratio is None:
+            answer["degraded"] = True
+        else:
+            answer["tree_size"] = tree * ratio
+            answer["per_receiver"] = (
+                answer["tree_size"] / n_value if n_value > 0 else None
+            )
+        return answer
+
+    def _parse_algorithm(self, payload: Dict[str, Any]) -> str:
+        from repro.multicast.builders import builder_spec
+
+        algorithm = payload.get("algorithm", "spt")
+        if not isinstance(algorithm, str):
+            raise ServeError(
+                400, f"field 'algorithm' must be a string, got {algorithm!r}"
+            )
+        try:
+            builder_spec(algorithm)
+        except ReproError as exc:
+            raise ServeError(400, str(exc))
+        return algorithm
+
+    async def _algorithm_ratio(
+        self, name: str, mode: str, algorithm: str, m: float
+    ) -> Optional[float]:
+        """``L_alg(m)/L_SPT(m)`` from the topology's tables, else None.
+
+        ``None`` means the ratio could not be produced within the
+        configured deadline (builds keep running for later callers) or
+        ``m`` lies outside a table's grid — the caller degrades.
+        """
+        deadline = self.config.deadline_seconds
+        try:
+            alg_table = await self._table(name, mode, deadline, algorithm)
+            spt_table = await self._table(name, mode, deadline)
+        except asyncio.TimeoutError:
+            return None
+        except asyncio.CancelledError:
+            raise
+        except ReproError:
+            raise  # caller mistakes keep their 4xx mapping
+        except Exception as exc:
+            logger.warning(
+                "algorithm-ratio tables failed for %s/%s/%s: %s",
+                name, mode, algorithm, exc,
+            )
+            self.metrics.count_backend_failure()
+            return None
+        if not (alg_table.covers(m) and spt_table.covers(m)):
+            return None
+        alg_tree, _ = alg_table.lookup(m)
+        spt_tree, _ = spt_table.lookup(m)
+        if spt_tree <= 0:
+            return None
+        return float(alg_tree / spt_tree)
 
     # -- /v1/simulate ----------------------------------------------------
 
@@ -513,6 +642,7 @@ class EstimationService:
                 if deadline_ms is not None
                 else self.config.deadline_seconds
             ),
+            algorithm=self._parse_algorithm(payload),
         )
 
     def _answer(
@@ -539,6 +669,10 @@ class EstimationService:
                 tree / path if tree is not None and path else None
             ),
         }
+        # SPT answers keep the exact pre-algorithm payload shape (the
+        # byte-identity contract); only non-SPT requests grow the key.
+        if req.algorithm != "spt":
+            payload["algorithm"] = req.algorithm
         payload.update(extra)
         return payload
 
@@ -552,17 +686,13 @@ class EstimationService:
         """
         from repro.analysis.scaling import chuang_sirbu_prediction
 
-        table = self.tables.get((req.topology, req.mode))
+        table = self.tables.get(_table_key(req.topology, req.mode, req.algorithm))
         if table is not None and table.covers(req.m):
             tree, path = table.lookup(req.m)
-            return self._answer(
-                req,
-                "table",
-                tree,
-                path,
-                degraded=True,
-                rel_error_bound=table.rel_error_bound,
-            )
+            extra: Dict[str, Any] = {"rel_error_bound": table.rel_error_bound}
+            if req.algorithm != "spt":
+                extra["table_algorithm"] = table.algorithm
+            return self._answer(req, "table", tree, path, degraded=True, **extra)
         normalized = float(chuang_sirbu_prediction(req.m))
         answer = self._answer(req, "closed-form", None, None, degraded=True)
         answer["normalized_tree_size"] = normalized
@@ -571,7 +701,7 @@ class EstimationService:
     async def handle_simulate(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         """Monte-Carlo ``L(m)`` via the cache → table → simulate ladder."""
         req = self._parse_simulate(payload)
-        cache_key = (req.topology, req.mode, req.m, req.exact)
+        cache_key = (req.topology, req.mode, req.m, req.exact, req.algorithm)
         cached = self._cache.get(cache_key)
         if cached is not None:
             answer = dict(cached)
@@ -593,7 +723,9 @@ class EstimationService:
 
         if not req.exact:
             try:
-                table = await self._table(req.topology, req.mode, req.deadline)
+                table = await self._table(
+                    req.topology, req.mode, req.deadline, req.algorithm
+                )
             except asyncio.TimeoutError:
                 return self._degraded_answer(req)
             except asyncio.CancelledError:
@@ -602,20 +734,23 @@ class EstimationService:
                 raise  # caller mistakes keep their 4xx mapping
             except Exception as exc:
                 logger.warning(
-                    "table build failed for %s/%s; degrading: %s",
-                    req.topology, req.mode, exc,
+                    "table build failed for %s; degrading: %s",
+                    _key_label(
+                        _table_key(req.topology, req.mode, req.algorithm)
+                    ),
+                    exc,
                 )
                 self.metrics.count_backend_failure()
                 return self._degraded_answer(req)
             if table.covers(req.m):
                 tree, path = table.lookup(req.m)
+                extra: Dict[str, Any] = {
+                    "rel_error_bound": table.rel_error_bound
+                }
+                if req.algorithm != "spt":
+                    extra["table_algorithm"] = table.algorithm
                 answer = self._answer(
-                    req,
-                    "table",
-                    tree,
-                    path,
-                    degraded=False,
-                    rel_error_bound=table.rel_error_bound,
+                    req, "table", tree, path, degraded=False, **extra
                 )
                 self._cache.put(cache_key, answer)
                 return answer
@@ -625,10 +760,13 @@ class EstimationService:
             _FP_SIMULATE.fire(topology=req.topology, m=req.m, mode=req.mode)
             await self._graph(req.topology, deadline=None)
             return await self._in_executor(
-                self._simulate_sync, req.topology, req.m, req.mode
+                self._simulate_sync, req.topology, req.m, req.mode,
+                req.algorithm,
             )
 
-        flight_key = ("simulate", req.topology, req.mode, req.m)
+        flight_key = (
+            "simulate", req.topology, req.mode, req.m, req.algorithm
+        )
         try:
             result = await self._flight.run(flight_key, simulate, req.deadline)
         except asyncio.TimeoutError:
@@ -665,13 +803,14 @@ class EstimationService:
         return {
             "status": "ok" if self._started else "starting",
             "topologies": list(self.config.topologies),
+            "algorithms": list(self.config.algorithms),
             "tables": [
                 table.to_dict()
                 for _key, table in sorted(self.tables.items())
             ],
             "table_ages_seconds": {
-                f"{name}/{mode}": self._table_age((name, mode))
-                for name, mode in sorted(self.tables)
+                _key_label(key): self._table_age(key)
+                for key in sorted(self.tables)
             },
             "table_ttl_seconds": self.config.table_ttl_seconds,
             "table_generation": self.table_generation,

@@ -106,6 +106,10 @@ class EstimatorTable:
         or ``"simulation"`` (the batched Monte-Carlo engine).
     rel_error_bound:
         The interpolation error contract this table was built to.
+    algorithm:
+        The tree-construction discipline the grid measured (a
+        :mod:`repro.multicast.builders` registry key; ``"spt"`` for
+        every pre-existing table).
     """
 
     name: str
@@ -115,6 +119,7 @@ class EstimatorTable:
     mean_path: np.ndarray
     source: str
     rel_error_bound: float = INTERP_REL_ERROR_BOUND
+    algorithm: str = "spt"
     _log_sizes: np.ndarray = field(init=False, repr=False, compare=False)
     _log_tree: np.ndarray = field(init=False, repr=False, compare=False)
 
@@ -179,6 +184,7 @@ class EstimatorTable:
             "mode": self.mode,
             "source": self.source,
             "rel_error_bound": self.rel_error_bound,
+            "algorithm": self.algorithm,
             "m_min": self.m_min,
             "m_max": self.m_max,
             "knots": int(self.sizes.size),
@@ -231,6 +237,7 @@ class EstimatorTable:
         rng=None,
         points_per_decade: int = DEFAULT_POINTS_PER_DECADE,
         distance_store=None,
+        algorithm: str = "spt",
     ) -> "EstimatorTable":
         """Monte-Carlo table over a whole topology's admissible range.
 
@@ -245,6 +252,10 @@ class EstimatorTable:
         rows instead of per-source BFS — how million-node grids become
         buildable; a *complete* store leaves the table bit-identical to
         the storeless build.
+
+        ``algorithm`` selects the tree builder the grid measures (a
+        :mod:`repro.multicast.builders` registry key); ``"spt"`` keeps
+        the batched counting path and every pre-existing table byte.
         """
         from repro.experiments.runner import measure_sweep
 
@@ -262,6 +273,7 @@ class EstimatorTable:
             topology=name,
             rng=rng,
             distance_store=distance_store,
+            algorithm=algorithm,
         )
         return EstimatorTable(
             name=name,
@@ -270,4 +282,5 @@ class EstimatorTable:
             tree_size=np.asarray(measurement.mean_tree_size, dtype=float),
             mean_path=np.asarray(measurement.mean_unicast_path, dtype=float),
             source="simulation",
+            algorithm=algorithm,
         )

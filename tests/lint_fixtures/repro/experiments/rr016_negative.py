@@ -1,0 +1,25 @@
+"""RR016 negative fixture: tree construction through the registry."""
+
+from repro.graph.paths import bfs
+from repro.multicast.builders import build_redundant_set, build_tree, count_tree_links
+
+
+def steiner_series(graph, source, receiver_sets):
+    totals = []
+    for receivers in receiver_sets:
+        tree = build_tree("steiner-tm", graph, source, receivers)
+        totals.append(tree.num_links)
+    return totals
+
+
+def one_spt_tree(graph, source, receivers):
+    forest = bfs(graph, source, tie_break="first")
+    return build_tree("spt", graph, source, receivers, forest=forest)
+
+
+def batch_counts(graph, source, matrix, forest):
+    return count_tree_links("dst-approx", graph, source, matrix, forest=forest)
+
+
+def redundant(graph, source, receivers):
+    return build_redundant_set(graph, source, receivers, k=2)

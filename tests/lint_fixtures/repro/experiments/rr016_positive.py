@@ -1,0 +1,24 @@
+"""RR016 positive fixture: tree construction bypassing the registry."""
+
+from repro.graph.paths import bfs
+from repro.multicast.steiner import takahashi_matsuyama_tree
+from repro.multicast.tree import build_delivery_tree
+
+
+def steiner_series(graph, source, receiver_sets):
+    totals = []
+    for receivers in receiver_sets:
+        tree = takahashi_matsuyama_tree(graph, source, receivers)  # expect: RR016
+        totals.append(tree.num_links)
+    return totals
+
+
+def one_spt_tree(graph, source, receivers):
+    forest = bfs(graph, source, tie_break="first")
+    return build_delivery_tree(forest, receivers)  # expect: RR016
+
+
+def aliased_module_call(graph, source, receivers):
+    import repro.multicast.steiner as steiner
+
+    return steiner.takahashi_matsuyama_tree(graph, source, receivers)  # expect: RR016

@@ -216,6 +216,70 @@ def compute_scale_regimes() -> Dict:
     }
 
 
+def compute_algorithm_regimes() -> Dict:
+    """``L_alg(m)/L_SPT(m)`` ratios and fitted exponents per tree builder.
+
+    Runs every non-SPT builder from the
+    :mod:`repro.multicast.builders` registry against the 56k-node tier
+    on the vectorized generator stream and pins the ratio curves plus
+    the fitted ``L(m) ∝ m^k`` exponents.  The config seed is an *int*,
+    so every sweep re-derives the identical receiver draws — the ratios
+    compare the same trees under different construction rules, nothing
+    else.  Sample counts are deliberately tiny (the tier-1 sweep tests
+    own the statistics); this golden pins bit-reproducibility of the
+    builders at scale.
+    """
+    from repro.experiments.config import MonteCarloConfig
+    from repro.experiments.runner import measure_sweep
+    from repro.multicast.builders import BUILDER_NAMES
+    from repro.topology.powerlaw import internet_like_graph
+
+    graph = internet_like_graph(56_000, rng=GOLDEN_SEED, stream="vectorized")
+    config = MonteCarloConfig(
+        num_sources=2, num_receiver_sets=1, seed=GOLDEN_SEED
+    )
+    sizes = [4, 16, 64]
+    spt = measure_sweep(graph, sizes, config=config)
+    entries = []
+    for algorithm in BUILDER_NAMES:
+        if algorithm == "spt":
+            continue
+        measurement = measure_sweep(
+            graph, sizes, config=config, algorithm=algorithm
+        )
+        fit = measurement.fit_exponent()
+        entries.append(
+            {
+                "algorithm": algorithm,
+                "mean_tree_size": [
+                    float(v) for v in measurement.mean_tree_size
+                ],
+                "ratio_to_spt": [
+                    float(alg / base)
+                    for alg, base in zip(
+                        measurement.mean_tree_size, spt.mean_tree_size
+                    )
+                ],
+                "exponent": float(fit.slope),
+                "r_squared": float(fit.r_squared),
+            }
+        )
+    spt_fit = spt.fit_exponent()
+    return {
+        "seed": GOLDEN_SEED,
+        "num_nodes": 56_000,
+        "stream": "vectorized",
+        "config": {"num_sources": 2, "num_receiver_sets": 1},
+        "sizes": sizes,
+        "tolerance": {"rtol": 1e-7, "atol": 0.0},
+        "spt": {
+            "mean_tree_size": [float(v) for v in spt.mean_tree_size],
+            "exponent": float(spt_fit.slope),
+        },
+        "algorithms": entries,
+    }
+
+
 #: filename -> compute function; the test suite iterates this too.
 GOLDEN_FILES = {
     "kary_lhat.json": compute_kary_lhat,
@@ -223,6 +287,7 @@ GOLDEN_FILES = {
     "reachability_regimes.json": compute_reachability_regimes,
     "mc_tree_sizes.json": compute_mc_tree_sizes,
     "scale_regimes.json": compute_scale_regimes,
+    "algorithm_regimes.json": compute_algorithm_regimes,
 }
 
 

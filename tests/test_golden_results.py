@@ -187,6 +187,62 @@ class TestScaleRegimes:
             assert fit["slope"] < 0, entry["num_nodes"]
 
 
+class TestAlgorithmRegimes:
+    """Per-builder ``L_alg(m)/L_SPT(m)`` ratios at the 56k tier."""
+
+    def test_ratios_and_exponents_match_golden(self):
+        golden = regen_golden.load_golden("algorithm_regimes.json")
+        recomputed = regen_golden.compute_algorithm_regimes()
+        tol = golden["tolerance"]
+        _assert_close(
+            recomputed["spt"]["mean_tree_size"],
+            golden["spt"]["mean_tree_size"],
+            tol,
+            "56k SPT baseline L(m)",
+        )
+        assert len(recomputed["algorithms"]) == len(golden["algorithms"])
+        for got, want in zip(recomputed["algorithms"], golden["algorithms"]):
+            assert got["algorithm"] == want["algorithm"]
+            label = f"{want['algorithm']} @56k"
+            _assert_close(
+                got["mean_tree_size"],
+                want["mean_tree_size"],
+                tol,
+                label + " L(m)",
+            )
+            _assert_close(
+                got["ratio_to_spt"],
+                want["ratio_to_spt"],
+                tol,
+                label + " ratio",
+            )
+            _assert_close(
+                got["exponent"], want["exponent"], tol, label + " exponent"
+            )
+
+    def test_recorded_ratios_respect_builder_orderings(self):
+        # Structural invariants of the pinned numbers themselves: the
+        # Steiner heuristics never use more links than SPT (best-of
+        # guard), the k-disjoint union never fewer.
+        golden = regen_golden.load_golden("algorithm_regimes.json")
+        by_name = {
+            entry["algorithm"]: entry for entry in golden["algorithms"]
+        }
+        assert set(by_name) == {"steiner-tm", "dst-approx", "kdisjoint"}
+        for name in ("steiner-tm", "dst-approx"):
+            assert all(r <= 1.0 for r in by_name[name]["ratio_to_spt"]), name
+        assert all(r >= 1.0 for r in by_name["kdisjoint"]["ratio_to_spt"])
+
+    def test_scaling_exponent_survives_tree_construction(self):
+        # ROADMAP item 3: the ≈0.8 economy-of-scale exponent is a
+        # property of the topology, not of shortest-path construction —
+        # every builder's fitted exponent stays in (0, 1).
+        golden = regen_golden.load_golden("algorithm_regimes.json")
+        assert 0.0 < golden["spt"]["exponent"] < 1.0
+        for entry in golden["algorithms"]:
+            assert 0.0 < entry["exponent"] < 1.0, entry["algorithm"]
+
+
 class TestPerturbationIsDetected:
     """A deliberate +1% bias in the hot kernel must trip the suite."""
 
@@ -237,3 +293,33 @@ class TestPerturbationIsDetected:
                 golden["tolerance"],
                 "golden drift (expected): perturbed tree_sizes_batch",
             )
+
+    def test_one_percent_builder_count_inflation_fails_the_golden(
+        self, monkeypatch
+    ):
+        # The sweep engine calls ``builders.count_tree_links`` as a
+        # module attribute precisely so this seam is patchable: inflate
+        # every non-SPT link count by 1% and the ratio golden must trip.
+        from repro.multicast import builders
+
+        golden = regen_golden.load_golden("algorithm_regimes.json")
+        original = builders.count_tree_links
+
+        def inflated(algorithm, graph, source, receiver_matrix, **kwargs):
+            counts = original(
+                algorithm, graph, source, receiver_matrix, **kwargs
+            )
+            return counts * 1.01
+
+        monkeypatch.setattr(builders, "count_tree_links", inflated)
+        perturbed = regen_golden.compute_algorithm_regimes()
+        with pytest.raises(AssertionError, match="golden drift"):
+            for got, want in zip(
+                perturbed["algorithms"], golden["algorithms"]
+            ):
+                _assert_close(
+                    got["ratio_to_spt"],
+                    want["ratio_to_spt"],
+                    golden["tolerance"],
+                    "golden drift (expected): perturbed builder counts",
+                )

@@ -32,6 +32,7 @@ _EXPECT = re.compile(r"#\s*expect:\s*(?P<ids>[A-Z0-9, ]+)")
 RULE_IDS = (
     "RR001", "RR002", "RR003", "RR004", "RR005", "RR006", "RR007", "RR008",
     "RR009", "RR010", "RR011", "RR012", "RR013", "RR014", "RR015",
+    "RR016",
 )
 
 RULE_FIXTURES = [
@@ -81,6 +82,11 @@ RULE_FIXTURES = [
         "RR015",
         "repro/serve/rr015_positive.py",
         "repro/serve/rr015_negative.py",
+    ),
+    (
+        "RR016",
+        "repro/experiments/rr016_positive.py",
+        "repro/experiments/rr016_negative.py",
     ),
 ]
 

@@ -133,3 +133,69 @@ class TestTakahashiMatsuyama:
                 takahashi_matsuyama_tree(g, 0, receivers).num_links
                 == counter.tree_size(receivers)
             )
+
+
+class TestRetargetedMultiSourceBfs:
+    """``multi_source_distances`` now rides ``graph.paths``' batched BFS.
+
+    The bespoke frontier loop this module used to carry was a
+    duplicate of the level-synchronous walk in
+    :func:`repro.graph.paths.bfs_from_many`; the retarget must be
+    *bit-identical*, so the old loop lives on here as the reference
+    implementation it is checked against.
+    """
+
+    @staticmethod
+    def _reference(graph, sources):
+        seed = np.unique(np.asarray(list(sources), dtype=np.int64))
+        n = graph.num_nodes
+        dist = np.full(n, -1, dtype=np.int32)
+        parent = np.full(n, -1, dtype=np.int32)
+        dist[seed] = 0
+        frontier = seed.astype(np.int32)
+        indptr, indices = graph.indptr, graph.indices
+        level = 0
+        while frontier.size:
+            level += 1
+            starts = indptr[frontier]
+            counts = indptr[frontier + 1] - starts
+            total = int(counts.sum())
+            if total == 0:
+                break
+            cum = np.cumsum(counts)
+            flat = np.arange(total, dtype=np.int64) - np.repeat(
+                cum - counts, counts
+            )
+            flat += np.repeat(starts, counts)
+            neighbours = indices[flat]
+            hops = np.repeat(frontier, counts)
+            fresh = dist[neighbours] < 0
+            neighbours = neighbours[fresh]
+            hops = hops[fresh]
+            if neighbours.size == 0:
+                break
+            uniq, first = np.unique(neighbours, return_index=True)
+            dist[uniq] = level
+            parent[uniq] = hops[first]
+            frontier = uniq.astype(np.int32)
+        return dist, parent
+
+    @pytest.mark.parametrize("name", ["arpa", "r100", "mbone", "as"])
+    def test_bit_identical_to_the_old_loop(self, name):
+        from repro.topology.registry import build_topology
+
+        graph = build_topology(name, scale=0.25, rng=5)
+        rng = np.random.default_rng(41)
+        for trial in range(5):
+            k = int(rng.integers(1, 6))
+            sources = rng.choice(graph.num_nodes, size=k, replace=False)
+            dist, parent = multi_source_distances(graph, sources)
+            ref_dist, ref_parent = self._reference(graph, sources)
+            assert np.array_equal(dist, ref_dist), (name, trial)
+            assert np.array_equal(parent, ref_parent), (name, trial)
+
+    def test_bit_identical_on_disconnected_graph(self, disconnected_graph):
+        dist, parent = multi_source_distances(disconnected_graph, [0, 1])
+        ref_dist, ref_parent = self._reference(disconnected_graph, [0, 1])
+        assert np.array_equal(dist, ref_dist)
+        assert np.array_equal(parent, ref_parent)

@@ -244,10 +244,10 @@ class TestCoalescing:
             service = await started_service()
             real = service._simulate_sync
 
-            def gated(name, m, mode):
+            def gated(name, m, mode, algorithm="spt"):
                 calls.append((name, m, mode))
                 release.wait(timeout=10)
-                return real(name, m, mode)
+                return real(name, m, mode, algorithm)
 
             service._simulate_sync = gated
             started_before = service._flight.started
@@ -312,9 +312,9 @@ class TestDeadlineDegradation:
             await service.startup()
             real = service._simulate_sync
 
-            def stalled(name, m, mode):
+            def stalled(name, m, mode, algorithm="spt"):
                 release.wait(timeout=10)
-                return real(name, m, mode)
+                return real(name, m, mode, algorithm)
 
             service._simulate_sync = stalled
             request = asyncio.ensure_future(service.handle_simulate(payload))
